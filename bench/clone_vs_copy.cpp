@@ -1,0 +1,94 @@
+// §4.3 baseline: link-based cloning vs full disk copy.
+//
+// Paper: "the virtual disk of the golden machine in this experiment
+// occupies 2GBytes of storage (spanned across 16 files) and takes 210
+// seconds to be fully copied — around 4 times slower than the average
+// cloning time of the 256MB VM."
+//
+// This bench measures both paths with the REAL storage operations (links
+// vs copies through the ArtifactStore) and times them with the calibrated
+// NFS model, then reports the ratio.
+#include <cstdio>
+#include <filesystem>
+
+#include "common.h"
+#include "storage/clone_ops.h"
+
+int main() {
+  using namespace vmp;
+  bench::print_header(
+      "§4.3 — full disk copy vs link-based clone",
+      "2 GB / 16-file golden disk copies in 210 s, ~4x the average 256 MB "
+      "clone time");
+
+  // Real artefact mechanics: count what each strategy moves.
+  const auto sandbox =
+      std::filesystem::temp_directory_path() / "vmplants-clonevscopy";
+  std::filesystem::remove_all(sandbox);
+  storage::ArtifactStore store(sandbox);
+
+  storage::MachineSpec spec;
+  spec.os = "linux-mandrake-8.1";
+  spec.memory_bytes = 256ull << 20;
+  spec.suspended = true;
+  spec.disk = {"disk0", 2048ull << 20, 16, storage::DiskMode::kNonPersistent};
+  const storage::ImageLayout golden{"warehouse/golden-256mb"};
+  if (!storage::materialize_image(&store, golden, spec).ok()) return 1;
+
+  auto linked = storage::clone_image(&store, golden, spec, "clones/linked",
+                                     storage::CloneStrategy::kLinked);
+  auto copied = storage::clone_image(&store, golden, spec, "clones/copied",
+                                     storage::CloneStrategy::kFullCopy);
+  if (!linked.ok() || !copied.ok()) return 1;
+
+  const auto lt = linked.value().total();
+  const auto ct = copied.value().total();
+  std::printf("%-22s %15s %15s %8s\n", "strategy", "bytes_moved", "links",
+              "files");
+  std::printf("%-22s %15llu %15llu %8llu\n", "linked-clone",
+              static_cast<unsigned long long>(lt.bytes_written),
+              static_cast<unsigned long long>(lt.links_created),
+              static_cast<unsigned long long>(lt.files_touched));
+  std::printf("%-22s %15llu %15llu %8llu\n\n", "full-copy",
+              static_cast<unsigned long long>(ct.bytes_written),
+              static_cast<unsigned long long>(ct.links_created),
+              static_cast<unsigned long long>(ct.files_touched));
+
+  // Timing under the calibrated cluster model, averaged over noise draws.
+  cluster::TimingModel model(cluster::TimingConfig{}, 42);
+  util::Summary copy_times, clone_times;
+  for (int i = 0; i < 200; ++i) {
+    copy_times.add(
+        model.full_copy_sec(spec.disk.capacity_bytes, spec.disk.span_count));
+
+    cluster::CreationObservation obs;
+    obs.backend = "vmware-gsx";
+    obs.memory_bytes = spec.memory_bytes;
+    obs.clone_bytes_copied = lt.bytes_written;
+    obs.clone_links = lt.links_created;
+    // Average over plant fill levels like the paper's 40-VM run, where
+    // each plant ends up hosting 5 resumed 256 MB clones.
+    obs.active_vms_before = i % 5;
+    obs.resident_before_bytes = obs.active_vms_before * spec.memory_bytes;
+    obs.guest_actions = 6;
+    obs.isos_connected = 6;
+    obs.bidding_plants = 8;
+    clone_times.add(model.time_creation(obs).clone_sec);
+  }
+
+  std::printf("full copy of golden disk : %.0f s (mean of 200 draws)\n",
+              copy_times.mean());
+  std::printf("256 MB linked clone      : %.0f s (mean of 200 draws)\n",
+              clone_times.mean());
+  const double ratio = copy_times.mean() / clone_times.mean();
+  std::printf("ratio                    : %.1fx\n\n", ratio);
+
+  char measured[96];
+  std::snprintf(measured, sizeof measured, "%.0f s", copy_times.mean());
+  bench::print_summary_row("clone_vs_copy.full_copy_time", "210 s", measured);
+  std::snprintf(measured, sizeof measured, "%.1fx", ratio);
+  bench::print_summary_row("clone_vs_copy.speedup", "around 4x", measured);
+
+  std::filesystem::remove_all(sandbox);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 6: cloning time as a function of VM sequence number.
+//
+// Paper (§4.3): "cloning times tend to increase when the VMPlant hosts a
+// large number of VMs.  This behavior is most noticeable in the 64MB and
+// 256MB cases, where each of the 8 VMPlants hosts up to 16 64MB clones or
+// 5 256MB clones, requiring an aggregate of more than 1GB of host memory."
+// The plot is per-request: x = VM sequence number, y = cloning time.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace vmp;
+  bench::print_header(
+      "Figure 6 — cloning time vs VM sequence number",
+      "flat for 32 MB; rising tail for 64 MB and 256 MB as plants exceed "
+      "~1 GB aggregate VM memory");
+
+  bench::PaperExperimentConfig config;
+  const auto results = bench::run_paper_experiment(config);
+
+  for (const auto& series : results) {
+    std::printf("# %u MB series: sequence_number cloning_time_s plant\n",
+                series.memory_mb);
+    for (const auto& sample : series.samples) {
+      std::printf("%4zu %8.1f %s\n", sample.sequence,
+                  sample.timing.clone_sec, sample.plant.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Trend check: first-quarter vs last-quarter means per series.
+  std::printf("trend (first-quarter mean -> last-quarter mean):\n");
+  for (const auto& series : results) {
+    const std::size_t n = series.samples.size();
+    if (n < 8) continue;
+    util::Summary head, tail;
+    for (std::size_t i = 0; i < n / 4; ++i) {
+      head.add(series.samples[i].timing.clone_sec);
+    }
+    for (std::size_t i = n - n / 4; i < n; ++i) {
+      tail.add(series.samples[i].timing.clone_sec);
+    }
+    std::printf("  %3u MB: %.1fs -> %.1fs (x%.2f)\n", series.memory_mb,
+                head.mean(), tail.mean(), tail.mean() / head.mean());
+
+    char name[64], measured[64];
+    std::snprintf(name, sizeof name, "fig6.rise_%umb", series.memory_mb);
+    std::snprintf(measured, sizeof measured, "x%.2f tail/head",
+                  tail.mean() / head.mean());
+    bench::print_summary_row(
+        name,
+        series.memory_mb == 32 ? "mostly flat"
+                               : "clear rise once plants fill",
+        measured);
+  }
+  return 0;
+}

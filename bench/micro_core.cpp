@@ -1,0 +1,151 @@
+// Microbenchmarks (google-benchmark) for the hot middleware paths: XML
+// parsing, classad evaluation, DAG topological sort, the three matching
+// tests, request round-trips, and linked-clone artefact mechanics.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "classad/classad.h"
+#include "classad/matchmaker.h"
+#include "dag/dag_xml.h"
+#include "dag/matching.h"
+#include "storage/clone_ops.h"
+#include "workload/dag_library.h"
+#include "workload/request_gen.h"
+#include "xml/xml.h"
+
+namespace {
+
+using namespace vmp;
+
+void BM_XmlParseWorkspaceRequest(benchmark::State& state) {
+  const std::string wire =
+      workload::workspace_request(64, 0, "ufl.edu").to_xml_string();
+  for (auto _ : state) {
+    auto doc = xml::parse(wire);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(state.iterations() * wire.size());
+}
+BENCHMARK(BM_XmlParseWorkspaceRequest);
+
+void BM_RequestRoundTrip(benchmark::State& state) {
+  const core::CreateRequest request =
+      workload::workspace_request(64, 0, "ufl.edu");
+  for (auto _ : state) {
+    auto parsed = core::CreateRequest::from_xml_string(request.to_xml_string());
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_RequestRoundTrip);
+
+void BM_ClassAdEvaluateRequirements(benchmark::State& state) {
+  classad::ClassAd request;
+  (void)request.set_expression(
+      "Requirements",
+      "other.Memory >= 64 && other.OS == \"linux\" && other.Disk > 1000");
+  classad::ClassAd machine;
+  machine.set_integer("Memory", 128);
+  machine.set_string("OS", "linux");
+  machine.set_integer("Disk", 2048);
+  for (auto _ : state) {
+    auto v = request.evaluate("Requirements", &machine);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ClassAdEvaluateRequirements);
+
+void BM_ClassAdMatchAll(benchmark::State& state) {
+  classad::ClassAd request;
+  (void)request.set_expression("Requirements", "other.Memory >= 64");
+  (void)request.set_expression("Rank", "other.Memory");
+  std::vector<classad::ClassAd> machines;
+  for (int i = 0; i < state.range(0); ++i) {
+    classad::ClassAd m;
+    m.set_integer("Memory", 32 + i);
+    machines.push_back(std::move(m));
+  }
+  for (auto _ : state) {
+    auto matches = classad::match_all(request, machines);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_ClassAdMatchAll)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_TopologicalSort(benchmark::State& state) {
+  const dag::ConfigDag d = workload::random_layered_dag(
+      1, state.range(0), state.range(0), 0.3);
+  for (auto _ : state) {
+    auto order = d.topological_sort();
+    benchmark::DoNotOptimize(order);
+  }
+  state.SetLabel(std::to_string(d.size()) + " nodes");
+}
+BENCHMARK(BM_TopologicalSort)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_EvaluateMatch(benchmark::State& state) {
+  const dag::ConfigDag d =
+      workload::random_layered_dag(2, state.range(0), state.range(0), 0.3);
+  const auto order = d.topological_sort().value();
+  std::vector<std::string> history;
+  for (std::size_t i = 0; i < order.size() / 2; ++i) {
+    history.push_back(d.action(order[i])->signature());
+  }
+  for (auto _ : state) {
+    auto eval = dag::evaluate_match(d, history);
+    benchmark::DoNotOptimize(eval);
+  }
+  state.SetLabel(std::to_string(d.size()) + " nodes, half performed");
+}
+BENCHMARK(BM_EvaluateMatch)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_InVigoMatch(benchmark::State& state) {
+  workload::WorkspaceParams params;
+  const dag::ConfigDag request = workload::invigo_workspace_dag(params);
+  const auto history = workload::invigo_golden_history();
+  for (auto _ : state) {
+    auto eval = dag::evaluate_match(request, history);
+    benchmark::DoNotOptimize(eval);
+  }
+}
+BENCHMARK(BM_InVigoMatch);
+
+void BM_DagXmlRoundTrip(benchmark::State& state) {
+  workload::WorkspaceParams params;
+  const dag::ConfigDag d = workload::invigo_workspace_dag(params);
+  for (auto _ : state) {
+    auto parsed = dag::from_xml_string(dag::to_xml_string(d));
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_DagXmlRoundTrip);
+
+void BM_LinkedClone(benchmark::State& state) {
+  const auto sandbox =
+      std::filesystem::temp_directory_path() / "vmplants-microbench";
+  std::filesystem::remove_all(sandbox);
+  storage::ArtifactStore store(sandbox);
+  storage::MachineSpec spec;
+  spec.os = "linux";
+  spec.memory_bytes = 64ull << 20;
+  spec.suspended = true;
+  spec.disk = {"disk0", 2048ull << 20, 16, storage::DiskMode::kNonPersistent};
+  const storage::ImageLayout golden{"golden"};
+  if (!storage::materialize_image(&store, golden, spec).ok()) {
+    state.SkipWithError("materialize failed");
+    return;
+  }
+  std::size_t n = 0;
+  for (auto _ : state) {
+    auto report = storage::clone_image(&store, golden, spec,
+                                       "clones/c" + std::to_string(n++),
+                                       storage::CloneStrategy::kLinked);
+    benchmark::DoNotOptimize(report);
+  }
+  std::filesystem::remove_all(sandbox);
+}
+BENCHMARK(BM_LinkedClone);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// §4.3 run-time overhead context: VM execution cost once instantiated.
+//
+// The paper does not measure run-time overhead itself; it cites prior
+// results — "3% for UML, 2% for VMware and negligible for Xen" on SPEC
+// INT2000 [Xen SOSP'03], ~6% for SPECseis/SPECchem under VMware [ICDCS'03],
+// and 13% for the I/O-heavy LSS application [CLADE'04] — to argue the
+// instantiation cost is the part worth engineering.  This bench reproduces
+// that context with a synthetic workload model: virtualization overhead as
+// a function of the workload's I/O fraction, applied to simulated
+// compute/I/O phase mixes.
+#include <cstdio>
+
+#include "common.h"
+#include "util/random.h"
+
+namespace {
+
+/// Per-backend overhead model: CPU-bound work is nearly native; I/O and
+/// system-call work pays the (2004-era) virtualization tax.
+struct OverheadModel {
+  const char* backend;
+  double cpu_overhead;  // fractional slowdown of pure user-mode compute
+  double io_overhead;   // fractional slowdown of I/O and syscalls
+};
+
+constexpr OverheadModel kModels[] = {
+    {"vmware-gsx", 0.015, 0.24},
+    {"uml", 0.028, 0.42},
+    {"xen-paravirt", 0.003, 0.06},
+};
+
+/// Synthetic applications as (name, io_fraction, paper_reference) rows.
+struct App {
+  const char* name;
+  double io_fraction;
+  const char* paper_claim;
+};
+
+constexpr App kApps[] = {
+    {"SPEC-INT2000-like (CPU bound)", 0.02, "2-3% (VMware/UML), ~0% Xen"},
+    {"SPECseis/chem-like (serial HPC)", 0.17, "~6% under VMware"},
+    {"LSS-like (DB-heavy parallel)", 0.52, "13% under VMware"},
+};
+
+}  // namespace
+
+int main() {
+  using namespace vmp;
+  bench::print_header(
+      "§4.3 context — run-time overhead of executing inside VMs",
+      "cited: 2-3% CPU-bound (VMware/UML), ~6% serial HPC, 13% I/O-heavy "
+      "LSS; negligible for Xen");
+
+  util::SplitMix64 rng(7);
+  std::printf("%-34s %14s %14s %14s\n", "workload", "vmware-gsx", "uml",
+              "xen-paravirt");
+  double lss_gsx = 0.0;
+  double spec_gsx = 0.0;
+  for (const App& app : kApps) {
+    std::printf("%-34s", app.name);
+    for (const OverheadModel& m : kModels) {
+      // Simulate 50 runs: native time 100 units split compute/I/O, with
+      // small run-to-run noise; report mean fractional overhead.
+      util::Summary overhead;
+      for (int run = 0; run < 50; ++run) {
+        const double native = 100.0 * rng.uniform(0.95, 1.05);
+        const double compute = native * (1.0 - app.io_fraction);
+        const double io = native * app.io_fraction;
+        const double virtualized = compute * (1.0 + m.cpu_overhead) +
+                                   io * (1.0 + m.io_overhead);
+        overhead.add((virtualized - native) / native);
+      }
+      std::printf(" %13.1f%%", overhead.mean() * 100.0);
+      if (std::string(m.backend) == "vmware-gsx") {
+        if (std::string(app.name).rfind("LSS", 0) == 0) {
+          lss_gsx = overhead.mean();
+        }
+        if (std::string(app.name).rfind("SPEC-INT", 0) == 0) {
+          spec_gsx = overhead.mean();
+        }
+      }
+    }
+    std::printf("   (paper: %s)\n", app.paper_claim);
+  }
+  std::printf("\n");
+
+  char measured[64];
+  std::snprintf(measured, sizeof measured, "%.1f%%", spec_gsx * 100.0);
+  bench::print_summary_row("overhead.cpu_bound_vmware", "~2%", measured);
+  std::snprintf(measured, sizeof measured, "%.1f%%", lss_gsx * 100.0);
+  bench::print_summary_row("overhead.lss_vmware", "13%", measured);
+  return 0;
+}

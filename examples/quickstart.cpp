@@ -1,0 +1,114 @@
+// Quickstart: stand up a one-plant VMPlant deployment, publish a golden
+// machine, and create a configured VM through the VMShop.
+//
+// Walks the full public API surface in ~100 lines:
+//   ArtifactStore -> Warehouse (publish a golden image)
+//   VmPlant + VmShop over a MessageBus with registry discovery
+//   DagBuilder (configuration DAG) -> CreateRequest -> classad response.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <filesystem>
+
+#include "core/plant.h"
+#include "core/shop.h"
+#include "dag/dag.h"
+#include "net/bus.h"
+#include "net/registry.h"
+#include "storage/artifact_store.h"
+#include "warehouse/warehouse.h"
+
+int main() {
+  using namespace vmp;
+
+  // 1. A sandbox directory holds every VM artefact (disks, checkpoints,
+  //    clones).  In the paper this is the NFS-served VM Warehouse.
+  const auto sandbox = std::filesystem::temp_directory_path() / "vmplants-quickstart";
+  std::filesystem::remove_all(sandbox);
+  storage::ArtifactStore store(sandbox);
+  warehouse::Warehouse wh(&store, "warehouse");
+
+  // 2. Publish a "golden" machine: a suspended 64 MB Linux checkpoint with
+  //    a base O/S already installed (the paper's offline golden authoring).
+  storage::MachineSpec spec;
+  spec.os = "linux-mandrake-8.1";
+  spec.memory_bytes = 64ull << 20;
+  spec.suspended = true;
+  spec.disk = {"disk0", 2048ull << 20, 16, storage::DiskMode::kNonPersistent};
+
+  hv::GuestState guest;
+  guest.os = spec.os;
+
+  dag::Action base("base", "install-os");
+  base.set_param("distro", "mandrake-8.1");
+  auto golden = wh.publish_new("golden-64mb", "vmware-gsx", spec, guest,
+                               {base.signature()});
+  if (!golden.ok()) {
+    std::fprintf(stderr, "publish failed: %s\n",
+                 golden.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("published golden image '%s' (%zu artefact dirs)\n",
+              golden.value().id.c_str(), wh.size());
+
+  // 3. One VMPlant and one VMShop, wired through the message bus.
+  net::MessageBus bus;
+  net::ServiceRegistry registry;
+
+  core::PlantConfig plant_config;
+  plant_config.name = "plant0";
+  core::VmPlant plant(plant_config, &store, &wh);
+  (void)plant.attach_to_bus(&bus, &registry);
+
+  core::VmShop shop(core::ShopConfig{}, &bus, &registry);
+  (void)shop.attach_to_bus();
+
+  // 4. Describe the machine we want: hardware constraints plus a
+  //    configuration DAG (base install must match the golden, then our
+  //    own customization on top).
+  core::CreateRequest request;
+  request.request_id = "quickstart-1";
+  request.client = "quickstart-user";
+  request.domain = "example.org";
+  request.proxy_address = "proxy.example.org:4096";
+  request.hardware.os = spec.os;
+  request.hardware.memory_bytes = spec.memory_bytes;
+  request.config =
+      dag::DagBuilder()
+          .guest("base", "install-os", {{"distro", "mandrake-8.1"}})
+          .guest("net", "configure-network", {{"ip", "10.0.0.2"}})
+          .guest("user", "create-user", {{"name", "alice"}})
+          .guest("editor", "install-package", {{"package", "emacs"}})
+          .chain({"base", "net", "user", "editor"})
+          .build();
+
+  // 5. Create through the shop: bidding picks the (only) plant, the PPP
+  //    matches the golden image's prefix, and only net/user/editor run.
+  auto ad = shop.create(request);
+  if (!ad.ok()) {
+    std::fprintf(stderr, "create failed: %s\n", ad.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("created VM. classad:\n%s\n", ad.value().to_string().c_str());
+
+  const std::string vm_id = ad.value().get_string(core::attrs::kVmId).value();
+  std::printf("cached actions skipped : %lld\n",
+              static_cast<long long>(
+                  ad.value().get_integer(core::attrs::kActionsSatisfied).value()));
+  std::printf("actions executed       : %lld\n",
+              static_cast<long long>(
+                  ad.value().get_integer(core::attrs::kActionsExecuted).value()));
+
+  // 6. Query, then destroy (collect).
+  auto queried = shop.query(vm_id);
+  std::printf("query(%s): state=%s ip=%s\n", vm_id.c_str(),
+              queried.value().get_string(core::attrs::kState).value().c_str(),
+              queried.value().get_string(core::attrs::kIp).value().c_str());
+
+  (void)shop.destroy(vm_id);
+  std::printf("destroyed %s; plant now hosts %zu VMs\n", vm_id.c_str(),
+              plant.active_vms());
+
+  std::filesystem::remove_all(sandbox);
+  return 0;
+}

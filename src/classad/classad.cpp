@@ -1,0 +1,182 @@
+#include "classad/classad.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+#include "xml/xml.h"
+
+namespace vmp::classad {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+ClassAd::ClassAd(const ClassAd& other) { *this = other; }
+
+ClassAd& ClassAd::operator=(const ClassAd& other) {
+  if (this == &other) return *this;
+  attrs_.clear();
+  order_ = other.order_;
+  for (const auto& [key, slot] : other.attrs_) {
+    attrs_.emplace(key, Slot{slot.display_name, slot.expr->clone()});
+  }
+  return *this;
+}
+
+std::string ClassAd::fold(const std::string& name) {
+  return util::to_lower(name);
+}
+
+void ClassAd::set(const std::string& name, ExprPtr expr) {
+  const std::string key = fold(name);
+  auto it = attrs_.find(key);
+  if (it == attrs_.end()) {
+    order_.push_back(key);
+    attrs_.emplace(key, Slot{name, std::move(expr)});
+  } else {
+    it->second.display_name = name;
+    it->second.expr = std::move(expr);
+  }
+}
+
+void ClassAd::set_integer(const std::string& name, std::int64_t v) {
+  set(name, std::make_unique<LiteralExpr>(Value::integer(v)));
+}
+void ClassAd::set_real(const std::string& name, double v) {
+  set(name, std::make_unique<LiteralExpr>(Value::real(v)));
+}
+void ClassAd::set_string(const std::string& name, std::string v) {
+  set(name, std::make_unique<LiteralExpr>(Value::string(std::move(v))));
+}
+void ClassAd::set_boolean(const std::string& name, bool v) {
+  set(name, std::make_unique<LiteralExpr>(Value::boolean(v)));
+}
+
+Status ClassAd::set_expression(const std::string& name,
+                               const std::string& expr_text) {
+  auto expr = parse_expression(expr_text);
+  if (!expr.ok()) return expr.error();
+  set(name, std::move(expr).value());
+  return Status();
+}
+
+bool ClassAd::erase(const std::string& name) {
+  const std::string key = fold(name);
+  auto it = attrs_.find(key);
+  if (it == attrs_.end()) return false;
+  attrs_.erase(it);
+  order_.erase(std::find(order_.begin(), order_.end(), key));
+  return true;
+}
+
+bool ClassAd::has(const std::string& name) const {
+  return attrs_.count(fold(name)) != 0;
+}
+
+std::vector<std::string> ClassAd::names() const {
+  std::vector<std::string> out;
+  out.reserve(order_.size());
+  for (const std::string& key : order_) {
+    out.push_back(attrs_.at(key).display_name);
+  }
+  return out;
+}
+
+const Expr* ClassAd::lookup(const std::string& name) const {
+  auto it = attrs_.find(fold(name));
+  return it == attrs_.end() ? nullptr : it->second.expr.get();
+}
+
+Value ClassAd::evaluate(const std::string& name, const ClassAd* other) const {
+  const Expr* expr = lookup(name);
+  if (expr == nullptr) return Value::undefined();
+  EvalContext ctx;
+  ctx.self = this;
+  ctx.other = other;
+  // Mark the root attribute as in progress so `x = x + 1` is ERROR.
+  ctx.in_progress.push_back(
+      std::to_string(reinterpret_cast<std::uintptr_t>(this)) + "/" +
+      fold(name));
+  return expr->evaluate(ctx);
+}
+
+std::optional<std::int64_t> ClassAd::get_integer(const std::string& name) const {
+  const Value v = evaluate(name);
+  if (v.type() == ValueType::kInteger) return v.as_integer();
+  return std::nullopt;
+}
+
+std::optional<double> ClassAd::get_number(const std::string& name) const {
+  const Value v = evaluate(name);
+  if (v.is_number()) return v.as_number();
+  return std::nullopt;
+}
+
+std::optional<std::string> ClassAd::get_string(const std::string& name) const {
+  const Value v = evaluate(name);
+  if (v.type() == ValueType::kString) return v.as_string();
+  return std::nullopt;
+}
+
+std::optional<bool> ClassAd::get_boolean(const std::string& name) const {
+  const Value v = evaluate(name);
+  if (v.type() == ValueType::kBoolean) return v.as_boolean();
+  return std::nullopt;
+}
+
+std::string ClassAd::to_string() const {
+  std::string out = "[ ";
+  for (const std::string& key : order_) {
+    const Slot& slot = attrs_.at(key);
+    out += slot.display_name;
+    out += " = ";
+    out += slot.expr->to_string();
+    out += "; ";
+  }
+  out += "]";
+  return out;
+}
+
+void ClassAd::to_xml(xml::Element* parent) const {
+  xml::Element& ad = parent->add_child("classad");
+  for (const std::string& key : order_) {
+    const Slot& slot = attrs_.at(key);
+    xml::Element& attr = ad.add_child("attr");
+    attr.set_attr("name", slot.display_name);
+    attr.set_text(slot.expr->to_string());
+  }
+}
+
+Result<ClassAd> ClassAd::from_xml(const xml::Element& element) {
+  const xml::Element* ad_elem =
+      element.name() == "classad" ? &element : element.child("classad");
+  if (ad_elem == nullptr) {
+    return Result<ClassAd>(
+        Error(ErrorCode::kParseError, "classad: missing <classad> element"));
+  }
+  ClassAd ad;
+  for (const xml::Element* attr : ad_elem->children_named("attr")) {
+    if (!attr->has_attr("name")) {
+      return Result<ClassAd>(
+          Error(ErrorCode::kParseError, "classad: <attr> without name"));
+    }
+    Status s = ad.set_expression(attr->attr("name"), attr->text());
+    if (!s.ok()) return s.propagate<ClassAd>();
+  }
+  return ad;
+}
+
+bool ClassAd::operator==(const ClassAd& other) const {
+  if (order_.size() != other.order_.size()) return false;
+  for (const std::string& key : order_) {
+    auto it = other.attrs_.find(key);
+    if (it == other.attrs_.end()) return false;
+    if (attrs_.at(key).expr->to_string() != it->second.expr->to_string()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vmp::classad

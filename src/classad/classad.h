@@ -1,0 +1,97 @@
+// The ClassAd container: an ordered map from attribute names (case
+// insensitive, per Condor) to expressions.
+//
+// VMPlant uses classads in three places (paper Sections 3.1-3.2):
+//   * the creation response handed back to the client (VMID, IP address,
+//     SSH key fingerprints, action outputs);
+//   * the per-plant VM Information System, which stores one ad per active
+//     VM and refreshes dynamic attributes from the VM monitor;
+//   * hardware-requirement matching between a creation request and golden
+//     machine descriptors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classad/expr.h"
+#include "util/error.h"
+
+namespace vmp::xml {
+class Element;
+}
+
+namespace vmp::classad {
+
+class ClassAd {
+ public:
+  ClassAd() = default;
+  ClassAd(const ClassAd& other);
+  ClassAd& operator=(const ClassAd& other);
+  ClassAd(ClassAd&&) = default;
+  ClassAd& operator=(ClassAd&&) = default;
+
+  // -- Building -------------------------------------------------------------
+  void set(const std::string& name, ExprPtr expr);
+  void set_integer(const std::string& name, std::int64_t v);
+  void set_real(const std::string& name, double v);
+  void set_string(const std::string& name, std::string v);
+  void set_boolean(const std::string& name, bool v);
+  /// Parses `expr_text` as an expression; returns parse failure unchanged.
+  util::Status set_expression(const std::string& name,
+                              const std::string& expr_text);
+
+  bool erase(const std::string& name);
+  bool has(const std::string& name) const;
+  std::size_t size() const { return attrs_.size(); }
+
+  /// Attribute names in insertion order.
+  std::vector<std::string> names() const;
+
+  /// Unevaluated expression (nullptr if absent).
+  const Expr* lookup(const std::string& name) const;
+
+  // -- Evaluation -----------------------------------------------------------
+  /// Evaluate an attribute with this ad as `self` (and optionally a match
+  /// candidate as `other`).  Missing attributes evaluate to UNDEFINED;
+  /// cyclic definitions to ERROR.
+  Value evaluate(const std::string& name, const ClassAd* other = nullptr) const;
+
+  /// Typed convenience accessors: value if present and of the right type.
+  std::optional<std::int64_t> get_integer(const std::string& name) const;
+  std::optional<double> get_number(const std::string& name) const;
+  std::optional<std::string> get_string(const std::string& name) const;
+  std::optional<bool> get_boolean(const std::string& name) const;
+
+  // -- Serialization --------------------------------------------------------
+  /// Condor-style "[ a = 1; b = "x"; ]" rendering.
+  std::string to_string() const;
+  /// XML rendering used in wire messages: <classad><attr name="a">1</attr>...
+  void to_xml(xml::Element* parent) const;
+  static util::Result<ClassAd> from_xml(const xml::Element& element);
+
+  bool operator==(const ClassAd& other) const;
+
+ private:
+  friend class AttrRefExpr;
+  /// Case-insensitive key.
+  static std::string fold(const std::string& name);
+
+  struct Slot {
+    std::string display_name;  // original spelling
+    ExprPtr expr;
+  };
+  std::map<std::string, Slot> attrs_;      // folded name -> slot
+  std::vector<std::string> order_;         // folded names, insertion order
+};
+
+/// Parse "[ a = 1; b = 2 ]" or a bare attribute list "a = 1\nb = 2".
+util::Result<ClassAd> parse_classad(const std::string& text);
+
+/// Parse a single expression.
+util::Result<ExprPtr> parse_expression(const std::string& text);
+
+}  // namespace vmp::classad

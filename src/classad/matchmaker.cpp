@@ -1,0 +1,47 @@
+#include "classad/matchmaker.h"
+
+#include <algorithm>
+
+namespace vmp::classad {
+
+bool requirements_hold(const ClassAd& ad, const ClassAd& other,
+                       bool default_when_absent) {
+  if (!ad.has("Requirements")) return default_when_absent;
+  const Value v = ad.evaluate("Requirements", &other);
+  return v.type() == ValueType::kBoolean && v.as_boolean();
+}
+
+bool symmetric_match(const ClassAd& request, const ClassAd& candidate) {
+  return requirements_hold(request, candidate) &&
+         requirements_hold(candidate, request);
+}
+
+double rank_of(const ClassAd& request, const ClassAd& candidate) {
+  if (!request.has("Rank")) return 0.0;
+  const Value v = request.evaluate("Rank", &candidate);
+  return v.is_number() ? v.as_number() : 0.0;
+}
+
+std::vector<MatchResult> match_all(const ClassAd& request,
+                                   const std::vector<ClassAd>& candidates) {
+  std::vector<MatchResult> out;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (symmetric_match(request, candidates[i])) {
+      out.push_back({i, rank_of(request, candidates[i])});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const MatchResult& a, const MatchResult& b) {
+                     return a.rank > b.rank;
+                   });
+  return out;
+}
+
+std::optional<MatchResult> match_best(const ClassAd& request,
+                                      const std::vector<ClassAd>& candidates) {
+  auto all = match_all(request, candidates);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+}  // namespace vmp::classad

@@ -1,0 +1,46 @@
+// Two-way classad matchmaking (Condor-style).
+//
+// A match between ads A and B requires A.Requirements to evaluate to TRUE in
+// the context (self=A, other=B) and symmetrically for B.  Rank (optional,
+// numeric, higher wins) orders multiple matches.  VMShop uses this to check
+// a creation request's hardware constraints against golden-machine
+// descriptor ads, and In-VIGO-style middleware can reuse it for resource
+// selection.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "classad/classad.h"
+
+namespace vmp::classad {
+
+/// True iff `request.Requirements` is TRUE against `candidate` AND
+/// `candidate.Requirements` is TRUE or absent against `request`.
+/// A missing Requirements on the request side is treated as TRUE.
+bool symmetric_match(const ClassAd& request, const ClassAd& candidate);
+
+/// One-way test: does `ad.Requirements` evaluate TRUE against `other`?
+/// Missing Requirements counts as `default_when_absent`.
+bool requirements_hold(const ClassAd& ad, const ClassAd& other,
+                       bool default_when_absent = true);
+
+/// Rank of `candidate` from the point of view of `request`
+/// (request.Rank evaluated with other=candidate); 0.0 when absent/non-numeric.
+double rank_of(const ClassAd& request, const ClassAd& candidate);
+
+struct MatchResult {
+  std::size_t index;  // into the candidate vector
+  double rank;
+};
+
+/// All candidates matching `request`, best rank first (stable for ties).
+std::vector<MatchResult> match_all(const ClassAd& request,
+                                   const std::vector<ClassAd>& candidates);
+
+/// Best match or nullopt.
+std::optional<MatchResult> match_best(const ClassAd& request,
+                                      const std::vector<ClassAd>& candidates);
+
+}  // namespace vmp::classad

@@ -1,0 +1,497 @@
+// Recursive-descent parser for classad expressions and ads.
+#include <cctype>
+#include <memory>
+
+#include "classad/classad.h"
+#include "util/strings.h"
+
+namespace vmp::classad {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kEnd, kInteger, kReal, kString, kIdentifier,
+    kLParen, kRParen, kLBracket, kRBracket,
+    kComma, kSemicolon, kAssign, kDot,
+    kOr, kAnd, kNot,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kPlus, kMinus, kStar, kSlash, kPercent,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<Token> next() {
+    skip_ws();
+    Token t;
+    if (pos_ >= input_.size()) return t;
+
+    const char c = input_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+      return lex_number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return lex_identifier();
+    }
+    if (c == '"') return lex_string();
+
+    ++pos_;
+    switch (c) {
+      case '(': t.kind = Token::Kind::kLParen; return t;
+      case ')': t.kind = Token::Kind::kRParen; return t;
+      case '[': t.kind = Token::Kind::kLBracket; return t;
+      case ']': t.kind = Token::Kind::kRBracket; return t;
+      case ',': t.kind = Token::Kind::kComma; return t;
+      case ';': t.kind = Token::Kind::kSemicolon; return t;
+      case '.': t.kind = Token::Kind::kDot; return t;
+      case '+': t.kind = Token::Kind::kPlus; return t;
+      case '-': t.kind = Token::Kind::kMinus; return t;
+      case '*': t.kind = Token::Kind::kStar; return t;
+      case '/': t.kind = Token::Kind::kSlash; return t;
+      case '%': t.kind = Token::Kind::kPercent; return t;
+      case '|':
+        if (take('|')) { t.kind = Token::Kind::kOr; return t; }
+        return err("expected '||'");
+      case '&':
+        if (take('&')) { t.kind = Token::Kind::kAnd; return t; }
+        return err("expected '&&'");
+      case '!':
+        t.kind = take('=') ? Token::Kind::kNe : Token::Kind::kNot;
+        return t;
+      case '=':
+        if (take('=')) { t.kind = Token::Kind::kEq; return t; }
+        t.kind = Token::Kind::kAssign;
+        return t;
+      case '<':
+        t.kind = take('=') ? Token::Kind::kLe : Token::Kind::kLt;
+        return t;
+      case '>':
+        t.kind = take('=') ? Token::Kind::kGe : Token::Kind::kGt;
+        return t;
+      default:
+        return err(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  Result<Token> err(const std::string& message) const {
+    return Result<Token>(Error(
+        ErrorCode::kParseError,
+        "classad: " + message + " at offset " + std::to_string(pos_)));
+  }
+
+  bool take(char expected) {
+    if (pos_ < input_.size() && input_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {  // comment to end of line
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  Result<Token> lex_number() {
+    const std::size_t start = pos_;
+    bool is_real = false;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' && !is_real) {
+        is_real = true;
+        ++pos_;
+      } else if ((c == 'e' || c == 'E') && pos_ > start) {
+        is_real = true;
+        ++pos_;
+        if (pos_ < input_.size() && (input_[pos_] == '+' || input_[pos_] == '-')) {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+    const std::string text(input_.substr(start, pos_ - start));
+    Token t;
+    if (is_real) {
+      t.kind = Token::Kind::kReal;
+      if (!util::parse_double(text, &t.real_value)) return err("bad real literal");
+    } else {
+      t.kind = Token::Kind::kInteger;
+      long long v;
+      if (!util::parse_int64(text, &v)) return err("bad integer literal");
+      t.int_value = v;
+    }
+    return t;
+  }
+
+  Result<Token> lex_identifier() {
+    const std::size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      ++pos_;
+    }
+    Token t;
+    t.kind = Token::Kind::kIdentifier;
+    t.text = std::string(input_.substr(start, pos_ - start));
+    return t;
+  }
+
+  Result<Token> lex_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_++];
+      if (c == '"') {
+        Token t;
+        t.kind = Token::Kind::kString;
+        t.text = std::move(out);
+        return t;
+      }
+      if (c == '\\' && pos_ < input_.size()) {
+        const char esc = input_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case '\\': out += '\\'; break;
+          case '"': out += '"'; break;
+          default: out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return err("unterminated string literal");
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+// Error-propagation helpers for the recursive-descent parser; they keep the
+// advance-and-check noise out of every production.
+#define VMP_EXPR_ADVANCE()                          \
+  do {                                              \
+    auto adv = advance();                           \
+    if (!adv.ok()) return adv.propagate<ExprPtr>(); \
+  } while (false)
+#define VMP_EXPR_ADVANCE_AD()                       \
+  do {                                              \
+    auto adv = advance();                           \
+    if (!adv.ok()) return adv.propagate<ClassAd>(); \
+  } while (false)
+
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view input) : lexer_(input) {}
+
+  Result<ExprPtr> parse_full_expression() {
+    VMP_EXPR_ADVANCE();
+    auto e = parse_or();
+    if (!e.ok()) return e;
+    if (current_.kind != Token::Kind::kEnd) {
+      return fail("trailing tokens after expression");
+    }
+    return e;
+  }
+
+  Result<ClassAd> parse_ad() {
+    VMP_EXPR_ADVANCE_AD();
+    ClassAd ad;
+    const bool bracketed = current_.kind == Token::Kind::kLBracket;
+    if (bracketed) {
+      auto adv = advance();
+      if (!adv.ok()) return adv.propagate<ClassAd>();
+    }
+    while (true) {
+      if (bracketed && current_.kind == Token::Kind::kRBracket) {
+        auto adv = advance();
+        if (!adv.ok()) return adv.propagate<ClassAd>();
+        break;
+      }
+      if (current_.kind == Token::Kind::kEnd) {
+        if (bracketed) {
+          return Result<ClassAd>(Error(ErrorCode::kParseError,
+                                       "classad: missing closing ']'"));
+        }
+        break;
+      }
+      if (current_.kind != Token::Kind::kIdentifier) {
+        return Result<ClassAd>(Error(ErrorCode::kParseError,
+                                     "classad: expected attribute name"));
+      }
+      const std::string name = current_.text;
+      auto adv = advance();
+      if (!adv.ok()) return adv.propagate<ClassAd>();
+      if (current_.kind != Token::Kind::kAssign) {
+        return Result<ClassAd>(Error(ErrorCode::kParseError,
+                                     "classad: expected '=' after " + name));
+      }
+      adv = advance();
+      if (!adv.ok()) return adv.propagate<ClassAd>();
+      auto expr = parse_or();
+      if (!expr.ok()) return expr.propagate<ClassAd>();
+      ad.set(name, std::move(expr).value());
+      // Optional separator.
+      if (current_.kind == Token::Kind::kSemicolon) {
+        adv = advance();
+        if (!adv.ok()) return adv.propagate<ClassAd>();
+      }
+    }
+    if (current_.kind != Token::Kind::kEnd) {
+      return Result<ClassAd>(
+          Error(ErrorCode::kParseError, "classad: trailing tokens after ad"));
+    }
+    return ad;
+  }
+
+ private:
+  Result<ExprPtr> fail(const std::string& message) const {
+    return Result<ExprPtr>(Error(ErrorCode::kParseError, "classad: " + message));
+  }
+
+  util::Status advance() {
+    auto t = lexer_.next();
+    if (!t.ok()) return t.error();
+    current_ = std::move(t).value();
+    return util::Status();
+  }
+
+  bool accept(Token::Kind kind) {
+    return current_.kind == kind;
+  }
+
+  Result<ExprPtr> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs.ok()) return lhs;
+    while (accept(Token::Kind::kOr)) {
+      VMP_EXPR_ADVANCE();
+      auto rhs = parse_and();
+      if (!rhs.ok()) return rhs;
+      lhs = Result<ExprPtr>(std::make_unique<BinaryExpr>(
+          BinaryOp::kOr, std::move(lhs).value(), std::move(rhs).value()));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> parse_and() {
+    auto lhs = parse_comparison();
+    if (!lhs.ok()) return lhs;
+    while (accept(Token::Kind::kAnd)) {
+      VMP_EXPR_ADVANCE();
+      auto rhs = parse_comparison();
+      if (!rhs.ok()) return rhs;
+      lhs = Result<ExprPtr>(std::make_unique<BinaryExpr>(
+          BinaryOp::kAnd, std::move(lhs).value(), std::move(rhs).value()));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> parse_comparison() {
+    auto lhs = parse_additive();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      BinaryOp op;
+      if (accept(Token::Kind::kEq)) op = BinaryOp::kEq;
+      else if (accept(Token::Kind::kNe)) op = BinaryOp::kNe;
+      else if (accept(Token::Kind::kLt)) op = BinaryOp::kLt;
+      else if (accept(Token::Kind::kLe)) op = BinaryOp::kLe;
+      else if (accept(Token::Kind::kGt)) op = BinaryOp::kGt;
+      else if (accept(Token::Kind::kGe)) op = BinaryOp::kGe;
+      else return lhs;
+      VMP_EXPR_ADVANCE();
+      auto rhs = parse_additive();
+      if (!rhs.ok()) return rhs;
+      lhs = Result<ExprPtr>(std::make_unique<BinaryExpr>(
+          op, std::move(lhs).value(), std::move(rhs).value()));
+    }
+  }
+
+  Result<ExprPtr> parse_additive() {
+    auto lhs = parse_multiplicative();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      BinaryOp op;
+      if (accept(Token::Kind::kPlus)) op = BinaryOp::kAdd;
+      else if (accept(Token::Kind::kMinus)) op = BinaryOp::kSub;
+      else return lhs;
+      VMP_EXPR_ADVANCE();
+      auto rhs = parse_multiplicative();
+      if (!rhs.ok()) return rhs;
+      lhs = Result<ExprPtr>(std::make_unique<BinaryExpr>(
+          op, std::move(lhs).value(), std::move(rhs).value()));
+    }
+  }
+
+  Result<ExprPtr> parse_multiplicative() {
+    auto lhs = parse_unary();
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      BinaryOp op;
+      if (accept(Token::Kind::kStar)) op = BinaryOp::kMul;
+      else if (accept(Token::Kind::kSlash)) op = BinaryOp::kDiv;
+      else if (accept(Token::Kind::kPercent)) op = BinaryOp::kMod;
+      else return lhs;
+      VMP_EXPR_ADVANCE();
+      auto rhs = parse_unary();
+      if (!rhs.ok()) return rhs;
+      lhs = Result<ExprPtr>(std::make_unique<BinaryExpr>(
+          op, std::move(lhs).value(), std::move(rhs).value()));
+    }
+  }
+
+  Result<ExprPtr> parse_unary() {
+    if (accept(Token::Kind::kNot)) {
+      VMP_EXPR_ADVANCE();
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      return Result<ExprPtr>(std::make_unique<UnaryExpr>(
+          UnaryOp::kNot, std::move(operand).value()));
+    }
+    if (accept(Token::Kind::kMinus)) {
+      VMP_EXPR_ADVANCE();
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      return Result<ExprPtr>(std::make_unique<UnaryExpr>(
+          UnaryOp::kNegate, std::move(operand).value()));
+    }
+    return parse_primary();
+  }
+
+  Result<ExprPtr> parse_primary() {
+    switch (current_.kind) {
+      case Token::Kind::kInteger: {
+        auto e = std::make_unique<LiteralExpr>(Value::integer(current_.int_value));
+        VMP_EXPR_ADVANCE();
+        return Result<ExprPtr>(std::move(e));
+      }
+      case Token::Kind::kReal: {
+        auto e = std::make_unique<LiteralExpr>(Value::real(current_.real_value));
+        VMP_EXPR_ADVANCE();
+        return Result<ExprPtr>(std::move(e));
+      }
+      case Token::Kind::kString: {
+        auto e = std::make_unique<LiteralExpr>(Value::string(current_.text));
+        VMP_EXPR_ADVANCE();
+        return Result<ExprPtr>(std::move(e));
+      }
+      case Token::Kind::kLParen: {
+        VMP_EXPR_ADVANCE();
+        auto inner = parse_or();
+        if (!inner.ok()) return inner;
+        if (!accept(Token::Kind::kRParen)) return fail("expected ')'");
+        VMP_EXPR_ADVANCE();
+        return inner;
+      }
+      case Token::Kind::kIdentifier:
+        return parse_identifier();
+      default:
+        return fail("unexpected token in expression");
+    }
+  }
+
+  Result<ExprPtr> parse_identifier() {
+    const std::string name = current_.text;
+    VMP_EXPR_ADVANCE();
+
+    // Keyword literals.
+    if (util::iequals(name, "true")) {
+      return Result<ExprPtr>(std::make_unique<LiteralExpr>(Value::boolean(true)));
+    }
+    if (util::iequals(name, "false")) {
+      return Result<ExprPtr>(std::make_unique<LiteralExpr>(Value::boolean(false)));
+    }
+    if (util::iequals(name, "undefined")) {
+      return Result<ExprPtr>(std::make_unique<LiteralExpr>(Value::undefined()));
+    }
+    if (util::iequals(name, "error")) {
+      return Result<ExprPtr>(std::make_unique<LiteralExpr>(Value::error()));
+    }
+
+    // Scoped references: self.attr / other.attr.
+    if ((util::iequals(name, "self") || util::iequals(name, "other")) &&
+        accept(Token::Kind::kDot)) {
+      VMP_EXPR_ADVANCE();
+      if (current_.kind != Token::Kind::kIdentifier) {
+        return fail("expected attribute after '" + name + ".'");
+      }
+      const std::string attr = current_.text;
+      VMP_EXPR_ADVANCE();
+      const auto scope = util::iequals(name, "self")
+                             ? AttrRefExpr::Scope::kSelf
+                             : AttrRefExpr::Scope::kOther;
+      return Result<ExprPtr>(std::make_unique<AttrRefExpr>(scope, attr));
+    }
+
+    // Function call.
+    if (accept(Token::Kind::kLParen)) {
+      VMP_EXPR_ADVANCE();
+      std::vector<ExprPtr> args;
+      if (!accept(Token::Kind::kRParen)) {
+        while (true) {
+          auto arg = parse_or();
+          if (!arg.ok()) return arg;
+          args.push_back(std::move(arg).value());
+          if (accept(Token::Kind::kComma)) {
+            VMP_EXPR_ADVANCE();
+            continue;
+          }
+          break;
+        }
+        if (!accept(Token::Kind::kRParen)) {
+          return fail("expected ')' after function arguments");
+        }
+      }
+      VMP_EXPR_ADVANCE();
+      return Result<ExprPtr>(
+          std::make_unique<FunctionExpr>(name, std::move(args)));
+    }
+
+    return Result<ExprPtr>(
+        std::make_unique<AttrRefExpr>(AttrRefExpr::Scope::kDefault, name));
+  }
+
+#undef VMP_EXPR_ADVANCE
+#undef VMP_EXPR_ADVANCE_AD
+
+  Lexer lexer_;
+  Token current_;
+};
+
+}  // namespace
+
+Result<ExprPtr> parse_expression(const std::string& text) {
+  return ExprParser(text).parse_full_expression();
+}
+
+Result<ClassAd> parse_classad(const std::string& text) {
+  return ExprParser(text).parse_ad();
+}
+
+}  // namespace vmp::classad

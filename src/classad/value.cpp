@@ -1,0 +1,58 @@
+#include "classad/value.h"
+
+#include "util/strings.h"
+
+namespace vmp::classad {
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0: return ValueType::kUndefined;
+    case 1: return ValueType::kError;
+    case 2: return ValueType::kBoolean;
+    case 3: return ValueType::kInteger;
+    case 4: return ValueType::kReal;
+    case 5: return ValueType::kString;
+  }
+  return ValueType::kError;
+}
+
+double Value::as_number() const {
+  if (type() == ValueType::kInteger) {
+    return static_cast<double>(as_integer());
+  }
+  return as_real();
+}
+
+std::string Value::to_string() const {
+  switch (type()) {
+    case ValueType::kUndefined: return "UNDEFINED";
+    case ValueType::kError: return "ERROR";
+    case ValueType::kBoolean: return as_boolean() ? "TRUE" : "FALSE";
+    case ValueType::kInteger: return std::to_string(as_integer());
+    case ValueType::kReal: {
+      std::string s = util::format_double(as_real());
+      // Keep reals distinguishable from integers in round-trips.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueType::kString: {
+      std::string out = "\"";
+      for (char c : as_string()) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+  }
+  return "ERROR";
+}
+
+bool operator==(const Value& a, const Value& b) { return a.data_ == b.data_; }
+
+}  // namespace vmp::classad

@@ -1,0 +1,84 @@
+// Classad value model.
+//
+// The paper returns VM descriptions to clients as classads — (attribute,
+// value) pairs per Condor's matchmaking framework [Raman/Livny/Solomon,
+// HPDC'98].  Values are dynamically typed: undefined, error, boolean,
+// integer, real, and string.  UNDEFINED and ERROR propagate through
+// expressions with Condor's three-valued-logic rules, which matters for
+// matchmaking (a Requirements expression referencing a missing attribute
+// evaluates to UNDEFINED, not false-with-a-crash).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace vmp::classad {
+
+enum class ValueType { kUndefined, kError, kBoolean, kInteger, kReal, kString };
+
+class Value {
+ public:
+  Value() : data_(Undefined{}) {}
+
+  static Value undefined() { return Value(); }
+  static Value error() {
+    Value v;
+    v.data_ = ErrorTag{};
+    return v;
+  }
+  static Value boolean(bool b) {
+    Value v;
+    v.data_ = b;
+    return v;
+  }
+  static Value integer(std::int64_t i) {
+    Value v;
+    v.data_ = i;
+    return v;
+  }
+  static Value real(double d) {
+    Value v;
+    v.data_ = d;
+    return v;
+  }
+  static Value string(std::string s) {
+    Value v;
+    v.data_ = std::move(s);
+    return v;
+  }
+
+  ValueType type() const;
+  bool is_undefined() const { return type() == ValueType::kUndefined; }
+  bool is_error() const { return type() == ValueType::kError; }
+  bool is_number() const {
+    return type() == ValueType::kInteger || type() == ValueType::kReal;
+  }
+
+  /// Accessors; call only when type() matches.
+  bool as_boolean() const { return std::get<bool>(data_); }
+  std::int64_t as_integer() const { return std::get<std::int64_t>(data_); }
+  double as_real() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// Numeric value as double (integer promoted); only for is_number().
+  double as_number() const;
+
+  /// Render in classad literal syntax: TRUE, 42, 4.5, "text", UNDEFINED.
+  std::string to_string() const;
+
+  /// Strict equality used by tests (type and payload both equal).
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  struct Undefined {
+    bool operator==(const Undefined&) const { return true; }
+  };
+  struct ErrorTag {
+    bool operator==(const ErrorTag&) const { return true; }
+  };
+  std::variant<Undefined, ErrorTag, bool, std::int64_t, double, std::string>
+      data_;
+};
+
+}  // namespace vmp::classad

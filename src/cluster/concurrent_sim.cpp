@@ -1,0 +1,118 @@
+#include "cluster/concurrent_sim.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+namespace vmp::cluster {
+
+ConcurrentCreationSim::ConcurrentCreationSim(std::size_t plant_count,
+                                             TimingConfig timing,
+                                             std::uint64_t seed)
+    : plant_count_(plant_count ? plant_count : 1),
+      timing_(timing),
+      seed_(seed) {}
+
+std::size_t ConcurrentCreationSim::pick_plant() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < plants_.size(); ++i) {
+    if (plants_[i].resident_bytes < plants_[best].resident_bytes) best = i;
+  }
+  return best;
+}
+
+ConcurrentResult ConcurrentCreationSim::run(
+    const std::vector<ConcurrentRequest>& requests,
+    std::size_t max_in_flight) {
+  if (max_in_flight == 0) max_in_flight = 1;
+  plants_.assign(plant_count_, PlantState{});
+
+  sim::Engine engine;
+  // One NFS uplink shared by every concurrent state transfer.
+  sim::SharedBandwidth nfs(&engine, timing_.nfs_copy_bytes_per_sec, "nfs");
+  // Per-plant resume/boot serialization (one VMM control process each).
+  std::vector<std::unique_ptr<sim::FifoServer>> resume_queues;
+  for (std::size_t i = 0; i < plant_count_; ++i) {
+    resume_queues.push_back(
+        std::make_unique<sim::FifoServer>(&engine, 1, "resume"));
+  }
+
+  util::RandomStream noise(seed_, "concurrent-noise");
+  ConcurrentResult result;
+  result.samples.resize(requests.size());
+
+  std::size_t next_request = 0;
+  // Stored as std::function so nested completion callbacks can re-invoke it
+  // by reference; it outlives them (engine.run() is below in this frame).
+  std::function<void()> launch_next;
+  launch_next = [&]() -> void {
+    if (next_request >= requests.size()) return;
+    const std::size_t index = next_request++;
+    const ConcurrentRequest& req = requests[index];
+    const std::size_t plant = pick_plant();
+
+    ConcurrentSample& sample = result.samples[index];
+    sample.index = index;
+    sample.plant = plant;
+    sample.start_sec = engine.now();
+
+    // Reserve the memory on the plant up front (drives pressure for
+    // later arrivals, as residents do in the sequential experiments).
+    const double pressure = TimingModel(timing_, seed_ ^ index)
+                                .pressure_multiplier(
+                                    plants_[plant].resident_bytes,
+                                    plants_[plant].active_vms,
+                                    req.memory_bytes);
+    plants_[plant].resident_bytes += req.memory_bytes;
+    plants_[plant].active_vms += 1;
+
+    // Phase 1: link ops + fixed clone cost (not contended).
+    const double fixed =
+        timing_.clone_fixed_sec +
+        static_cast<double>(req.links) * timing_.link_op_sec;
+
+    engine.schedule(fixed * noise.lognormal(0.0, timing_.noise_sigma), [&,
+                    index, plant, pressure] {
+      const ConcurrentRequest& r = requests[index];
+      // Phase 2: state transfer over the shared NFS pipe.
+      nfs.start(static_cast<double>(r.bytes_to_copy), [&, index, plant,
+                                                       pressure] {
+        const ConcurrentRequest& r2 = requests[index];
+        // Phase 3: resume/boot, serialized per plant, slowed by pressure.
+        double instantiate =
+            r2.uml_boot
+                ? timing_.uml_boot_sec
+                : timing_.resume_fixed_sec +
+                      static_cast<double>(r2.memory_bytes) /
+                          timing_.resume_read_bytes_per_sec;
+        instantiate *= pressure * noise.lognormal(0.0, timing_.noise_sigma);
+        resume_queues[plant]->submit(instantiate, [&, index] {
+          const ConcurrentRequest& r3 = requests[index];
+          result.samples[index].clone_done_sec = engine.now();
+          // Phase 4: guest configuration (not contended).
+          const double config_time =
+              (static_cast<double>(r3.isos) * timing_.iso_connect_sec +
+               static_cast<double>(r3.guest_actions) *
+                   timing_.guest_action_sec) *
+              noise.lognormal(0.0, timing_.noise_sigma);
+          engine.schedule(config_time, [&, index] {
+            result.samples[index].finish_sec = engine.now();
+            // Window slot freed: admit the next request.
+            launch_next();
+          });
+        });
+      });
+    });
+  };
+
+  const std::size_t initial =
+      std::min(max_in_flight, requests.size());
+  for (std::size_t i = 0; i < initial; ++i) launch_next();
+
+  engine.run();
+  result.makespan_sec = engine.now();
+  result.nfs_bytes_moved = nfs.total_transferred();
+  return result;
+}
+
+}  // namespace vmp::cluster

@@ -1,0 +1,151 @@
+#include "cluster/deployment.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+
+#include "core/request.h"
+#include "util/logging.h"
+
+namespace vmp::cluster {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+const util::Logger kLog("deployment");
+
+std::string make_sandbox() {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto base = std::filesystem::temp_directory_path() / "vmplants-sim";
+  const std::string dir =
+      (base / (std::to_string(::getpid()) + "-" +
+               std::to_string(counter.fetch_add(1))))
+          .string();
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace
+
+SimulatedDeployment::SimulatedDeployment(DeploymentConfig config)
+    : config_(std::move(config)),
+      bus_(config_.seed ^ 0xb05),
+      timing_(config_.timing, config_.seed) {
+  std::string sandbox = config_.sandbox_dir;
+  if (sandbox.empty()) {
+    sandbox = make_sandbox();
+    owned_sandbox_ = sandbox;
+  }
+  store_ = std::make_unique<storage::ArtifactStore>(sandbox);
+  warehouse_ = std::make_unique<warehouse::Warehouse>(store_.get(), "warehouse");
+
+  for (std::size_t i = 0; i < config_.plant_count; ++i) {
+    core::PlantConfig pc;
+    pc.name = "plant" + std::to_string(i);
+    pc.backend = config_.backend;
+    pc.host_memory_bytes = config_.timing.host_memory_bytes;
+    pc.max_vms = config_.max_vms_per_plant;
+    pc.host_only_networks = config_.host_only_networks;
+    pc.cost_model = config_.cost_model;
+    auto plant =
+        std::make_unique<core::VmPlant>(pc, store_.get(), warehouse_.get());
+    auto attached = plant->attach_to_bus(&bus_, &registry_);
+    if (!attached.ok()) {
+      kLog.error() << "plant attach failed: " << attached.to_string();
+    }
+    plants_.push_back(std::move(plant));
+  }
+
+  core::ShopConfig sc;
+  sc.name = "vmshop";
+  sc.tie_break_seed = config_.seed ^ 0x5b0b;
+  shop_ = std::make_unique<core::VmShop>(sc, &bus_, &registry_);
+  auto attached = shop_->attach_to_bus();
+  if (!attached.ok()) {
+    kLog.error() << "shop attach failed: " << attached.to_string();
+  }
+}
+
+SimulatedDeployment::~SimulatedDeployment() {
+  shop_.reset();
+  plants_.clear();
+  warehouse_.reset();
+  store_.reset();
+  if (!owned_sandbox_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(owned_sandbox_, ec);
+  }
+}
+
+Result<CreationSample> SimulatedDeployment::run_request(
+    const core::CreateRequest& request) {
+  const std::size_t bidding_plants = registry_.discover("vmplant").size();
+
+  auto ad = shop_->create(request);
+  if (!ad.ok()) {
+    ++failures_;
+    return ad.propagate<CreationSample>();
+  }
+
+  // Attribute timing from the plant's accounting.
+  auto attr_u64 = [&](const char* name) -> std::uint64_t {
+    const auto v = ad.value().get_integer(name);
+    return v.has_value() && *v >= 0 ? static_cast<std::uint64_t>(*v) : 0;
+  };
+
+  CreationObservation obs;
+  obs.backend = ad.value().get_string(core::attrs::kBackend).value_or("vmware-gsx");
+  obs.memory_bytes = attr_u64(core::attrs::kMemoryBytes);
+  obs.clone_bytes_copied = attr_u64(core::attrs::kCloneBytesCopied);
+  obs.clone_links = attr_u64(core::attrs::kCloneLinks);
+  obs.resident_before_bytes = attr_u64(core::attrs::kResidentBeforeBytes);
+  obs.active_vms_before = attr_u64(core::attrs::kActiveVmsBefore);
+  obs.guest_actions = attr_u64(core::attrs::kActionsExecuted);
+  obs.isos_connected = attr_u64(core::attrs::kIsosConnected);
+  obs.bidding_plants = bidding_plants;
+  obs.speculative_hit =
+      ad.value().get_boolean(core::attrs::kSpeculativeHit).value_or(false);
+
+  CreationSample sample;
+  sample.sequence = ++sequence_;
+  sample.request_id = request.request_id;
+  sample.vm_id = ad.value().get_string(core::attrs::kVmId).value_or("");
+  sample.plant = ad.value().get_string(core::attrs::kPlant).value_or("");
+  sample.memory_bytes = obs.memory_bytes;
+  sample.timing = timing_.time_creation(obs);
+  sim_now_ += sample.timing.total_sec;
+  sample.sim_time_completed = sim_now_;
+
+  created_vm_ids_.push_back(sample.vm_id);
+  return sample;
+}
+
+std::vector<CreationSample> SimulatedDeployment::run_sequence(
+    const std::vector<core::CreateRequest>& requests, bool stop_on_error) {
+  std::vector<CreationSample> out;
+  out.reserve(requests.size());
+  for (const core::CreateRequest& request : requests) {
+    auto sample = run_request(request);
+    if (!sample.ok()) {
+      kLog.warn() << "creation failed for " << request.request_id << ": "
+                  << sample.error().to_string();
+      if (stop_on_error) break;
+      continue;
+    }
+    out.push_back(std::move(sample).value());
+  }
+  return out;
+}
+
+void SimulatedDeployment::collect_all() {
+  for (const std::string& vm_id : created_vm_ids_) {
+    (void)shop_->destroy(vm_id);
+  }
+  created_vm_ids_.clear();
+}
+
+}  // namespace vmp::cluster

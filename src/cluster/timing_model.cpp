@@ -1,0 +1,92 @@
+#include "cluster/timing_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmp::cluster {
+
+double TimingModel::noisy(double base) {
+  if (base <= 0.0) return 0.0;
+  // Lognormal with unit median: exp(N(0, sigma)).
+  return base * noise_.lognormal(0.0, config_.noise_sigma);
+}
+
+double TimingModel::pressure_multiplier(std::uint64_t resident_bytes,
+                                        std::uint64_t active_vms,
+                                        std::uint64_t new_vm_bytes) const {
+  const double usable = static_cast<double>(config_.host_memory_bytes) *
+                        config_.usable_memory_fraction;
+  if (usable <= 0.0) return 1.0;
+  const double after =
+      static_cast<double>(resident_bytes + new_vm_bytes +
+                          (active_vms + 1) * config_.per_vm_overhead_bytes);
+  const double ratio = after / usable;
+  return 1.0 + config_.pressure_gain *
+                   std::max(0.0, ratio - config_.pressure_knee);
+}
+
+CreationTiming TimingModel::time_creation(const CreationObservation& obs) {
+  CreationTiming t;
+
+  if (obs.speculative_hit) {
+    // The clone+resume happened ahead of demand; only adoption remains.
+    t.clone_sec = noisy(config_.speculative_adopt_sec);
+    t.config_sec = noisy(
+        static_cast<double>(obs.isos_connected) * config_.iso_connect_sec +
+        static_cast<double>(obs.guest_actions) * config_.guest_action_sec);
+    t.shop_sec = noisy(config_.shop_fixed_sec +
+                       static_cast<double>(obs.bidding_plants) *
+                           config_.bid_per_plant_sec);
+    t.total_sec = t.clone_sec + t.config_sec + t.shop_sec;
+    return t;
+  }
+
+  // -- Clone phase ------------------------------------------------------------
+  // Copied state (memory checkpoint, config, base redo) moves over the NFS
+  // path; links are metadata operations.
+  double clone = config_.clone_fixed_sec;
+  clone += static_cast<double>(obs.clone_bytes_copied) /
+           config_.nfs_copy_bytes_per_sec;
+  clone += static_cast<double>(obs.clone_links) * config_.link_op_sec;
+
+  // -- Instantiate ------------------------------------------------------------
+  double instantiate;
+  if (obs.backend == "uml") {
+    instantiate = config_.uml_boot_sec;
+  } else if (obs.backend == "xen") {
+    instantiate = config_.xen_boot_sec;
+  } else {
+    instantiate = config_.resume_fixed_sec +
+                  static_cast<double>(obs.memory_bytes) /
+                      config_.resume_read_bytes_per_sec;
+  }
+
+  // Memory pressure applies to the state movement and the resume/boot: the
+  // host is paging while the VMM faults the checkpoint in.
+  const double pressure = pressure_multiplier(
+      obs.resident_before_bytes, obs.active_vms_before, obs.memory_bytes);
+
+  t.clone_sec = noisy((clone + instantiate) * pressure);
+
+  // -- Configure ----------------------------------------------------------------
+  double config_time =
+      static_cast<double>(obs.isos_connected) * config_.iso_connect_sec +
+      static_cast<double>(obs.guest_actions) * config_.guest_action_sec;
+  t.config_sec = noisy(config_time);
+
+  // -- Shop ---------------------------------------------------------------------
+  t.shop_sec = noisy(config_.shop_fixed_sec +
+                     static_cast<double>(obs.bidding_plants) *
+                         config_.bid_per_plant_sec);
+
+  t.total_sec = t.clone_sec + t.config_sec + t.shop_sec;
+  return t;
+}
+
+double TimingModel::full_copy_sec(std::uint64_t bytes, std::uint64_t files) {
+  return noisy(static_cast<double>(bytes) / config_.nfs_copy_bytes_per_sec +
+               static_cast<double>(files) * config_.per_file_copy_overhead_sec +
+               config_.clone_fixed_sec);
+}
+
+}  // namespace vmp::cluster

@@ -1,0 +1,129 @@
+// Latency model of the paper's testbed (DESIGN.md §2 substitution table).
+//
+// The physical setup being modeled (paper §4.2): an 8-node IBM e1350
+// cluster (dual P4 2.4 GHz, 1.5 GB RAM, 18 GB SCSI disk per node), a VM
+// warehouse served over NFS by a storage server on 100 Mbit/s Ethernet, and
+// VMware GSX 2.5.1 / UML production lines.  The calibration targets are the
+// numbers the paper reports:
+//
+//   * full copy of the 2 GB / 16-file golden disk: 210 s      (§4.3)
+//   * mean end-to-end creation: 25-48 s, growing with memory  (Fig. 4)
+//   * cloning (clone request -> resume complete) dominated by the memory-
+//     state copy; ~4x cheaper than full copy even at 256 MB   (Fig. 5)
+//   * cloning slows as a plant's resident VM memory exceeds ~1 GB
+//     aggregate (memory pressure at resume)                   (Fig. 6)
+//   * UML full-boot clone average: 76 s                       (§4.3)
+//
+// All durations are deterministic functions of byte/link accounting
+// produced by the *real* production-line code, times a lognormal noise
+// stream seeded per experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.h"
+
+namespace vmp::cluster {
+
+struct TimingConfig {
+  // NFS warehouse path (shared 100 Mbit/s Ethernet): effective sustained
+  // copy throughput, bytes/second.  2 GB / 10.2 MB/s + per-file overhead
+  // ~= 210 s.
+  double nfs_copy_bytes_per_sec = 10.2e6;
+  // Per-file overhead of an NFS copy (open/close/attr traffic).
+  double per_file_copy_overhead_sec = 0.55;
+  // A symlink + small metadata op on the NFS mount.
+  double link_op_sec = 0.08;
+  // Fixed cost of the clone bookkeeping (config replica, redo, VMX ops).
+  double clone_fixed_sec = 1.2;
+
+  // GSX resume: fixed VMM cost + reading the private memory checkpoint
+  // back from the NFS-resident clone directory.
+  double resume_fixed_sec = 3.0;
+  double resume_read_bytes_per_sec = 55.0e6;
+
+  // UML boot (the §4.3 76-second path: kernel boot + services).
+  double uml_boot_sec = 68.0;
+  // Xen paravirtual boot through domain 0 (no BIOS/emulation path).
+  double xen_boot_sec = 14.0;
+
+  // Host memory pressure: resuming a VM when the plant's resident VM
+  // memory (plus per-VM VMM overhead) approaches/exceeds usable host
+  // memory forces paging.  multiplier = 1 + gain * max(0, ratio - knee).
+  std::uint64_t host_memory_bytes = 1536ull << 20;
+  double usable_memory_fraction = 0.82;   // host O/S + VMM reserve
+  std::uint64_t per_vm_overhead_bytes = 24ull << 20;
+  double pressure_knee = 0.65;
+  double pressure_gain = 1.8;
+
+  // Configuration actions: ISO authoring+attach, guest mount+execute.
+  double iso_connect_sec = 0.9;
+  double guest_action_sec = 1.5;
+
+  // Adopting a parked speculative instance (bookkeeping only).
+  double speculative_adopt_sec = 0.4;
+
+  // Shop-side costs per creation: request parse, bid round, response.
+  double shop_fixed_sec = 1.6;
+  double bid_per_plant_sec = 0.12;
+
+  // Lognormal noise sigma applied multiplicatively to each phase.
+  double noise_sigma = 0.10;
+};
+
+/// Inputs describing one creation, extracted from the plant's response
+/// classad (real accounting, not synthetic).
+struct CreationObservation {
+  std::string backend;             // "vmware-gsx" | "uml"
+  std::uint64_t memory_bytes = 0;  // VM size
+  std::uint64_t clone_bytes_copied = 0;
+  std::uint64_t clone_links = 0;
+  std::uint64_t resident_before_bytes = 0;  // plant total before this VM
+  std::uint64_t active_vms_before = 0;
+  std::uint64_t guest_actions = 0;
+  std::uint64_t isos_connected = 0;
+  std::uint64_t bidding_plants = 0;
+  /// Creation adopted a pre-created (speculative) instance: no clone or
+  /// resume work on the critical path.
+  bool speculative_hit = false;
+};
+
+/// Phase durations for one creation (seconds).
+struct CreationTiming {
+  double clone_sec = 0.0;   // PPP clone request -> resume/boot complete
+                            // (the paper's Figure 5 metric)
+  double config_sec = 0.0;  // DAG suffix execution
+  double shop_sec = 0.0;    // bid round + shop bookkeeping
+  double total_sec = 0.0;   // client request -> VMShop response (Figure 4)
+};
+
+class TimingModel {
+ public:
+  TimingModel(TimingConfig config, std::uint64_t seed)
+      : config_(config), noise_(seed, "timing-noise") {}
+
+  const TimingConfig& config() const { return config_; }
+
+  /// Compute the phase durations of one observed creation.  Consumes noise
+  /// stream values (call order defines the experiment's randomness).
+  CreationTiming time_creation(const CreationObservation& obs);
+
+  /// Duration of fully copying an image of `bytes` in `files` files over
+  /// NFS (the paper's 210-second baseline).
+  double full_copy_sec(std::uint64_t bytes, std::uint64_t files);
+
+  /// Memory-pressure multiplier for resuming a VM of `new_vm_bytes` on a
+  /// plant already holding `resident_bytes` across `active_vms` VMs.
+  double pressure_multiplier(std::uint64_t resident_bytes,
+                             std::uint64_t active_vms,
+                             std::uint64_t new_vm_bytes) const;
+
+ private:
+  double noisy(double base);
+
+  TimingConfig config_;
+  util::RandomStream noise_;
+};
+
+}  // namespace vmp::cluster

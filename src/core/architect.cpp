@@ -1,0 +1,66 @@
+#include "core/architect.h"
+
+#include "util/logging.h"
+
+namespace vmp::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+namespace {
+const util::Logger kLog("vmarchitect");
+}
+
+Result<RouterDeployment> VmArchitect::deploy_router(
+    VmPlant* plant, const CreateRequest& request,
+    const std::vector<RouterInterfaceSpec>& interfaces) {
+  if (interfaces.size() < 2) {
+    return Result<RouterDeployment>(
+        Error(ErrorCode::kInvalidArgument,
+              name_ + ": a router needs at least two interfaces"));
+  }
+  for (const RouterInterfaceSpec& spec : interfaces) {
+    if (spec.network == nullptr) {
+      return Result<RouterDeployment>(Error(
+          ErrorCode::kInvalidArgument, name_ + ": null interface network"));
+    }
+  }
+
+  // The router is an ordinary plant-managed VM.
+  auto ad = plant->create(request);
+  if (!ad.ok()) return ad.propagate<RouterDeployment>();
+
+  RouterDeployment deployment;
+  deployment.vm_id = ad.value().get_string(attrs::kVmId).value_or("");
+  deployment.plant = plant->name();
+  deployment.ad = std::move(ad).value();
+  deployment.router = std::make_unique<vnet::VirtualRouter>(
+      name_ + "-router-" + deployment.vm_id);
+
+  const std::uint64_t deployment_index = ++deployments_;
+  for (std::size_t i = 0; i < interfaces.size(); ++i) {
+    const RouterInterfaceSpec& spec = interfaces[i];
+    const vnet::MacAddress mac = vnet::MacAddress::from_index(
+        static_cast<std::uint32_t>(0xA0000 + deployment_index * 16 + i));
+    Status attached = deployment.router->attach_interface(
+        spec.network, mac, spec.ip, spec.subnet_cidr);
+    if (!attached.ok()) {
+      // Roll back the VM; the partially-wired router detaches on destroy.
+      (void)plant->collect(deployment.vm_id);
+      return attached.propagate<RouterDeployment>();
+    }
+  }
+
+  kLog.info() << name_ << ": deployed router " << deployment.vm_id << " with "
+              << interfaces.size() << " interfaces on " << plant->name();
+  return deployment;
+}
+
+Status VmArchitect::teardown(VmPlant* plant, RouterDeployment deployment) {
+  deployment.router.reset();  // detaches all switch ports
+  return plant->collect(deployment.vm_id);
+}
+
+}  // namespace vmp::core

@@ -1,0 +1,65 @@
+// VMArchitect: instantiating router VMs that span virtual networks.
+//
+// Paper, Section 6: "the use of a VMArchitect to instantiate customized
+// virtual machines with router and tunneling capabilities to establish
+// virtual networks that seamlessly span across distinct domains."
+//
+// The architect composes two existing mechanisms: a VMPlant creation (the
+// router is an ordinary managed VM, with a classad, collected like any
+// other) and a vnet::VirtualRouter bound to the layer-2 networks the
+// deployment should join.  Where plain VMPlant networking *isolates*
+// domains on separate host-only networks, an architect-deployed router
+// deliberately bridges chosen subnets at the IP layer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "core/plant.h"
+#include "util/error.h"
+#include "vnet/router.h"
+
+namespace vmp::core {
+
+/// One router interface to wire: the network to join and the router's
+/// address/subnet there.
+struct RouterInterfaceSpec {
+  vnet::HostOnlySwitch* network = nullptr;
+  std::string ip;           // router address on this network
+  std::string subnet_cidr;  // prefix the router owns there
+};
+
+/// A deployed router: the backing VM's identity plus the live forwarding
+/// element.  Movable, single owner.
+struct RouterDeployment {
+  std::string vm_id;
+  std::string plant;
+  classad::ClassAd ad;
+  std::unique_ptr<vnet::VirtualRouter> router;
+};
+
+class VmArchitect {
+ public:
+  explicit VmArchitect(std::string name) : name_(std::move(name)) {}
+
+  /// Create the router VM at `plant` from `request` (the caller chooses
+  /// hardware + a DAG matching an available golden) and wire one interface
+  /// per spec.  Interface MACs are derived deterministically from the
+  /// architect's deployment counter.
+  util::Result<RouterDeployment> deploy_router(
+      VmPlant* plant, const CreateRequest& request,
+      const std::vector<RouterInterfaceSpec>& interfaces);
+
+  /// Tear a deployment down: detach the router and collect its VM.
+  util::Status teardown(VmPlant* plant, RouterDeployment deployment);
+
+  std::uint64_t deployments() const { return deployments_; }
+
+ private:
+  std::string name_;
+  std::uint64_t deployments_ = 0;
+};
+
+}  // namespace vmp::core

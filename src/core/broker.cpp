@@ -1,0 +1,212 @@
+#include "core/broker.h"
+
+#include <limits>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace vmp::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+namespace {
+const util::Logger kLog("vmbroker");
+}
+
+VmBroker::VmBroker(BrokerConfig config, net::MessageBus* bus,
+                   net::ServiceRegistry* registry)
+    : config_(std::move(config)), bus_(bus), registry_(registry) {}
+
+VmBroker::~VmBroker() { detach_from_bus(); }
+
+void VmBroker::add_member(const std::string& plant_address) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  members_.push_back(plant_address);
+}
+
+std::vector<std::string> VmBroker::members() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return members_;
+}
+
+Status VmBroker::attach_to_bus() {
+  VMP_RETURN_IF_ERROR(bus_->register_endpoint(
+      bus_address(),
+      [this](const net::Message& m) { return handle_message(m); }));
+  attached_ = true;
+  if (registry_ != nullptr) {
+    net::ServiceRecord record;
+    record.type = "vmplant";  // shops bid against brokers transparently
+    record.address = bus_address();
+    record.properties["broker"] = "true";
+    registry_->publish(record);
+  }
+  return Status();
+}
+
+void VmBroker::detach_from_bus() {
+  if (attached_) {
+    (void)bus_->unregister_endpoint(bus_address());
+    if (registry_ != nullptr) (void)registry_->withdraw(bus_address());
+    attached_ = false;
+  }
+}
+
+std::uint64_t VmBroker::creations_forwarded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return forwarded_;
+}
+
+net::Message VmBroker::handle_message(const net::Message& request_msg) {
+  const std::string& service = request_msg.service();
+  if (service == "vmplant.estimate") return handle_estimate(request_msg);
+  if (service == "vmplant.create") return handle_create(request_msg);
+  if (service == "vmplant.query" || service == "vmplant.collect") {
+    return handle_routed(request_msg);
+  }
+  return net::Message::fault_to(
+      request_msg,
+      Error(ErrorCode::kInvalidArgument, "unknown service: " + service));
+}
+
+Result<std::string> VmBroker::cheapest_member(const net::Message& request_msg) {
+  std::vector<std::string> member_list;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    member_list = members_;
+  }
+  std::string best_member;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const std::string& member : member_list) {
+    net::Message forward = net::Message::request(
+        "vmplant.estimate", config_.name, member, request_msg.correlation());
+    for (const auto& child : request_msg.body().children()) {
+      forward.body().adopt_child(child->clone());
+    }
+    auto response = net::call_expecting_success(bus_, forward);
+    if (!response.ok()) continue;  // member declined
+    const xml::Element* bid = response.value().body().child("bid");
+    if (bid == nullptr) continue;
+    const double cost = bid->attr_double("cost", 0.0);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_member = member;
+    }
+  }
+  if (best_member.empty()) {
+    return Result<std::string>(Error(
+        ErrorCode::kNoBids, config_.name + ": no member plant produced a bid"));
+  }
+  return best_member;
+}
+
+net::Message VmBroker::handle_estimate(const net::Message& request_msg) {
+  // Re-estimate through the winner to get its cost, then add the markup.
+  auto member = cheapest_member(request_msg);
+  if (!member.ok()) {
+    return net::Message::fault_to(request_msg, member.error());
+  }
+  net::Message forward = net::Message::request(
+      "vmplant.estimate", config_.name, member.value(),
+      request_msg.correlation());
+  for (const auto& child : request_msg.body().children()) {
+    forward.body().adopt_child(child->clone());
+  }
+  auto response = net::call_expecting_success(bus_, forward);
+  if (!response.ok()) {
+    return net::Message::fault_to(request_msg, response.error());
+  }
+  const double cost =
+      response.value().body().child("bid")->attr_double("cost", 0.0) +
+      config_.bid_markup;
+
+  net::Message reply = net::Message::response_to(request_msg);
+  xml::Element& bid = reply.body().add_child("bid");
+  bid.set_attr("plant", config_.name);
+  bid.set_attr("cost", util::format_double(cost));
+  bid.set_attr("via", member.value());
+  return reply;
+}
+
+net::Message VmBroker::handle_create(const net::Message& request_msg) {
+  auto member = cheapest_member(request_msg);
+  if (!member.ok()) {
+    return net::Message::fault_to(request_msg, member.error());
+  }
+  net::Message forward = net::Message::request(
+      "vmplant.create", config_.name, member.value(), request_msg.correlation());
+  for (const auto& child : request_msg.body().children()) {
+    forward.body().adopt_child(child->clone());
+  }
+  auto response = net::call_expecting_success(bus_, forward);
+  if (!response.ok()) {
+    return net::Message::fault_to(request_msg, response.error());
+  }
+
+  // Remember where the VM lives for query/collect routing.
+  auto ad = classad::ClassAd::from_xml(response.value().body());
+  if (ad.ok()) {
+    const auto vm_id = ad.value().get_string(attrs::kVmId);
+    if (vm_id.has_value()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      vm_to_member_[*vm_id] = member.value();
+      ++forwarded_;
+    }
+  }
+  kLog.info() << config_.name << ": forwarded creation to " << member.value();
+
+  net::Message reply = net::Message::response_to(request_msg);
+  for (const auto& child : response.value().body().children()) {
+    reply.body().adopt_child(child->clone());
+  }
+  return reply;
+}
+
+net::Message VmBroker::handle_routed(const net::Message& request_msg) {
+  const xml::Element* vm_elem = request_msg.body().child("vm");
+  if (vm_elem == nullptr || !vm_elem->has_attr("id")) {
+    return net::Message::fault_to(
+        request_msg, Error(ErrorCode::kParseError, "missing <vm id=...>"));
+  }
+  std::string member;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = vm_to_member_.find(vm_elem->attr("id"));
+    if (it != vm_to_member_.end()) member = it->second;
+  }
+  if (member.empty()) {
+    return net::Message::fault_to(
+        request_msg,
+        Error(ErrorCode::kNotFound,
+              config_.name + ": unknown VM " + vm_elem->attr("id")));
+  }
+  net::Message forward = net::Message::request(
+      request_msg.service(), config_.name, member, request_msg.correlation());
+  for (const auto& child : request_msg.body().children()) {
+    forward.body().adopt_child(child->clone());
+  }
+  auto response = bus_->call(forward);
+  if (!response.ok()) {
+    return net::Message::fault_to(request_msg, response.error());
+  }
+  if (request_msg.service() == "vmplant.collect" &&
+      !response.value().is_fault()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    vm_to_member_.erase(vm_elem->attr("id"));
+  }
+  net::Message reply = response.value().is_fault()
+                           ? net::Message::fault_to(
+                                 request_msg, response.value().fault_error())
+                           : net::Message::response_to(request_msg);
+  if (!response.value().is_fault()) {
+    for (const auto& child : response.value().body().children()) {
+      reply.body().adopt_child(child->clone());
+    }
+  }
+  return reply;
+}
+
+}  // namespace vmp::core

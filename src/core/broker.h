@@ -1,0 +1,79 @@
+// VMBroker: indirect bidding and creation through an aggregation point.
+//
+// Paper, Section 3.1: the binding protocol "allows VMShop to request and
+// collect bids containing estimated VM creation costs from VMPlants
+// (directly, or indirectly through VMBrokers)", and Section 3.3 describes
+// deployments where "VMPlants operat[e] inside a private network and [are]
+// not directly accessible from outside (but only through VMShop running on
+// a Gateway host)".
+//
+// The broker realizes both: it registers in the public registry as a
+// "vmplant" (so shops bid against it transparently) while its member
+// plants stay off the registry — reachable only through the broker's bus
+// endpoint, like plants behind a private-network gateway.  Estimates fan
+// out to members and the minimum (plus an optional markup) is returned;
+// creations are forwarded to the member that produced the winning bid;
+// query/collect route by the broker's own VMID map.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/request.h"
+#include "net/bus.h"
+#include "net/registry.h"
+#include "util/error.h"
+
+namespace vmp::core {
+
+struct BrokerConfig {
+  std::string name = "broker0";
+  /// Added to every forwarded bid (the broker's cut / gateway cost).
+  double bid_markup = 0.0;
+};
+
+class VmBroker {
+ public:
+  VmBroker(BrokerConfig config, net::MessageBus* bus,
+           net::ServiceRegistry* registry);
+  ~VmBroker();
+
+  const std::string& name() const { return config_.name; }
+
+  /// Add a member plant's bus address.  The plant must be reachable on the
+  /// bus but need not be in the public registry.
+  void add_member(const std::string& plant_address);
+  std::vector<std::string> members() const;
+
+  /// Register the broker endpoint and publish it as a "vmplant" so shops
+  /// treat it like any other plant.
+  util::Status attach_to_bus();
+  void detach_from_bus();
+  const std::string& bus_address() const { return config_.name; }
+
+  /// Forwarded creations so far (diagnostics).
+  std::uint64_t creations_forwarded() const;
+
+ private:
+  net::Message handle_message(const net::Message& request_msg);
+  net::Message handle_estimate(const net::Message& request_msg);
+  net::Message handle_create(const net::Message& request_msg);
+  net::Message handle_routed(const net::Message& request_msg);
+
+  /// Member with the cheapest estimate for this request, or an error when
+  /// none bids.
+  util::Result<std::string> cheapest_member(const net::Message& request_msg);
+
+  BrokerConfig config_;
+  net::MessageBus* bus_;
+  net::ServiceRegistry* registry_;
+  mutable std::mutex mutex_;
+  std::vector<std::string> members_;
+  std::map<std::string, std::string> vm_to_member_;
+  std::uint64_t forwarded_ = 0;
+  bool attached_ = false;
+};
+
+}  // namespace vmp::core

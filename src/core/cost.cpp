@@ -1,0 +1,61 @@
+#include "core/cost.h"
+
+namespace vmp::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+Result<double> NetworkComputeCostModel::estimate(const PlantLoad& load) const {
+  if (load.max_vms != 0 && load.active_vms >= load.max_vms) {
+    return Result<double>(
+        Error(ErrorCode::kResourceExhausted, "plant at VM capacity"));
+  }
+  if (!load.network_available) {
+    return Result<double>(Error(ErrorCode::kResourceExhausted,
+                                "no host-only network for this domain"));
+  }
+  double cost = compute_cost_per_vm_ * static_cast<double>(load.active_vms);
+  if (load.needs_new_network) cost += network_cost_;
+  return cost;
+}
+
+Result<double> MemoryAvailableCostModel::estimate(const PlantLoad& load) const {
+  if (load.max_vms != 0 && load.active_vms >= load.max_vms) {
+    return Result<double>(
+        Error(ErrorCode::kResourceExhausted, "plant at VM capacity"));
+  }
+  if (!load.network_available) {
+    return Result<double>(Error(ErrorCode::kResourceExhausted,
+                                "no host-only network for this domain"));
+  }
+  if (load.host_memory_bytes == 0) {
+    return Result<double>(
+        Error(ErrorCode::kFailedPrecondition, "plant reports no host memory"));
+  }
+  if (load.resident_memory_bytes + load.request_memory_bytes >
+      load.host_memory_bytes) {
+    // Allow overcommit, but make it very expensive rather than refusing:
+    // the paper's experiments intentionally drive plants past 1 GB
+    // aggregate VM memory on 1.5 GB hosts.
+    const double over =
+        static_cast<double>(load.resident_memory_bytes +
+                            load.request_memory_bytes) /
+        static_cast<double>(load.host_memory_bytes);
+    return scale_ * (1.0 + over);
+  }
+  const double used_fraction =
+      static_cast<double>(load.resident_memory_bytes +
+                          load.request_memory_bytes) /
+      static_cast<double>(load.host_memory_bytes);
+  return scale_ * used_fraction;
+}
+
+std::unique_ptr<CostModel> make_cost_model(const std::string& name) {
+  if (name == "memory-available") {
+    return std::make_unique<MemoryAvailableCostModel>();
+  }
+  return std::make_unique<NetworkComputeCostModel>();
+}
+
+}  // namespace vmp::core

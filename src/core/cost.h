@@ -1,0 +1,87 @@
+// Cost models for the VMShop bidding protocol.
+//
+// Paper, Section 3.4: "The current implementation splits the VM creation
+// cost into 'compute cycles cost', and the 'network cost'.  The first
+// component is proportional to the number of VMs already operating on the
+// VMPlant ... The second component is a one-time charge for a host-only
+// network, required only when a free host-only network is allocated to the
+// client domain."  The worked example uses network cost 50 and compute cost
+// 4 x VMs, yielding the 13-VM crossover reproduced in bench/cost_function.
+//
+// Section 4.1 notes the prototype's bidding actually "uses a cost model
+// that is based on the amount of host memory available for cloned VMs";
+// both models are provided and ablatable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/error.h"
+
+namespace vmp::core {
+
+/// Plant-side facts a cost model may consult when bidding.
+struct PlantLoad {
+  std::size_t active_vms = 0;
+  std::size_t max_vms = 0;
+  std::uint64_t host_memory_bytes = 0;
+  std::uint64_t resident_memory_bytes = 0;
+  /// Would this request's domain need a fresh host-only network here?
+  bool needs_new_network = false;
+  /// Can the plant serve the domain at all (network-wise)?
+  bool network_available = false;
+  /// Memory the requested VM would occupy.
+  std::uint64_t request_memory_bytes = 0;
+};
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Cost bid for creating one VM under this load, or an error when the
+  /// plant cannot serve the request at all (full, no network, ...).
+  /// "Costs are generically represented as numbers" (paper §3.1).
+  virtual util::Result<double> estimate(const PlantLoad& load) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The paper's Section 3.4 model: one-time network cost + per-VM compute
+/// cost.
+class NetworkComputeCostModel final : public CostModel {
+ public:
+  NetworkComputeCostModel(double network_cost = 50.0,
+                          double compute_cost_per_vm = 4.0)
+      : network_cost_(network_cost),
+        compute_cost_per_vm_(compute_cost_per_vm) {}
+
+  util::Result<double> estimate(const PlantLoad& load) const override;
+  std::string name() const override { return "network-compute"; }
+
+  double network_cost() const { return network_cost_; }
+  double compute_cost_per_vm() const { return compute_cost_per_vm_; }
+
+ private:
+  double network_cost_;
+  double compute_cost_per_vm_;
+};
+
+/// The prototype's model (paper §4.1): bid by scarcity of host memory.
+/// Lower available memory -> higher cost; a plant that cannot fit the VM
+/// refuses to bid.
+class MemoryAvailableCostModel final : public CostModel {
+ public:
+  /// `scale` converts a memory fraction into cost units.
+  explicit MemoryAvailableCostModel(double scale = 100.0) : scale_(scale) {}
+
+  util::Result<double> estimate(const PlantLoad& load) const override;
+  std::string name() const override { return "memory-available"; }
+
+ private:
+  double scale_;
+};
+
+std::unique_ptr<CostModel> make_cost_model(const std::string& name);
+
+}  // namespace vmp::core

@@ -1,0 +1,119 @@
+#include "core/info_system.h"
+
+#include "core/request.h"
+
+namespace vmp::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+void VmInformationSystem::store(const std::string& vm_id,
+                                classad::ClassAd ad) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ads_[vm_id] = std::move(ad);
+}
+
+Result<classad::ClassAd> VmInformationSystem::query(
+    const std::string& vm_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ads_.find(vm_id);
+  if (it == ads_.end()) {
+    return Result<classad::ClassAd>(
+        Error(ErrorCode::kNotFound, "info system: no VM " + vm_id));
+  }
+  return it->second;
+}
+
+bool VmInformationSystem::contains(const std::string& vm_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ads_.count(vm_id) != 0;
+}
+
+Status VmInformationSystem::remove(const std::string& vm_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ads_.erase(vm_id) == 0) {
+    return Status(ErrorCode::kNotFound, "info system: no VM " + vm_id);
+  }
+  return Status();
+}
+
+Status VmInformationSystem::update(const std::string& vm_id,
+                                   const classad::ClassAd& updates) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ads_.find(vm_id);
+  if (it == ads_.end()) {
+    return Status(ErrorCode::kNotFound, "info system: no VM " + vm_id);
+  }
+  for (const std::string& name : updates.names()) {
+    it->second.set(name, updates.lookup(name)->clone());
+  }
+  return Status();
+}
+
+std::vector<std::string> VmInformationSystem::vm_ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(ads_.size());
+  for (const auto& [id, ad] : ads_) out.push_back(id);
+  return out;
+}
+
+std::size_t VmInformationSystem::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ads_.size();
+}
+
+Status VmMonitor::refresh(const std::string& vm_id) {
+  const hv::VmInstance* vm = hypervisor_->find(vm_id);
+  if (vm == nullptr) {
+    return Status(ErrorCode::kNotFound, "monitor: hypervisor lost VM " + vm_id);
+  }
+  classad::ClassAd updates;
+  updates.set_string(attrs::kState, hv::power_state_name(vm->power));
+  updates.set_integer(attrs::kMemoryBytes,
+                      static_cast<std::int64_t>(vm->spec.memory_bytes));
+  updates.set_integer(attrs::kIsosConnected,
+                      static_cast<std::int64_t>(vm->connected_isos.size()));
+  if (!vm->guest.ip.empty()) updates.set_string(attrs::kIp, vm->guest.ip);
+  if (!vm->guest.mac.empty()) updates.set_string(attrs::kMac, vm->guest.mac);
+  return info_->update(vm_id, updates);
+}
+
+std::size_t VmMonitor::refresh_all() {
+  std::size_t ok = 0;
+  for (const std::string& id : info_->vm_ids()) {
+    if (refresh(id).ok()) ++ok;
+  }
+  return ok;
+}
+
+void VmMonitor::start_periodic(std::chrono::milliseconds interval) {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopping_ = false;
+  }
+  thread_ = std::thread([this, interval] {
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    while (!stopping_) {
+      lock.unlock();
+      refresh_all();
+      sweeps_.fetch_add(1);
+      lock.lock();
+      stop_cv_.wait_for(lock, interval, [this] { return stopping_; });
+    }
+  });
+}
+
+void VmMonitor::stop_periodic() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace vmp::core

@@ -1,0 +1,88 @@
+// The per-plant VM Information System and VM monitor.
+//
+// Paper, Figure 2: "The VM information system maintains state about
+// currently active machines (including dynamic information gathered by a VM
+// monitor)."  And Section 3.1: "The classad of an active virtual machine is
+// maintained by its corresponding VMPlant, but it is not part of the state
+// that needs to be maintained by VMShop, thus facilitating service
+// restoration in the presence of failures."
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "hypervisor/hypervisor.h"
+#include "util/error.h"
+
+namespace vmp::core {
+
+class VmInformationSystem {
+ public:
+  /// Store (or replace) the classad for a VM.
+  void store(const std::string& vm_id, classad::ClassAd ad);
+
+  util::Result<classad::ClassAd> query(const std::string& vm_id) const;
+  bool contains(const std::string& vm_id) const;
+  util::Status remove(const std::string& vm_id);
+
+  /// Merge attribute updates into an existing ad (monitor refresh).
+  util::Status update(const std::string& vm_id,
+                      const classad::ClassAd& updates);
+
+  std::vector<std::string> vm_ids() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, classad::ClassAd> ads_;
+};
+
+/// The VM monitor: polls the hypervisor and refreshes dynamic attributes
+/// (power state, resident memory, connected ISOs) in the information
+/// system.  Deployments may invoke it explicitly per query, or run it
+/// continuously on a background thread (start_periodic), like the paper's
+/// "dynamic information gathered by a VM monitor" in Figure 2.
+class VmMonitor {
+ public:
+  VmMonitor(hv::Hypervisor* hypervisor, VmInformationSystem* info)
+      : hypervisor_(hypervisor), info_(info) {}
+  ~VmMonitor() { stop_periodic(); }
+
+  VmMonitor(const VmMonitor&) = delete;
+  VmMonitor& operator=(const VmMonitor&) = delete;
+
+  /// Refresh one VM; kNotFound if the hypervisor no longer knows it.
+  util::Status refresh(const std::string& vm_id);
+
+  /// Refresh every VM the info system tracks; returns how many succeeded.
+  std::size_t refresh_all();
+
+  /// Run refresh_all() on a background thread every `interval`.
+  /// Idempotent; stop with stop_periodic().  NOTE: callers must guarantee
+  /// the hypervisor is not mutated concurrently without external locking
+  /// (VmPlant serializes through its own mutex and does not use this; the
+  /// periodic mode suits standalone hypervisor deployments and tests).
+  void start_periodic(std::chrono::milliseconds interval);
+  void stop_periodic();
+  bool periodic_running() const { return thread_.joinable(); }
+  /// Completed refresh sweeps since start_periodic.
+  std::uint64_t sweeps() const { return sweeps_.load(); }
+
+ private:
+  hv::Hypervisor* hypervisor_;
+  VmInformationSystem* info_;
+  std::thread thread_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> sweeps_{0};
+};
+
+}  // namespace vmp::core

@@ -1,0 +1,40 @@
+#include "core/migration.h"
+
+#include "util/logging.h"
+
+namespace vmp::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+Result<classad::ClassAd> migrate_vm(VmPlant* source, VmPlant* target,
+                                    const std::string& vm_id) {
+  if (source == target) {
+    return Result<classad::ClassAd>(Error(
+        ErrorCode::kInvalidArgument, "migration source == target plant"));
+  }
+
+  auto bundle = source->migrate_out(vm_id);
+  if (!bundle.ok()) return bundle.propagate<classad::ClassAd>();
+
+  auto adopted = target->migrate_in(bundle.value());
+  if (!adopted.ok()) {
+    // Roll back: the VM is still intact (suspended) at the source.
+    util::Status resumed = source->resume_after_failed_migration(vm_id);
+    util::Logger("migration").warn()
+        << "migrate_in failed (" << adopted.error().to_string()
+        << "); source resume " << (resumed.ok() ? "ok" : resumed.to_string());
+    return adopted;
+  }
+
+  // The target owns the VM now; retire the source instance.
+  util::Status collected = source->collect(vm_id);
+  if (!collected.ok()) {
+    util::Logger("migration").warn()
+        << "source collect after migration failed: " << collected.to_string();
+  }
+  return adopted;
+}
+
+}  // namespace vmp::core

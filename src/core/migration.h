@@ -1,0 +1,26 @@
+// Cross-plant VM migration (paper §6: "migration of active VMs across
+// plants" is named as future work).
+//
+// The mechanism composes the pieces the paper already has: suspend the VM
+// to a checkpoint (its clone directory then IS its full state, exactly the
+// encapsulation-as-data property of Section 2), copy that directory into
+// the target plant's clone area over the shared warehouse store, resume
+// there, and collect the source.  The client's domain keeps its host-only
+// network semantics: the target allocates (or reuses) a network for the
+// domain before the VM resumes.
+#pragma once
+
+#include "classad/classad.h"
+#include "core/plant.h"
+#include "util/error.h"
+
+namespace vmp::core {
+
+/// Move a VM from `source` to `target`.  On success the returned classad
+/// describes the VM at its new plant (fresh VMID) and the source instance
+/// has been collected.  On failure the VM is resumed at the source
+/// (best-effort) and the error is returned.
+util::Result<classad::ClassAd> migrate_vm(VmPlant* source, VmPlant* target,
+                                          const std::string& vm_id);
+
+}  // namespace vmp::core

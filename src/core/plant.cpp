@@ -1,0 +1,438 @@
+#include "core/plant.h"
+
+#include "hypervisor/gsx.h"
+#include "hypervisor/uml.h"
+#include "hypervisor/xen.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace vmp::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+namespace {
+
+const util::Logger kLog("vmplant");
+
+std::unique_ptr<hv::Hypervisor> make_hypervisor(const std::string& backend,
+                                                storage::ArtifactStore* store) {
+  if (backend == "uml") return std::make_unique<hv::UmlHypervisor>(store);
+  if (backend == "xen") return std::make_unique<hv::XenHypervisor>(store);
+  return std::make_unique<hv::GsxHypervisor>(store);
+}
+
+}  // namespace
+
+VmPlant::VmPlant(PlantConfig config, storage::ArtifactStore* store,
+                 warehouse::Warehouse* warehouse)
+    : config_(std::move(config)),
+      store_(store),
+      warehouse_(warehouse),
+      hypervisor_(make_hypervisor(config_.backend, store)),
+      ppp_(warehouse),
+      allocator_(config_.name, config_.host_only_networks),
+      cost_model_(make_cost_model(config_.cost_model)),
+      vm_ids_(config_.name + "-vm") {
+  if (config_.clone_base_dir.empty()) {
+    config_.clone_base_dir = config_.name + "/clones";
+  }
+  (void)store_->make_dir(config_.clone_base_dir);
+  production_ =
+      std::make_unique<ProductionLine>(hypervisor_.get(), config_.clone_base_dir);
+  monitor_ = std::make_unique<VmMonitor>(hypervisor_.get(), &info_);
+}
+
+VmPlant::~VmPlant() { detach_from_bus(); }
+
+PlantSnapshot VmPlant::snapshot() const {
+  PlantSnapshot snap;
+  snap.active_vms = hypervisor_->instance_ids().size();
+  snap.resident_memory_bytes = hypervisor_->resident_memory_bytes();
+  return snap;
+}
+
+PlantLoad VmPlant::load_for(const CreateRequest& request) const {
+  const PlantSnapshot snap = snapshot();
+  PlantLoad load;
+  load.active_vms = snap.active_vms;
+  load.max_vms = config_.max_vms;
+  load.host_memory_bytes = config_.host_memory_bytes;
+  load.resident_memory_bytes = snap.resident_memory_bytes;
+  load.needs_new_network = allocator_.needs_new_network(request.domain);
+  load.network_available = allocator_.can_serve(request.domain);
+  load.request_memory_bytes = request.hardware.memory_bytes;
+  return load;
+}
+
+Result<double> VmPlant::estimate(const CreateRequest& request) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  VMP_RETURN_IF_ERROR_AS(request.validate(), double);
+  return cost_model_->estimate(load_for(request));
+}
+
+Result<classad::ClassAd> VmPlant::create(const CreateRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  VMP_RETURN_IF_ERROR_AS(request.validate(), classad::ClassAd);
+
+  const PlantSnapshot before = snapshot();
+  if (before.active_vms >= config_.max_vms) {
+    return Result<classad::ClassAd>(Error(
+        ErrorCode::kResourceExhausted,
+        config_.name + ": at VM capacity (" + std::to_string(config_.max_vms) + ")"));
+  }
+
+  // Plan before committing any resources.
+  auto plan = ppp_.plan(request);
+  if (!plan.ok()) return plan.propagate<classad::ClassAd>();
+
+  // Host-only network for the client's domain.
+  auto network = allocator_.acquire(request.domain);
+  if (!network.ok()) return network.propagate<classad::ClassAd>();
+
+  // Speculative pool: a parked pre-created clone of the planned golden
+  // image skips the clone+resume phase entirely (paper §6 future work).
+  bool speculative_hit = false;
+  std::string vm_id;
+  auto pool = speculative_.find(plan.value().golden.id);
+  if (pool != speculative_.end() && !pool->second.empty()) {
+    vm_id = pool->second.back();
+    pool->second.pop_back();
+    speculative_hit = true;
+  } else {
+    vm_id = vm_ids_.next();
+    auto report = production_->clone_and_start(plan.value().golden, vm_id);
+    if (!report.ok()) {
+      (void)allocator_.release(request.domain);
+      return report.propagate<classad::ClassAd>();
+    }
+  }
+
+  auto produced =
+      production_->configure(plan.value(), request, vm_id, network.value());
+  if (!produced.ok()) {
+    (void)allocator_.release(request.domain);
+    return produced.propagate<classad::ClassAd>();
+  }
+  ProductionResult& result = produced.value();
+
+  // Assemble the response classad.
+  classad::ClassAd ad = result.ad;
+  ad.set_string(attrs::kVmId, vm_id);
+  ad.set_string(attrs::kPlant, config_.name);
+  ad.set_string(attrs::kBackend, hypervisor_->type());
+  ad.set_string(attrs::kRequestId, request.request_id);
+  ad.set_string(attrs::kDomain, request.domain);
+  ad.set_string(attrs::kGoldenImage, plan.value().golden.id);
+  ad.set_string(attrs::kOs, plan.value().golden.spec.os);
+  ad.set_integer(attrs::kMemoryBytes,
+                 static_cast<std::int64_t>(plan.value().golden.spec.memory_bytes));
+  ad.set_integer(attrs::kDiskBytes,
+                 static_cast<std::int64_t>(
+                     plan.value().golden.spec.disk.capacity_bytes));
+  if (!ad.has(attrs::kNetwork)) {
+    ad.set_string(attrs::kNetwork, network.value());
+  }
+  ad.set_integer(attrs::kActionsExecuted,
+                 static_cast<std::int64_t>(result.guest_actions_executed +
+                                           result.host_actions_executed));
+  ad.set_integer(attrs::kActionsSatisfied,
+                 static_cast<std::int64_t>(plan.value().satisfied_nodes.size()));
+  ad.set_integer(attrs::kActionFailures,
+                 static_cast<std::int64_t>(result.failures_continued));
+
+  // Accounting for the cluster timing model.  A speculative hit charges no
+  // clone work to this creation: it happened ahead of demand.
+  const storage::IoAccounting clone_total =
+      speculative_hit ? storage::IoAccounting{} : result.clone_report.total();
+  ad.set_boolean(attrs::kSpeculativeHit, speculative_hit);
+  ad.set_integer(attrs::kCloneBytesCopied,
+                 static_cast<std::int64_t>(clone_total.bytes_written));
+  ad.set_integer(attrs::kCloneLinks,
+                 static_cast<std::int64_t>(clone_total.links_created));
+  ad.set_integer(attrs::kResidentBeforeBytes,
+                 static_cast<std::int64_t>(before.resident_memory_bytes));
+  ad.set_integer(attrs::kActiveVmsBefore,
+                 static_cast<std::int64_t>(before.active_vms));
+  ad.set_integer(attrs::kIsosConnected,
+                 static_cast<std::int64_t>(result.isos_connected));
+
+  // Dynamic attributes from the monitor.
+  info_.store(vm_id, ad);
+  (void)monitor_->refresh(vm_id);
+  vm_domains_[vm_id] = request.domain;
+
+  kLog.info() << config_.name << ": created " << vm_id << " from golden '"
+              << plan.value().golden.id << "' (" << result.guest_actions_executed
+              << " guest actions, " << plan.value().satisfied_nodes.size()
+              << " cached)";
+  return info_.query(vm_id);
+}
+
+Result<classad::ClassAd> VmPlant::query(const std::string& vm_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  (void)monitor_->refresh(vm_id);
+  return info_.query(vm_id);
+}
+
+Status VmPlant::collect(const std::string& vm_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto domain = vm_domains_.find(vm_id);
+  if (domain == vm_domains_.end()) {
+    return Status(ErrorCode::kNotFound,
+                  config_.name + ": unknown VM " + vm_id);
+  }
+  VMP_RETURN_IF_ERROR(production_->collect(vm_id));
+  (void)allocator_.release(domain->second);
+  vm_domains_.erase(domain);
+  (void)info_.remove(vm_id);
+  kLog.info() << config_.name << ": collected " << vm_id;
+  return Status();
+}
+
+// ---------------------------------------------------------------------------
+// Speculative pre-creation (paper §6 future work)
+// ---------------------------------------------------------------------------
+
+Status VmPlant::pre_create(const std::string& golden_id, std::size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto golden = warehouse_->lookup(golden_id);
+  if (!golden.ok()) return golden.error();
+  if (golden.value().backend != config_.backend) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  config_.name + ": golden '" + golden_id +
+                      "' targets backend " + golden.value().backend);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (hypervisor_->instance_ids().size() >= config_.max_vms) {
+      return Status(ErrorCode::kResourceExhausted,
+                    config_.name + ": at VM capacity during pre-create");
+    }
+    const std::string vm_id = vm_ids_.next();
+    auto report = production_->clone_and_start(golden.value(), vm_id);
+    if (!report.ok()) return report.error();
+    speculative_[golden_id].push_back(vm_id);
+  }
+  kLog.info() << config_.name << ": pre-created " << count
+              << " instances of '" << golden_id << "'";
+  return Status();
+}
+
+std::size_t VmPlant::speculative_pool_size(const std::string& golden_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!golden_id.empty()) {
+    auto it = speculative_.find(golden_id);
+    return it == speculative_.end() ? 0 : it->second.size();
+  }
+  std::size_t total = 0;
+  for (const auto& [id, pool] : speculative_) total += pool.size();
+  return total;
+}
+
+void VmPlant::discard_speculative() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [golden_id, pool] : speculative_) {
+    for (const std::string& vm_id : pool) {
+      (void)hypervisor_->destroy_vm(vm_id);
+    }
+  }
+  speculative_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Migration (paper §6 future work)
+// ---------------------------------------------------------------------------
+
+Result<VmPlant::MigrationBundle> VmPlant::migrate_out(const std::string& vm_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto domain = vm_domains_.find(vm_id);
+  if (domain == vm_domains_.end()) {
+    return Result<MigrationBundle>(
+        Error(ErrorCode::kNotFound, config_.name + ": unknown VM " + vm_id));
+  }
+  if (!hypervisor_->resumes_from_checkpoint()) {
+    return Result<MigrationBundle>(Error(
+        ErrorCode::kFailedPrecondition,
+        config_.name + ": backend '" + hypervisor_->type() +
+            "' cannot checkpoint; live state would be lost by migration"));
+  }
+  const hv::VmInstance* vm = hypervisor_->find(vm_id);
+  if (vm == nullptr) {
+    return Result<MigrationBundle>(
+        Error(ErrorCode::kNotFound, config_.name + ": hypervisor lost " + vm_id));
+  }
+  if (vm->power == hv::PowerState::kRunning) {
+    VMP_RETURN_IF_ERROR_AS(hypervisor_->suspend_vm(vm_id), MigrationBundle);
+    vm = hypervisor_->find(vm_id);
+  }
+  MigrationBundle bundle;
+  bundle.source_vm_id = vm_id;
+  bundle.source_dir = vm->layout.dir;
+  bundle.spec = vm->spec;
+  bundle.guest = vm->guest;
+  bundle.domain = domain->second;
+  return bundle;
+}
+
+Result<classad::ClassAd> VmPlant::migrate_in(const MigrationBundle& bundle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (hypervisor_->instance_ids().size() >= config_.max_vms) {
+    return Result<classad::ClassAd>(Error(
+        ErrorCode::kResourceExhausted, config_.name + ": at VM capacity"));
+  }
+  if (!hypervisor_->resumes_from_checkpoint()) {
+    return Result<classad::ClassAd>(
+        Error(ErrorCode::kFailedPrecondition,
+              config_.name + ": backend cannot resume a migrated checkpoint"));
+  }
+  auto network = allocator_.acquire(bundle.domain);
+  if (!network.ok()) return network.propagate<classad::ClassAd>();
+
+  const std::string vm_id = vm_ids_.next();
+  const std::string clone_dir = config_.clone_base_dir + "/" + vm_id;
+  auto copied = store_->copy_tree(bundle.source_dir, clone_dir);
+  if (!copied.ok()) {
+    (void)allocator_.release(bundle.domain);
+    return copied.propagate<classad::ClassAd>();
+  }
+
+  auto imported = hypervisor_->import_vm(clone_dir, bundle.spec, bundle.guest,
+                                         vm_id, /*suspended=*/true);
+  if (!imported.ok()) {
+    (void)store_->remove_tree(clone_dir);
+    (void)allocator_.release(bundle.domain);
+    return imported.propagate<classad::ClassAd>();
+  }
+  Status started = hypervisor_->start_vm(vm_id);
+  if (!started.ok()) {
+    (void)hypervisor_->destroy_vm(vm_id);
+    (void)allocator_.release(bundle.domain);
+    return started.propagate<classad::ClassAd>();
+  }
+
+  classad::ClassAd ad;
+  ad.set_string(attrs::kVmId, vm_id);
+  ad.set_string(attrs::kPlant, config_.name);
+  ad.set_string(attrs::kBackend, hypervisor_->type());
+  ad.set_string(attrs::kDomain, bundle.domain);
+  ad.set_string(attrs::kMigratedFrom, bundle.source_vm_id);
+  ad.set_string(attrs::kNetwork, network.value());
+  ad.set_integer(attrs::kMemoryBytes,
+                 static_cast<std::int64_t>(bundle.spec.memory_bytes));
+  ad.set_integer(attrs::kCloneBytesCopied,
+                 static_cast<std::int64_t>(copied.value().bytes_written));
+  info_.store(vm_id, ad);
+  (void)monitor_->refresh(vm_id);
+  vm_domains_[vm_id] = bundle.domain;
+  kLog.info() << config_.name << ": adopted migrated VM " << vm_id
+              << " (was " << bundle.source_vm_id << ")";
+  return info_.query(vm_id);
+}
+
+Status VmPlant::resume_after_failed_migration(const std::string& vm_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hypervisor_->start_vm(vm_id);
+}
+
+std::size_t VmPlant::active_vms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hypervisor_->instance_ids().size();
+}
+
+std::uint64_t VmPlant::resident_memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hypervisor_->resident_memory_bytes();
+}
+
+// ---------------------------------------------------------------------------
+// Bus integration
+// ---------------------------------------------------------------------------
+
+Status VmPlant::attach_to_bus(net::MessageBus* bus,
+                              net::ServiceRegistry* registry) {
+  VMP_RETURN_IF_ERROR(bus->register_endpoint(
+      bus_address(),
+      [this](const net::Message& m) { return handle_message(m); }));
+  bus_ = bus;
+  registry_ = registry;
+  if (registry_ != nullptr) {
+    net::ServiceRecord record;
+    record.type = "vmplant";
+    record.address = bus_address();
+    record.properties["backend"] = config_.backend;
+    record.properties["max-vms"] = std::to_string(config_.max_vms);
+    registry_->publish(record);
+  }
+  return Status();
+}
+
+void VmPlant::detach_from_bus() {
+  if (bus_ != nullptr) {
+    (void)bus_->unregister_endpoint(bus_address());
+    bus_ = nullptr;
+  }
+  if (registry_ != nullptr) {
+    (void)registry_->withdraw(bus_address());
+    registry_ = nullptr;
+  }
+}
+
+net::Message VmPlant::handle_message(const net::Message& request_msg) {
+  const std::string& service = request_msg.service();
+
+  if (service == "vmplant.estimate" || service == "vmplant.create") {
+    const xml::Element* req_elem = request_msg.body().child("create-request");
+    if (req_elem == nullptr) {
+      return net::Message::fault_to(
+          request_msg,
+          Error(ErrorCode::kParseError, "missing <create-request>"));
+    }
+    auto request = CreateRequest::from_xml(*req_elem);
+    if (!request.ok()) {
+      return net::Message::fault_to(request_msg, request.error());
+    }
+    if (service == "vmplant.estimate") {
+      auto cost = estimate(request.value());
+      if (!cost.ok()) return net::Message::fault_to(request_msg, cost.error());
+      net::Message response = net::Message::response_to(request_msg);
+      xml::Element& bid = response.body().add_child("bid");
+      bid.set_attr("plant", config_.name);
+      bid.set_attr("cost", util::format_double(cost.value()));
+      return response;
+    }
+    auto ad = create(request.value());
+    if (!ad.ok()) return net::Message::fault_to(request_msg, ad.error());
+    net::Message response = net::Message::response_to(request_msg);
+    ad.value().to_xml(&response.body());
+    return response;
+  }
+
+  if (service == "vmplant.query" || service == "vmplant.collect") {
+    const xml::Element* vm_elem = request_msg.body().child("vm");
+    if (vm_elem == nullptr || !vm_elem->has_attr("id")) {
+      return net::Message::fault_to(
+          request_msg, Error(ErrorCode::kParseError, "missing <vm id=...>"));
+    }
+    const std::string vm_id = vm_elem->attr("id");
+    if (service == "vmplant.query") {
+      auto ad = query(vm_id);
+      if (!ad.ok()) return net::Message::fault_to(request_msg, ad.error());
+      net::Message response = net::Message::response_to(request_msg);
+      ad.value().to_xml(&response.body());
+      return response;
+    }
+    Status s = collect(vm_id);
+    if (!s.ok()) return net::Message::fault_to(request_msg, s.error());
+    net::Message response = net::Message::response_to(request_msg);
+    response.body().add_child("collected").set_attr("id", vm_id);
+    return response;
+  }
+
+  return net::Message::fault_to(
+      request_msg,
+      Error(ErrorCode::kInvalidArgument, "unknown service: " + service));
+}
+
+}  // namespace vmp::core

@@ -1,0 +1,153 @@
+// The VMPlant daemon.
+//
+// Paper, Figure 2: a plant combines the Production Process Planner, the
+// Production Line, the VM Information System (+ monitor), and access to the
+// VM Warehouse.  Deployed one per physical resource, it answers four
+// services — Create, Collect, Query, Estimate — used by VMShop (paper,
+// Figure 1: plants "are not directly accessible by clients").
+//
+// The plant owns the host's finite resources: a VM-count capacity, the host
+// memory that resumed clones occupy, and the small pool of host-only
+// networks rationed per client domain (vnet::NetworkAllocator).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "classad/classad.h"
+#include "core/cost.h"
+#include "core/info_system.h"
+#include "core/ppp.h"
+#include "core/production_line.h"
+#include "core/request.h"
+#include "net/bus.h"
+#include "net/registry.h"
+#include "util/error.h"
+#include "util/ids.h"
+#include "vnet/allocator.h"
+
+namespace vmp::core {
+
+struct PlantConfig {
+  std::string name = "plant0";
+  std::string backend = "vmware-gsx";     // production line type
+  std::uint64_t host_memory_bytes = 1536ull << 20;  // paper: 1.5 GB nodes
+  std::size_t max_vms = 32;               // paper §3.4 example
+  std::size_t host_only_networks = 4;     // paper §3.4 example
+  std::string clone_base_dir;             // store-relative; default <name>/clones
+  std::string cost_model = "network-compute";
+};
+
+/// Snapshot of plant state captured before a creation (consumed by the
+/// cluster timing model and exported in the response classad).
+struct PlantSnapshot {
+  std::size_t active_vms = 0;
+  std::uint64_t resident_memory_bytes = 0;
+};
+
+class VmPlant {
+ public:
+  /// The plant builds its own hypervisor of the configured backend over
+  /// `store` and reads golden machines from `warehouse`.
+  VmPlant(PlantConfig config, storage::ArtifactStore* store,
+          warehouse::Warehouse* warehouse);
+  ~VmPlant();
+
+  const std::string& name() const { return config_.name; }
+  const PlantConfig& config() const { return config_; }
+
+  // -- Direct (in-process) service interface --------------------------------
+  /// Estimate the cost of serving `request` (the bid).
+  util::Result<double> estimate(const CreateRequest& request) const;
+
+  /// Create a VM; returns its classad.
+  util::Result<classad::ClassAd> create(const CreateRequest& request);
+
+  /// Query an active VM's classad (refreshed by the monitor first).
+  util::Result<classad::ClassAd> query(const std::string& vm_id) const;
+
+  /// Collect (destroy) an active VM.
+  util::Status collect(const std::string& vm_id);
+
+  // -- Speculative pre-creation (paper §6 future work) -----------------------
+  /// Clone and resume `count` instances of a golden image ahead of demand.
+  /// A later create() whose PPP plan selects this golden image adopts a
+  /// parked instance instead of cloning — the expensive phase has already
+  /// happened off the critical path.
+  util::Status pre_create(const std::string& golden_id, std::size_t count);
+
+  /// Parked instances for a golden image ("" = all).
+  std::size_t speculative_pool_size(const std::string& golden_id = "") const;
+
+  /// Destroy all parked instances (frees their memory and clone dirs).
+  void discard_speculative();
+
+  // -- Migration (paper §6 future work) --------------------------------------
+  /// Everything a target plant needs to adopt a live VM.
+  struct MigrationBundle {
+    std::string source_vm_id;
+    std::string source_dir;  // suspended clone directory (store-relative)
+    storage::MachineSpec spec;
+    hv::GuestState guest;
+    std::string domain;
+  };
+
+  /// Suspend a running VM and export its state for migration.  The VM
+  /// stays registered (suspended) at this plant until collect() removes it
+  /// after the target has imported — or resume_after_failed_migration()
+  /// brings it back.
+  util::Result<MigrationBundle> migrate_out(const std::string& vm_id);
+
+  /// Adopt a suspended VM exported by another plant: copy its state into
+  /// this plant's clone area, resume it, and return its new classad (with
+  /// a fresh VMID assigned by this plant).
+  util::Result<classad::ClassAd> migrate_in(const MigrationBundle& bundle);
+
+  /// Undo migrate_out when the target failed: resume the VM in place.
+  util::Status resume_after_failed_migration(const std::string& vm_id);
+
+  // -- Introspection ---------------------------------------------------------
+  std::size_t active_vms() const;
+  std::uint64_t resident_memory_bytes() const;
+  vnet::NetworkAllocator& allocator() { return allocator_; }
+  hv::Hypervisor& hypervisor() { return *hypervisor_; }
+  VmInformationSystem& info_system() { return info_; }
+
+  // -- Bus integration --------------------------------------------------------
+  /// Register this plant's endpoint and publish it in the registry.
+  /// Service names on the wire: vmplant.estimate / create / query / collect.
+  util::Status attach_to_bus(net::MessageBus* bus,
+                             net::ServiceRegistry* registry);
+  void detach_from_bus();
+  const std::string& bus_address() const { return config_.name; }
+
+ private:
+  net::Message handle_message(const net::Message& request_msg);
+  PlantSnapshot snapshot() const;
+  PlantLoad load_for(const CreateRequest& request) const;
+
+  PlantConfig config_;
+  storage::ArtifactStore* store_;
+  warehouse::Warehouse* warehouse_;
+  std::unique_ptr<hv::Hypervisor> hypervisor_;
+  ProductionProcessPlanner ppp_;
+  std::unique_ptr<ProductionLine> production_;
+  VmInformationSystem info_;
+  std::unique_ptr<VmMonitor> monitor_;
+  vnet::NetworkAllocator allocator_;
+  std::unique_ptr<CostModel> cost_model_;
+  util::IdGenerator vm_ids_;
+  /// Serializes create/collect against each other (the prototype's plant
+  /// processed production orders sequentially per host).
+  mutable std::mutex mutex_;
+  net::MessageBus* bus_ = nullptr;
+  net::ServiceRegistry* registry_ = nullptr;
+  /// vm_id -> domain, for releasing the network on collect.
+  std::map<std::string, std::string> vm_domains_;
+  /// golden_id -> parked pre-created instances (speculative pool).
+  std::map<std::string, std::vector<std::string>> speculative_;
+};
+
+}  // namespace vmp::core

@@ -1,0 +1,56 @@
+#include "core/ppp.h"
+
+namespace vmp::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+Result<ProductionPlan> ProductionProcessPlanner::plan(
+    const CreateRequest& request) const {
+  const std::string backend =
+      request.backend.empty() ? "vmware-gsx" : request.backend;
+
+  // Hardware filter first (memory / disk / OS), then DAG matching.
+  std::vector<warehouse::GoldenImage> candidates;
+  for (warehouse::GoldenImage& image : warehouse_->list_backend(backend)) {
+    if (request.hardware.satisfied_by(image.spec.os, image.spec.memory_bytes,
+                                      image.spec.disk.capacity_bytes)) {
+      candidates.push_back(std::move(image));
+    }
+  }
+  if (candidates.empty()) {
+    return Result<ProductionPlan>(Error(
+        ErrorCode::kNoMatchingImage,
+        "no golden machine passes the hardware filter (backend=" + backend +
+            ", os=" + request.hardware.os + ", memory=" +
+            std::to_string(request.hardware.memory_bytes) + ")"));
+  }
+
+  std::vector<std::vector<std::string>> histories;
+  histories.reserve(candidates.size());
+  for (const auto& image : candidates) histories.push_back(image.performed);
+
+  auto ranked = dag::rank_matches(request.config, histories);
+  if (!ranked.ok()) return ranked.propagate<ProductionPlan>();
+  if (ranked.value().empty()) {
+    return Result<ProductionPlan>(Error(
+        ErrorCode::kNoMatchingImage,
+        "no golden machine passes the DAG matching tests (" +
+            std::to_string(candidates.size()) + " hardware candidates)"));
+  }
+
+  const dag::RankedMatch& best = ranked.value().front();
+  auto eval =
+      dag::evaluate_match(request.config, histories[best.image_index]);
+  if (!eval.ok()) return eval.propagate<ProductionPlan>();
+
+  ProductionPlan plan;
+  plan.golden = std::move(candidates[best.image_index]);
+  plan.satisfied_nodes = std::move(eval.value().satisfied_nodes);
+  plan.remaining_plan = std::move(eval.value().remaining_plan);
+  plan.hardware_candidates = candidates.size();
+  return plan;
+}
+
+}  // namespace vmp::core

@@ -1,0 +1,47 @@
+// Production Process Planner (PPP).
+//
+// Paper, Section 3.2: "When the PPP receives a production order, it
+// searches the VM Warehouse to find a suitable match — a 'golden' machine.
+// The golden machine must match the client machine specification in terms
+// of memory, disk, the operating system installed and (fully or partially)
+// the DAG configuration actions."
+//
+// The PPP combines the hardware filter with the three DAG matching tests
+// (dag/matching.h) and emits a ProductionPlan: which golden image to clone
+// and, in execution order, which DAG actions remain to be configured.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/request.h"
+#include "dag/matching.h"
+#include "util/error.h"
+#include "warehouse/warehouse.h"
+
+namespace vmp::core {
+
+struct ProductionPlan {
+  warehouse::GoldenImage golden;
+  /// Request-DAG node ids already satisfied by the golden image.
+  std::vector<std::string> satisfied_nodes;
+  /// Remaining node ids, in a valid topological execution order.
+  std::vector<std::string> remaining_plan;
+  /// How many candidates passed the hardware filter (diagnostics).
+  std::size_t hardware_candidates = 0;
+};
+
+class ProductionProcessPlanner {
+ public:
+  explicit ProductionProcessPlanner(warehouse::Warehouse* warehouse)
+      : warehouse_(warehouse) {}
+
+  /// Plan a production order.  Fails with kNoMatchingImage when no golden
+  /// machine passes both the hardware filter and the DAG tests.
+  util::Result<ProductionPlan> plan(const CreateRequest& request) const;
+
+ private:
+  warehouse::Warehouse* warehouse_;
+};
+
+}  // namespace vmp::core

@@ -1,0 +1,261 @@
+#include "core/shop.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace vmp::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+namespace {
+const util::Logger kLog("vmshop");
+}
+
+VmShop::VmShop(ShopConfig config, net::MessageBus* bus,
+               net::ServiceRegistry* registry)
+    : config_(std::move(config)),
+      bus_(bus),
+      registry_(registry),
+      tie_rng_(config_.tie_break_seed) {}
+
+VmShop::~VmShop() { detach_from_bus(); }
+
+std::vector<Bid> VmShop::collect_bids(const CreateRequest& request) {
+  std::vector<Bid> bids;
+  for (const net::ServiceRecord& plant : registry_->discover("vmplant")) {
+    net::Message m = net::Message::request("vmplant.estimate", config_.name,
+                                           plant.address, request.request_id);
+    request.to_xml(&m.body());
+    auto response = net::call_expecting_success(bus_, m);
+    if (!response.ok()) {
+      kLog.debug() << plant.address
+                   << " declined to bid: " << response.error().to_string();
+      continue;
+    }
+    const xml::Element* bid_elem = response.value().body().child("bid");
+    if (bid_elem == nullptr) continue;
+    Bid bid;
+    bid.plant_address = plant.address;
+    bid.cost = bid_elem->attr_double("cost", 0.0);
+    bids.push_back(bid);
+  }
+  return bids;
+}
+
+std::optional<Bid> VmShop::select_bid(const std::vector<Bid>& bids) {
+  if (bids.empty()) return std::nullopt;
+  double best = bids.front().cost;
+  for (const Bid& b : bids) best = std::min(best, b.cost);
+  std::vector<const Bid*> cheapest;
+  for (const Bid& b : bids) {
+    if (b.cost <= best) cheapest.push_back(&b);
+  }
+  // "The VMShop picks one plant at random" among equal bids (paper §3.4).
+  const std::size_t pick = tie_rng_.next_below(cheapest.size());
+  return *cheapest[pick];
+}
+
+Result<classad::ClassAd> VmShop::create(const CreateRequest& request) {
+  VMP_RETURN_IF_ERROR_AS(request.validate(), classad::ClassAd);
+
+  std::vector<Bid> bids = collect_bids(request);
+  if (bids.empty()) {
+    return Result<classad::ClassAd>(Error(
+        ErrorCode::kNoBids, "no plant produced a bid for request " +
+                                request.request_id));
+  }
+  std::sort(bids.begin(), bids.end(),
+            [](const Bid& a, const Bid& b) { return a.cost < b.cost; });
+
+  // Try the winner; on failure fall through the remaining bids in cost
+  // order (bid selection re-randomizes ties within the prefix each round).
+  std::string last_failure;
+  while (!bids.empty()) {
+    auto chosen = select_bid(bids);
+    net::Message m = net::Message::request("vmplant.create", config_.name,
+                                           chosen->plant_address,
+                                           request.request_id);
+    request.to_xml(&m.body());
+    auto response = net::call_expecting_success(bus_, m);
+    if (response.ok()) {
+      auto ad = classad::ClassAd::from_xml(response.value().body());
+      if (!ad.ok()) return ad;
+      const auto vm_id = ad.value().get_string(attrs::kVmId);
+      if (vm_id.has_value()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        vm_to_plant_[*vm_id] = chosen->plant_address;
+        ad_cache_[*vm_id] = ad.value();
+        ++creations_;
+      }
+      return ad;
+    }
+    last_failure = chosen->plant_address + ": " + response.error().to_string();
+    kLog.warn() << "creation failed at " << last_failure
+                << "; trying next-best bid";
+    bids.erase(std::remove_if(bids.begin(), bids.end(),
+                              [&](const Bid& b) {
+                                return b.plant_address == chosen->plant_address;
+                              }),
+               bids.end());
+  }
+  return Result<classad::ClassAd>(
+      Error(ErrorCode::kUnavailable,
+            "all bidding plants failed; last: " + last_failure));
+}
+
+Result<classad::ClassAd> VmShop::query_at(const std::string& plant_address,
+                                          const std::string& vm_id) {
+  net::Message m = net::Message::request("vmplant.query", config_.name,
+                                         plant_address, vm_id);
+  m.body().add_child("vm").set_attr("id", vm_id);
+  auto response = net::call_expecting_success(bus_, m);
+  if (!response.ok()) return response.propagate<classad::ClassAd>();
+  return classad::ClassAd::from_xml(response.value().body());
+}
+
+Result<classad::ClassAd> VmShop::query(const std::string& vm_id) {
+  std::string routed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = vm_to_plant_.find(vm_id);
+    if (it != vm_to_plant_.end()) routed = it->second;
+  }
+  if (!routed.empty()) {
+    auto ad = query_at(routed, vm_id);
+    if (ad.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ad_cache_[vm_id] = ad.value();
+      return ad;
+    }
+  }
+  // Routing cache miss (or stale): rebuild by broadcast.
+  for (const net::ServiceRecord& plant : registry_->discover("vmplant")) {
+    if (plant.address == routed) continue;
+    auto ad = query_at(plant.address, vm_id);
+    if (ad.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      vm_to_plant_[vm_id] = plant.address;
+      ad_cache_[vm_id] = ad.value();
+      return ad;
+    }
+  }
+  return Result<classad::ClassAd>(
+      Error(ErrorCode::kNotFound, "no plant knows VM " + vm_id));
+}
+
+Status VmShop::destroy(const std::string& vm_id) {
+  // Resolve the owning plant (query refreshes the routing cache).
+  auto ad = query(vm_id);
+  if (!ad.ok()) return ad.error();
+
+  std::string plant_address;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    plant_address = vm_to_plant_[vm_id];
+  }
+  net::Message m = net::Message::request("vmplant.collect", config_.name,
+                                         plant_address, vm_id);
+  m.body().add_child("vm").set_attr("id", vm_id);
+  auto response = net::call_expecting_success(bus_, m);
+  if (!response.ok()) return response.error();
+  std::lock_guard<std::mutex> lock(mutex_);
+  vm_to_plant_.erase(vm_id);
+  ad_cache_.erase(vm_id);
+  return Status();
+}
+
+Result<classad::ClassAd> VmShop::cached_query(const std::string& vm_id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = ad_cache_.find(vm_id);
+    if (it != ad_cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+  }
+  return query(vm_id);
+}
+
+std::uint64_t VmShop::cache_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_hits_;
+}
+
+std::size_t VmShop::cache_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ad_cache_.size();
+}
+
+Status VmShop::attach_to_bus() {
+  VMP_RETURN_IF_ERROR(bus_->register_endpoint(
+      bus_address(),
+      [this](const net::Message& m) { return handle_message(m); }));
+  attached_ = true;
+  net::ServiceRecord record;
+  record.type = "vmshop";
+  record.address = bus_address();
+  registry_->publish(record);
+  return Status();
+}
+
+void VmShop::detach_from_bus() {
+  if (attached_) {
+    (void)bus_->unregister_endpoint(bus_address());
+    (void)registry_->withdraw(bus_address());
+    attached_ = false;
+  }
+}
+
+net::Message VmShop::handle_message(const net::Message& request_msg) {
+  const std::string& service = request_msg.service();
+
+  if (service == "vmshop.create") {
+    const xml::Element* req_elem = request_msg.body().child("create-request");
+    if (req_elem == nullptr) {
+      return net::Message::fault_to(
+          request_msg,
+          Error(ErrorCode::kParseError, "missing <create-request>"));
+    }
+    auto request = CreateRequest::from_xml(*req_elem);
+    if (!request.ok()) {
+      return net::Message::fault_to(request_msg, request.error());
+    }
+    auto ad = create(request.value());
+    if (!ad.ok()) return net::Message::fault_to(request_msg, ad.error());
+    net::Message response = net::Message::response_to(request_msg);
+    ad.value().to_xml(&response.body());
+    return response;
+  }
+
+  if (service == "vmshop.query" || service == "vmshop.destroy") {
+    const xml::Element* vm_elem = request_msg.body().child("vm");
+    if (vm_elem == nullptr || !vm_elem->has_attr("id")) {
+      return net::Message::fault_to(
+          request_msg, Error(ErrorCode::kParseError, "missing <vm id=...>"));
+    }
+    const std::string vm_id = vm_elem->attr("id");
+    if (service == "vmshop.query") {
+      auto ad = query(vm_id);
+      if (!ad.ok()) return net::Message::fault_to(request_msg, ad.error());
+      net::Message response = net::Message::response_to(request_msg);
+      ad.value().to_xml(&response.body());
+      return response;
+    }
+    Status s = destroy(vm_id);
+    if (!s.ok()) return net::Message::fault_to(request_msg, s.error());
+    net::Message response = net::Message::response_to(request_msg);
+    response.body().add_child("destroyed").set_attr("id", vm_id);
+    return response;
+  }
+
+  return net::Message::fault_to(
+      request_msg,
+      Error(ErrorCode::kInvalidArgument, "unknown service: " + service));
+}
+
+}  // namespace vmp::core

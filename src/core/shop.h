@@ -1,0 +1,112 @@
+// The VMShop front end.
+//
+// Paper, Section 3.1: "VMShop provides a single logical point of contact
+// for clients to request three core services: create a VM instance, query
+// information about an active VM instance, and destroy (collect) an active
+// VM instance. ... VMShop is responsible for selecting a VMPlant for the
+// creation of a virtual machine.  This process is implemented through a
+// communication API and a binding protocol that allows VMShop to request
+// and collect bids containing estimated VM creation costs from VMPlants."
+//
+// The shop discovers plants through the service registry, gathers bids over
+// the message bus, picks the cheapest (random choice among ties, as in the
+// paper's worked example), and forwards the creation.  If the chosen plant
+// fails, the next-best bid is tried — bid collection is cheap, creations
+// are not.  The vmid->plant routing map is a cache: the authoritative
+// classad lives at the plant (Section 3.1's failure-restoration argument),
+// and the shop can rebuild routing by broadcasting queries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "core/request.h"
+#include "net/bus.h"
+#include "net/registry.h"
+#include "util/error.h"
+#include "util/random.h"
+
+namespace vmp::core {
+
+/// One collected bid.
+struct Bid {
+  std::string plant_address;
+  double cost = 0.0;
+};
+
+struct ShopConfig {
+  std::string name = "vmshop";
+  std::uint64_t tie_break_seed = 42;
+};
+
+class VmShop {
+ public:
+  VmShop(ShopConfig config, net::MessageBus* bus,
+         net::ServiceRegistry* registry);
+  ~VmShop();
+
+  const std::string& name() const { return config_.name; }
+
+  // -- Client-facing services -------------------------------------------------
+  /// Create: bid collection, plant selection, creation, routing update.
+  util::Result<classad::ClassAd> create(const CreateRequest& request);
+
+  /// Query an active VM (routed; falls back to broadcast when unrouted).
+  /// Refreshes the shop-side classad cache.
+  util::Result<classad::ClassAd> query(const std::string& vm_id);
+
+  /// Cache-first query (paper §3.1: "VMShop may ... cache classad
+  /// information in the information system to speed up queries").  Serves
+  /// the last classad seen for this VM without a plant round-trip; falls
+  /// through to query() on a miss.  Cached ads can be stale until the next
+  /// query()/create(); destroy() invalidates.
+  util::Result<classad::ClassAd> cached_query(const std::string& vm_id);
+
+  /// Cache statistics (diagnostics / tests).
+  std::uint64_t cache_hits() const;
+  std::size_t cache_size() const;
+
+  /// Destroy (collect) an active VM.
+  util::Status destroy(const std::string& vm_id);
+
+  // -- Bidding (exposed for tests and the cost-function bench) ----------------
+  /// Collect bids for a request from every registered plant.  Plants that
+  /// refuse (fault) are skipped; transport failures are skipped too.
+  std::vector<Bid> collect_bids(const CreateRequest& request);
+
+  /// Lowest-cost bid; ties broken uniformly at random (seeded).
+  std::optional<Bid> select_bid(const std::vector<Bid>& bids);
+
+  // -- Bus integration ---------------------------------------------------------
+  /// Register the shop endpoint (services vmshop.create / query / destroy)
+  /// and publish it in the registry.
+  util::Status attach_to_bus();
+  void detach_from_bus();
+  const std::string& bus_address() const { return config_.name; }
+
+  /// Number of creations served (diagnostics).
+  std::uint64_t creations() const { return creations_; }
+
+ private:
+  net::Message handle_message(const net::Message& request_msg);
+  util::Result<classad::ClassAd> query_at(const std::string& plant_address,
+                                          const std::string& vm_id);
+
+  ShopConfig config_;
+  net::MessageBus* bus_;
+  net::ServiceRegistry* registry_;
+  util::SplitMix64 tie_rng_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> vm_to_plant_;
+  std::map<std::string, classad::ClassAd> ad_cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t creations_ = 0;
+  bool attached_ = false;
+};
+
+}  // namespace vmp::core

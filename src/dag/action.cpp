@@ -1,0 +1,62 @@
+#include "dag/action.h"
+
+namespace vmp::dag {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+const char* action_scope_name(ActionScope scope) noexcept {
+  switch (scope) {
+    case ActionScope::kGuest: return "guest";
+    case ActionScope::kHost: return "host";
+  }
+  return "guest";
+}
+
+Result<ActionScope> parse_action_scope(const std::string& name) {
+  if (name == "guest") return ActionScope::kGuest;
+  if (name == "host") return ActionScope::kHost;
+  return Result<ActionScope>(
+      Error(ErrorCode::kParseError, "unknown action scope: " + name));
+}
+
+const char* error_policy_name(ErrorPolicy policy) noexcept {
+  switch (policy) {
+    case ErrorPolicy::kAbort: return "abort";
+    case ErrorPolicy::kRetry: return "retry";
+    case ErrorPolicy::kContinue: return "continue";
+  }
+  return "abort";
+}
+
+Result<ErrorPolicy> parse_error_policy(const std::string& name) {
+  if (name == "abort") return ErrorPolicy::kAbort;
+  if (name == "retry") return ErrorPolicy::kRetry;
+  if (name == "continue") return ErrorPolicy::kContinue;
+  return Result<ErrorPolicy>(
+      Error(ErrorCode::kParseError, "unknown error policy: " + name));
+}
+
+const std::string& Action::param(const std::string& key) const {
+  static const std::string kEmpty;
+  auto it = params_.find(key);
+  return it == params_.end() ? kEmpty : it->second;
+}
+
+std::string Action::signature() const {
+  std::string sig = operation_;
+  sig += '{';
+  bool first = true;
+  for (const auto& [key, value] : params_) {
+    if (!first) sig += ',';
+    first = false;
+    sig += key;
+    sig += '=';
+    sig += value;
+  }
+  sig += '}';
+  return sig;
+}
+
+}  // namespace vmp::dag

@@ -1,0 +1,123 @@
+#include "dag/dag_xml.h"
+
+#include "xml/xml.h"
+
+namespace vmp::dag {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+void to_xml(const ConfigDag& dag, xml::Element* parent) {
+  xml::Element& root = parent->add_child("dag");
+  for (const std::string& id : dag.node_ids()) {
+    const Action& a = *dag.action(id);
+    xml::Element& node = root.add_child("action");
+    node.set_attr("id", a.id());
+    node.set_attr("op", a.operation());
+    node.set_attr("scope", action_scope_name(a.scope()));
+    if (a.error_policy() != ErrorPolicy::kAbort) {
+      node.set_attr("on-error", error_policy_name(a.error_policy()));
+    }
+    if (a.max_retries() > 0) {
+      node.set_attr("max-retries", std::to_string(a.max_retries()));
+    }
+    for (const auto& [key, value] : a.params()) {
+      xml::Element& p = node.add_child("param");
+      p.set_attr("name", key);
+      p.set_text(value);
+    }
+    if (!a.script().empty()) {
+      node.add_child("script").set_text(a.script());
+    }
+    if (const ConfigDag* sub = dag.error_subgraph(id)) {
+      to_xml(*sub, &node.add_child("error-dag"));
+    }
+  }
+  for (const std::string& id : dag.node_ids()) {
+    for (const std::string& succ : dag.successors(id)) {
+      xml::Element& e = root.add_child("edge");
+      e.set_attr("from", id);
+      e.set_attr("to", succ);
+    }
+  }
+}
+
+std::string to_xml_string(const ConfigDag& dag) {
+  xml::Element wrapper("wrapper");
+  to_xml(dag, &wrapper);
+  return wrapper.children().front()->to_string();
+}
+
+Result<ConfigDag> from_xml(const xml::Element& dag_element) {
+  if (dag_element.name() != "dag") {
+    return Result<ConfigDag>(Error(
+        ErrorCode::kParseError,
+        "expected <dag> element, found <" + dag_element.name() + ">"));
+  }
+  ConfigDag dag;
+  for (const xml::Element* node : dag_element.children_named("action")) {
+    if (!node->has_attr("id") || !node->has_attr("op")) {
+      return Result<ConfigDag>(Error(ErrorCode::kParseError,
+                                     "<action> requires id and op attributes"));
+    }
+    Action a(node->attr("id"), node->attr("op"));
+    if (node->has_attr("scope")) {
+      auto scope = parse_action_scope(node->attr("scope"));
+      if (!scope.ok()) return scope.propagate<ConfigDag>();
+      a.set_scope(scope.value());
+    }
+    if (node->has_attr("on-error")) {
+      auto policy = parse_error_policy(node->attr("on-error"));
+      if (!policy.ok()) return policy.propagate<ConfigDag>();
+      a.set_error_policy(policy.value());
+    }
+    if (node->has_attr("max-retries")) {
+      a.set_max_retries(static_cast<int>(node->attr_int("max-retries", 0)));
+    }
+    for (const xml::Element* p : node->children_named("param")) {
+      if (!p->has_attr("name")) {
+        return Result<ConfigDag>(
+            Error(ErrorCode::kParseError, "<param> requires a name attribute"));
+      }
+      a.set_param(p->attr("name"), p->text());
+    }
+    if (const xml::Element* script = node->child("script")) {
+      a.set_script(script->text());
+    }
+    Status s = dag.add_action(std::move(a));
+    if (!s.ok()) return s.propagate<ConfigDag>();
+
+    if (const xml::Element* error_wrapper = node->child("error-dag")) {
+      const xml::Element* inner = error_wrapper->child("dag");
+      if (inner == nullptr) {
+        return Result<ConfigDag>(Error(ErrorCode::kParseError,
+                                       "<error-dag> must contain a <dag>"));
+      }
+      auto sub = from_xml(*inner);
+      if (!sub.ok()) return sub;
+      s = dag.set_error_subgraph(node->attr("id"), std::move(sub).value());
+      if (!s.ok()) return s.propagate<ConfigDag>();
+    }
+  }
+  for (const xml::Element* edge : dag_element.children_named("edge")) {
+    if (!edge->has_attr("from") || !edge->has_attr("to")) {
+      return Result<ConfigDag>(Error(ErrorCode::kParseError,
+                                     "<edge> requires from and to attributes"));
+    }
+    Status s = dag.add_edge(edge->attr("from"), edge->attr("to"));
+    if (!s.ok()) return s.propagate<ConfigDag>();
+  }
+  Status valid = dag.validate();
+  if (!valid.ok()) return valid.propagate<ConfigDag>();
+  return dag;
+}
+
+Result<ConfigDag> from_xml_string(const std::string& text) {
+  auto doc = xml::parse(text);
+  if (!doc.ok()) return doc.propagate<ConfigDag>();
+  return from_xml(*doc.value());
+}
+
+}  // namespace vmp::dag

@@ -1,0 +1,40 @@
+// XML (de)serialization for configuration DAGs.
+//
+// Wire format (carried inside Create-VM requests, paper Section 4.1):
+//
+//   <dag>
+//     <action id="A" op="install-os" scope="guest" on-error="abort">
+//       <param name="distro">redhat-8.0</param>
+//       <script>...</script>            <!-- optional -->
+//       <error-dag> ... nested <dag> content ... </error-dag>  <!-- optional -->
+//     </action>
+//     ...
+//     <edge from="A" to="B"/>
+//   </dag>
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dag/dag.h"
+#include "util/error.h"
+
+namespace vmp::xml {
+class Element;
+}
+
+namespace vmp::dag {
+
+/// Serialize into a new <dag> child of `parent`.
+void to_xml(const ConfigDag& dag, xml::Element* parent);
+
+/// Serialize to a standalone XML string.
+std::string to_xml_string(const ConfigDag& dag);
+
+/// Parse from a <dag> element.
+util::Result<ConfigDag> from_xml(const xml::Element& dag_element);
+
+/// Parse from a string whose root element is <dag>.
+util::Result<ConfigDag> from_xml_string(const std::string& text);
+
+}  // namespace vmp::dag

@@ -1,0 +1,116 @@
+#include "dag/matching.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace vmp::dag {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+Result<MatchEvaluation> evaluate_match(
+    const ConfigDag& request,
+    const std::vector<std::string>& performed_signatures) {
+  auto index_result = request.signature_index();
+  if (!index_result.ok()) return index_result.propagate<MatchEvaluation>();
+  const std::map<std::string, std::string>& sig_to_node = index_result.value();
+
+  MatchEvaluation eval;
+
+  // -- Subset Test ----------------------------------------------------------
+  // Every performed signature must name a node of the request DAG, and no
+  // signature may repeat (an image cannot have performed the same action
+  // twice for a DAG in which it appears once).
+  std::vector<std::string> performed_nodes;  // request node ids, history order
+  std::set<std::string> performed_set;
+  eval.subset_ok = true;
+  for (const std::string& sig : performed_signatures) {
+    auto it = sig_to_node.find(sig);
+    if (it == sig_to_node.end()) {
+      eval.subset_ok = false;
+      eval.failure_reason =
+          "subset test failed: image performed unrequested action '" + sig + "'";
+      break;
+    }
+    if (!performed_set.insert(it->second).second) {
+      eval.subset_ok = false;
+      eval.failure_reason =
+          "subset test failed: image performed action '" + sig + "' twice";
+      break;
+    }
+    performed_nodes.push_back(it->second);
+  }
+  if (!eval.subset_ok) return eval;
+
+  // -- Prefix Test ----------------------------------------------------------
+  // The performed set must be downward-closed: all ancestors of a performed
+  // node are performed.
+  eval.prefix_ok = true;
+  for (const std::string& node : performed_nodes) {
+    for (const std::string& ancestor : request.ancestors(node)) {
+      if (!performed_set.count(ancestor)) {
+        eval.prefix_ok = false;
+        eval.failure_reason = "prefix test failed: image performed '" + node +
+                              "' without its predecessor '" + ancestor + "'";
+        break;
+      }
+    }
+    if (!eval.prefix_ok) break;
+  }
+  if (!eval.prefix_ok) return eval;
+
+  // -- Partial Order Test ---------------------------------------------------
+  // History order must refine the DAG partial order: no performed pair may
+  // appear in the history in the opposite order of a DAG requirement.
+  std::map<std::string, std::size_t> history_position;
+  for (std::size_t i = 0; i < performed_nodes.size(); ++i) {
+    history_position[performed_nodes[i]] = i;
+  }
+  eval.partial_order_ok = true;
+  for (const std::string& node : performed_nodes) {
+    for (const std::string& ancestor : request.ancestors(node)) {
+      // ancestor is performed (prefix test passed).
+      if (history_position.at(ancestor) > history_position.at(node)) {
+        eval.partial_order_ok = false;
+        eval.failure_reason = "partial order test failed: image performed '" +
+                              node + "' before its predecessor '" + ancestor +
+                              "'";
+        break;
+      }
+    }
+    if (!eval.partial_order_ok) break;
+  }
+  if (!eval.partial_order_ok) return eval;
+
+  // -- Plan the remaining suffix ---------------------------------------------
+  eval.satisfied_nodes = performed_nodes;
+  auto topo = request.topological_sort();
+  if (!topo.ok()) return topo.propagate<MatchEvaluation>();
+  for (const std::string& id : topo.value()) {
+    if (!performed_set.count(id)) eval.remaining_plan.push_back(id);
+  }
+  return eval;
+}
+
+Result<std::vector<RankedMatch>> rank_matches(
+    const ConfigDag& request,
+    const std::vector<std::vector<std::string>>& image_histories) {
+  std::vector<RankedMatch> ranked;
+  for (std::size_t i = 0; i < image_histories.size(); ++i) {
+    auto eval = evaluate_match(request, image_histories[i]);
+    if (!eval.ok()) return eval.propagate<std::vector<RankedMatch>>();
+    if (!eval.value().matches()) continue;
+    ranked.push_back(RankedMatch{
+        i, eval.value().satisfied_nodes.size(),
+        eval.value().remaining_plan.size()});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedMatch& a, const RankedMatch& b) {
+                     return a.satisfied_count > b.satisfied_count;
+                   });
+  return ranked;
+}
+
+}  // namespace vmp::dag

@@ -1,0 +1,74 @@
+// Partial matching of configuration DAGs against cached golden images.
+//
+// Paper, Section 3.2.  Each cached image records the ordered sequence of
+// configuration actions already performed on it.  For a cached image to be
+// usable as a clone source for a requested DAG, three conditions must hold:
+//
+//  * Subset Test — every performed action is required by the DAG (no
+//    extraneous operations baked into the image).
+//  * Prefix Test — the performed set is downward-closed under the DAG's
+//    precedence: if action A was performed, every DAG-predecessor of A was
+//    performed too.
+//  * Partial Order Test — the order in which actions were performed on the
+//    image is consistent with the DAG's partial order: if the DAG requires
+//    A before B and both were performed, A appears before B in the image's
+//    history.
+//
+// Identity between a performed action and a DAG node is by Action signature
+// (operation + canonical parameters); see dag/action.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/dag.h"
+#include "util/error.h"
+
+namespace vmp::dag {
+
+/// Outcome of testing one cached image description against a request DAG.
+struct MatchEvaluation {
+  bool subset_ok = false;
+  bool prefix_ok = false;
+  bool partial_order_ok = false;
+
+  /// All three tests passed.
+  bool matches() const { return subset_ok && prefix_ok && partial_order_ok; }
+
+  /// Node ids (in the request DAG) already satisfied by the image.
+  std::vector<std::string> satisfied_nodes;
+
+  /// Node ids still to be executed, in a valid topological order of the
+  /// remaining sub-graph (empty unless matches()).
+  std::vector<std::string> remaining_plan;
+
+  /// Diagnostic for the first failed test ("" when matches()).
+  std::string failure_reason;
+};
+
+/// Evaluate the three tests for one image.
+///
+/// `performed_signatures` is the image's action history, oldest first.
+/// The request DAG must have unique signatures (ConfigDag::signature_index);
+/// an error is returned otherwise.  Unknown signatures in the history are
+/// not an error — they simply fail the Subset test, because the image has an
+/// operation the request does not want.
+util::Result<MatchEvaluation> evaluate_match(
+    const ConfigDag& request,
+    const std::vector<std::string>& performed_signatures);
+
+/// A scored candidate (index into the caller's image list).
+struct RankedMatch {
+  std::size_t image_index = 0;
+  std::size_t satisfied_count = 0;
+  std::size_t remaining_count = 0;
+};
+
+/// Rank all matching images: most satisfied actions first (fewest remaining
+/// configuration actions to execute), stable on ties.  Non-matching images
+/// are absent from the result.
+util::Result<std::vector<RankedMatch>> rank_matches(
+    const ConfigDag& request,
+    const std::vector<std::vector<std::string>>& image_histories);
+
+}  // namespace vmp::dag

@@ -1,0 +1,33 @@
+#include "hypervisor/gsx.h"
+
+namespace vmp::hv {
+
+using util::Error;
+using util::ErrorCode;
+using util::Status;
+
+Status GsxHypervisor::validate_clone_source(const CloneSource& source) const {
+  if (!source.spec.suspended) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "vmware-gsx: golden image must be a suspended checkpoint");
+  }
+  if (!store_->exists(source.layout.memory_path())) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "vmware-gsx: golden image missing memory state: " +
+                      source.layout.memory_path());
+  }
+  return Status();
+}
+
+Status GsxHypervisor::do_start(VmInstance* vm) {
+  // Resume: the private memory checkpoint must exist (it was copied during
+  // cloning); the guest state is already loaded, no boot happens.
+  if (!store_->exists(vm->layout.memory_path())) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "vmware-gsx: cannot resume, missing memory state for " +
+                      vm->id);
+  }
+  return Status();
+}
+
+}  // namespace vmp::hv

@@ -1,0 +1,25 @@
+// VMware-GSX-style "classic" hosted VMM backend.
+//
+// Clones are created from suspended golden checkpoints (the .vmss memory
+// state is physically copied — paper footnote 2 — while disk spans are
+// symlinked) and start by *resuming*, which is what makes instantiation
+// fast: no guest boot occurs.
+#pragma once
+
+#include "hypervisor/hypervisor.h"
+
+namespace vmp::hv {
+
+class GsxHypervisor final : public Hypervisor {
+ public:
+  explicit GsxHypervisor(storage::ArtifactStore* store) : Hypervisor(store) {}
+
+  std::string type() const override { return "vmware-gsx"; }
+  bool resumes_from_checkpoint() const override { return true; }
+
+ protected:
+  util::Status do_start(VmInstance* vm) override;
+  util::Status validate_clone_source(const CloneSource& source) const override;
+};
+
+}  // namespace vmp::hv

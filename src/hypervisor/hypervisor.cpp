@@ -1,0 +1,249 @@
+#include "hypervisor/hypervisor.h"
+
+namespace vmp::hv {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+const char* power_state_name(PowerState state) noexcept {
+  switch (state) {
+    case PowerState::kStopped: return "stopped";
+    case PowerState::kSuspended: return "suspended";
+    case PowerState::kRunning: return "running";
+    case PowerState::kDestroyed: return "destroyed";
+  }
+  return "stopped";
+}
+
+Result<VmInstance*> Hypervisor::find_mutable(const std::string& vm_id) {
+  auto it = instances_.find(vm_id);
+  if (it == instances_.end() ||
+      it->second.power == PowerState::kDestroyed) {
+    return Result<VmInstance*>(
+        Error(ErrorCode::kNotFound, type() + ": no VM " + vm_id));
+  }
+  return &it->second;
+}
+
+const VmInstance* Hypervisor::find(const std::string& vm_id) const {
+  auto it = instances_.find(vm_id);
+  return it == instances_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Hypervisor::instance_ids() const {
+  std::vector<std::string> out;
+  for (const auto& [id, vm] : instances_) {
+    if (vm.power != PowerState::kDestroyed) out.push_back(id);
+  }
+  return out;
+}
+
+std::uint64_t Hypervisor::resident_memory_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, vm] : instances_) {
+    if (vm.power == PowerState::kRunning ||
+        vm.power == PowerState::kSuspended) {
+      total += vm.spec.memory_bytes;
+    }
+  }
+  return total;
+}
+
+Result<std::string> Hypervisor::clone_vm(const CloneSource& source,
+                                         const std::string& clone_dir,
+                                         const std::string& vm_id) {
+  if (vm_id.empty()) {
+    return Result<std::string>(
+        Error(ErrorCode::kInvalidArgument, "vm id must not be empty"));
+  }
+  if (instances_.count(vm_id)) {
+    return Result<std::string>(
+        Error(ErrorCode::kAlreadyExists, type() + ": VM exists: " + vm_id));
+  }
+  VMP_RETURN_IF_ERROR_AS(validate_clone_source(source), std::string);
+
+  auto report = storage::clone_image(store_, source.layout, source.spec,
+                                     clone_dir, clone_strategy());
+  if (!report.ok()) return report.propagate<std::string>();
+
+  VmInstance vm;
+  vm.id = vm_id;
+  vm.layout = storage::ImageLayout{clone_dir};
+  vm.spec = source.spec;
+  vm.guest = source.guest;
+  vm.guest.flaky_counters.clear();
+  vm.power = PowerState::kStopped;
+  vm.clone_report = report.value();
+
+  // The clone carries the golden's guest state file for crash recovery /
+  // inspection; write the clone's own copy.
+  auto gs = store_->write_file(clone_dir + "/guest.state",
+                               render_guest_state(vm.guest));
+  if (!gs.ok()) return gs.propagate<std::string>();
+
+  instances_.emplace(vm_id, std::move(vm));
+  return vm_id;
+}
+
+Result<std::string> Hypervisor::import_vm(const std::string& clone_dir,
+                                          const storage::MachineSpec& spec,
+                                          const GuestState& guest,
+                                          const std::string& vm_id,
+                                          bool suspended) {
+  if (vm_id.empty()) {
+    return Result<std::string>(
+        Error(ErrorCode::kInvalidArgument, "vm id must not be empty"));
+  }
+  if (instances_.count(vm_id)) {
+    return Result<std::string>(
+        Error(ErrorCode::kAlreadyExists, type() + ": VM exists: " + vm_id));
+  }
+  VmInstance vm;
+  vm.id = vm_id;
+  vm.layout = storage::ImageLayout{clone_dir};
+  vm.spec = spec;
+  vm.guest = guest;
+  vm.power = suspended ? PowerState::kSuspended : PowerState::kStopped;
+
+  if (!store_->exists(vm.layout.config_path())) {
+    return Result<std::string>(
+        Error(ErrorCode::kFailedPrecondition,
+              type() + ": import missing config: " + vm.layout.config_path()));
+  }
+  if (suspended) {
+    if (!resumes_from_checkpoint()) {
+      return Result<std::string>(Error(
+          ErrorCode::kFailedPrecondition,
+          type() + ": backend cannot adopt a suspended checkpoint"));
+    }
+    if (!store_->exists(vm.layout.memory_path())) {
+      return Result<std::string>(Error(
+          ErrorCode::kFailedPrecondition,
+          type() + ": import missing memory state: " + vm.layout.memory_path()));
+    }
+  }
+  instances_.emplace(vm_id, std::move(vm));
+  return vm_id;
+}
+
+Status Hypervisor::start_vm(const std::string& vm_id) {
+  auto vm = find_mutable(vm_id);
+  if (!vm.ok()) return vm.error();
+  if (vm.value()->power == PowerState::kRunning) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  type() + ": VM already running: " + vm_id);
+  }
+  auto injected = start_failures_.find(vm_id);
+  if (injected != start_failures_.end() && injected->second) {
+    injected->second = false;
+    return Status(ErrorCode::kInternal,
+                  type() + ": injected start failure for " + vm_id);
+  }
+  VMP_RETURN_IF_ERROR(do_start(vm.value()));
+  vm.value()->power = PowerState::kRunning;
+  return Status();
+}
+
+Status Hypervisor::suspend_vm(const std::string& vm_id) {
+  auto vm = find_mutable(vm_id);
+  if (!vm.ok()) return vm.error();
+  if (vm.value()->power != PowerState::kRunning) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  type() + ": suspend requires a running VM: " + vm_id);
+  }
+  if (!resumes_from_checkpoint()) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  type() + ": backend does not support suspend");
+  }
+  // Write the checkpoint: the memory state file reflects configured memory.
+  auto mem = store_->create_sparse_file(vm.value()->layout.memory_path(),
+                                        vm.value()->spec.memory_bytes);
+  if (!mem.ok()) return mem.error();
+  auto gs = store_->write_file(vm.value()->layout.dir + "/guest.state",
+                               render_guest_state(vm.value()->guest));
+  if (!gs.ok()) return gs.error();
+  vm.value()->power = PowerState::kSuspended;
+  return Status();
+}
+
+Status Hypervisor::power_off(const std::string& vm_id) {
+  auto vm = find_mutable(vm_id);
+  if (!vm.ok()) return vm.error();
+  if (vm.value()->power == PowerState::kStopped) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  type() + ": VM already stopped: " + vm_id);
+  }
+  // Non-persistent disks discard session changes: truncate the redo log.
+  if (vm.value()->spec.disk.mode == storage::DiskMode::kNonPersistent) {
+    auto redo = store_->write_file(
+        vm.value()->layout.base_redo_path(vm.value()->spec.disk), "");
+    if (!redo.ok()) return redo.error();
+  }
+  vm.value()->power = PowerState::kStopped;
+  return Status();
+}
+
+Status Hypervisor::destroy_vm(const std::string& vm_id) {
+  auto vm = find_mutable(vm_id);
+  if (!vm.ok()) return vm.error();
+  VMP_RETURN_IF_ERROR(storage::destroy_clone(store_, vm.value()->layout.dir));
+  vm.value()->power = PowerState::kDestroyed;
+  vm.value()->connected_isos.clear();
+  return Status();
+}
+
+Result<std::string> Hypervisor::connect_script_iso(const std::string& vm_id,
+                                                   const std::string& script) {
+  auto vm = find_mutable(vm_id);
+  if (!vm.ok()) return vm.propagate<std::string>();
+  const std::uint32_t n = ++iso_counters_[vm_id];
+  const std::string iso_path =
+      vm.value()->layout.dir + "/config-cd-" + std::to_string(n) + ".iso";
+  // The "ISO" carries the script with a tiny header, like a one-file image.
+  auto write = store_->write_file(iso_path, "#iso9660-sim\n" + script);
+  if (!write.ok()) return write.propagate<std::string>();
+  vm.value()->connected_isos.push_back(iso_path);
+  return iso_path;
+}
+
+Result<GuestOutput> Hypervisor::execute_connected_script(
+    const std::string& vm_id) {
+  auto vm = find_mutable(vm_id);
+  if (!vm.ok()) return vm.propagate<GuestOutput>();
+  if (vm.value()->power != PowerState::kRunning) {
+    return Result<GuestOutput>(
+        Error(ErrorCode::kFailedPrecondition,
+              type() + ": guest daemon requires a running VM: " + vm_id));
+  }
+  if (vm.value()->connected_isos.empty()) {
+    return Result<GuestOutput>(Error(
+        ErrorCode::kFailedPrecondition, type() + ": no ISO connected: " + vm_id));
+  }
+  auto iso = store_->read_file(vm.value()->connected_isos.back());
+  if (!iso.ok()) return iso.propagate<GuestOutput>();
+  // Strip the header line.
+  std::string script = iso.value();
+  const std::size_t nl = script.find('\n');
+  script = nl == std::string::npos ? "" : script.substr(nl + 1);
+  return agent_.execute(&vm.value()->guest, script);
+}
+
+Result<GuestOutput> Hypervisor::execute_on_guest(const std::string& vm_id,
+                                                 const std::string& script) {
+  auto vm = find_mutable(vm_id);
+  if (!vm.ok()) return vm.propagate<GuestOutput>();
+  if (vm.value()->power != PowerState::kRunning) {
+    return Result<GuestOutput>(
+        Error(ErrorCode::kFailedPrecondition,
+              type() + ": guest not running: " + vm_id));
+  }
+  return agent_.execute(&vm.value()->guest, script);
+}
+
+void Hypervisor::inject_start_failure(const std::string& vm_id) {
+  start_failures_[vm_id] = true;
+}
+
+}  // namespace vmp::hv

@@ -1,0 +1,144 @@
+// Hypervisor control interface (the "Production Line" substrate).
+//
+// Paper, Section 2: "while different VM technologies present different
+// interfaces for their configuration and control, core mechanisms on top of
+// which middleware services can be layered are identifiable.  First, VM
+// environments can be encapsulated as data ... Second, instantiation can be
+// implemented by a control process."
+//
+// Hypervisor captures exactly those two mechanisms: state-as-files (clone,
+// destroy) and a control process (start/suspend/stop, virtual CD-ROM
+// attach, guest script execution).  Two backends implement it:
+//   * GsxHypervisor — "classic" hosted VMM: clones resume from a suspended
+//     memory checkpoint; non-persistent disks share golden spans via links.
+//   * UmlHypervisor — user-mode-Linux style: clones boot from scratch on a
+//     copy-on-write file system; no memory state exists.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hypervisor/guest.h"
+#include "storage/artifact_store.h"
+#include "storage/clone_ops.h"
+#include "storage/image_layout.h"
+#include "util/error.h"
+
+namespace vmp::hv {
+
+enum class PowerState { kStopped, kSuspended, kRunning, kDestroyed };
+const char* power_state_name(PowerState state) noexcept;
+
+/// One hosted VM instance.
+struct VmInstance {
+  std::string id;
+  storage::ImageLayout layout;  // its clone directory
+  storage::MachineSpec spec;
+  PowerState power = PowerState::kStopped;
+  GuestState guest;
+  /// Paths (store-relative) of connected virtual CD-ROM ISOs, attach order.
+  std::vector<std::string> connected_isos;
+  /// Accounting from the clone that created this instance.
+  storage::CloneReport clone_report;
+};
+
+/// Description of a clone source (a golden image already on disk).
+struct CloneSource {
+  storage::ImageLayout layout;
+  storage::MachineSpec spec;
+  GuestState guest;  // guest state captured when the golden was published
+};
+
+class Hypervisor {
+ public:
+  explicit Hypervisor(storage::ArtifactStore* store) : store_(store) {}
+  virtual ~Hypervisor() = default;
+
+  Hypervisor(const Hypervisor&) = delete;
+  Hypervisor& operator=(const Hypervisor&) = delete;
+
+  /// Backend identifier ("vmware-gsx", "uml").
+  virtual std::string type() const = 0;
+
+  /// True when this backend resumes clones from a memory checkpoint
+  /// (false: clones boot).  Drives both semantics and the timing model.
+  virtual bool resumes_from_checkpoint() const = 0;
+
+  /// Clone a golden image into `clone_dir` and register the instance.
+  /// The instance starts Stopped (GSX: suspended-on-disk; UML: powered off).
+  util::Result<std::string> clone_vm(const CloneSource& source,
+                                     const std::string& clone_dir,
+                                     const std::string& vm_id);
+
+  /// Register an instance over an EXISTING clone directory (no cloning).
+  /// Used by VM migration: the target plant copies a suspended clone
+  /// directory into its clone area and adopts it.  `suspended` instances
+  /// require a memory checkpoint on disk and resume on start.
+  util::Result<std::string> import_vm(const std::string& clone_dir,
+                                      const storage::MachineSpec& spec,
+                                      const GuestState& guest,
+                                      const std::string& vm_id,
+                                      bool suspended);
+
+  /// Start the instance: resume (GSX) or boot (UML).
+  util::Status start_vm(const std::string& vm_id);
+
+  /// Suspend a running instance back to a checkpoint (GSX only).
+  virtual util::Status suspend_vm(const std::string& vm_id);
+
+  /// Power off a running instance (non-persistent disk changes discarded:
+  /// the redo log is truncated, mirroring VMware's end-of-session discard).
+  util::Status power_off(const std::string& vm_id);
+
+  /// Destroy: power off if needed and delete the clone directory.
+  util::Status destroy_vm(const std::string& vm_id);
+
+  /// Write `script` to a new ISO file in the clone dir and connect it as a
+  /// virtual CD-ROM.  Returns the store-relative ISO path.
+  util::Result<std::string> connect_script_iso(const std::string& vm_id,
+                                               const std::string& script);
+
+  /// The guest daemon mounts the most recently connected ISO and executes
+  /// its script.  Instance must be Running.
+  util::Result<GuestOutput> execute_connected_script(const std::string& vm_id);
+
+  /// Direct script execution (used by tests and by golden-image authoring).
+  util::Result<GuestOutput> execute_on_guest(const std::string& vm_id,
+                                             const std::string& script);
+
+  // -- Introspection --------------------------------------------------------
+  const VmInstance* find(const std::string& vm_id) const;
+  std::vector<std::string> instance_ids() const;
+  std::size_t instance_count() const { return instances_.size(); }
+  /// Sum of configured memory of non-destroyed instances (bytes).
+  std::uint64_t resident_memory_bytes() const;
+
+  // -- Fault injection ------------------------------------------------------
+  /// Force the next start_vm on this id to fail (simulates VMM errors).
+  void inject_start_failure(const std::string& vm_id);
+
+  storage::ArtifactStore* store() { return store_; }
+
+ protected:
+  /// Backend-specific start semantics.
+  virtual util::Status do_start(VmInstance* vm) = 0;
+  /// Backend-specific clone validation (e.g. GSX requires a checkpoint).
+  virtual util::Status validate_clone_source(const CloneSource& source) const = 0;
+  /// Clone strategy used by this backend.
+  virtual storage::CloneStrategy clone_strategy() const {
+    return storage::CloneStrategy::kLinked;
+  }
+
+  util::Result<VmInstance*> find_mutable(const std::string& vm_id);
+
+  storage::ArtifactStore* store_;
+  std::map<std::string, VmInstance> instances_;
+  std::map<std::string, bool> start_failures_;
+  GuestAgent agent_;
+  std::map<std::string, std::uint32_t> iso_counters_;
+};
+
+}  // namespace vmp::hv

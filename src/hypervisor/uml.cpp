@@ -1,0 +1,36 @@
+#include "hypervisor/uml.h"
+
+namespace vmp::hv {
+
+using util::Error;
+using util::ErrorCode;
+using util::Status;
+
+Status UmlHypervisor::validate_clone_source(const CloneSource& source) const {
+  if (source.spec.suspended) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "uml: golden image must be powered off (no checkpoint "
+                  "support in this production line)");
+  }
+  if (source.spec.disk.mode != storage::DiskMode::kNonPersistent) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "uml: golden file system must be copy-on-write shareable");
+  }
+  return Status();
+}
+
+Status UmlHypervisor::do_start(VmInstance* vm) {
+  // Boot: the root file-system spans must be reachable through the COW
+  // links.  Booting resets transient guest runtime state (services stop;
+  // configuration state on disk survives).
+  for (const std::string& span : vm->layout.span_paths(vm->spec.disk)) {
+    if (!store_->exists(span)) {
+      return Status(ErrorCode::kFailedPrecondition,
+                    "uml: missing file system span: " + span);
+    }
+  }
+  vm->guest.running_services.clear();
+  return Status();
+}
+
+}  // namespace vmp::hv

@@ -1,0 +1,26 @@
+// User-mode-Linux-style backend.
+//
+// Paper, Section 4.1: "The main difference is that the current UML
+// production line boots the virtual machine after cloning, instead of
+// resuming it from a checkpoint."  Golden images are powered-off file
+// systems shared copy-on-write; no memory state exists, and every clone
+// pays a full guest boot (the 76-second average of Section 4.3).
+#pragma once
+
+#include "hypervisor/hypervisor.h"
+
+namespace vmp::hv {
+
+class UmlHypervisor final : public Hypervisor {
+ public:
+  explicit UmlHypervisor(storage::ArtifactStore* store) : Hypervisor(store) {}
+
+  std::string type() const override { return "uml"; }
+  bool resumes_from_checkpoint() const override { return false; }
+
+ protected:
+  util::Status do_start(VmInstance* vm) override;
+  util::Status validate_clone_source(const CloneSource& source) const override;
+};
+
+}  // namespace vmp::hv

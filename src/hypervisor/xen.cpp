@@ -1,0 +1,39 @@
+#include "hypervisor/xen.h"
+
+namespace vmp::hv {
+
+using util::Error;
+using util::ErrorCode;
+using util::Status;
+
+Status XenHypervisor::validate_clone_source(const CloneSource& source) const {
+  if (source.spec.suspended) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "xen: golden image must be powered off (no checkpoint "
+                  "support in this production line)");
+  }
+  if (source.spec.disk.mode != storage::DiskMode::kPersistent &&
+      source.spec.disk.mode != storage::DiskMode::kNonPersistent) {
+    return Status(ErrorCode::kFailedPrecondition, "xen: unknown disk mode");
+  }
+  if (source.spec.disk.mode == storage::DiskMode::kPersistent) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "xen: golden file system must be shareable copy-on-write");
+  }
+  return Status();
+}
+
+Status XenHypervisor::do_start(VmInstance* vm) {
+  // Paravirtual boot through domain 0: file-system spans must be reachable;
+  // transient runtime state resets like any boot.
+  for (const std::string& span : vm->layout.span_paths(vm->spec.disk)) {
+    if (!store_->exists(span)) {
+      return Status(ErrorCode::kFailedPrecondition,
+                    "xen: missing file system span: " + span);
+    }
+  }
+  vm->guest.running_services.clear();
+  return Status();
+}
+
+}  // namespace vmp::hv

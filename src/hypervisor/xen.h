@@ -1,0 +1,28 @@
+// Xen-style paravirtualized backend.
+//
+// The paper's Section 2 names para-virtualized VMs (Xen [3], Denali [25])
+// as a third class of virtualization the plant architecture must absorb:
+// "instantiation can be implemented by a control process (e.g. ... Xen's
+// 'domain 0')".  2004-era Xen had no production checkpoint/restore in this
+// pipeline, so clones boot like UML — but a paravirtual kernel boots far
+// faster than a full emulated BIOS path, which is what the timing model
+// charges (TimingConfig::xen_boot_sec).
+#pragma once
+
+#include "hypervisor/hypervisor.h"
+
+namespace vmp::hv {
+
+class XenHypervisor final : public Hypervisor {
+ public:
+  explicit XenHypervisor(storage::ArtifactStore* store) : Hypervisor(store) {}
+
+  std::string type() const override { return "xen"; }
+  bool resumes_from_checkpoint() const override { return false; }
+
+ protected:
+  util::Status do_start(VmInstance* vm) override;
+  util::Status validate_clone_source(const CloneSource& source) const override;
+};
+
+}  // namespace vmp::hv

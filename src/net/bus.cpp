@@ -1,0 +1,119 @@
+#include "net/bus.h"
+
+#include <vector>
+
+namespace vmp::net {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+MessageBus::MessageBus(std::uint64_t fault_seed) : fault_rng_(fault_seed) {}
+
+Status MessageBus::register_endpoint(const std::string& address,
+                                     Handler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (endpoints_.count(address)) {
+    return Status(ErrorCode::kAlreadyExists,
+                  "endpoint already registered: " + address);
+  }
+  endpoints_.emplace(address, Endpoint{std::move(handler), false, 0.0});
+  return Status();
+}
+
+Status MessageBus::unregister_endpoint(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (endpoints_.erase(address) == 0) {
+    return Status(ErrorCode::kNotFound, "no such endpoint: " + address);
+  }
+  return Status();
+}
+
+bool MessageBus::has_endpoint(const std::string& address) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return endpoints_.count(address) != 0;
+}
+
+std::vector<std::string> MessageBus::endpoints() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(endpoints_.size());
+  for (const auto& [address, ep] : endpoints_) out.push_back(address);
+  return out;
+}
+
+Result<Message> MessageBus::call(const Message& request_msg) {
+  // Wire encoding happens outside the lock; routing decisions inside.
+  const std::string wire = request_msg.serialize();
+
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++calls_;
+    bytes_ += wire.size();
+    auto it = endpoints_.find(request_msg.to());
+    if (it == endpoints_.end()) {
+      return Result<Message>(Error(
+          ErrorCode::kUnavailable, "no endpoint at " + request_msg.to()));
+    }
+    if (it->second.down) {
+      return Result<Message>(Error(
+          ErrorCode::kUnavailable, "endpoint down: " + request_msg.to()));
+    }
+    if (it->second.drop_rate > 0.0 &&
+        fault_rng_.bernoulli(it->second.drop_rate)) {
+      return Result<Message>(Error(
+          ErrorCode::kTimeout, "request to " + request_msg.to() + " timed out"));
+    }
+    handler = it->second.handler;
+  }
+
+  // Decode on the "server" side.
+  auto decoded = Message::deserialize(wire);
+  if (!decoded.ok()) return decoded;
+
+  const Message response = handler(decoded.value());
+
+  // Encode/decode the response leg too.
+  const std::string response_wire = response.serialize();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bytes_ += response_wire.size();
+  }
+  return Message::deserialize(response_wire);
+}
+
+void MessageBus::set_down(const std::string& address, bool down) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = endpoints_.find(address);
+  if (it != endpoints_.end()) it->second.down = down;
+}
+
+void MessageBus::set_drop_rate(const std::string& address, double p) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = endpoints_.find(address);
+  if (it != endpoints_.end()) it->second.drop_rate = p;
+}
+
+std::uint64_t MessageBus::calls_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return calls_;
+}
+
+std::uint64_t MessageBus::bytes_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+Result<Message> call_expecting_success(MessageBus* bus,
+                                       const Message& request_msg) {
+  auto response = bus->call(request_msg);
+  if (!response.ok()) return response;
+  if (response.value().is_fault()) {
+    return Result<Message>(response.value().fault_error());
+  }
+  return response;
+}
+
+}  // namespace vmp::net

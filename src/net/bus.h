@@ -1,0 +1,72 @@
+// In-process message bus with fault injection.
+//
+// Stands in for the prototype's Berkeley-socket transport (DESIGN.md §2).
+// Endpoints register a request handler under an address; callers invoke
+// `call` with a serialized Message and receive the serialized response.
+// Requests and responses pass through the full wire encoding (serialize ->
+// deserialize) on every hop, so format bugs cannot hide behind in-process
+// shortcuts.
+//
+// Fault injection supports the failure-handling tests: an address can be
+// marked down (connection refused) or given a drop probability (timeouts).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "net/message.h"
+#include "util/error.h"
+#include "util/random.h"
+
+namespace vmp::net {
+
+/// A request handler: consumes a request Message, produces a response
+/// (normal or fault).  Handlers run on the caller's thread.
+using Handler = std::function<Message(const Message&)>;
+
+class MessageBus {
+ public:
+  explicit MessageBus(std::uint64_t fault_seed = 1);
+
+  util::Status register_endpoint(const std::string& address, Handler handler);
+  util::Status unregister_endpoint(const std::string& address);
+  bool has_endpoint(const std::string& address) const;
+  std::vector<std::string> endpoints() const;
+
+  /// Round-trip a request: serialize, route, deserialize the response.
+  /// Transport failures surface as Result errors (kUnavailable / kTimeout);
+  /// application failures surface as fault Messages in the Result value.
+  util::Result<Message> call(const Message& request_msg);
+
+  // -- Fault injection ------------------------------------------------------
+  void set_down(const std::string& address, bool down);
+  /// Probability in [0,1] that a call to this address times out.
+  void set_drop_rate(const std::string& address, double p);
+
+  // -- Statistics -----------------------------------------------------------
+  std::uint64_t calls_total() const;
+  std::uint64_t bytes_total() const;
+
+ private:
+  struct Endpoint {
+    Handler handler;
+    bool down = false;
+    double drop_rate = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Endpoint> endpoints_;
+  util::SplitMix64 fault_rng_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Helper for the common request/response pattern: returns the response
+/// Message, converting transport errors AND fault responses into Errors.
+util::Result<Message> call_expecting_success(MessageBus* bus,
+                                             const Message& request_msg);
+
+}  // namespace vmp::net

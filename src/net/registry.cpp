@@ -1,0 +1,44 @@
+#include "net/registry.h"
+
+namespace vmp::net {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+void ServiceRegistry::publish(ServiceRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_[record.address] = std::move(record);
+}
+
+bool ServiceRegistry::withdraw(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.erase(address) != 0;
+}
+
+std::vector<ServiceRecord> ServiceRegistry::discover(
+    const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ServiceRecord> out;
+  for (const auto& [address, record] : records_) {
+    if (record.type == type) out.push_back(record);
+  }
+  return out;
+}
+
+Result<ServiceRecord> ServiceRegistry::bind(const std::string& address) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = records_.find(address);
+  if (it == records_.end()) {
+    return Result<ServiceRecord>(
+        Error(ErrorCode::kNotFound, "no service published at " + address));
+  }
+  return it->second;
+}
+
+std::size_t ServiceRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+}  // namespace vmp::net

@@ -1,0 +1,52 @@
+#include "sim/engine.h"
+
+#include <limits>
+
+namespace vmp::sim {
+
+EventHandle Engine::schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0.0) delay = 0.0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Engine::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the event is copied out then popped.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;  // skip cancelled entries lazily
+    now_ = ev.when;
+    *ev.cancelled = true;  // mark fired so EventHandle::pending() is false
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run() { return run_until(std::numeric_limits<SimTime>::infinity()); }
+
+std::size_t Engine::run_until(SimTime deadline) {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (*top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    if (step()) ++fired;
+  }
+  if (now_ < deadline && deadline < std::numeric_limits<SimTime>::infinity()) {
+    now_ = deadline;
+  }
+  return fired;
+}
+
+}  // namespace vmp::sim

@@ -1,0 +1,94 @@
+// Discrete-event simulation engine.
+//
+// The paper's evaluation (Figures 4-6) measures latency distributions on an
+// 8-node cluster whose shape is produced by contention: concurrent clones
+// share NFS bandwidth, disks serialize, and host memory pressure slows
+// resume.  This engine provides the substrate those models run on: a
+// virtual clock, an ordered event queue with stable tie-breaking, and
+// cancellable events.
+//
+// Single-threaded by design — determinism is a core requirement (DESIGN.md
+// §5) — with callback-chaining rather than coroutines so the control flow
+// stays debuggable in stack traces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace vmp::sim {
+
+/// Simulated time, in seconds since simulation start.
+using SimTime = double;
+
+/// Handle for cancelling a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event has neither fired nor been cancelled.
+  bool pending() const { return state_ && !*state_; }
+
+  /// Cancel; returns true if the event had been pending.
+  bool cancel() {
+    if (!pending()) return false;
+    *state_ = true;
+    return true;
+  }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::shared_ptr<bool> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<bool> state_;  // true = cancelled-or-fired
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at now()+delay.  delay < 0 is clamped to 0.
+  /// Events at equal times fire in scheduling order (stable).
+  EventHandle schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedule at an absolute time (>= now()).
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Run until the queue drains.  Returns the number of events fired.
+  std::size_t run();
+
+  /// Run until the queue drains or the clock would pass `deadline`.
+  /// Events at exactly `deadline` do fire.
+  std::size_t run_until(SimTime deadline);
+
+  /// Fire at most one event; returns false if the queue is empty.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace vmp::sim

@@ -1,0 +1,89 @@
+#include "storage/clone_ops.h"
+
+namespace vmp::storage {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+const char* clone_strategy_name(CloneStrategy strategy) noexcept {
+  switch (strategy) {
+    case CloneStrategy::kLinked: return "linked";
+    case CloneStrategy::kFullCopy: return "full-copy";
+  }
+  return "linked";
+}
+
+IoAccounting CloneReport::total() const {
+  IoAccounting out;
+  out += config;
+  out += memory;
+  out += disk;
+  out += redo;
+  return out;
+}
+
+Result<CloneReport> clone_image(ArtifactStore* store,
+                                const ImageLayout& golden,
+                                const MachineSpec& spec,
+                                const std::string& clone_dir,
+                                CloneStrategy strategy) {
+  if (strategy == CloneStrategy::kLinked &&
+      spec.disk.mode == DiskMode::kPersistent) {
+    return Result<CloneReport>(Error(
+        ErrorCode::kFailedPrecondition,
+        "linked clone requires a non-persistent disk; golden image '" +
+            golden.dir + "' is persistent"));
+  }
+  if (store->exists(clone_dir)) {
+    return Result<CloneReport>(
+        Error(ErrorCode::kAlreadyExists, "clone dir exists: " + clone_dir));
+  }
+  VMP_RETURN_IF_ERROR_AS(store->make_dir(clone_dir), CloneReport);
+
+  const ImageLayout clone{clone_dir};
+  CloneReport report;
+
+  // Config file is always replicated (it is tiny and per-clone mutable).
+  auto cfg = store->copy_file(golden.config_path(), clone.config_path());
+  if (!cfg.ok()) return cfg.propagate<CloneReport>();
+  report.config = cfg.value();
+
+  // Memory state: VMware GSX requires the .vmss to be a private copy
+  // (paper footnote 2) — this is the size-proportional cost of cloning.
+  if (spec.suspended) {
+    auto mem = store->copy_file(golden.memory_path(), clone.memory_path());
+    if (!mem.ok()) return mem.propagate<CloneReport>();
+    report.memory = mem.value();
+  }
+
+  // Disk spans: links (cheap) or copies (the 210-second baseline).
+  const auto golden_spans = golden.span_paths(spec.disk);
+  const auto clone_spans = clone.span_paths(spec.disk);
+  for (std::size_t i = 0; i < golden_spans.size(); ++i) {
+    auto op = strategy == CloneStrategy::kLinked
+                  ? store->link_file(golden_spans[i], clone_spans[i])
+                  : store->copy_file(golden_spans[i], clone_spans[i]);
+    if (!op.ok()) return op.propagate<CloneReport>();
+    report.disk += op.value();
+  }
+
+  // Base redo log is replicated so the clone starts from the golden state's
+  // committed view.
+  auto redo = store->copy_file(golden.base_redo_path(spec.disk),
+                               clone.base_redo_path(spec.disk));
+  if (!redo.ok()) return redo.propagate<CloneReport>();
+  report.redo = redo.value();
+
+  return report;
+}
+
+Status destroy_clone(ArtifactStore* store, const std::string& clone_dir) {
+  if (!store->exists(clone_dir)) {
+    return Status(ErrorCode::kNotFound, "clone dir missing: " + clone_dir);
+  }
+  return store->remove_tree(clone_dir);
+}
+
+}  // namespace vmp::storage

@@ -1,0 +1,64 @@
+#include "storage/disk.h"
+
+#include <cstdio>
+
+namespace vmp::storage {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+const char* disk_mode_name(DiskMode mode) noexcept {
+  switch (mode) {
+    case DiskMode::kPersistent: return "persistent";
+    case DiskMode::kNonPersistent: return "non-persistent";
+  }
+  return "non-persistent";
+}
+
+Result<DiskMode> parse_disk_mode(const std::string& name) {
+  if (name == "persistent") return DiskMode::kPersistent;
+  if (name == "non-persistent") return DiskMode::kNonPersistent;
+  return Result<DiskMode>(
+      Error(ErrorCode::kParseError, "unknown disk mode: " + name));
+}
+
+std::vector<std::string> DiskSpec::span_file_names() const {
+  std::vector<std::string> out;
+  out.reserve(span_count);
+  for (std::uint32_t i = 0; i < span_count; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "-s%03u.vmdk", i + 1);
+    out.push_back(name + buf);
+  }
+  return out;
+}
+
+std::uint64_t DiskSpec::span_size(std::uint32_t index) const {
+  if (span_count == 0 || index >= span_count) return 0;
+  const std::uint64_t base = capacity_bytes / span_count;
+  if (index == span_count - 1) {
+    return capacity_bytes - base * (span_count - 1);
+  }
+  return base;
+}
+
+Status DiskSpec::validate() const {
+  if (name.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "disk name must not be empty");
+  }
+  if (capacity_bytes == 0) {
+    return Status(ErrorCode::kInvalidArgument, "disk capacity must be > 0");
+  }
+  if (span_count == 0) {
+    return Status(ErrorCode::kInvalidArgument, "disk span count must be > 0");
+  }
+  if (capacity_bytes < span_count) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "disk capacity smaller than span count");
+  }
+  return Status();
+}
+
+}  // namespace vmp::storage

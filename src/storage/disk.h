@@ -1,0 +1,48 @@
+// Virtual disk model.
+//
+// Paper, Section 4.1: golden machines use non-persistent virtual disks so
+// that "multiple clones [can] share the base virtual hard disk of the golden
+// machine (avoiding copying of large files), and write all changes to
+// private (and smaller) redo log files"; the experiment's golden disk
+// "occupies 2 GBytes of storage (spanned across 16 files)".
+//
+// DiskSpec describes such a disk: total capacity, span count, and mode.
+// The artefact naming matches that layout: "<name>-s%03d.vmdk" spans plus a
+// "<name>.redo" log for non-persistent sessions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace vmp::storage {
+
+enum class DiskMode {
+  kPersistent,     // writes go to the base files; cannot be shared by clones
+  kNonPersistent,  // base is read-only; writes land in a per-clone redo log
+};
+
+const char* disk_mode_name(DiskMode mode) noexcept;
+util::Result<DiskMode> parse_disk_mode(const std::string& name);
+
+struct DiskSpec {
+  std::string name = "disk0";
+  std::uint64_t capacity_bytes = 0;
+  std::uint32_t span_count = 1;  // VMware splits big disks into 2GB spans
+  DiskMode mode = DiskMode::kNonPersistent;
+
+  /// File names of the base spans, in order ("disk0-s001.vmdk", ...).
+  std::vector<std::string> span_file_names() const;
+
+  /// Redo log file name for a session ("disk0.redo").
+  std::string redo_file_name() const { return name + ".redo"; }
+
+  /// Bytes per span (last span absorbs the remainder).
+  std::uint64_t span_size(std::uint32_t index) const;
+
+  util::Status validate() const;
+};
+
+}  // namespace vmp::storage

@@ -1,0 +1,112 @@
+#include "storage/image_layout.h"
+
+#include "util/strings.h"
+
+namespace vmp::storage {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+Status MachineSpec::validate() const {
+  if (os.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "machine os must not be empty");
+  }
+  if (memory_bytes == 0) {
+    return Status(ErrorCode::kInvalidArgument, "machine memory must be > 0");
+  }
+  return disk.validate();
+}
+
+std::vector<std::string> ImageLayout::span_paths(const DiskSpec& disk) const {
+  std::vector<std::string> out;
+  for (const std::string& file : disk.span_file_names()) {
+    out.push_back(dir + "/" + file);
+  }
+  return out;
+}
+
+Result<IoAccounting> materialize_image(ArtifactStore* store,
+                                       const ImageLayout& layout,
+                                       const MachineSpec& spec) {
+  VMP_RETURN_IF_ERROR_AS(spec.validate(), IoAccounting);
+  IoAccounting total;
+
+  auto cfg = store->write_file(layout.config_path(), render_machine_config(spec));
+  if (!cfg.ok()) return cfg;
+  total += cfg.value();
+
+  if (spec.suspended) {
+    auto mem = store->create_sparse_file(layout.memory_path(), spec.memory_bytes);
+    if (!mem.ok()) return mem;
+    total += mem.value();
+  }
+
+  const auto spans = layout.span_paths(spec.disk);
+  for (std::uint32_t i = 0; i < spans.size(); ++i) {
+    auto span = store->create_sparse_file(spans[i], spec.disk.span_size(i));
+    if (!span.ok()) return span;
+    total += span.value();
+  }
+
+  auto redo = store->write_file(layout.base_redo_path(spec.disk), "");
+  if (!redo.ok()) return redo;
+  total += redo.value();
+
+  return total;
+}
+
+std::string render_machine_config(const MachineSpec& spec) {
+  std::string out;
+  out += "os = " + spec.os + "\n";
+  out += "memory_bytes = " + std::to_string(spec.memory_bytes) + "\n";
+  out += "suspended = " + std::string(spec.suspended ? "true" : "false") + "\n";
+  out += "disk.name = " + spec.disk.name + "\n";
+  out += "disk.capacity_bytes = " + std::to_string(spec.disk.capacity_bytes) + "\n";
+  out += "disk.span_count = " + std::to_string(spec.disk.span_count) + "\n";
+  out += "disk.mode = " + std::string(disk_mode_name(spec.disk.mode)) + "\n";
+  return out;
+}
+
+Result<MachineSpec> parse_machine_config(const std::string& text) {
+  MachineSpec spec;
+  spec.suspended = false;
+  for (const std::string& raw_line : util::split(text, '\n')) {
+    const std::string_view line = util::trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Result<MachineSpec>(
+          Error(ErrorCode::kParseError,
+                "machine config: missing '=' in line: " + std::string(line)));
+    }
+    const std::string key(util::trim(line.substr(0, eq)));
+    const std::string value(util::trim(line.substr(eq + 1)));
+    long long n = 0;
+    if (key == "os") {
+      spec.os = value;
+    } else if (key == "memory_bytes" && util::parse_int64(value, &n)) {
+      spec.memory_bytes = static_cast<std::uint64_t>(n);
+    } else if (key == "suspended") {
+      spec.suspended = value == "true";
+    } else if (key == "disk.name") {
+      spec.disk.name = value;
+    } else if (key == "disk.capacity_bytes" && util::parse_int64(value, &n)) {
+      spec.disk.capacity_bytes = static_cast<std::uint64_t>(n);
+    } else if (key == "disk.span_count" && util::parse_int64(value, &n)) {
+      spec.disk.span_count = static_cast<std::uint32_t>(n);
+    } else if (key == "disk.mode") {
+      auto mode = parse_disk_mode(value);
+      if (!mode.ok()) return mode.propagate<MachineSpec>();
+      spec.disk.mode = mode.value();
+    } else {
+      return Result<MachineSpec>(
+          Error(ErrorCode::kParseError, "machine config: bad line: " + std::string(line)));
+    }
+  }
+  VMP_RETURN_IF_ERROR_AS(spec.validate(), MachineSpec);
+  return spec;
+}
+
+}  // namespace vmp::storage

@@ -1,0 +1,35 @@
+#include "util/error.h"
+
+namespace vmp::util {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kParseError: return "PARSE_ERROR";
+    case ErrorCode::kConfigActionFailed: return "CONFIG_ACTION_FAILED";
+    case ErrorCode::kNoMatchingImage: return "NO_MATCHING_IMAGE";
+    case ErrorCode::kNoBids: return "NO_BIDS";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kCancelled: return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Error::to_string() const {
+  std::string out = error_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace vmp::util

@@ -1,0 +1,15 @@
+#include "util/ids.h"
+
+#include <cstdio>
+
+namespace vmp::util {
+
+std::string IdGenerator::next() {
+  const std::uint64_t n = counter_.fetch_add(1) + 1;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%0*llu", width_,
+                static_cast<unsigned long long>(n));
+  return prefix_ + "-" + buf;
+}
+
+}  // namespace vmp::util

@@ -1,0 +1,32 @@
+// Identifier generation for VMs, requests, and networks.
+//
+// The paper's VMShop assigns each created machine a unique VMID which the
+// client later uses for query/collect.  IdGenerator produces readable,
+// prefixed, process-unique identifiers ("vm-0001", "req-0042"); no global
+// state so tests can reset numbering per fixture.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace vmp::util {
+
+class IdGenerator {
+ public:
+  explicit IdGenerator(std::string prefix, int width = 4)
+      : prefix_(std::move(prefix)), width_(width) {}
+
+  /// Thread-safe: "vm-0001", "vm-0002", ...
+  std::string next();
+
+  /// Number of ids handed out so far.
+  std::uint64_t issued() const { return counter_.load(); }
+
+ private:
+  std::string prefix_;
+  int width_;
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+}  // namespace vmp::util

@@ -1,0 +1,37 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace vmp::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message) {
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] %s: %s\n", level_tag(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace vmp::util

@@ -1,0 +1,64 @@
+// Minimal thread-safe structured logger.
+//
+// Services in this repo (VMShop, VMPlant daemons, the simulated cluster) run
+// on multiple threads; the logger serializes lines and tags them with a
+// component name, mirroring the per-daemon logs of the original prototype.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace vmp::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; defaults to kWarn so tests and benches stay quiet.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line: "[level] component: message".  Thread-safe.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+/// Stream-style helper: Logger("vmshop").info() << "bid won by " << plant;
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  class Line {
+   public:
+    Line(LogLevel level, const std::string& component)
+        : level_(level),
+          component_(component),
+          active_(level >= log_level()) {}
+    Line(const Line&) = delete;
+    Line& operator=(const Line&) = delete;
+    ~Line() {
+      if (active_) log_line(level_, component_, stream_.str());
+    }
+    template <typename T>
+    Line& operator<<(const T& v) {
+      if (active_) stream_ << v;
+      return *this;
+    }
+
+   private:
+    LogLevel level_;
+    const std::string& component_;
+    std::ostringstream stream_;
+    bool active_;
+  };
+
+  Line debug() const { return Line(LogLevel::kDebug, component_); }
+  Line info() const { return Line(LogLevel::kInfo, component_); }
+  Line warn() const { return Line(LogLevel::kWarn, component_); }
+  Line error() const { return Line(LogLevel::kError, component_); }
+
+  const std::string& component() const { return component_; }
+
+ private:
+  std::string component_;
+};
+
+}  // namespace vmp::util

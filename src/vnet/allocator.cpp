@@ -1,0 +1,115 @@
+#include "vnet/allocator.h"
+
+namespace vmp::vnet {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+NetworkAllocator::NetworkAllocator(std::string host_name,
+                                   std::size_t network_count)
+    : host_name_(std::move(host_name)) {
+  for (std::size_t i = 1; i <= network_count; ++i) {
+    const std::string name = host_name_ + "-vmnet" + std::to_string(i);
+    Network net;
+    net.sw = std::make_unique<HostOnlySwitch>(name);
+    networks_.emplace(name, std::move(net));
+  }
+}
+
+bool NetworkAllocator::needs_new_network(const std::string& domain) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return domain_to_net_.count(domain) == 0;
+}
+
+bool NetworkAllocator::can_serve(const std::string& domain) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (domain_to_net_.count(domain)) return true;
+  for (const auto& [name, net] : networks_) {
+    if (net.domain.empty()) return true;
+  }
+  return false;
+}
+
+Result<std::string> NetworkAllocator::acquire(const std::string& domain) {
+  if (domain.empty()) {
+    return Result<std::string>(
+        Error(ErrorCode::kInvalidArgument, "domain must not be empty"));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto held = domain_to_net_.find(domain);
+  if (held != domain_to_net_.end()) {
+    Network& net = networks_.at(held->second);
+    ++net.vm_count;
+    return held->second;
+  }
+  for (auto& [name, net] : networks_) {
+    if (net.domain.empty()) {
+      net.domain = domain;
+      net.vm_count = 1;
+      domain_to_net_[domain] = name;
+      return name;
+    }
+  }
+  return Result<std::string>(Error(
+      ErrorCode::kResourceExhausted,
+      host_name_ + ": no free host-only network for domain " + domain));
+}
+
+Status NetworkAllocator::release(const std::string& domain) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto held = domain_to_net_.find(domain);
+  if (held == domain_to_net_.end()) {
+    return Status(ErrorCode::kNotFound,
+                  host_name_ + ": domain holds no network: " + domain);
+  }
+  Network& net = networks_.at(held->second);
+  if (net.vm_count == 0) {
+    return Status(ErrorCode::kInternal,
+                  host_name_ + ": release underflow for " + domain);
+  }
+  if (--net.vm_count == 0) {
+    net.domain.clear();
+    domain_to_net_.erase(held);
+  }
+  return Status();
+}
+
+Result<HostOnlySwitch*> NetworkAllocator::switch_for(
+    const std::string& network_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = networks_.find(network_name);
+  if (it == networks_.end()) {
+    return Result<HostOnlySwitch*>(Error(
+        ErrorCode::kNotFound, host_name_ + ": no network " + network_name));
+  }
+  return it->second.sw.get();
+}
+
+std::string NetworkAllocator::holder_of(const std::string& network_name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = networks_.find(network_name);
+  return it == networks_.end() ? std::string() : it->second.domain;
+}
+
+std::size_t NetworkAllocator::total_networks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return networks_.size();
+}
+
+std::size_t NetworkAllocator::free_networks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [name, net] : networks_) {
+    if (net.domain.empty()) ++n;
+  }
+  return n;
+}
+
+std::size_t NetworkAllocator::domains_served() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return domain_to_net_.size();
+}
+
+}  // namespace vmp::vnet

@@ -1,0 +1,69 @@
+// Per-domain allocation of host-only networks.
+//
+// Paper, Section 3.3-3.4: each VMPlant host has a small static set of
+// host-only networks ("vmnet" switches).  A network is dynamically assigned
+// to a client domain; VMs of different domains must never share one.  The
+// pool therefore limits how many distinct client domains a plant can serve
+// concurrently, and its allocation state drives the cost function's
+// one-time "network cost" (a domain that already holds a network on the
+// plant pays only the compute cost for additional VMs).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "vnet/switch.h"
+
+namespace vmp::vnet {
+
+class NetworkAllocator {
+ public:
+  /// `network_count` host-only networks, named "<host>-vmnet1"..N.
+  NetworkAllocator(std::string host_name, std::size_t network_count);
+
+  /// Would a request for `domain` need a fresh network?  (False when the
+  /// domain already holds one here.)  Used by the cost model for bidding
+  /// without mutating state.
+  bool needs_new_network(const std::string& domain) const;
+
+  /// True if a request for `domain` can be satisfied (held or free network).
+  bool can_serve(const std::string& domain) const;
+
+  /// Acquire a network for one VM of `domain`: reuses the domain's network
+  /// or assigns a free one; fails with kResourceExhausted when the domain
+  /// holds none and no network is free.
+  util::Result<std::string> acquire(const std::string& domain);
+
+  /// Release one VM's use; the network returns to the free pool when its
+  /// last VM releases it.
+  util::Status release(const std::string& domain);
+
+  /// The switch object backing a named network (for attaching VM ports).
+  util::Result<HostOnlySwitch*> switch_for(const std::string& network_name);
+
+  /// Domain currently holding a network ("" if free).
+  std::string holder_of(const std::string& network_name) const;
+
+  std::size_t total_networks() const;
+  std::size_t free_networks() const;
+  std::size_t domains_served() const;
+
+ private:
+  struct Network {
+    std::unique_ptr<HostOnlySwitch> sw;
+    std::string domain;      // "" when free
+    std::uint32_t vm_count = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::string host_name_;
+  std::map<std::string, Network> networks_;          // by network name
+  std::map<std::string, std::string> domain_to_net_; // domain -> network name
+};
+
+}  // namespace vmp::vnet

@@ -1,0 +1,58 @@
+#include "vnet/ethernet.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace vmp::vnet {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+MacAddress MacAddress::from_index(std::uint32_t index) {
+  return MacAddress({0x02, 0x56, 0x4d,
+                     static_cast<std::uint8_t>(index >> 16),
+                     static_cast<std::uint8_t>(index >> 8),
+                     static_cast<std::uint8_t>(index)});
+}
+
+Result<MacAddress> MacAddress::parse(const std::string& text) {
+  const auto parts = util::split(text, ':');
+  if (parts.size() != 6) {
+    return Result<MacAddress>(
+        Error(ErrorCode::kParseError, "bad MAC address: " + text));
+  }
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (parts[i].size() != 2) {
+      return Result<MacAddress>(
+          Error(ErrorCode::kParseError, "bad MAC octet in: " + text));
+    }
+    char* end = nullptr;
+    const long v = std::strtol(parts[i].c_str(), &end, 16);
+    if (end != parts[i].c_str() + 2 || v < 0 || v > 255) {
+      return Result<MacAddress>(
+          Error(ErrorCode::kParseError, "bad MAC octet in: " + text));
+    }
+    octets[i] = static_cast<std::uint8_t>(v);
+  }
+  return MacAddress(octets);
+}
+
+MacAddress MacAddress::broadcast() {
+  return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+}
+
+bool MacAddress::is_broadcast() const {
+  return *this == broadcast();
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+}  // namespace vmp::vnet

@@ -1,0 +1,56 @@
+// Ethernet-layer primitives for the simulated VNET overlay.
+//
+// VNET (Sundararaj & Dinda, 2004; paper Section 3.3) bridges a VM placed on
+// a host-only network back to its client's home network by relaying raw
+// Ethernet frames over a TCP/SSL tunnel.  The simulation keeps the same
+// abstraction level: MAC-addressed frames forwarded by learning switches
+// and bridges, so isolation and reachability properties can be tested
+// end-to-end.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/error.h"
+
+namespace vmp::vnet {
+
+/// 48-bit MAC address.
+class MacAddress {
+ public:
+  MacAddress() = default;
+  explicit MacAddress(std::array<std::uint8_t, 6> octets) : octets_(octets) {}
+
+  /// Deterministic locally-administered unicast address from an index:
+  /// 02:56:4d:xx:xx:xx ("VM" vendor bytes).
+  static MacAddress from_index(std::uint32_t index);
+
+  /// Parse "aa:bb:cc:dd:ee:ff".
+  static util::Result<MacAddress> parse(const std::string& text);
+
+  static MacAddress broadcast();
+
+  bool is_broadcast() const;
+  std::string to_string() const;
+
+  friend bool operator==(const MacAddress& a, const MacAddress& b) {
+    return a.octets_ == b.octets_;
+  }
+  friend bool operator<(const MacAddress& a, const MacAddress& b) {
+    return a.octets_ < b.octets_;
+  }
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+/// A layer-2 frame.  Payload is opaque to the overlay.
+struct EthernetFrame {
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ethertype = 0x0800;  // IPv4 by default
+  std::string payload;
+};
+
+}  // namespace vmp::vnet

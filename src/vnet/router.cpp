@@ -1,0 +1,184 @@
+#include "vnet/router.h"
+
+#include "util/strings.h"
+
+namespace vmp::vnet {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+Result<std::uint32_t> parse_ipv4(const std::string& text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) {
+    return Result<std::uint32_t>(
+        Error(ErrorCode::kParseError, "bad IPv4 address: " + text));
+  }
+  std::uint32_t address = 0;
+  for (const std::string& part : parts) {
+    long long v = 0;
+    if (!util::parse_int64(part, &v) || v < 0 || v > 255) {
+      return Result<std::uint32_t>(
+          Error(ErrorCode::kParseError, "bad IPv4 octet in: " + text));
+    }
+    address = (address << 8) | static_cast<std::uint32_t>(v);
+  }
+  return address;
+}
+
+std::string format_ipv4(std::uint32_t address) {
+  return std::to_string((address >> 24) & 0xff) + "." +
+         std::to_string((address >> 16) & 0xff) + "." +
+         std::to_string((address >> 8) & 0xff) + "." +
+         std::to_string(address & 0xff);
+}
+
+Result<Subnet> Subnet::parse(const std::string& cidr) {
+  const auto slash = cidr.find('/');
+  if (slash == std::string::npos) {
+    return Result<Subnet>(
+        Error(ErrorCode::kParseError, "subnet missing '/': " + cidr));
+  }
+  auto network = parse_ipv4(cidr.substr(0, slash));
+  if (!network.ok()) return network.propagate<Subnet>();
+  long long prefix = 0;
+  if (!util::parse_int64(cidr.substr(slash + 1), &prefix) || prefix < 0 ||
+      prefix > 32) {
+    return Result<Subnet>(
+        Error(ErrorCode::kParseError, "bad prefix length: " + cidr));
+  }
+  Subnet subnet;
+  subnet.prefix_len = static_cast<std::uint32_t>(prefix);
+  const std::uint32_t mask =
+      prefix == 0 ? 0 : ~std::uint32_t{0} << (32 - subnet.prefix_len);
+  subnet.network = network.value() & mask;
+  return subnet;
+}
+
+bool Subnet::contains(std::uint32_t address) const {
+  const std::uint32_t mask =
+      prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len);
+  return (address & mask) == network;
+}
+
+std::string Subnet::to_string() const {
+  return format_ipv4(network) + "/" + std::to_string(prefix_len);
+}
+
+std::string IpPacket::encode() const {
+  return "ip:" + format_ipv4(dst) + "|" + data;
+}
+
+std::optional<IpPacket> IpPacket::decode(const std::string& payload) {
+  if (!util::starts_with(payload, "ip:")) return std::nullopt;
+  const auto bar = payload.find('|');
+  if (bar == std::string::npos) return std::nullopt;
+  auto dst = parse_ipv4(payload.substr(3, bar - 3));
+  if (!dst.ok()) return std::nullopt;
+  IpPacket packet;
+  packet.dst = dst.value();
+  packet.data = payload.substr(bar + 1);
+  return packet;
+}
+
+VirtualRouter::~VirtualRouter() { detach_all(); }
+
+void VirtualRouter::detach_all() {
+  for (Interface& iface : interfaces_) {
+    if (iface.network != nullptr && iface.port != 0) {
+      (void)iface.network->detach(iface.port);
+      iface.network = nullptr;
+      iface.port = 0;
+    }
+  }
+}
+
+Status VirtualRouter::attach_interface(HostOnlySwitch* network,
+                                       const MacAddress& mac,
+                                       const std::string& ip,
+                                       const std::string& subnet_cidr) {
+  auto address = parse_ipv4(ip);
+  if (!address.ok()) return address.error();
+  auto subnet = Subnet::parse(subnet_cidr);
+  if (!subnet.ok()) return subnet.error();
+  if (!subnet.value().contains(address.value())) {
+    return Status(ErrorCode::kInvalidArgument,
+                  name_ + ": interface address " + ip + " outside subnet " +
+                      subnet.value().to_string());
+  }
+  for (const Interface& iface : interfaces_) {
+    if (iface.subnet.network == subnet.value().network &&
+        iface.subnet.prefix_len == subnet.value().prefix_len) {
+      return Status(ErrorCode::kAlreadyExists,
+                    name_ + ": subnet already attached: " + subnet_cidr);
+    }
+  }
+
+  const std::size_t index = interfaces_.size();
+  Interface iface;
+  iface.network = network;
+  iface.mac = mac;
+  iface.ip = address.value();
+  iface.subnet = subnet.value();
+  iface.port = network->attach(
+      [this, index](const EthernetFrame& frame) { receive(index, frame); });
+  interfaces_.push_back(std::move(iface));
+  return Status();
+}
+
+Status VirtualRouter::add_arp_entry(const std::string& interface_ip,
+                                    const std::string& host_ip,
+                                    const MacAddress& host_mac) {
+  auto iface_addr = parse_ipv4(interface_ip);
+  if (!iface_addr.ok()) return iface_addr.error();
+  auto host_addr = parse_ipv4(host_ip);
+  if (!host_addr.ok()) return host_addr.error();
+  for (Interface& iface : interfaces_) {
+    if (iface.ip == iface_addr.value()) {
+      iface.arp[host_addr.value()] = host_mac;
+      return Status();
+    }
+  }
+  return Status(ErrorCode::kNotFound,
+                name_ + ": no interface with address " + interface_ip);
+}
+
+void VirtualRouter::receive(std::size_t interface_index,
+                            const EthernetFrame& frame) {
+  const Interface& iface = interfaces_[interface_index];
+  // Routers forward frames addressed to their interface MAC (a default
+  // gateway) or broadcast probes; everything else is other hosts' traffic.
+  if (!(frame.dst == iface.mac) && !frame.dst.is_broadcast()) return;
+  const auto packet = IpPacket::decode(frame.payload);
+  if (!packet.has_value()) return;  // not simulated IP traffic
+  // Local delivery to the router itself is not modelled; pure forwarding.
+  forward(*packet);
+}
+
+void VirtualRouter::forward(const IpPacket& packet) {
+  // Longest-prefix match across attached subnets.
+  const Interface* best = nullptr;
+  for (const Interface& iface : interfaces_) {
+    if (!iface.subnet.contains(packet.dst)) continue;
+    if (best == nullptr || iface.subnet.prefix_len > best->subnet.prefix_len) {
+      best = &iface;
+    }
+  }
+  if (best == nullptr) {
+    ++packets_dropped_;
+    return;
+  }
+
+  EthernetFrame out;
+  out.src = best->mac;
+  out.payload = packet.encode();
+  auto arp = best->arp.find(packet.dst);
+  // Known next hop: unicast.  Unknown: broadcast (first-hop ARP behaviour,
+  // collapsed into the data frame for the simulation).
+  out.dst = arp != best->arp.end() ? arp->second : MacAddress::broadcast();
+  ++packets_forwarded_;
+  (void)best->network->inject(best->port, out);
+}
+
+}  // namespace vmp::vnet

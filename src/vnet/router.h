@@ -1,0 +1,102 @@
+// Virtual routers: multi-homed forwarding nodes for cross-domain virtual
+// networks.
+//
+// Paper, Section 6: future work includes "the use of a VMArchitect to
+// instantiate customized virtual machines with router and tunneling
+// capabilities to establish virtual networks that seamlessly span across
+// distinct domains."
+//
+// A VirtualRouter attaches one interface (MAC + IPv4 subnet) per layer-2
+// network and forwards IP payloads between them by destination address:
+// frames addressed to the router's interface MAC are parsed (the simulated
+// payload carries "ip:<dst>|<data>"), the destination is matched against
+// the attached subnets (longest prefix wins), and the packet is re-emitted
+// on the winning interface with the router as the L2 source.  A small ARP
+// cache maps IPs to MACs per interface; unknown destinations are resolved
+// by L2 broadcast (flood) like a real first hop would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "vnet/switch.h"
+
+namespace vmp::vnet {
+
+/// IPv4 address helpers (dotted-quad <-> u32).
+util::Result<std::uint32_t> parse_ipv4(const std::string& text);
+std::string format_ipv4(std::uint32_t address);
+
+/// A subnet in CIDR form.
+struct Subnet {
+  std::uint32_t network = 0;
+  std::uint32_t prefix_len = 0;
+
+  static util::Result<Subnet> parse(const std::string& cidr);  // "10.1.0.0/16"
+  bool contains(std::uint32_t address) const;
+  std::string to_string() const;
+};
+
+/// Simulated IP packet carried in Ethernet payloads as "ip:<dst>|<data>".
+struct IpPacket {
+  std::uint32_t dst = 0;
+  std::string data;
+
+  std::string encode() const;
+  static std::optional<IpPacket> decode(const std::string& payload);
+};
+
+class VirtualRouter {
+ public:
+  explicit VirtualRouter(std::string name) : name_(std::move(name)) {}
+  ~VirtualRouter();
+
+  VirtualRouter(const VirtualRouter&) = delete;
+  VirtualRouter& operator=(const VirtualRouter&) = delete;
+
+  /// Attach an interface to a network: `ip` is the router's own address on
+  /// that network, `subnet` the prefix it owns there.
+  util::Status attach_interface(HostOnlySwitch* network, const MacAddress& mac,
+                                const std::string& ip,
+                                const std::string& subnet_cidr);
+
+  /// Detach every interface from its switch.  Call this before any
+  /// attached switch is destroyed — the destructor also detaches, but it
+  /// requires all attached networks to still be alive.
+  void detach_all();
+
+  /// Teach the router an IP->MAC binding on an interface (static ARP).
+  /// `interface_ip` identifies the interface by the router's address there.
+  util::Status add_arp_entry(const std::string& interface_ip,
+                             const std::string& host_ip,
+                             const MacAddress& host_mac);
+
+  std::size_t interface_count() const { return interfaces_.size(); }
+  std::uint64_t packets_forwarded() const { return packets_forwarded_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Interface {
+    HostOnlySwitch* network = nullptr;
+    std::uint32_t port = 0;
+    MacAddress mac;
+    std::uint32_t ip = 0;
+    Subnet subnet;
+    std::map<std::uint32_t, MacAddress> arp;
+  };
+
+  void receive(std::size_t interface_index, const EthernetFrame& frame);
+  void forward(const IpPacket& packet);
+
+  std::string name_;
+  std::vector<Interface> interfaces_;
+  std::uint64_t packets_forwarded_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+};
+
+}  // namespace vmp::vnet

@@ -1,0 +1,78 @@
+#include "vnet/switch.h"
+
+namespace vmp::vnet {
+
+using util::Error;
+using util::ErrorCode;
+using util::Status;
+
+std::uint32_t HostOnlySwitch::attach(FrameSink sink, bool uplink) {
+  const std::uint32_t port = next_port_++;
+  ports_.emplace(port, Port{std::move(sink), uplink});
+  return port;
+}
+
+Status HostOnlySwitch::detach(std::uint32_t port) {
+  if (ports_.erase(port) == 0) {
+    return Status(ErrorCode::kNotFound,
+                  name_ + ": no port " + std::to_string(port));
+  }
+  // Flush MAC table entries pointing at the removed port.
+  for (auto it = mac_table_.begin(); it != mac_table_.end();) {
+    if (it->second == port) {
+      it = mac_table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status();
+}
+
+Status HostOnlySwitch::inject(std::uint32_t ingress_port,
+                              const EthernetFrame& frame) {
+  auto ingress = ports_.find(ingress_port);
+  if (ingress == ports_.end()) {
+    return Status(ErrorCode::kNotFound,
+                  name_ + ": inject on unknown port " +
+                      std::to_string(ingress_port));
+  }
+
+  // Learn the source.
+  if (!frame.src.is_broadcast()) {
+    mac_table_[frame.src] = ingress_port;
+  }
+
+  // Known unicast: deliver to the learned port only.
+  if (!frame.dst.is_broadcast()) {
+    auto learned = mac_table_.find(frame.dst);
+    if (learned != mac_table_.end() && learned->second != ingress_port) {
+      auto port = ports_.find(learned->second);
+      if (port != ports_.end()) {
+        ++frames_switched_;
+        port->second.sink(frame);
+        return Status();
+      }
+    }
+    if (learned != mac_table_.end() && learned->second == ingress_port) {
+      // Destination is on the ingress port; nothing to do (hairpin drop).
+      return Status();
+    }
+  }
+
+  // Broadcast or unknown destination: flood.
+  ++frames_flooded_;
+  for (auto& [id, port] : ports_) {
+    if (id == ingress_port) continue;
+    port.sink(frame);
+  }
+  return Status();
+}
+
+std::optional<std::uint32_t> HostOnlySwitch::learned_port(
+    const MacAddress& mac) const {
+  auto it = mac_table_.find(mac);
+  if (it == mac_table_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace vmp::vnet

@@ -1,0 +1,66 @@
+// Host-only network switch ("vmnet" switch / UML tap+daemon).
+//
+// Paper, Section 3.3: "host-only networks correspond to statically
+// installed 'vmnet' switches for VMware and 'tap' devices with a switch
+// daemon for UML, which are dynamically assigned to client domains."
+//
+// The switch is a learning L2 switch: ports deliver frames to attached
+// receivers; unknown/broadcast destinations flood.  One port may be an
+// uplink (the VNET bridge) receiving everything that isn't local.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "vnet/ethernet.h"
+
+namespace vmp::vnet {
+
+/// Receives frames delivered to a port.
+using FrameSink = std::function<void(const EthernetFrame&)>;
+
+class HostOnlySwitch {
+ public:
+  explicit HostOnlySwitch(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Attach a port; returns its id.  `sink` is invoked for frames delivered
+  /// to this port.  A port marked as uplink receives frames for unknown
+  /// destinations (after local flooding) exactly once.
+  std::uint32_t attach(FrameSink sink, bool uplink = false);
+
+  util::Status detach(std::uint32_t port);
+
+  /// Inject a frame arriving on `ingress_port`.  Learning: the source MAC
+  /// is bound to the ingress port.  Delivery: known unicast to its port;
+  /// otherwise flooded to every other port.
+  util::Status inject(std::uint32_t ingress_port, const EthernetFrame& frame);
+
+  std::size_t port_count() const { return ports_.size(); }
+  std::uint64_t frames_switched() const { return frames_switched_; }
+  std::uint64_t frames_flooded() const { return frames_flooded_; }
+
+  /// Port a MAC was learned on, if any (for tests).
+  std::optional<std::uint32_t> learned_port(const MacAddress& mac) const;
+
+ private:
+  struct Port {
+    FrameSink sink;
+    bool uplink = false;
+  };
+
+  std::string name_;
+  std::map<std::uint32_t, Port> ports_;
+  std::map<MacAddress, std::uint32_t> mac_table_;
+  std::uint32_t next_port_ = 1;
+  std::uint64_t frames_switched_ = 0;
+  std::uint64_t frames_flooded_ = 0;
+};
+
+}  // namespace vmp::vnet

@@ -1,0 +1,128 @@
+#include "vnet/vnet_bridge.h"
+
+namespace vmp::vnet {
+
+using util::Error;
+using util::ErrorCode;
+using util::Status;
+
+// ---------------------------------------------------------------------------
+// Tunnel
+// ---------------------------------------------------------------------------
+
+Tunnel::Tunnel(std::string name, std::vector<std::string> hops)
+    : name_(std::move(name)), hops_(std::move(hops)) {}
+
+void Tunnel::bind(TunnelEndpoint* plant_side, TunnelEndpoint* proxy_side) {
+  plant_side_ = plant_side;
+  proxy_side_ = proxy_side;
+  connected_ = plant_side_ != nullptr && proxy_side_ != nullptr;
+}
+
+Status Tunnel::send_to_proxy(const EthernetFrame& frame) {
+  if (!connected_) {
+    return Status(ErrorCode::kUnavailable, name_ + ": tunnel down");
+  }
+  ++frames_to_proxy_;
+  proxy_side_->receive_from_tunnel(frame);
+  return Status();
+}
+
+Status Tunnel::send_to_plant(const EthernetFrame& frame) {
+  if (!connected_) {
+    return Status(ErrorCode::kUnavailable, name_ + ": tunnel down");
+  }
+  ++frames_to_plant_;
+  plant_side_->receive_from_tunnel(frame);
+  return Status();
+}
+
+void Tunnel::tear_down() {
+  connected_ = false;
+  plant_side_ = nullptr;
+  proxy_side_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// VnetServer
+// ---------------------------------------------------------------------------
+
+VnetServer::VnetServer(std::string name, HostOnlySwitch* host_only)
+    : name_(std::move(name)), host_only_(host_only) {}
+
+VnetServer::~VnetServer() { disconnect(); }
+
+Status VnetServer::connect(Tunnel* tunnel) {
+  if (tunnel_ != nullptr) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  name_ + ": already connected");
+  }
+  tunnel_ = tunnel;
+  // Uplink port: frames the host-only switch cannot deliver locally reach
+  // the VNET server, which relays them toward the client domain.
+  uplink_port_ = host_only_->attach(
+      [this](const EthernetFrame& frame) {
+        if (tunnel_ != nullptr) {
+          (void)tunnel_->send_to_proxy(frame);
+        }
+      },
+      /*uplink=*/true);
+  return Status();
+}
+
+void VnetServer::disconnect() {
+  if (uplink_port_ != 0) {
+    (void)host_only_->detach(uplink_port_);
+    uplink_port_ = 0;
+  }
+  tunnel_ = nullptr;
+}
+
+void VnetServer::receive_from_tunnel(const EthernetFrame& frame) {
+  // Frame from the client domain: inject into the host-only network as if
+  // it arrived on the uplink port.
+  if (uplink_port_ != 0) {
+    (void)host_only_->inject(uplink_port_, frame);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VnetProxy
+// ---------------------------------------------------------------------------
+
+VnetProxy::VnetProxy(std::string name, HostOnlySwitch* home_network)
+    : name_(std::move(name)), home_network_(home_network) {}
+
+VnetProxy::~VnetProxy() { disconnect(); }
+
+Status VnetProxy::connect(Tunnel* tunnel) {
+  if (tunnel_ != nullptr) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  name_ + ": already connected");
+  }
+  tunnel_ = tunnel;
+  port_ = home_network_->attach(
+      [this](const EthernetFrame& frame) {
+        if (tunnel_ != nullptr) {
+          (void)tunnel_->send_to_plant(frame);
+        }
+      },
+      /*uplink=*/true);
+  return Status();
+}
+
+void VnetProxy::disconnect() {
+  if (port_ != 0) {
+    (void)home_network_->detach(port_);
+    port_ = 0;
+  }
+  tunnel_ = nullptr;
+}
+
+void VnetProxy::receive_from_tunnel(const EthernetFrame& frame) {
+  if (port_ != 0) {
+    (void)home_network_->inject(port_, frame);
+  }
+}
+
+}  // namespace vmp::vnet

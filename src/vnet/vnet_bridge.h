@@ -1,0 +1,109 @@
+// VNET bridge and client-domain proxy.
+//
+// Paper, Section 3.3: "A VNET server runs on each VMPlant, and on a host
+// (called the Proxy) in client domain. ... VNET provides a TCP/SSL bridge
+// that operates at the Ethernet layer, and bridges the remote VM to the
+// client's network."  With the gateway deployment, the tunnel between the
+// plant-side VNET server and the client proxy passes through SSH tunnels on
+// a gateway host.
+//
+// The simulation models this as two bridge endpoints connected by a Tunnel:
+// frames leaving the host-only switch via the uplink port are carried to
+// the proxy, which injects them into the client's home network (another
+// switch), and vice versa.  Tunnels count frames and can be torn down,
+// which lets tests verify both connectivity and the isolation that
+// motivated host-only placement.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/error.h"
+#include "vnet/switch.h"
+
+namespace vmp::vnet {
+
+/// One side of an established VNET tunnel.
+class TunnelEndpoint {
+ public:
+  virtual ~TunnelEndpoint() = default;
+  /// Frame arriving from the far side of the tunnel.
+  virtual void receive_from_tunnel(const EthernetFrame& frame) = 0;
+};
+
+/// Bidirectional frame carrier between two endpoints, with per-direction
+/// frame accounting and a connected/torn-down state.  Hops (gateway, SSH
+/// tunnel) are recorded for introspection; they do not alter forwarding.
+class Tunnel {
+ public:
+  Tunnel(std::string name, std::vector<std::string> hops);
+
+  void bind(TunnelEndpoint* plant_side, TunnelEndpoint* proxy_side);
+
+  /// Send toward the proxy (client domain).
+  util::Status send_to_proxy(const EthernetFrame& frame);
+  /// Send toward the plant (host-only network).
+  util::Status send_to_plant(const EthernetFrame& frame);
+
+  void tear_down();
+  bool connected() const { return connected_; }
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& hops() const { return hops_; }
+  std::uint64_t frames_to_proxy() const { return frames_to_proxy_; }
+  std::uint64_t frames_to_plant() const { return frames_to_plant_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> hops_;
+  TunnelEndpoint* plant_side_ = nullptr;
+  TunnelEndpoint* proxy_side_ = nullptr;
+  bool connected_ = false;
+  std::uint64_t frames_to_proxy_ = 0;
+  std::uint64_t frames_to_plant_ = 0;
+};
+
+/// Plant-side VNET server: attaches to the host-only switch as its uplink
+/// port and relays frames into the tunnel.
+class VnetServer final : public TunnelEndpoint {
+ public:
+  VnetServer(std::string name, HostOnlySwitch* host_only);
+  ~VnetServer() override;
+
+  util::Status connect(Tunnel* tunnel);
+  void disconnect();
+
+  void receive_from_tunnel(const EthernetFrame& frame) override;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  HostOnlySwitch* host_only_;
+  std::uint32_t uplink_port_ = 0;
+  Tunnel* tunnel_ = nullptr;
+};
+
+/// Client-side proxy: attaches to the client's home network switch and
+/// relays frames into the tunnel.
+class VnetProxy final : public TunnelEndpoint {
+ public:
+  VnetProxy(std::string name, HostOnlySwitch* home_network);
+  ~VnetProxy() override;
+
+  util::Status connect(Tunnel* tunnel);
+  void disconnect();
+
+  void receive_from_tunnel(const EthernetFrame& frame) override;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  HostOnlySwitch* home_network_;
+  std::uint32_t port_ = 0;
+  Tunnel* tunnel_ = nullptr;
+};
+
+}  // namespace vmp::vnet

@@ -1,0 +1,214 @@
+#include "warehouse/warehouse.h"
+
+#include "xml/xml.h"
+
+namespace vmp::warehouse {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+std::string render_descriptor(const GoldenImage& image) {
+  xml::Element root("golden");
+  root.set_attr("id", image.id);
+  root.set_attr("backend", image.backend);
+
+  xml::Element& machine = root.add_child("machine");
+  machine.set_attr("os", image.spec.os);
+  machine.set_attr("memory-bytes", std::to_string(image.spec.memory_bytes));
+  machine.set_attr("suspended", image.spec.suspended ? "true" : "false");
+  xml::Element& disk = machine.add_child("disk");
+  disk.set_attr("name", image.spec.disk.name);
+  disk.set_attr("capacity-bytes",
+                std::to_string(image.spec.disk.capacity_bytes));
+  disk.set_attr("span-count", std::to_string(image.spec.disk.span_count));
+  disk.set_attr("mode", storage::disk_mode_name(image.spec.disk.mode));
+
+  xml::Element& performed = root.add_child("performed");
+  for (const std::string& sig : image.performed) {
+    performed.add_child("action-sig").set_text(sig);
+  }
+  return root.to_string();
+}
+
+Result<GoldenImage> parse_descriptor(const std::string& xml_text) {
+  auto doc = xml::parse(xml_text);
+  if (!doc.ok()) return doc.propagate<GoldenImage>();
+  const xml::Element& root = *doc.value();
+  if (root.name() != "golden") {
+    return Result<GoldenImage>(
+        Error(ErrorCode::kParseError, "descriptor: expected <golden> root"));
+  }
+  GoldenImage image;
+  image.id = root.attr("id");
+  image.backend = root.attr("backend");
+  if (image.id.empty()) {
+    return Result<GoldenImage>(
+        Error(ErrorCode::kParseError, "descriptor: missing id"));
+  }
+
+  const xml::Element* machine = root.child("machine");
+  if (machine == nullptr) {
+    return Result<GoldenImage>(
+        Error(ErrorCode::kParseError, "descriptor: missing <machine>"));
+  }
+  image.spec.os = machine->attr("os");
+  image.spec.memory_bytes =
+      static_cast<std::uint64_t>(machine->attr_int("memory-bytes", 0));
+  image.spec.suspended = machine->attr("suspended") == "true";
+  const xml::Element* disk = machine->child("disk");
+  if (disk == nullptr) {
+    return Result<GoldenImage>(
+        Error(ErrorCode::kParseError, "descriptor: missing <disk>"));
+  }
+  image.spec.disk.name = disk->attr("name");
+  image.spec.disk.capacity_bytes =
+      static_cast<std::uint64_t>(disk->attr_int("capacity-bytes", 0));
+  image.spec.disk.span_count =
+      static_cast<std::uint32_t>(disk->attr_int("span-count", 1));
+  auto mode = storage::parse_disk_mode(disk->attr("mode"));
+  if (!mode.ok()) return mode.propagate<GoldenImage>();
+  image.spec.disk.mode = mode.value();
+
+  if (const xml::Element* performed = root.child("performed")) {
+    for (const xml::Element* sig : performed->children_named("action-sig")) {
+      image.performed.push_back(sig->text());
+    }
+  }
+  VMP_RETURN_IF_ERROR_AS(image.spec.validate(), GoldenImage);
+  return image;
+}
+
+Warehouse::Warehouse(storage::ArtifactStore* store, std::string base_dir)
+    : store_(store), base_dir_(std::move(base_dir)) {
+  (void)store_->make_dir(base_dir_);
+}
+
+std::string Warehouse::dir_for(const std::string& id) const {
+  return base_dir_ + "/" + id;
+}
+
+Status Warehouse::publish(const GoldenImage& image) {
+  VMP_RETURN_IF_ERROR(image.spec.validate());
+  if (image.id.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "image id must not be empty");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (images_.count(image.id)) {
+    return Status(ErrorCode::kAlreadyExists,
+                  "golden image exists: " + image.id);
+  }
+
+  GoldenImage stored = image;
+  stored.layout.dir = dir_for(image.id);
+
+  auto materialized = storage::materialize_image(store_, stored.layout, stored.spec);
+  if (!materialized.ok()) return materialized.error();
+
+  auto guest_write = store_->write_file(stored.layout.dir + "/guest.state",
+                                        hv::render_guest_state(stored.guest));
+  if (!guest_write.ok()) return guest_write.error();
+
+  auto desc_write = store_->write_file(stored.layout.dir + "/descriptor.xml",
+                                       render_descriptor(stored));
+  if (!desc_write.ok()) return desc_write.error();
+
+  images_.emplace(stored.id, std::move(stored));
+  return Status();
+}
+
+Result<GoldenImage> Warehouse::publish_new(
+    const std::string& id, const std::string& backend,
+    const storage::MachineSpec& spec, const hv::GuestState& guest,
+    const std::vector<std::string>& performed) {
+  GoldenImage image;
+  image.id = id;
+  image.backend = backend;
+  image.spec = spec;
+  image.guest = guest;
+  image.performed = performed;
+  VMP_RETURN_IF_ERROR_AS(publish(image), GoldenImage);
+  return lookup(id);
+}
+
+Result<GoldenImage> Warehouse::lookup(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = images_.find(id);
+  if (it == images_.end()) {
+    return Result<GoldenImage>(
+        Error(ErrorCode::kNotFound, "no golden image: " + id));
+  }
+  return it->second;
+}
+
+bool Warehouse::contains(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return images_.count(id) != 0;
+}
+
+Status Warehouse::remove(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = images_.find(id);
+  if (it == images_.end()) {
+    return Status(ErrorCode::kNotFound, "no golden image: " + id);
+  }
+  VMP_RETURN_IF_ERROR(store_->remove_tree(it->second.layout.dir));
+  images_.erase(it);
+  return Status();
+}
+
+std::vector<GoldenImage> Warehouse::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GoldenImage> out;
+  out.reserve(images_.size());
+  for (const auto& [id, image] : images_) out.push_back(image);
+  return out;
+}
+
+std::vector<GoldenImage> Warehouse::list_backend(
+    const std::string& backend) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GoldenImage> out;
+  for (const auto& [id, image] : images_) {
+    if (image.backend == backend) out.push_back(image);
+  }
+  return out;
+}
+
+Status Warehouse::rescan() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto entries = store_->list_dir(base_dir_);
+  if (!entries.ok()) return entries.error();
+
+  std::map<std::string, GoldenImage> rebuilt;
+  for (const std::string& entry : entries.value()) {
+    const std::string descriptor_path = base_dir_ + "/" + entry + "/descriptor.xml";
+    if (!store_->exists(descriptor_path)) continue;  // not an image dir
+    auto text = store_->read_file(descriptor_path);
+    if (!text.ok()) return text.error();
+    auto image = parse_descriptor(text.value());
+    if (!image.ok()) {
+      return Status(image.error().code(),
+                    "rescan " + descriptor_path + ": " + image.error().message());
+    }
+    GoldenImage loaded = std::move(image).value();
+    loaded.layout.dir = base_dir_ + "/" + entry;
+    auto guest_text = store_->read_file(loaded.layout.dir + "/guest.state");
+    if (guest_text.ok()) {
+      auto guest = hv::parse_guest_state(guest_text.value());
+      if (!guest.ok()) return guest.error();
+      loaded.guest = std::move(guest).value();
+    }
+    rebuilt.emplace(loaded.id, std::move(loaded));
+  }
+  images_ = std::move(rebuilt);
+  return Status();
+}
+
+std::size_t Warehouse::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return images_.size();
+}
+
+}  // namespace vmp::warehouse

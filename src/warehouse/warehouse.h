@@ -1,0 +1,88 @@
+// The VM Warehouse: storage and lookup of "golden" images.
+//
+// Paper, Section 3.2: "The VM Warehouse stores 'golden' images of not only
+// pre-built images with typical installations of popular operating systems,
+// but also images that are set up and customized for an application by
+// providing VM installers with the capability of publishing a VM image to
+// the Warehouse, for subsequent instantiations through VMPlant."  And 4.1:
+// "Golden machines are stored as files in sub-directories of the VM
+// Warehouse; each golden machine is specified by a configuration file, and
+// virtual disk and memory files.  XML files are used to describe such
+// cached images in terms of their memory sizes, operating system installed,
+// and the configuration actions that have already been performed."
+//
+// On disk (inside an ArtifactStore, which in the simulated cluster lives on
+// the NFS server):
+//   <base>/<image-id>/machine.cfg, memory.vmss, disk spans, redo, guest.state
+//   <base>/<image-id>/descriptor.xml
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hypervisor/guest.h"
+#include "storage/artifact_store.h"
+#include "storage/image_layout.h"
+#include "util/error.h"
+
+namespace vmp::warehouse {
+
+struct GoldenImage {
+  std::string id;
+  std::string backend;  // production line: "vmware-gsx", "uml"
+  storage::ImageLayout layout;
+  storage::MachineSpec spec;
+  hv::GuestState guest;
+  /// Action signatures already performed, oldest first (the history the
+  /// PPP's three matching tests run against).
+  std::vector<std::string> performed;
+};
+
+/// Serialize/parse descriptor.xml.
+std::string render_descriptor(const GoldenImage& image);
+util::Result<GoldenImage> parse_descriptor(const std::string& xml_text);
+
+class Warehouse {
+ public:
+  /// `base_dir` is the store-relative warehouse root (e.g. "warehouse").
+  Warehouse(storage::ArtifactStore* store, std::string base_dir);
+
+  /// Publish a golden image: materialize its artefacts and descriptor.
+  /// Fails if the id is taken.
+  util::Status publish(const GoldenImage& image);
+
+  /// Publish by materializing from scratch (helper: builds layout from id).
+  util::Result<GoldenImage> publish_new(
+      const std::string& id, const std::string& backend,
+      const storage::MachineSpec& spec, const hv::GuestState& guest,
+      const std::vector<std::string>& performed);
+
+  util::Result<GoldenImage> lookup(const std::string& id) const;
+  bool contains(const std::string& id) const;
+  util::Status remove(const std::string& id);
+
+  /// All images (id-ordered); optionally filtered by backend.
+  std::vector<GoldenImage> list() const;
+  std::vector<GoldenImage> list_backend(const std::string& backend) const;
+
+  /// Rebuild the in-memory index from descriptor.xml files on disk
+  /// (service restoration after a failure — the paper's VMShop keeps no
+  /// durable state; the warehouse's durable state *is* the disk).
+  util::Status rescan();
+
+  std::size_t size() const;
+  const std::string& base_dir() const { return base_dir_; }
+  storage::ArtifactStore* store() { return store_; }
+
+ private:
+  std::string dir_for(const std::string& id) const;
+
+  mutable std::mutex mutex_;
+  storage::ArtifactStore* store_;
+  std::string base_dir_;
+  std::map<std::string, GoldenImage> images_;
+};
+
+}  // namespace vmp::warehouse

@@ -1,0 +1,52 @@
+// Configuration-DAG library: the workloads the paper's evaluation uses.
+//
+// The centerpiece is the In-VIGO virtual workspace of Figure 3:
+//   S -> A(install Red Hat 8.0) -> B(install VNC server)
+//          -> C(install Web File Manager)
+//   then D(configure MAC/IP), E(create user), F(mount home dir) in any
+//   order after C, then G(configure VNC) after D/E/F, H(start VNC) after G,
+//   I(start File Manager) after G (paper's sorted order: ... G, I, H).
+//
+// The experiment golden machines are checkpointed after A..C; per-request
+// configuration performs D..I (the paper's §4.2 "setup of the VM's network
+// interface and of a user ID within the VM guest").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/dag.h"
+
+namespace vmp::workload {
+
+/// Per-request parameters for an In-VIGO workspace instance.
+struct WorkspaceParams {
+  std::string user = "arijit";
+  std::string ip = "10.0.0.2";
+  std::string mac = "02:56:4d:00:00:02";
+  std::string home_server = "nfs://punch/home";
+};
+
+/// The full Figure-3 DAG (A..I) with per-request parameters substituted.
+dag::ConfigDag invigo_workspace_dag(const WorkspaceParams& params);
+
+/// Signatures of the actions a golden workspace image has performed
+/// (A, B, C — the checkpointed prefix).
+std::vector<std::string> invigo_golden_history();
+
+/// Just the base-install prefix A..C as a DAG (for publishing goldens).
+dag::ConfigDag invigo_base_dag();
+
+/// A minimal two-action DAG (network + user), matching §4.2's description
+/// of the measured configuration: cheap, used by throughput benches.
+dag::ConfigDag minimal_config_dag(const std::string& user,
+                                  const std::string& ip);
+
+/// A randomized layered DAG for property tests and matching benches:
+/// `layers` layers of `width` actions, edges from each node to a random
+/// subset of the next layer.  Deterministic in `seed`.
+dag::ConfigDag random_layered_dag(std::uint64_t seed, std::size_t layers,
+                                  std::size_t width, double edge_density);
+
+}  // namespace vmp::workload

@@ -1,0 +1,102 @@
+#include "workload/request_gen.h"
+
+#include "vnet/ethernet.h"
+#include "workload/dag_library.h"
+
+namespace vmp::workload {
+
+using util::Status;
+
+namespace {
+
+constexpr std::uint64_t kMb = 1ull << 20;
+constexpr std::uint64_t kGoldenDiskBytes = 2048ull * kMb;  // paper: 2 GB
+constexpr std::uint32_t kGoldenDiskSpans = 16;             // paper: 16 files
+
+hv::GuestState base_guest_state(const std::string& os) {
+  hv::GuestState guest;
+  guest.os = os;
+  guest.hostname = "golden";
+  guest.packages = {"vnc-server", "web-file-manager"};
+  return guest;
+}
+
+}  // namespace
+
+Status publish_paper_goldens(warehouse::Warehouse* warehouse,
+                             const std::vector<std::uint32_t>& memory_mbs) {
+  for (std::uint32_t mem_mb : memory_mbs) {
+    storage::MachineSpec spec;
+    spec.os = "linux-mandrake-8.1";
+    spec.memory_bytes = mem_mb * kMb;
+    spec.suspended = true;  // checkpointed post-boot
+    spec.disk.name = "disk0";
+    spec.disk.capacity_bytes = kGoldenDiskBytes;
+    spec.disk.span_count = kGoldenDiskSpans;
+    spec.disk.mode = storage::DiskMode::kNonPersistent;
+
+    auto published = warehouse->publish_new(
+        "golden-" + std::to_string(mem_mb) + "mb", "vmware-gsx", spec,
+        base_guest_state(spec.os), invigo_golden_history());
+    if (!published.ok()) return published.error();
+  }
+  return Status();
+}
+
+Status publish_uml_golden(warehouse::Warehouse* warehouse,
+                          std::uint32_t memory_mb) {
+  storage::MachineSpec spec;
+  spec.os = "linux-mandrake-8.1";
+  spec.memory_bytes = memory_mb * kMb;
+  spec.suspended = false;  // UML clones boot
+  spec.disk.name = "rootfs";
+  spec.disk.capacity_bytes = kGoldenDiskBytes;
+  spec.disk.span_count = 1;  // single COW-shared file system
+  spec.disk.mode = storage::DiskMode::kNonPersistent;
+
+  auto published = warehouse->publish_new(
+      "golden-uml-" + std::to_string(memory_mb) + "mb", "uml", spec,
+      base_guest_state(spec.os), invigo_golden_history());
+  if (!published.ok()) return published.error();
+  return Status();
+}
+
+core::CreateRequest workspace_request(std::uint32_t memory_mb, std::size_t i,
+                                      const std::string& domain,
+                                      const std::string& backend) {
+  WorkspaceParams params;
+  params.user = "user" + std::to_string(i);
+  params.ip = "10." + std::to_string(memory_mb % 256) + "." +
+              std::to_string((i / 250) % 256) + "." +
+              std::to_string(2 + (i % 250));
+  params.mac = vnet::MacAddress::from_index(
+                   static_cast<std::uint32_t>(i + 1))
+                   .to_string();
+
+  core::CreateRequest request;
+  request.request_id =
+      "req-" + std::to_string(memory_mb) + "mb-" + std::to_string(i);
+  request.client = "invigo-portal";
+  request.domain = domain;
+  request.proxy_address = "proxy." + domain + ":4096";
+  request.backend = backend;
+  request.hardware.os = "linux-mandrake-8.1";
+  request.hardware.memory_bytes = memory_mb * kMb;
+  request.hardware.min_disk_bytes = kGoldenDiskBytes;
+  request.config = invigo_workspace_dag(params);
+  return request;
+}
+
+std::vector<core::CreateRequest> workspace_requests(std::uint32_t memory_mb,
+                                                    std::size_t count,
+                                                    const std::string& domain,
+                                                    const std::string& backend) {
+  std::vector<core::CreateRequest> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(workspace_request(memory_mb, i, domain, backend));
+  }
+  return out;
+}
+
+}  // namespace vmp::workload

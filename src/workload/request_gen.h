@@ -1,0 +1,46 @@
+// Experiment request generators and golden-fleet publishing helpers.
+//
+// These reproduce the paper's §4.2 setup programmatically: golden machines
+// "configured as follows: Linux Mandrake 8.1 workstation with memory sizes
+// of 32MB, 64MB and 256MB", checkpointed post-boot with the In-VIGO base
+// prefix performed, plus the request sequences (128 requests for 32/64 MB,
+// 40 for 256 MB).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/request.h"
+#include "warehouse/warehouse.h"
+
+namespace vmp::workload {
+
+/// Publish the paper's golden machines into a warehouse.
+/// Ids: "golden-<mem>mb" (e.g. "golden-32mb"); backend "vmware-gsx".
+/// Each has a 2 GB non-persistent disk in 16 spans and the In-VIGO A..C
+/// prefix performed.  `memory_mbs` defaults to {32, 64, 256}.
+util::Status publish_paper_goldens(warehouse::Warehouse* warehouse,
+                                   const std::vector<std::uint32_t>& memory_mbs = {
+                                       32, 64, 256});
+
+/// Publish a UML golden (powered-off COW file system, no checkpoint):
+/// id "golden-uml-<mem>mb", backend "uml".
+util::Status publish_uml_golden(warehouse::Warehouse* warehouse,
+                                std::uint32_t memory_mb);
+
+/// Generate `count` sequential In-VIGO workspace creation requests for
+/// golden machines of `memory_mb`.  Requests differ in user/IP (request i
+/// gets user "user<i>" and ip 10.d.x.y), all within `domain`.
+std::vector<core::CreateRequest> workspace_requests(std::uint32_t memory_mb,
+                                                    std::size_t count,
+                                                    const std::string& domain,
+                                                    const std::string& backend =
+                                                        "vmware-gsx");
+
+/// One workspace request (index `i`) — the building block of the above.
+core::CreateRequest workspace_request(std::uint32_t memory_mb, std::size_t i,
+                                      const std::string& domain,
+                                      const std::string& backend = "vmware-gsx");
+
+}  // namespace vmp::workload

@@ -1,0 +1,378 @@
+#include "xml/xml.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace vmp::xml {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+// ---------------------------------------------------------------------------
+// Element
+// ---------------------------------------------------------------------------
+
+bool Element::has_attr(const std::string& key) const {
+  return attrs_.count(key) != 0;
+}
+
+const std::string& Element::attr(const std::string& key) const {
+  static const std::string kEmpty;
+  auto it = attrs_.find(key);
+  return it == attrs_.end() ? kEmpty : it->second;
+}
+
+void Element::set_attr(const std::string& key, std::string value) {
+  attrs_[key] = std::move(value);
+}
+
+long long Element::attr_int(const std::string& key, long long fallback) const {
+  long long v = 0;
+  if (has_attr(key) && util::parse_int64(attr(key), &v)) return v;
+  return fallback;
+}
+
+double Element::attr_double(const std::string& key, double fallback) const {
+  double v = 0;
+  if (has_attr(key) && util::parse_double(attr(key), &v)) return v;
+  return fallback;
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::adopt_child(std::unique_ptr<Element> child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+const Element* Element::child(const std::string& name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+Element* Element::child(const std::string& name) {
+  for (auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(
+    const std::string& name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+const std::string& Element::child_text(const std::string& name) const {
+  static const std::string kEmpty;
+  const Element* c = child(name);
+  return c ? c->text() : kEmpty;
+}
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void Element::render(std::string* out, int indent, bool pretty) const {
+  const std::string pad = pretty ? std::string(2 * indent, ' ') : std::string();
+  *out += pad;
+  *out += '<';
+  *out += name_;
+  for (const auto& [k, v] : attrs_) {
+    *out += ' ';
+    *out += k;
+    *out += "=\"";
+    *out += escape(v);
+    *out += '"';
+  }
+  if (children_.empty() && text_.empty()) {
+    *out += "/>";
+    if (pretty) *out += '\n';
+    return;
+  }
+  *out += '>';
+  *out += escape(text_);
+  if (!children_.empty()) {
+    if (pretty) *out += '\n';
+    for (const auto& c : children_) c->render(out, indent + 1, pretty);
+    *out += pad;
+  }
+  *out += "</";
+  *out += name_;
+  *out += '>';
+  if (pretty) *out += '\n';
+}
+
+std::string Element::to_string() const {
+  std::string out;
+  render(&out, 0, /*pretty=*/true);
+  return out;
+}
+
+std::string Element::to_compact_string() const {
+  std::string out;
+  render(&out, 0, /*pretty=*/false);
+  return out;
+}
+
+std::unique_ptr<Element> Element::clone() const {
+  auto out = std::make_unique<Element>(name_);
+  out->attrs_ = attrs_;
+  out->text_ = text_;
+  for (const auto& c : children_) out->children_.push_back(c->clone());
+  return out;
+}
+
+bool Element::deep_equal(const Element& other) const {
+  if (name_ != other.name_ || attrs_ != other.attrs_) return false;
+  if (std::string(util::trim(text_)) != std::string(util::trim(other.text_))) {
+    return false;
+  }
+  if (children_.size() != other.children_.size()) return false;
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->deep_equal(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<std::unique_ptr<Element>> parse_document() {
+    skip_prolog();
+    auto root = parse_element();
+    if (!root.ok()) return root;
+    skip_misc();
+    if (pos_ != input_.size()) {
+      return fail("trailing content after document element");
+    }
+    return root;
+  }
+
+ private:
+  Error error(const std::string& message) const {
+    return Error(ErrorCode::kParseError,
+                 "xml: " + message + " at offset " + std::to_string(pos_));
+  }
+  Result<std::unique_ptr<Element>> fail(const std::string& message) const {
+    return Result<std::unique_ptr<Element>>(error(message));
+  }
+
+  bool eof() const { return pos_ >= input_.size(); }
+  char peek() const { return input_[pos_]; }
+  bool consume(std::string_view token) {
+    if (input_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  /// Skips whitespace, comments, and the XML declaration before the root.
+  void skip_prolog() {
+    skip_misc();
+    if (consume("<?")) {
+      const std::size_t end = input_.find("?>", pos_);
+      pos_ = end == std::string_view::npos ? input_.size() : end + 2;
+    }
+    skip_misc();
+  }
+
+  /// Skips whitespace and comments.
+  void skip_misc() {
+    while (true) {
+      skip_ws();
+      if (consume("<!--")) {
+        const std::size_t end = input_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 3;
+        continue;
+      }
+      return;
+    }
+  }
+
+  static bool is_name_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool is_name_char(char c) {
+    return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  std::string parse_name() {
+    std::string name;
+    if (eof() || !is_name_start(peek())) return name;
+    while (!eof() && is_name_char(peek())) name += input_[pos_++];
+    return name;
+  }
+
+  /// Decode &amp; &lt; &gt; &quot; &apos; and numeric references.
+  Result<std::string> decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      const std::size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Result<std::string>(error("unterminated entity"));
+      }
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") out += '&';
+      else if (entity == "lt") out += '<';
+      else if (entity == "gt") out += '>';
+      else if (entity == "quot") out += '"';
+      else if (entity == "apos") out += '\'';
+      else if (!entity.empty() && entity[0] == '#') {
+        long long cp = 0;
+        const bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+        const std::string digits(entity.substr(hex ? 2 : 1));
+        char* end = nullptr;
+        cp = std::strtoll(digits.c_str(), &end, hex ? 16 : 10);
+        if (end != digits.c_str() + digits.size() || cp < 0 || cp > 0x10FFFF) {
+          return Result<std::string>(error("bad numeric character reference"));
+        }
+        // Encode as UTF-8.
+        const auto c = static_cast<unsigned long>(cp);
+        if (c < 0x80) {
+          out += static_cast<char>(c);
+        } else if (c < 0x800) {
+          out += static_cast<char>(0xC0 | (c >> 6));
+          out += static_cast<char>(0x80 | (c & 0x3F));
+        } else if (c < 0x10000) {
+          out += static_cast<char>(0xE0 | (c >> 12));
+          out += static_cast<char>(0x80 | ((c >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (c & 0x3F));
+        } else {
+          out += static_cast<char>(0xF0 | (c >> 18));
+          out += static_cast<char>(0x80 | ((c >> 12) & 0x3F));
+          out += static_cast<char>(0x80 | ((c >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (c & 0x3F));
+        }
+      } else {
+        return Result<std::string>(error("unknown entity &" + std::string(entity) + ";"));
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<Element>> parse_element() {
+    if (!consume("<")) return fail("expected '<'");
+    const std::string name = parse_name();
+    if (name.empty()) return fail("expected element name");
+    auto element = std::make_unique<Element>(name);
+
+    // Attributes.
+    while (true) {
+      skip_ws();
+      if (eof()) return fail("unterminated start tag");
+      if (consume("/>")) return element;
+      if (consume(">")) break;
+      const std::string key = parse_name();
+      if (key.empty()) return fail("expected attribute name");
+      skip_ws();
+      if (!consume("=")) return fail("expected '=' after attribute name");
+      skip_ws();
+      if (eof() || (peek() != '"' && peek() != '\'')) {
+        return fail("expected quoted attribute value");
+      }
+      const char quote = input_[pos_++];
+      const std::size_t end = input_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        return fail("unterminated attribute value");
+      }
+      auto decoded = decode_entities(input_.substr(pos_, end - pos_));
+      if (!decoded.ok()) return decoded.propagate<std::unique_ptr<Element>>();
+      if (element->has_attr(key)) return fail("duplicate attribute " + key);
+      element->set_attr(key, std::move(decoded).value());
+      pos_ = end + 1;
+    }
+
+    // Content.
+    while (true) {
+      if (eof()) return fail("unterminated element <" + name + ">");
+      if (consume("</")) {
+        const std::string closing = parse_name();
+        skip_ws();
+        if (!consume(">")) return fail("malformed end tag");
+        if (closing != name) {
+          return fail("mismatched end tag </" + closing + "> for <" + name + ">");
+        }
+        return element;
+      }
+      if (consume("<!--")) {
+        const std::size_t end = input_.find("-->", pos_);
+        if (end == std::string_view::npos) return fail("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (consume("<![CDATA[")) {
+        const std::size_t end = input_.find("]]>", pos_);
+        if (end == std::string_view::npos) return fail("unterminated CDATA");
+        element->append_text(input_.substr(pos_, end - pos_));
+        pos_ = end + 3;
+        continue;
+      }
+      if (peek() == '<') {
+        auto child = parse_element();
+        if (!child.ok()) return child;
+        element->adopt_child(std::move(child).value());
+        continue;
+      }
+      // Character data up to the next '<'.
+      const std::size_t end = input_.find('<', pos_);
+      if (end == std::string_view::npos) return fail("unterminated content");
+      auto decoded = decode_entities(input_.substr(pos_, end - pos_));
+      if (!decoded.ok()) return decoded.propagate<std::unique_ptr<Element>>();
+      element->append_text(decoded.value());
+      pos_ = end;
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Element>> parse(std::string_view input) {
+  return Parser(input).parse_document();
+}
+
+}  // namespace vmp::xml

@@ -1,0 +1,92 @@
+// Minimal XML document model, parser and writer.
+//
+// VMPlant service requests travel as XML strings (Section 4.1 of the paper:
+// "Services requested by VMShop clients are specified as XML strings. The
+// Create VM service specification contains the DAG of configuration
+// actions").  This module implements the subset of XML those messages need:
+// elements, attributes, text content, comments, CDATA, and the five
+// predefined entities.  It does not implement namespaces, DTDs or processing
+// instruction semantics (a leading <?xml ...?> declaration is tolerated and
+// skipped).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace vmp::xml {
+
+/// One element node.  Children are owned; text interleaved between child
+/// elements is concatenated into `text` (mixed content is rare in our
+/// messages, and ordering relative to children is not preserved).
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // -- Attributes -----------------------------------------------------------
+  bool has_attr(const std::string& key) const;
+  /// Returns "" when absent; use has_attr to distinguish.
+  const std::string& attr(const std::string& key) const;
+  void set_attr(const std::string& key, std::string value);
+  const std::map<std::string, std::string>& attrs() const { return attrs_; }
+
+  /// Attribute parsed as integer/double; falls back to `fallback` when the
+  /// attribute is missing or malformed.
+  long long attr_int(const std::string& key, long long fallback) const;
+  double attr_double(const std::string& key, double fallback) const;
+
+  // -- Text -----------------------------------------------------------------
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+  void append_text(std::string_view more) { text_ += more; }
+
+  // -- Children -------------------------------------------------------------
+  Element& add_child(std::string name);
+  /// Take ownership of an already-built subtree.
+  Element& adopt_child(std::unique_ptr<Element> child);
+  const std::vector<std::unique_ptr<Element>>& children() const {
+    return children_;
+  }
+  /// First child with the given name, or nullptr.
+  const Element* child(const std::string& name) const;
+  Element* child(const std::string& name);
+  /// All children with the given name.
+  std::vector<const Element*> children_named(const std::string& name) const;
+
+  /// Text of the first child with the given name ("" if absent).
+  const std::string& child_text(const std::string& name) const;
+
+  // -- Serialization --------------------------------------------------------
+  /// Render with 2-space indentation.
+  std::string to_string() const;
+  /// Render without any whitespace between elements (canonical-ish form used
+  /// for equality in tests).
+  std::string to_compact_string() const;
+
+  bool deep_equal(const Element& other) const;
+
+  /// Deep copy of this subtree.
+  std::unique_ptr<Element> clone() const;
+
+ private:
+  void render(std::string* out, int indent, bool pretty) const;
+
+  std::string name_;
+  std::map<std::string, std::string> attrs_;
+  std::string text_;
+  std::vector<std::unique_ptr<Element>> children_;
+};
+
+/// Escape text for use as element content / attribute value.
+std::string escape(std::string_view raw);
+
+/// Parse a document; returns its root element.
+util::Result<std::unique_ptr<Element>> parse(std::string_view input);
+
+}  // namespace vmp::xml

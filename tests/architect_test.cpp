@@ -1,0 +1,323 @@
+// Tests for the virtual-router substrate and the VMArchitect (paper §6:
+// router VMs establishing virtual networks that span distinct domains),
+// plus the shop-side classad cache (paper §3.1).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/architect.h"
+#include "core/shop.h"
+#include "net/bus.h"
+#include "net/registry.h"
+#include "vnet/router.h"
+#include "workload/request_gen.h"
+
+namespace vmp {
+namespace {
+
+// -- IPv4 / Subnet / IpPacket ---------------------------------------------------
+
+TEST(Ipv4Test, ParseFormatRoundTrip) {
+  auto a = vnet::parse_ipv4("10.1.2.3");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(vnet::format_ipv4(a.value()), "10.1.2.3");
+  EXPECT_EQ(vnet::parse_ipv4("0.0.0.0").value(), 0u);
+  EXPECT_EQ(vnet::parse_ipv4("255.255.255.255").value(), 0xffffffffu);
+}
+
+TEST(Ipv4Test, ParseRejectsMalformed) {
+  EXPECT_FALSE(vnet::parse_ipv4("10.1.2").ok());
+  EXPECT_FALSE(vnet::parse_ipv4("10.1.2.256").ok());
+  EXPECT_FALSE(vnet::parse_ipv4("10.1.2.x").ok());
+  EXPECT_FALSE(vnet::parse_ipv4("").ok());
+}
+
+TEST(SubnetTest, ContainsAndNormalizes) {
+  auto subnet = vnet::Subnet::parse("10.1.0.0/16");
+  ASSERT_TRUE(subnet.ok());
+  EXPECT_TRUE(subnet.value().contains(vnet::parse_ipv4("10.1.2.3").value()));
+  EXPECT_FALSE(subnet.value().contains(vnet::parse_ipv4("10.2.0.1").value()));
+  // Host bits are masked off.
+  auto messy = vnet::Subnet::parse("10.1.2.3/16");
+  ASSERT_TRUE(messy.ok());
+  EXPECT_EQ(messy.value().to_string(), "10.1.0.0/16");
+}
+
+TEST(SubnetTest, EdgePrefixes) {
+  auto all = vnet::Subnet::parse("0.0.0.0/0");
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all.value().contains(vnet::parse_ipv4("192.168.1.1").value()));
+  auto host = vnet::Subnet::parse("10.0.0.7/32");
+  ASSERT_TRUE(host.ok());
+  EXPECT_TRUE(host.value().contains(vnet::parse_ipv4("10.0.0.7").value()));
+  EXPECT_FALSE(host.value().contains(vnet::parse_ipv4("10.0.0.8").value()));
+  EXPECT_FALSE(vnet::Subnet::parse("10.0.0.0/33").ok());
+  EXPECT_FALSE(vnet::Subnet::parse("10.0.0.0").ok());
+}
+
+TEST(IpPacketTest, EncodeDecodeRoundTrip) {
+  vnet::IpPacket packet;
+  packet.dst = vnet::parse_ipv4("10.2.0.9").value();
+  packet.data = "payload|with|bars";
+  auto decoded = vnet::IpPacket::decode(packet.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->dst, packet.dst);
+  // Data after the FIRST bar is preserved verbatim.
+  EXPECT_EQ(decoded->data, "payload|with|bars");
+  EXPECT_FALSE(vnet::IpPacket::decode("not ip traffic").has_value());
+  EXPECT_FALSE(vnet::IpPacket::decode("ip:10.0.0.1-nobar").has_value());
+}
+
+// -- VirtualRouter ----------------------------------------------------------------
+
+class RouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    host_a_port_ = net_a_.attach(
+        [this](const vnet::EthernetFrame& f) { a_rx_.push_back(f); });
+    host_b_port_ = net_b_.attach(
+        [this](const vnet::EthernetFrame& f) { b_rx_.push_back(f); });
+
+    ASSERT_TRUE(router_
+                    .attach_interface(&net_a_, router_mac_a_, "10.1.0.1",
+                                      "10.1.0.0/24")
+                    .ok());
+    ASSERT_TRUE(router_
+                    .attach_interface(&net_b_, router_mac_b_, "10.2.0.1",
+                                      "10.2.0.0/24")
+                    .ok());
+  }
+
+  /// Host A sends an IP packet to `dst_ip` via its default gateway.
+  void send_from_a(const std::string& dst_ip, const std::string& data) {
+    vnet::EthernetFrame frame;
+    frame.src = host_a_mac_;
+    frame.dst = router_mac_a_;  // default gateway
+    vnet::IpPacket packet;
+    packet.dst = vnet::parse_ipv4(dst_ip).value();
+    packet.data = data;
+    frame.payload = packet.encode();
+    ASSERT_TRUE(net_a_.inject(host_a_port_, frame).ok());
+  }
+
+  vnet::HostOnlySwitch net_a_{"domA-vmnet"};
+  vnet::HostOnlySwitch net_b_{"domB-vmnet"};
+  vnet::VirtualRouter router_{"r1"};
+  const vnet::MacAddress router_mac_a_ = vnet::MacAddress::from_index(0xA1);
+  const vnet::MacAddress router_mac_b_ = vnet::MacAddress::from_index(0xA2);
+  const vnet::MacAddress host_a_mac_ = vnet::MacAddress::from_index(0x11);
+  const vnet::MacAddress host_b_mac_ = vnet::MacAddress::from_index(0x22);
+  std::vector<vnet::EthernetFrame> a_rx_, b_rx_;
+  std::uint32_t host_a_port_ = 0, host_b_port_ = 0;
+};
+
+TEST_F(RouterTest, ForwardsAcrossSubnetsWithArp) {
+  ASSERT_TRUE(router_.add_arp_entry("10.2.0.1", "10.2.0.9", host_b_mac_).ok());
+  send_from_a("10.2.0.9", "hello-b");
+  ASSERT_EQ(b_rx_.size(), 1u);
+  EXPECT_TRUE(b_rx_[0].dst == host_b_mac_);  // unicast via ARP
+  EXPECT_TRUE(b_rx_[0].src == router_mac_b_);
+  auto packet = vnet::IpPacket::decode(b_rx_[0].payload);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(packet->data, "hello-b");
+  EXPECT_EQ(router_.packets_forwarded(), 1u);
+  EXPECT_TRUE(a_rx_.empty());
+}
+
+TEST_F(RouterTest, UnknownHostIsBroadcastOnTargetNetwork) {
+  send_from_a("10.2.0.77", "anyone-there");
+  ASSERT_EQ(b_rx_.size(), 1u);
+  EXPECT_TRUE(b_rx_[0].dst.is_broadcast());
+}
+
+TEST_F(RouterTest, NoRouteDrops) {
+  send_from_a("192.168.9.9", "lost");
+  EXPECT_TRUE(b_rx_.empty());
+  EXPECT_EQ(router_.packets_dropped(), 1u);
+  EXPECT_EQ(router_.packets_forwarded(), 0u);
+}
+
+TEST_F(RouterTest, IgnoresTrafficNotAddressedToIt) {
+  vnet::EthernetFrame frame;
+  frame.src = host_a_mac_;
+  frame.dst = vnet::MacAddress::from_index(0x33);  // some other host
+  vnet::IpPacket packet;
+  packet.dst = vnet::parse_ipv4("10.2.0.9").value();
+  frame.payload = packet.encode();
+  ASSERT_TRUE(net_a_.inject(host_a_port_, frame).ok());
+  EXPECT_TRUE(b_rx_.empty());
+  EXPECT_EQ(router_.packets_forwarded(), 0u);
+}
+
+TEST_F(RouterTest, NonIpTrafficIgnored) {
+  vnet::EthernetFrame frame;
+  frame.src = host_a_mac_;
+  frame.dst = router_mac_a_;
+  frame.payload = "raw ethernet data";
+  ASSERT_TRUE(net_a_.inject(host_a_port_, frame).ok());
+  EXPECT_TRUE(b_rx_.empty());
+  EXPECT_EQ(router_.packets_dropped(), 0u);
+}
+
+TEST_F(RouterTest, LongestPrefixWins) {
+  // A third interface owning a more specific slice of B's space.
+  vnet::HostOnlySwitch net_c("domC-vmnet");
+  std::vector<vnet::EthernetFrame> c_rx;
+  net_c.attach([&](const vnet::EthernetFrame& f) { c_rx.push_back(f); });
+  ASSERT_TRUE(router_
+                  .attach_interface(&net_c, vnet::MacAddress::from_index(0xA3),
+                                    "10.2.0.129", "10.2.0.128/25")
+                  .ok());
+  send_from_a("10.2.0.200", "specific");  // in /25 -> net C
+  send_from_a("10.2.0.5", "general");     // only /24 -> net B
+  ASSERT_EQ(c_rx.size(), 1u);
+  ASSERT_EQ(b_rx_.size(), 1u);
+  EXPECT_EQ(vnet::IpPacket::decode(c_rx[0].payload)->data, "specific");
+  EXPECT_EQ(vnet::IpPacket::decode(b_rx_[0].payload)->data, "general");
+  // net_c dies at the end of this scope, before the fixture's router:
+  // detach everything while all switches are still alive.
+  router_.detach_all();
+}
+
+TEST_F(RouterTest, InterfaceValidation) {
+  vnet::HostOnlySwitch net("x");
+  // Address outside subnet.
+  EXPECT_FALSE(router_
+                   .attach_interface(&net, vnet::MacAddress::from_index(9),
+                                     "10.9.0.1", "10.8.0.0/24")
+                   .ok());
+  // Duplicate subnet.
+  EXPECT_FALSE(router_
+                   .attach_interface(&net, vnet::MacAddress::from_index(9),
+                                     "10.1.0.2", "10.1.0.0/24")
+                   .ok());
+  // ARP entry on unknown interface.
+  EXPECT_FALSE(router_.add_arp_entry("10.99.0.1", "10.99.0.2",
+                                     vnet::MacAddress::from_index(9))
+                   .ok());
+}
+
+// -- VMArchitect ------------------------------------------------------------------
+
+class ArchitectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("vmp-arch-test-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+    store_ = std::make_unique<storage::ArtifactStore>(root_);
+    warehouse_ = std::make_unique<warehouse::Warehouse>(store_.get(), "warehouse");
+    ASSERT_TRUE(workload::publish_paper_goldens(warehouse_.get()).ok());
+    core::PlantConfig pc;
+    pc.name = "plant0";
+    plant_ = std::make_unique<core::VmPlant>(pc, store_.get(), warehouse_.get());
+  }
+  void TearDown() override {
+    plant_.reset();
+    warehouse_.reset();
+    store_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  std::filesystem::path root_;
+  std::unique_ptr<storage::ArtifactStore> store_;
+  std::unique_ptr<warehouse::Warehouse> warehouse_;
+  std::unique_ptr<core::VmPlant> plant_;
+};
+
+TEST_F(ArchitectTest, DeployAndTeardownRouterVm) {
+  vnet::HostOnlySwitch net_a("domA"), net_b("domB");
+  core::VmArchitect architect("arch");
+  auto deployment = architect.deploy_router(
+      plant_.get(), workload::workspace_request(64, 0, "infra.ufl.edu"),
+      {{&net_a, "10.1.0.1", "10.1.0.0/24"},
+       {&net_b, "10.2.0.1", "10.2.0.0/24"}});
+  ASSERT_TRUE(deployment.ok()) << deployment.error().to_string();
+
+  // The router is a real managed VM...
+  EXPECT_EQ(plant_->active_vms(), 1u);
+  EXPECT_FALSE(deployment.value().vm_id.empty());
+  EXPECT_EQ(deployment.value().router->interface_count(), 2u);
+  EXPECT_EQ(architect.deployments(), 1u);
+
+  // ...and actually forwards across the two domains.
+  std::vector<vnet::EthernetFrame> b_rx;
+  net_b.attach([&](const vnet::EthernetFrame& f) { b_rx.push_back(f); });
+  const auto a_port = net_a.attach([](const vnet::EthernetFrame&) {});
+  vnet::EthernetFrame frame;
+  frame.src = vnet::MacAddress::from_index(0x11);
+  frame.dst = vnet::MacAddress::broadcast();  // reaches the router interface
+  vnet::IpPacket packet;
+  packet.dst = vnet::parse_ipv4("10.2.0.42").value();
+  packet.data = "cross-domain";
+  frame.payload = packet.encode();
+  ASSERT_TRUE(net_a.inject(a_port, frame).ok());
+  ASSERT_EQ(b_rx.size(), 1u);
+  EXPECT_EQ(vnet::IpPacket::decode(b_rx[0].payload)->data, "cross-domain");
+
+  // Teardown collects the VM and detaches the router.
+  ASSERT_TRUE(
+      architect.teardown(plant_.get(), std::move(deployment).value()).ok());
+  EXPECT_EQ(plant_->active_vms(), 0u);
+}
+
+TEST_F(ArchitectTest, RejectsFewerThanTwoInterfaces) {
+  vnet::HostOnlySwitch net_a("domA");
+  core::VmArchitect architect("arch");
+  auto deployment = architect.deploy_router(
+      plant_.get(), workload::workspace_request(64, 0, "d"),
+      {{&net_a, "10.1.0.1", "10.1.0.0/24"}});
+  ASSERT_FALSE(deployment.ok());
+  EXPECT_EQ(plant_->active_vms(), 0u);  // nothing leaked
+}
+
+TEST_F(ArchitectTest, RollsBackVmOnBadInterfaceSpec) {
+  vnet::HostOnlySwitch net_a("domA"), net_b("domB");
+  core::VmArchitect architect("arch");
+  auto deployment = architect.deploy_router(
+      plant_.get(), workload::workspace_request(64, 0, "d"),
+      {{&net_a, "10.1.0.1", "10.1.0.0/24"},
+       {&net_b, "10.9.0.1", "10.2.0.0/24"}});  // address outside subnet
+  ASSERT_FALSE(deployment.ok());
+  EXPECT_EQ(plant_->active_vms(), 0u);
+}
+
+// -- Shop classad cache (paper §3.1) ----------------------------------------------
+
+TEST_F(ArchitectTest, ShopCachesClassads) {
+  net::MessageBus bus;
+  net::ServiceRegistry registry;
+  ASSERT_TRUE(plant_->attach_to_bus(&bus, &registry).ok());
+  core::VmShop shop(core::ShopConfig{}, &bus, &registry);
+  ASSERT_TRUE(shop.attach_to_bus().ok());
+
+  auto ad = shop.create(workload::workspace_request(32, 0, "d"));
+  ASSERT_TRUE(ad.ok());
+  const std::string vm_id = ad.value().get_string(core::attrs::kVmId).value();
+  EXPECT_EQ(shop.cache_size(), 1u);
+
+  // Cached query: no bus traffic.
+  const auto calls_before = bus.calls_total();
+  auto cached = shop.cached_query(vm_id);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(bus.calls_total(), calls_before);
+  EXPECT_EQ(shop.cache_hits(), 1u);
+  EXPECT_EQ(cached.value().get_string(core::attrs::kVmId).value(), vm_id);
+
+  // Miss falls through to the plant.
+  EXPECT_FALSE(shop.cached_query("vm-ghost").ok());
+  EXPECT_GT(bus.calls_total(), calls_before);
+
+  // Destroy invalidates.
+  ASSERT_TRUE(shop.destroy(vm_id).ok());
+  EXPECT_EQ(shop.cache_size(), 0u);
+  EXPECT_FALSE(shop.cached_query(vm_id).ok());
+
+  // The bus/registry are locals dying before the fixture's plant: detach
+  // the plant now so its destructor does not touch a dead bus.
+  plant_->detach_from_bus();
+}
+
+}  // namespace
+}  // namespace vmp

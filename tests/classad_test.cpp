@@ -1,0 +1,385 @@
+// Unit tests for the classad value model, expression evaluator, parser, and
+// matchmaker.
+#include <gtest/gtest.h>
+
+#include "classad/classad.h"
+#include "classad/matchmaker.h"
+#include "xml/xml.h"
+
+namespace vmp::classad {
+namespace {
+
+Value eval(const std::string& expr_text, const ClassAd* self = nullptr,
+           const ClassAd* other = nullptr) {
+  auto expr = parse_expression(expr_text);
+  EXPECT_TRUE(expr.ok()) << expr_text << ": "
+                         << (expr.ok() ? "" : expr.error().to_string());
+  EvalContext ctx;
+  ctx.self = self;
+  ctx.other = other;
+  return expr.value()->evaluate(ctx);
+}
+
+// -- Values ---------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::undefined().is_undefined());
+  EXPECT_TRUE(Value::error().is_error());
+  EXPECT_EQ(Value::integer(3).as_integer(), 3);
+  EXPECT_DOUBLE_EQ(Value::real(2.5).as_real(), 2.5);
+  EXPECT_EQ(Value::string("x").as_string(), "x");
+  EXPECT_TRUE(Value::boolean(true).as_boolean());
+  EXPECT_TRUE(Value::integer(1).is_number());
+  EXPECT_TRUE(Value::real(1).is_number());
+  EXPECT_FALSE(Value::string("1").is_number());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::undefined().to_string(), "UNDEFINED");
+  EXPECT_EQ(Value::error().to_string(), "ERROR");
+  EXPECT_EQ(Value::boolean(true).to_string(), "TRUE");
+  EXPECT_EQ(Value::integer(-4).to_string(), "-4");
+  EXPECT_EQ(Value::real(4.0).to_string(), "4.0");
+  EXPECT_EQ(Value::string("a\"b").to_string(), "\"a\\\"b\"");
+}
+
+// -- Arithmetic -------------------------------------------------------------------
+
+TEST(ExprTest, IntegerArithmetic) {
+  EXPECT_EQ(eval("1 + 2 * 3").as_integer(), 7);
+  EXPECT_EQ(eval("(1 + 2) * 3").as_integer(), 9);
+  EXPECT_EQ(eval("7 / 2").as_integer(), 3);
+  EXPECT_EQ(eval("7 % 3").as_integer(), 1);
+  EXPECT_EQ(eval("-4 + 1").as_integer(), -3);
+}
+
+TEST(ExprTest, MixedArithmeticPromotesToReal) {
+  const Value v = eval("1 + 2.5");
+  EXPECT_EQ(v.type(), ValueType::kReal);
+  EXPECT_DOUBLE_EQ(v.as_real(), 3.5);
+}
+
+TEST(ExprTest, DivisionByZeroIsError) {
+  EXPECT_TRUE(eval("1 / 0").is_error());
+  EXPECT_TRUE(eval("1 % 0").is_error());
+  EXPECT_TRUE(eval("1.0 / 0.0").is_error());
+}
+
+TEST(ExprTest, StringConcatViaPlus) {
+  EXPECT_EQ(eval("\"a\" + \"b\"").as_string(), "ab");
+}
+
+TEST(ExprTest, ArithmeticOnStringsIsError) {
+  EXPECT_TRUE(eval("\"a\" * 2").is_error());
+}
+
+// -- Comparisons -------------------------------------------------------------------
+
+TEST(ExprTest, NumericComparisons) {
+  EXPECT_TRUE(eval("3 < 4").as_boolean());
+  EXPECT_TRUE(eval("4 <= 4").as_boolean());
+  EXPECT_FALSE(eval("4 > 4").as_boolean());
+  EXPECT_TRUE(eval("3 == 3.0").as_boolean());
+  EXPECT_TRUE(eval("3 != 4").as_boolean());
+}
+
+TEST(ExprTest, StringComparisonIsCaseInsensitive) {
+  EXPECT_TRUE(eval("\"Linux\" == \"linux\"").as_boolean());
+  EXPECT_TRUE(eval("\"abc\" < \"abd\"").as_boolean());
+}
+
+TEST(ExprTest, MixedTypeEqualityIsFalseOrderingIsError) {
+  EXPECT_FALSE(eval("\"a\" == 1").as_boolean());
+  EXPECT_TRUE(eval("\"a\" != 1").as_boolean());
+  EXPECT_TRUE(eval("\"a\" < 1").is_error());
+}
+
+// -- Three-valued logic ---------------------------------------------------------
+
+TEST(ExprTest, UndefinedPropagatesThroughArithmetic) {
+  EXPECT_TRUE(eval("missing + 1").is_undefined());
+  EXPECT_TRUE(eval("missing < 4").is_undefined());
+}
+
+TEST(ExprTest, FalseDominatesUndefinedInAnd) {
+  EXPECT_FALSE(eval("FALSE && missing").as_boolean());
+  EXPECT_FALSE(eval("missing && FALSE").as_boolean());
+  EXPECT_TRUE(eval("TRUE && missing").is_undefined());
+}
+
+TEST(ExprTest, TrueDominatesUndefinedInOr) {
+  EXPECT_TRUE(eval("TRUE || missing").as_boolean());
+  EXPECT_TRUE(eval("missing || TRUE").as_boolean());
+  EXPECT_TRUE(eval("FALSE || missing").is_undefined());
+}
+
+TEST(ExprTest, ErrorDominatesEverything) {
+  EXPECT_TRUE(eval("ERROR && FALSE").is_error());
+  EXPECT_TRUE(eval("ERROR || TRUE").is_error());
+  EXPECT_TRUE(eval("ERROR + 1").is_error());
+}
+
+TEST(ExprTest, NotOperator) {
+  EXPECT_FALSE(eval("!TRUE").as_boolean());
+  EXPECT_TRUE(eval("!FALSE").as_boolean());
+  EXPECT_TRUE(eval("!missing").is_undefined());
+  EXPECT_TRUE(eval("!\"str\"").is_error());
+}
+
+TEST(ExprTest, NumbersAreTruthyInLogic) {
+  EXPECT_TRUE(eval("1 && TRUE").as_boolean());
+  EXPECT_FALSE(eval("0 || FALSE").as_boolean());
+}
+
+// -- Functions ---------------------------------------------------------------------
+
+TEST(ExprTest, IsUndefinedIsError) {
+  EXPECT_TRUE(eval("isUndefined(missing)").as_boolean());
+  EXPECT_FALSE(eval("isUndefined(1)").as_boolean());
+  EXPECT_TRUE(eval("isError(1/0)").as_boolean());
+}
+
+TEST(ExprTest, Conversions) {
+  EXPECT_EQ(eval("int(4.9)").as_integer(), 4);
+  EXPECT_EQ(eval("int(\"42\")").as_integer(), 42);
+  EXPECT_DOUBLE_EQ(eval("real(3)").as_real(), 3.0);
+  EXPECT_TRUE(eval("int(\"abc\")").is_error());
+}
+
+TEST(ExprTest, FloorCeilingMinMax) {
+  EXPECT_EQ(eval("floor(2.7)").as_integer(), 2);
+  EXPECT_EQ(eval("ceiling(2.1)").as_integer(), 3);
+  EXPECT_EQ(eval("min(3, 5)").as_integer(), 3);
+  EXPECT_EQ(eval("max(3, 5)").as_integer(), 5);
+  EXPECT_DOUBLE_EQ(eval("min(3.0, 5)").as_real(), 3.0);
+}
+
+TEST(ExprTest, Strcat) {
+  EXPECT_EQ(eval("strcat(\"vm-\", 42)").as_string(), "vm-42");
+}
+
+TEST(ExprTest, StringListMember) {
+  EXPECT_TRUE(eval("stringListMember(\"b\", \"a, b, c\")").as_boolean());
+  EXPECT_FALSE(eval("stringListMember(\"z\", \"a, b, c\")").as_boolean());
+}
+
+TEST(ExprTest, UnknownFunctionIsError) {
+  EXPECT_TRUE(eval("frobnicate(1)").is_error());
+}
+
+// -- Attribute references ------------------------------------------------------------
+
+TEST(ClassAdTest, SetAndEvaluate) {
+  ClassAd ad;
+  ad.set_integer("Memory", 64);
+  ad.set_string("OS", "linux");
+  EXPECT_EQ(ad.evaluate("Memory").as_integer(), 64);
+  EXPECT_EQ(ad.evaluate("os").as_string(), "linux");  // case-insensitive
+  EXPECT_TRUE(ad.evaluate("absent").is_undefined());
+}
+
+TEST(ClassAdTest, ExpressionAttributesEvaluateLazily) {
+  ClassAd ad;
+  ad.set_integer("base", 10);
+  ASSERT_TRUE(ad.set_expression("derived", "base * 2 + 1").ok());
+  EXPECT_EQ(ad.evaluate("derived").as_integer(), 21);
+  ad.set_integer("base", 20);
+  EXPECT_EQ(ad.evaluate("derived").as_integer(), 41);
+}
+
+TEST(ClassAdTest, SelfReferenceCycleIsError) {
+  ClassAd ad;
+  ASSERT_TRUE(ad.set_expression("x", "x + 1").ok());
+  EXPECT_TRUE(ad.evaluate("x").is_error());
+}
+
+TEST(ClassAdTest, MutualCycleIsError) {
+  ClassAd ad;
+  ASSERT_TRUE(ad.set_expression("a", "b").ok());
+  ASSERT_TRUE(ad.set_expression("b", "a").ok());
+  EXPECT_TRUE(ad.evaluate("a").is_error());
+}
+
+TEST(ClassAdTest, OtherScopeResolvesAgainstCandidate) {
+  ClassAd request;
+  ASSERT_TRUE(request.set_expression("Requirements",
+                                     "other.Memory >= 64").ok());
+  ClassAd machine;
+  machine.set_integer("Memory", 128);
+  EXPECT_TRUE(request.evaluate("Requirements", &machine).as_boolean());
+  machine.set_integer("Memory", 32);
+  EXPECT_FALSE(request.evaluate("Requirements", &machine).as_boolean());
+}
+
+TEST(ClassAdTest, UnscopedNameFallsThroughToOther) {
+  ClassAd request;
+  ASSERT_TRUE(request.set_expression("Requirements", "Memory >= 64").ok());
+  ClassAd machine;
+  machine.set_integer("Memory", 128);
+  EXPECT_TRUE(request.evaluate("Requirements", &machine).as_boolean());
+}
+
+TEST(ClassAdTest, EraseAndNames) {
+  ClassAd ad;
+  ad.set_integer("a", 1);
+  ad.set_integer("b", 2);
+  EXPECT_TRUE(ad.erase("a"));
+  EXPECT_FALSE(ad.erase("a"));
+  ASSERT_EQ(ad.names().size(), 1u);
+  EXPECT_EQ(ad.names()[0], "b");
+}
+
+TEST(ClassAdTest, TypedAccessors) {
+  ClassAd ad;
+  ad.set_integer("i", 5);
+  ad.set_real("r", 2.5);
+  ad.set_string("s", "x");
+  ad.set_boolean("b", true);
+  EXPECT_EQ(ad.get_integer("i").value(), 5);
+  EXPECT_DOUBLE_EQ(ad.get_number("r").value(), 2.5);
+  EXPECT_DOUBLE_EQ(ad.get_number("i").value(), 5.0);
+  EXPECT_EQ(ad.get_string("s").value(), "x");
+  EXPECT_TRUE(ad.get_boolean("b").value());
+  EXPECT_FALSE(ad.get_integer("s").has_value());
+  EXPECT_FALSE(ad.get_string("missing").has_value());
+}
+
+TEST(ClassAdTest, CopyIsDeep) {
+  ClassAd a;
+  a.set_integer("x", 1);
+  ClassAd b = a;
+  b.set_integer("x", 2);
+  EXPECT_EQ(a.evaluate("x").as_integer(), 1);
+  EXPECT_EQ(b.evaluate("x").as_integer(), 2);
+}
+
+// -- Parsing ads ----------------------------------------------------------------------
+
+TEST(ClassAdParseTest, BracketedAd) {
+  auto ad = parse_classad("[ Memory = 64; OS = \"linux\"; Ready = TRUE ]");
+  ASSERT_TRUE(ad.ok()) << ad.error().to_string();
+  EXPECT_EQ(ad.value().evaluate("Memory").as_integer(), 64);
+  EXPECT_EQ(ad.value().evaluate("OS").as_string(), "linux");
+  EXPECT_TRUE(ad.value().evaluate("Ready").as_boolean());
+}
+
+TEST(ClassAdParseTest, BareAttributeList) {
+  auto ad = parse_classad("a = 1\nb = a + 1");
+  ASSERT_TRUE(ad.ok());
+  EXPECT_EQ(ad.value().evaluate("b").as_integer(), 2);
+}
+
+TEST(ClassAdParseTest, CommentsAllowed) {
+  auto ad = parse_classad("# header\na = 1 # trailing\n");
+  ASSERT_TRUE(ad.ok());
+  EXPECT_EQ(ad.value().evaluate("a").as_integer(), 1);
+}
+
+TEST(ClassAdParseTest, Malformed) {
+  EXPECT_FALSE(parse_classad("[ a = ]").ok());
+  EXPECT_FALSE(parse_classad("[ a 1 ]").ok());
+  EXPECT_FALSE(parse_classad("[ a = 1").ok());
+  EXPECT_FALSE(parse_expression("1 +").ok());
+  EXPECT_FALSE(parse_expression("(1").ok());
+  EXPECT_FALSE(parse_expression("\"unterminated").ok());
+  EXPECT_FALSE(parse_expression("a b").ok());
+}
+
+TEST(ClassAdParseTest, RoundTripThroughToString) {
+  auto ad = parse_classad(
+      "[ Requirements = other.Memory >= 64 && OS == \"linux\"; Rank = "
+      "other.Memory ]");
+  ASSERT_TRUE(ad.ok());
+  auto again = parse_classad(ad.value().to_string());
+  ASSERT_TRUE(again.ok()) << again.error().to_string();
+  EXPECT_TRUE(ad.value() == again.value());
+}
+
+// -- XML round trip -----------------------------------------------------------------
+
+TEST(ClassAdXmlTest, RoundTrip) {
+  ClassAd ad;
+  ad.set_string("VMID", "vm-0001");
+  ad.set_integer("MemoryBytes", 64 << 20);
+  ASSERT_TRUE(ad.set_expression("Requirements", "other.Memory >= 64").ok());
+
+  xml::Element parent("response");
+  ad.to_xml(&parent);
+  auto parsed = ClassAd::from_xml(parent);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_TRUE(ad == parsed.value());
+}
+
+TEST(ClassAdXmlTest, MissingClassAdElementFails) {
+  xml::Element parent("response");
+  EXPECT_FALSE(ClassAd::from_xml(parent).ok());
+}
+
+// -- Matchmaking ----------------------------------------------------------------------
+
+ClassAd machine_ad(int memory, const std::string& os) {
+  ClassAd ad;
+  ad.set_integer("Memory", memory);
+  ad.set_string("OS", os);
+  return ad;
+}
+
+TEST(MatchmakerTest, SymmetricMatchBothSidesHold) {
+  ClassAd request;
+  ASSERT_TRUE(
+      request.set_expression("Requirements",
+                             "other.Memory >= 64 && other.OS == \"linux\"")
+          .ok());
+  request.set_string("Customer", "invigo");
+
+  ClassAd machine = machine_ad(128, "linux");
+  ASSERT_TRUE(machine
+                  .set_expression("Requirements",
+                                  "other.Customer == \"invigo\"")
+                  .ok());
+  EXPECT_TRUE(symmetric_match(request, machine));
+
+  ClassAd stranger;
+  ASSERT_TRUE(stranger.set_expression("Requirements",
+                                      "other.Memory >= 64").ok());
+  stranger.set_string("Customer", "other-org");
+  EXPECT_FALSE(symmetric_match(stranger, machine));
+}
+
+TEST(MatchmakerTest, MissingRequirementsDefaultsTrue) {
+  ClassAd request;
+  ClassAd machine = machine_ad(64, "linux");
+  EXPECT_TRUE(symmetric_match(request, machine));
+}
+
+TEST(MatchmakerTest, UndefinedRequirementsDoNotMatch) {
+  ClassAd request;
+  ASSERT_TRUE(request.set_expression("Requirements", "other.Missing > 3").ok());
+  EXPECT_FALSE(symmetric_match(request, machine_ad(64, "linux")));
+}
+
+TEST(MatchmakerTest, RankOrdersCandidates) {
+  ClassAd request;
+  ASSERT_TRUE(request.set_expression("Requirements", "other.Memory >= 32").ok());
+  ASSERT_TRUE(request.set_expression("Rank", "other.Memory").ok());
+
+  std::vector<ClassAd> machines{machine_ad(64, "linux"),
+                                machine_ad(256, "linux"),
+                                machine_ad(16, "linux")};
+  auto matches = match_all(request, machines);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].index, 1u);  // 256 first
+  EXPECT_EQ(matches[1].index, 0u);
+
+  auto best = match_best(request, machines);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->index, 1u);
+}
+
+TEST(MatchmakerTest, NoCandidates) {
+  ClassAd request;
+  EXPECT_FALSE(match_best(request, {}).has_value());
+}
+
+}  // namespace
+}  // namespace vmp::classad

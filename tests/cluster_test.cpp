@@ -1,0 +1,285 @@
+// Tests for the timing model, the simulated deployment, and the concurrent
+// creation simulator.
+#include <gtest/gtest.h>
+
+#include "cluster/concurrent_sim.h"
+#include "cluster/deployment.h"
+#include "cluster/timing_model.h"
+#include "util/stats.h"
+#include "workload/request_gen.h"
+
+namespace vmp::cluster {
+namespace {
+
+constexpr std::uint64_t kMb = 1ull << 20;
+
+CreationObservation gsx_observation(std::uint64_t mem_mb,
+                                    std::uint64_t resident_mb = 0,
+                                    std::uint64_t active = 0) {
+  CreationObservation obs;
+  obs.backend = "vmware-gsx";
+  obs.memory_bytes = mem_mb * kMb;
+  obs.clone_bytes_copied = mem_mb * kMb + 4096;  // memory + small artefacts
+  obs.clone_links = 16;
+  obs.resident_before_bytes = resident_mb * kMb;
+  obs.active_vms_before = active;
+  obs.guest_actions = 6;
+  obs.isos_connected = 6;
+  obs.bidding_plants = 8;
+  return obs;
+}
+
+// -- TimingModel --------------------------------------------------------------
+
+TEST(TimingModelTest, CloneTimeGrowsWithMemorySize) {
+  TimingModel model(TimingConfig{}, 1);
+  const double t32 = model.time_creation(gsx_observation(32)).clone_sec;
+  const double t64 = model.time_creation(gsx_observation(64)).clone_sec;
+  const double t256 = model.time_creation(gsx_observation(256)).clone_sec;
+  EXPECT_LT(t32, t64);
+  EXPECT_LT(t64, t256);
+}
+
+TEST(TimingModelTest, CalibrationLandsInPaperRange) {
+  // Means over many noisy draws should sit near the paper's reported
+  // ranges: creation 17-85 s overall; clone ≈ 5-15 s (32/64 MB) and
+  // ≈ 25-60 s (256 MB).
+  TimingModel model(TimingConfig{}, 7);
+  util::Summary clone32, clone256, total32, total256;
+  for (int i = 0; i < 200; ++i) {
+    const CreationTiming t32 = model.time_creation(gsx_observation(32));
+    const CreationTiming t256 = model.time_creation(gsx_observation(256));
+    clone32.add(t32.clone_sec);
+    clone256.add(t256.clone_sec);
+    total32.add(t32.total_sec);
+    total256.add(t256.total_sec);
+  }
+  EXPECT_GT(clone32.mean(), 4.0);
+  EXPECT_LT(clone32.mean(), 15.0);
+  EXPECT_GT(clone256.mean(), 25.0);
+  EXPECT_LT(clone256.mean(), 60.0);
+  EXPECT_GT(total32.mean(), 17.0);
+  EXPECT_LT(total32.mean(), 40.0);
+  EXPECT_LT(total256.mean(), 85.0);
+}
+
+TEST(TimingModelTest, FullCopyApproximatelyPaper210Seconds) {
+  TimingModel model(TimingConfig{}, 3);
+  util::Summary copies;
+  for (int i = 0; i < 100; ++i) {
+    copies.add(model.full_copy_sec(2048 * kMb, 16));
+  }
+  EXPECT_GT(copies.mean(), 180.0);
+  EXPECT_LT(copies.mean(), 240.0);
+}
+
+TEST(TimingModelTest, PressureMultiplierKicksInPastKnee) {
+  TimingModel model(TimingConfig{}, 1);
+  // Empty plant: no pressure.
+  EXPECT_NEAR(model.pressure_multiplier(0, 0, 64 * kMb), 1.0, 0.05);
+  // 15 resident 64 MB VMs on a 1.5 GB host: well past the knee.
+  const double loaded =
+      model.pressure_multiplier(15 * 64 * kMb, 15, 64 * kMb);
+  EXPECT_GT(loaded, 1.5);
+  // Monotone in residency.
+  EXPECT_GT(model.pressure_multiplier(1200 * kMb, 5, 256 * kMb),
+            model.pressure_multiplier(600 * kMb, 2, 256 * kMb));
+}
+
+TEST(TimingModelTest, UmlBootDominatesCloneTime) {
+  TimingModel model(TimingConfig{}, 5);
+  CreationObservation obs = gsx_observation(32);
+  obs.backend = "uml";
+  obs.clone_bytes_copied = 4096;  // no memory state
+  obs.clone_links = 1;
+  util::Summary clones;
+  for (int i = 0; i < 100; ++i) {
+    clones.add(model.time_creation(obs).clone_sec);
+  }
+  // Paper §4.3: UML full-boot clone average 76 s.
+  EXPECT_GT(clones.mean(), 60.0);
+  EXPECT_LT(clones.mean(), 95.0);
+}
+
+TEST(TimingModelTest, DeterministicForSameSeed) {
+  TimingModel a(TimingConfig{}, 42);
+  TimingModel b(TimingConfig{}, 42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.time_creation(gsx_observation(64)).total_sec,
+                     b.time_creation(gsx_observation(64)).total_sec);
+  }
+}
+
+TEST(TimingModelTest, PhasesSumToTotal) {
+  TimingModel model(TimingConfig{}, 9);
+  const CreationTiming t = model.time_creation(gsx_observation(64));
+  EXPECT_NEAR(t.total_sec, t.clone_sec + t.config_sec + t.shop_sec, 1e-9);
+  EXPECT_GT(t.clone_sec, 0.0);
+  EXPECT_GT(t.config_sec, 0.0);
+  EXPECT_GT(t.shop_sec, 0.0);
+}
+
+// -- SimulatedDeployment ----------------------------------------------------------
+
+class DeploymentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DeploymentConfig config;
+    config.plant_count = 4;  // smaller than the paper for test speed
+    config.seed = 99;
+    deployment_ = std::make_unique<SimulatedDeployment>(config);
+    ASSERT_TRUE(
+        workload::publish_paper_goldens(&deployment_->warehouse()).ok());
+  }
+  std::unique_ptr<SimulatedDeployment> deployment_;
+};
+
+TEST_F(DeploymentTest, RunsRequestsThroughRealStack) {
+  auto samples = deployment_->run_sequence(
+      workload::workspace_requests(64, 8, "ufl.edu"));
+  ASSERT_EQ(samples.size(), 8u);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].sequence, i + 1);
+    EXPECT_FALSE(samples[i].vm_id.empty());
+    EXPECT_FALSE(samples[i].plant.empty());
+    EXPECT_GT(samples[i].timing.total_sec, 0.0);
+    EXPECT_EQ(samples[i].memory_bytes, 64 * kMb);
+  }
+  // The virtual clock advanced by the sum of creation times.
+  double sum = 0;
+  for (const auto& s : samples) sum += s.timing.total_sec;
+  EXPECT_NEAR(deployment_->sim_now(), sum, 1e-6);
+  EXPECT_EQ(deployment_->creations(), 8u);
+}
+
+TEST_F(DeploymentTest, MemoryBasedBiddingBalancesPlants) {
+  auto samples = deployment_->run_sequence(
+      workload::workspace_requests(64, 16, "ufl.edu"));
+  ASSERT_EQ(samples.size(), 16u);
+  std::map<std::string, int> per_plant;
+  for (const auto& s : samples) per_plant[s.plant]++;
+  // Memory-available bidding spreads 16 VMs evenly over 4 plants.
+  EXPECT_EQ(per_plant.size(), 4u);
+  for (const auto& [plant, count] : per_plant) EXPECT_EQ(count, 4);
+}
+
+TEST_F(DeploymentTest, CollectAllEmptiesPlants) {
+  auto samples = deployment_->run_sequence(
+      workload::workspace_requests(32, 4, "ufl.edu"));
+  ASSERT_EQ(samples.size(), 4u);
+  deployment_->collect_all();
+  for (std::size_t i = 0; i < deployment_->plant_count(); ++i) {
+    EXPECT_EQ(deployment_->plant(i).active_vms(), 0u);
+  }
+}
+
+TEST_F(DeploymentTest, FailedRequestsSkippedNotFatal) {
+  std::vector<core::CreateRequest> requests =
+      workload::workspace_requests(64, 2, "ufl.edu");
+  requests.push_back(workload::workspace_request(128, 9, "ufl.edu"));  // no golden
+  requests.push_back(workload::workspace_request(64, 3, "ufl.edu"));
+  auto samples = deployment_->run_sequence(requests);
+  EXPECT_EQ(samples.size(), 3u);
+  EXPECT_EQ(deployment_->failures(), 1u);
+}
+
+TEST_F(DeploymentTest, DeterministicAcrossIdenticalDeployments) {
+  DeploymentConfig config;
+  config.plant_count = 4;
+  config.seed = 99;
+  SimulatedDeployment other(config);
+  ASSERT_TRUE(workload::publish_paper_goldens(&other.warehouse()).ok());
+
+  auto a = deployment_->run_sequence(workload::workspace_requests(64, 6, "d"));
+  auto b = other.run_sequence(workload::workspace_requests(64, 6, "d"));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].timing.total_sec, b[i].timing.total_sec);
+    EXPECT_EQ(a[i].plant, b[i].plant);
+  }
+}
+
+TEST_F(DeploymentTest, Figure6EffectCloningSlowsAsPlantsFill) {
+  // Drive enough 256 MB VMs that each of the 4 plants holds several:
+  // later clones must be slower than early ones (memory pressure).
+  auto samples = deployment_->run_sequence(
+      workload::workspace_requests(256, 20, "ufl.edu"));
+  ASSERT_EQ(samples.size(), 20u);
+  const double early = (samples[0].timing.clone_sec +
+                        samples[1].timing.clone_sec +
+                        samples[2].timing.clone_sec) / 3.0;
+  const double late = (samples[17].timing.clone_sec +
+                       samples[18].timing.clone_sec +
+                       samples[19].timing.clone_sec) / 3.0;
+  EXPECT_GT(late, early * 1.3);
+}
+
+// -- ConcurrentCreationSim -----------------------------------------------------------
+
+ConcurrentRequest concurrent_64mb() {
+  ConcurrentRequest req;
+  req.memory_bytes = 64 * kMb;
+  req.bytes_to_copy = 64 * kMb;
+  req.links = 16;
+  req.guest_actions = 6;
+  req.isos = 6;
+  return req;
+}
+
+TEST(ConcurrentSimTest, SerialWindowMatchesSequentialIntuition) {
+  ConcurrentCreationSim sim(8, TimingConfig{}, 1);
+  std::vector<ConcurrentRequest> requests(10, concurrent_64mb());
+  auto result = sim.run(requests, 1);
+  ASSERT_EQ(result.samples.size(), 10u);
+  // With window 1, creations never overlap.
+  for (std::size_t i = 1; i < result.samples.size(); ++i) {
+    EXPECT_GE(result.samples[i].start_sec,
+              result.samples[i - 1].finish_sec - 1e-6);
+  }
+}
+
+TEST(ConcurrentSimTest, ConcurrencyShrinksMakespan) {
+  std::vector<ConcurrentRequest> requests(16, concurrent_64mb());
+  ConcurrentCreationSim serial(8, TimingConfig{}, 1);
+  ConcurrentCreationSim wide(8, TimingConfig{}, 1);
+  const double serial_makespan = serial.run(requests, 1).makespan_sec;
+  const double wide_makespan = wide.run(requests, 8).makespan_sec;
+  EXPECT_LT(wide_makespan, serial_makespan * 0.7);
+}
+
+TEST(ConcurrentSimTest, ContentionStretchesIndividualClones) {
+  std::vector<ConcurrentRequest> requests(16, concurrent_64mb());
+  ConcurrentCreationSim serial(8, TimingConfig{}, 1);
+  ConcurrentCreationSim wide(8, TimingConfig{}, 1);
+  auto serial_result = serial.run(requests, 1);
+  auto wide_result = wide.run(requests, 16);
+
+  util::Summary serial_clone, wide_clone;
+  for (const auto& s : serial_result.samples) serial_clone.add(s.clone_latency());
+  for (const auto& s : wide_result.samples) wide_clone.add(s.clone_latency());
+  // The shared NFS pipe makes concurrent clones individually slower.
+  EXPECT_GT(wide_clone.mean(), serial_clone.mean() * 1.5);
+}
+
+TEST(ConcurrentSimTest, AllBytesMoveThroughNfs) {
+  std::vector<ConcurrentRequest> requests(4, concurrent_64mb());
+  ConcurrentCreationSim sim(2, TimingConfig{}, 1);
+  auto result = sim.run(requests, 4);
+  EXPECT_NEAR(result.nfs_bytes_moved, 4.0 * 64 * kMb, 1024.0);
+}
+
+TEST(ConcurrentSimTest, SamplesCoverAllRequests) {
+  std::vector<ConcurrentRequest> requests(7, concurrent_64mb());
+  ConcurrentCreationSim sim(3, TimingConfig{}, 2);
+  auto result = sim.run(requests, 3);
+  ASSERT_EQ(result.samples.size(), 7u);
+  for (const auto& s : result.samples) {
+    EXPECT_GT(s.finish_sec, s.start_sec);
+    EXPECT_GE(s.clone_done_sec, s.start_sec);
+    EXPECT_GE(s.finish_sec, s.clone_done_sec);
+    EXPECT_LT(s.plant, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace vmp::cluster

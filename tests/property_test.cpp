@@ -1,0 +1,307 @@
+// Property-based tests: parameterized sweeps over randomized inputs
+// checking structural invariants of the DAG algorithms, the matching tests,
+// the simulation resources, and serialization round-trips.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/request.h"
+#include "dag/dag_xml.h"
+#include "dag/matching.h"
+#include "workload/request_gen.h"
+#include "sim/engine.h"
+#include "sim/resources.h"
+#include "util/random.h"
+#include "workload/dag_library.h"
+
+namespace vmp {
+namespace {
+
+// =====================================================================
+// Random DAG properties, swept over seeds and shapes.
+// =====================================================================
+
+struct DagShape {
+  std::uint64_t seed;
+  std::size_t layers;
+  std::size_t width;
+  double density;
+};
+
+class RandomDagProperty : public ::testing::TestWithParam<DagShape> {
+ protected:
+  dag::ConfigDag make() const {
+    const DagShape& s = GetParam();
+    return workload::random_layered_dag(s.seed, s.layers, s.width, s.density);
+  }
+};
+
+TEST_P(RandomDagProperty, ValidatesAndSortsConsistently) {
+  dag::ConfigDag d = make();
+  ASSERT_TRUE(d.validate().ok());
+  auto sorted = d.topological_sort();
+  ASSERT_TRUE(sorted.ok());
+  const auto& order = sorted.value();
+  ASSERT_EQ(order.size(), d.size());
+
+  // Topological property: every edge points forward in the order.
+  std::map<std::string, std::size_t> pos;
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const std::string& id : d.node_ids()) {
+    for (const std::string& succ : d.successors(id)) {
+      EXPECT_LT(pos.at(id), pos.at(succ));
+    }
+  }
+}
+
+TEST_P(RandomDagProperty, AncestorsAgreeWithEdges) {
+  dag::ConfigDag d = make();
+  for (const std::string& id : d.node_ids()) {
+    const auto ancestors = d.ancestors(id);
+    // Direct predecessors are ancestors.
+    for (const std::string& pred : d.predecessors(id)) {
+      EXPECT_TRUE(ancestors.count(pred));
+    }
+    // Ancestor-of-ancestor is an ancestor (transitivity).
+    for (const std::string& a : ancestors) {
+      for (const std::string& aa : d.ancestors(a)) {
+        EXPECT_TRUE(ancestors.count(aa));
+      }
+    }
+    // Nothing is its own ancestor (acyclicity).
+    EXPECT_FALSE(ancestors.count(id));
+  }
+}
+
+TEST_P(RandomDagProperty, XmlRoundTripIsIdentity) {
+  dag::ConfigDag d = make();
+  auto parsed = dag::from_xml_string(dag::to_xml_string(d));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_TRUE(parsed.value() == d);
+}
+
+TEST_P(RandomDagProperty, EveryTopoPrefixPassesAllThreeTests) {
+  // A history taken as a prefix of a valid topological order is by
+  // construction subset-closed, prefix-closed, and order-consistent.
+  dag::ConfigDag d = make();
+  auto order = d.topological_sort().value();
+  std::vector<std::string> history;
+  for (std::size_t take = 0; take <= order.size(); ++take) {
+    history.clear();
+    for (std::size_t i = 0; i < take; ++i) {
+      history.push_back(d.action(order[i])->signature());
+    }
+    auto eval = dag::evaluate_match(d, history);
+    ASSERT_TRUE(eval.ok());
+    EXPECT_TRUE(eval.value().matches())
+        << "prefix of length " << take << ": "
+        << eval.value().failure_reason;
+    EXPECT_EQ(eval.value().satisfied_nodes.size(), take);
+    EXPECT_EQ(eval.value().remaining_plan.size(), order.size() - take);
+  }
+}
+
+TEST_P(RandomDagProperty, MatchedPlanIsAValidCompletion) {
+  // For a random downward-closed subset (not necessarily a topo prefix),
+  // the remaining plan must respect all edges relative to the full graph.
+  dag::ConfigDag d = make();
+  util::SplitMix64 rng(GetParam().seed ^ 0xabcdef);
+
+  // Build a random downward-closed set by including each node only if all
+  // its predecessors are included.
+  const auto topo_order = d.topological_sort().value();
+  std::set<std::string> closed;
+  for (const std::string& id : topo_order) {
+    bool all_preds = true;
+    for (const std::string& p : d.predecessors(id)) {
+      if (!closed.count(p)) all_preds = false;
+    }
+    if (all_preds && rng.bernoulli(0.6)) closed.insert(id);
+  }
+  // History: the closed set in topo order (a valid execution).
+  std::vector<std::string> history;
+  for (const std::string& id : topo_order) {
+    if (closed.count(id)) history.push_back(d.action(id)->signature());
+  }
+
+  auto eval = dag::evaluate_match(d, history);
+  ASSERT_TRUE(eval.ok());
+  ASSERT_TRUE(eval.value().matches()) << eval.value().failure_reason;
+
+  // Concatenating history order + plan order yields a full linear
+  // extension of the DAG.
+  std::map<std::string, std::size_t> pos;
+  std::size_t i = 0;
+  for (const std::string& id : eval.value().satisfied_nodes) pos[id] = i++;
+  for (const std::string& id : eval.value().remaining_plan) pos[id] = i++;
+  ASSERT_EQ(pos.size(), d.size());
+  for (const std::string& id : d.node_ids()) {
+    for (const std::string& succ : d.successors(id)) {
+      EXPECT_LT(pos.at(id), pos.at(succ));
+    }
+  }
+}
+
+TEST_P(RandomDagProperty, ViolatingHistoriesAreRejected) {
+  dag::ConfigDag d = make();
+  auto order = d.topological_sort().value();
+
+  // Find a node with at least one ancestor; performing it alone must fail
+  // the prefix test.
+  for (const std::string& id : order) {
+    if (!d.ancestors(id).empty()) {
+      auto eval = dag::evaluate_match(d, {d.action(id)->signature()});
+      ASSERT_TRUE(eval.ok());
+      EXPECT_FALSE(eval.value().matches());
+      EXPECT_FALSE(eval.value().prefix_ok);
+      break;
+    }
+  }
+
+  // An alien action must fail the subset test.
+  auto eval = dag::evaluate_match(d, {"alien-op{x=1}"});
+  ASSERT_TRUE(eval.ok());
+  EXPECT_FALSE(eval.value().subset_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RandomDagProperty,
+    ::testing::Values(DagShape{1, 2, 2, 0.5}, DagShape{2, 3, 3, 0.4},
+                      DagShape{3, 4, 4, 0.3}, DagShape{4, 5, 3, 0.6},
+                      DagShape{5, 3, 6, 0.2}, DagShape{6, 6, 2, 0.7},
+                      DagShape{7, 2, 8, 0.4}, DagShape{8, 8, 2, 0.3},
+                      DagShape{9, 4, 5, 0.5}, DagShape{10, 5, 5, 0.25}));
+
+// =====================================================================
+// Ranking properties.
+// =====================================================================
+
+class RankingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RankingProperty, RankedMatchesAreSortedAndConsistent) {
+  dag::ConfigDag d = workload::random_layered_dag(GetParam(), 4, 3, 0.4);
+  auto order = d.topological_sort().value();
+
+  // Candidate images: topo prefixes of various lengths + one broken.
+  std::vector<std::vector<std::string>> images;
+  for (std::size_t take = 0; take <= order.size(); take += 2) {
+    std::vector<std::string> history;
+    for (std::size_t i = 0; i < take; ++i) {
+      history.push_back(d.action(order[i])->signature());
+    }
+    images.push_back(history);
+  }
+  images.push_back({"alien-op{}"});
+
+  auto ranked = dag::rank_matches(d, images);
+  ASSERT_TRUE(ranked.ok());
+  // The alien image must be absent; all others present.
+  EXPECT_EQ(ranked.value().size(), images.size() - 1);
+  // Sorted by satisfied_count descending; satisfied+remaining == |dag|.
+  for (std::size_t i = 0; i < ranked.value().size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(ranked.value()[i - 1].satisfied_count,
+                ranked.value()[i].satisfied_count);
+    }
+    EXPECT_EQ(ranked.value()[i].satisfied_count +
+                  ranked.value()[i].remaining_count,
+              d.size());
+  }
+  // The best match is the longest prefix.
+  EXPECT_EQ(ranked.value().front().satisfied_count,
+            images[images.size() - 2].size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankingProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// =====================================================================
+// Simulation resource conservation properties.
+// =====================================================================
+
+class BandwidthProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BandwidthProperty, WorkConservationAndOrdering) {
+  // N random transfers: total transferred equals total offered, and the
+  // pipe is never idle while work remains -> makespan == total/capacity
+  // when all jobs start at t=0.
+  util::SplitMix64 rng(GetParam());
+  sim::Engine engine;
+  const double capacity = 8.0;
+  sim::SharedBandwidth pipe(&engine, capacity);
+
+  double total = 0.0;
+  std::size_t completions = 0;
+  const std::size_t n = 2 + rng.next_below(10);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double units = 1.0 + rng.uniform(0.0, 100.0);
+    total += units;
+    pipe.start(units, [&] { ++completions; });
+  }
+  engine.run();
+  EXPECT_EQ(completions, n);
+  EXPECT_NEAR(pipe.total_transferred(), total, 1e-6);
+  EXPECT_NEAR(engine.now(), total / capacity, 1e-6);
+}
+
+TEST_P(BandwidthProperty, StaggeredArrivalsStillConserveWork) {
+  util::SplitMix64 rng(GetParam() ^ 0x777);
+  sim::Engine engine;
+  sim::SharedBandwidth pipe(&engine, 5.0);
+  double total = 0.0;
+  std::size_t completions = 0;
+  const std::size_t n = 3 + rng.next_below(8);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double units = 1.0 + rng.uniform(0.0, 50.0);
+    const double arrival = rng.uniform(0.0, 10.0);
+    total += units;
+    engine.schedule(arrival, [&pipe, units, &completions] {
+      pipe.start(units, [&completions] { ++completions; });
+    });
+  }
+  engine.run();
+  EXPECT_EQ(completions, n);
+  EXPECT_NEAR(pipe.total_transferred(), total, 1e-6);
+  // Makespan is at least the lower bound (work/capacity).
+  EXPECT_GE(engine.now() + 1e-9, total / 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandwidthProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// =====================================================================
+// In-VIGO workspace DAG sweep: every (memory, request-index) combination
+// builds a valid request whose XML round-trips.
+// =====================================================================
+
+class WorkspaceSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::size_t>> {
+};
+
+TEST_P(WorkspaceSweep, RequestsAreValidAndRoundTrip) {
+  const auto [mem, index] = GetParam();
+  core::CreateRequest r = workload::workspace_request(mem, index, "ufl.edu");
+  ASSERT_TRUE(r.validate().ok());
+  auto parsed = core::CreateRequest::from_xml_string(r.to_xml_string());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_TRUE(parsed.value().config == r.config);
+  EXPECT_EQ(parsed.value().hardware.memory_bytes, r.hardware.memory_bytes);
+
+  // Each request matches the golden prefix regardless of parameters.
+  auto eval =
+      dag::evaluate_match(r.config, workload::invigo_golden_history());
+  ASSERT_TRUE(eval.ok());
+  EXPECT_TRUE(eval.value().matches());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MemAndIndex, WorkspaceSweep,
+    ::testing::Combine(::testing::Values(32u, 64u, 256u),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{17}, std::size_t{127},
+                                         std::size_t{300})));
+
+}  // namespace
+}  // namespace vmp

@@ -1,0 +1,211 @@
+// Tests for the VMShop: bid collection, plant selection, creation routing,
+// query/destroy, and failure handling over the message bus.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/plant.h"
+#include "core/shop.h"
+#include "workload/request_gen.h"
+
+namespace vmp::core {
+namespace {
+
+class ShopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("vmp-shop-test-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+    store_ = std::make_unique<storage::ArtifactStore>(root_);
+    warehouse_ = std::make_unique<warehouse::Warehouse>(store_.get(), "warehouse");
+    ASSERT_TRUE(workload::publish_paper_goldens(warehouse_.get()).ok());
+
+    for (int i = 0; i < 3; ++i) {
+      PlantConfig config;
+      config.name = "plant" + std::to_string(i);
+      config.cost_model = "network-compute";
+      plants_.push_back(
+          std::make_unique<VmPlant>(config, store_.get(), warehouse_.get()));
+      ASSERT_TRUE(plants_.back()->attach_to_bus(&bus_, &registry_).ok());
+    }
+    shop_ = std::make_unique<VmShop>(ShopConfig{}, &bus_, &registry_);
+    ASSERT_TRUE(shop_->attach_to_bus().ok());
+  }
+  void TearDown() override {
+    shop_.reset();
+    plants_.clear();
+    warehouse_.reset();
+    store_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  std::filesystem::path root_;
+  std::unique_ptr<storage::ArtifactStore> store_;
+  std::unique_ptr<warehouse::Warehouse> warehouse_;
+  net::MessageBus bus_;
+  net::ServiceRegistry registry_;
+  std::vector<std::unique_ptr<VmPlant>> plants_;
+  std::unique_ptr<VmShop> shop_;
+};
+
+TEST_F(ShopTest, CollectsBidsFromAllPlants) {
+  auto bids = shop_->collect_bids(workload::workspace_request(64, 0, "d1"));
+  ASSERT_EQ(bids.size(), 3u);
+  for (const Bid& bid : bids) {
+    EXPECT_DOUBLE_EQ(bid.cost, 50.0);  // all empty, new domain everywhere
+  }
+}
+
+TEST_F(ShopTest, SelectBidPicksCheapest) {
+  std::vector<Bid> bids{{"a", 50.0}, {"b", 4.0}, {"c", 12.0}};
+  auto best = shop_->select_bid(bids);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->plant_address, "b");
+  EXPECT_FALSE(shop_->select_bid({}).has_value());
+}
+
+TEST_F(ShopTest, TiesBrokenAmongCheapestOnly) {
+  std::vector<Bid> bids{{"a", 5.0}, {"b", 5.0}, {"c", 9.0}};
+  for (int i = 0; i < 20; ++i) {
+    auto pick = shop_->select_bid(bids);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_NE(pick->plant_address, "c");
+  }
+}
+
+TEST_F(ShopTest, CreateRoutesThroughCheapestPlant) {
+  // First create lands somewhere (ties).  Second create for the same
+  // domain must land on the SAME plant: its compute bid (4*1=4) beats the
+  // other plants' network bids (50) — the paper's §3.4 behaviour.
+  auto first = shop_->create(workload::workspace_request(64, 0, "ufl.edu"));
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+  const std::string first_plant =
+      first.value().get_string(attrs::kPlant).value();
+
+  auto second = shop_->create(workload::workspace_request(64, 1, "ufl.edu"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().get_string(attrs::kPlant).value(), first_plant);
+  EXPECT_EQ(shop_->creations(), 2u);
+}
+
+TEST_F(ShopTest, DifferentDomainsSpreadWhenCostsEqual) {
+  // Domain d2's bid is 50 everywhere (new network), so it can land on any
+  // plant; the first domain's plant charges 50 for d2 as well (its network
+  // is held by d1).  Just verify creation succeeds and isolation holds.
+  ASSERT_TRUE(shop_->create(workload::workspace_request(64, 0, "d1")).ok());
+  auto r2 = shop_->create(workload::workspace_request(64, 1, "d2"));
+  ASSERT_TRUE(r2.ok());
+}
+
+TEST_F(ShopTest, QueryRoutedAndBroadcast) {
+  auto ad = shop_->create(workload::workspace_request(32, 0, "d1"));
+  ASSERT_TRUE(ad.ok());
+  const std::string vm_id = ad.value().get_string(attrs::kVmId).value();
+
+  auto q = shop_->query(vm_id);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().get_string(attrs::kVmId).value(), vm_id);
+
+  // A second shop with no routing cache finds the VM by broadcast.
+  VmShop shop2(ShopConfig{.name = "vmshop2"}, &bus_, &registry_);
+  auto q2 = shop2.query(vm_id);
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2.value().get_string(attrs::kVmId).value(), vm_id);
+
+  EXPECT_FALSE(shop_->query("vm-ghost").ok());
+}
+
+TEST_F(ShopTest, DestroyCollectsAtPlant) {
+  auto ad = shop_->create(workload::workspace_request(32, 0, "d1"));
+  ASSERT_TRUE(ad.ok());
+  const std::string vm_id = ad.value().get_string(attrs::kVmId).value();
+  const std::string plant_name = ad.value().get_string(attrs::kPlant).value();
+
+  ASSERT_TRUE(shop_->destroy(vm_id).ok());
+  for (const auto& plant : plants_) {
+    if (plant->name() == plant_name) {
+      EXPECT_EQ(plant->active_vms(), 0u);
+      EXPECT_EQ(plant->allocator().free_networks(), 4u);
+    }
+  }
+  EXPECT_FALSE(shop_->destroy(vm_id).ok());
+}
+
+TEST_F(ShopTest, NoBidsWhenNothingMatches) {
+  // 128 MB golden does not exist -> every plant's PPP would fail, but the
+  // estimate stage already refuses nothing (cost model doesn't know);
+  // creation fails at the chosen plant and the shop falls through all
+  // bids, reporting kUnavailable with the underlying reason.
+  auto r = shop_->create(workload::workspace_request(128, 0, "d1"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), util::ErrorCode::kUnavailable);
+  EXPECT_NE(r.error().message().find("NO_MATCHING_IMAGE"), std::string::npos);
+}
+
+TEST_F(ShopTest, NoBidsAtAllWhenPlantsGone) {
+  for (auto& plant : plants_) plant->detach_from_bus();
+  auto r = shop_->create(workload::workspace_request(64, 0, "d1"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), util::ErrorCode::kNoBids);
+}
+
+TEST_F(ShopTest, FailoverToNextBestBidOnPlantFailure) {
+  // Wedge one plant (down at create time but alive at bid time is hard to
+  // arrange; instead mark it down entirely — bids skip it, creation goes
+  // elsewhere).
+  bus_.set_down("plant0", true);
+  auto r = shop_->create(workload::workspace_request(64, 0, "d1"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value().get_string(attrs::kPlant).value(), "plant0");
+}
+
+TEST_F(ShopTest, FailoverWhenChosenPlantFailsCreation) {
+  // All plants bid, but plant capacity 0 at two of them via saturating
+  // their networks with other domains.
+  for (int d = 0; d < 4; ++d) {
+    // Fill plant0's networks by addressing it directly.
+    ASSERT_TRUE(plants_[0]
+                    ->create(workload::workspace_request(
+                        32, d + 100, "filler" + std::to_string(d)))
+                    .ok());
+  }
+  // plant0 now has 4 domains holding its networks; a new domain's create
+  // there would fail.  The shop should still succeed via another plant.
+  auto r = shop_->create(workload::workspace_request(64, 0, "fresh-domain"));
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_NE(r.value().get_string(attrs::kPlant).value(), "plant0");
+}
+
+TEST_F(ShopTest, WireProtocolThroughShopEndpoint) {
+  // Drive the shop through its *bus* endpoint like an external client.
+  CreateRequest request = workload::workspace_request(32, 0, "d1");
+  net::Message m =
+      net::Message::request("vmshop.create", "client", "vmshop", "c-1");
+  request.to_xml(&m.body());
+  auto response = net::call_expecting_success(&bus_, m);
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  auto ad = classad::ClassAd::from_xml(response.value().body());
+  ASSERT_TRUE(ad.ok());
+  const std::string vm_id = ad.value().get_string(attrs::kVmId).value();
+
+  net::Message query =
+      net::Message::request("vmshop.query", "client", "vmshop", "c-2");
+  query.body().add_child("vm").set_attr("id", vm_id);
+  EXPECT_TRUE(net::call_expecting_success(&bus_, query).ok());
+
+  net::Message destroy =
+      net::Message::request("vmshop.destroy", "client", "vmshop", "c-3");
+  destroy.body().add_child("vm").set_attr("id", vm_id);
+  EXPECT_TRUE(net::call_expecting_success(&bus_, destroy).ok());
+
+  net::Message bad =
+      net::Message::request("vmshop.unknown", "client", "vmshop", "c-4");
+  auto fault = bus_.call(bad);
+  ASSERT_TRUE(fault.ok());
+  EXPECT_TRUE(fault.value().is_fault());
+}
+
+}  // namespace
+}  // namespace vmp::core

@@ -1,0 +1,297 @@
+// Unit tests for the discrete-event engine and contended-resource models.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/resources.h"
+
+namespace vmp::sim {
+namespace {
+
+TEST(EngineTest, ClockStartsAtZero) {
+  Engine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
+TEST(EngineTest, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(3.0, [&] { order.push_back(3); });
+  engine.schedule(1.0, [&] { order.push_back(1); });
+  engine.schedule(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(EngineTest, EqualTimesFireInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EngineTest, NegativeDelayClampsToNow) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule(-5.0, [&] { fired = true; });
+  engine.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+}
+
+TEST(EngineTest, NestedScheduling) {
+  Engine engine;
+  double second_fire_time = -1;
+  engine.schedule(1.0, [&] {
+    engine.schedule(2.0, [&] { second_fire_time = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(second_fire_time, 3.0);
+}
+
+TEST(EngineTest, CancelPreventsFiring) {
+  Engine engine;
+  bool fired = false;
+  EventHandle handle = engine.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  EXPECT_TRUE(handle.cancel());
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());  // double cancel is a no-op
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EngineTest, HandleNotPendingAfterFire) {
+  Engine engine;
+  EventHandle handle = engine.schedule(1.0, [] {});
+  engine.run();
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine engine;
+  std::vector<double> fired;
+  engine.schedule(1.0, [&] { fired.push_back(1.0); });
+  engine.schedule(5.0, [&] { fired.push_back(5.0); });
+  const std::size_t n = engine.run_until(2.0);
+  EXPECT_EQ(n, 1u);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  engine.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[1], 5.0);
+}
+
+TEST(EngineTest, StepFiresExactlyOne) {
+  Engine engine;
+  int count = 0;
+  engine.schedule(1.0, [&] { ++count; });
+  engine.schedule(2.0, [&] { ++count; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EngineTest, ScheduleAtPastTimeClamps) {
+  Engine engine;
+  engine.schedule(5.0, [] {});
+  engine.run();
+  double fire_time = -1;
+  engine.schedule_at(1.0, [&] { fire_time = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fire_time, 5.0);
+}
+
+// -- SharedBandwidth -----------------------------------------------------------
+
+TEST(SharedBandwidthTest, SingleTransferTakesUnitsOverCapacity) {
+  Engine engine;
+  SharedBandwidth pipe(&engine, 10.0);
+  double done_at = -1;
+  pipe.start(100.0, [&] { done_at = engine.now(); });
+  engine.run();
+  EXPECT_NEAR(done_at, 10.0, 1e-9);
+}
+
+TEST(SharedBandwidthTest, TwoEqualTransfersShareFairly) {
+  Engine engine;
+  SharedBandwidth pipe(&engine, 10.0);
+  double a_done = -1, b_done = -1;
+  pipe.start(100.0, [&] { a_done = engine.now(); });
+  pipe.start(100.0, [&] { b_done = engine.now(); });
+  engine.run();
+  // Each gets 5 units/s: both complete at t=20.
+  EXPECT_NEAR(a_done, 20.0, 1e-9);
+  EXPECT_NEAR(b_done, 20.0, 1e-9);
+}
+
+TEST(SharedBandwidthTest, LateArrivalSlowsEarlierTransfer) {
+  Engine engine;
+  SharedBandwidth pipe(&engine, 10.0);
+  double a_done = -1, b_done = -1;
+  pipe.start(100.0, [&] { a_done = engine.now(); });
+  engine.schedule(5.0, [&] {
+    pipe.start(50.0, [&] { b_done = engine.now(); });
+  });
+  engine.run();
+  // A moves 50 units alone by t=5; then both share 5 u/s each, needing
+  // 50 units each -> both finish at t=15.
+  EXPECT_NEAR(a_done, 15.0, 1e-9);
+  EXPECT_NEAR(b_done, 15.0, 1e-9);
+}
+
+TEST(SharedBandwidthTest, ShorterTransferFinishesFirstAndFreesShare) {
+  Engine engine;
+  SharedBandwidth pipe(&engine, 10.0);
+  double small_done = -1, big_done = -1;
+  pipe.start(200.0, [&] { big_done = engine.now(); });
+  pipe.start(50.0, [&] { small_done = engine.now(); });
+  engine.run();
+  // Shared until the small job's 50 units finish at t=10; the big job then
+  // has 150 units left alone at 10 u/s -> done at t=25.
+  EXPECT_NEAR(small_done, 10.0, 1e-9);
+  EXPECT_NEAR(big_done, 25.0, 1e-9);
+}
+
+TEST(SharedBandwidthTest, ZeroUnitCompletesImmediately) {
+  Engine engine;
+  SharedBandwidth pipe(&engine, 10.0);
+  double done_at = -1;
+  pipe.start(0.0, [&] { done_at = engine.now(); });
+  engine.run();
+  EXPECT_NEAR(done_at, 0.0, 1e-9);
+}
+
+TEST(SharedBandwidthTest, CompletionCallbackCanStartNewTransfer) {
+  Engine engine;
+  SharedBandwidth pipe(&engine, 10.0);
+  double second_done = -1;
+  pipe.start(100.0, [&] {
+    pipe.start(100.0, [&] { second_done = engine.now(); });
+  });
+  engine.run();
+  EXPECT_NEAR(second_done, 20.0, 1e-9);
+}
+
+TEST(SharedBandwidthTest, AccountsTotalTransferred) {
+  Engine engine;
+  SharedBandwidth pipe(&engine, 10.0);
+  pipe.start(30.0, nullptr);
+  pipe.start(70.0, nullptr);
+  engine.run();
+  EXPECT_NEAR(pipe.total_transferred(), 100.0, 1e-6);
+  EXPECT_EQ(pipe.active(), 0u);
+}
+
+TEST(SharedBandwidthTest, InvalidCapacityThrows) {
+  Engine engine;
+  EXPECT_THROW(SharedBandwidth(&engine, 0.0), std::invalid_argument);
+}
+
+// -- FifoServer ------------------------------------------------------------------
+
+TEST(FifoServerTest, SingleServerSerializes) {
+  Engine engine;
+  FifoServer fifo(&engine, 1);
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    fifo.submit(2.0, [&] { done.push_back(engine.now()); });
+  }
+  engine.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+  EXPECT_NEAR(done[1], 4.0, 1e-9);
+  EXPECT_NEAR(done[2], 6.0, 1e-9);
+}
+
+TEST(FifoServerTest, MultipleServersRunInParallel) {
+  Engine engine;
+  FifoServer fifo(&engine, 2);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) {
+    fifo.submit(3.0, [&] { done.push_back(engine.now()); });
+  }
+  engine.run();
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_NEAR(done[1], 3.0, 1e-9);
+  EXPECT_NEAR(done[3], 6.0, 1e-9);
+}
+
+TEST(FifoServerTest, QueueDepthVisible) {
+  Engine engine;
+  FifoServer fifo(&engine, 1);
+  fifo.submit(1.0, nullptr);
+  fifo.submit(1.0, nullptr);
+  fifo.submit(1.0, nullptr);
+  EXPECT_EQ(fifo.busy(), 1u);
+  EXPECT_EQ(fifo.queued(), 2u);
+  engine.run();
+  EXPECT_EQ(fifo.busy(), 0u);
+  EXPECT_EQ(fifo.queued(), 0u);
+}
+
+// -- CapacityPool ------------------------------------------------------------------
+
+TEST(CapacityPoolTest, TryAcquireRespectsCapacity) {
+  Engine engine;
+  CapacityPool pool(&engine, 100.0);
+  EXPECT_TRUE(pool.try_acquire(60.0));
+  EXPECT_FALSE(pool.try_acquire(50.0));
+  EXPECT_TRUE(pool.try_acquire(40.0));
+  EXPECT_DOUBLE_EQ(pool.available(), 0.0);
+  EXPECT_DOUBLE_EQ(pool.in_use(), 100.0);
+}
+
+TEST(CapacityPoolTest, AcquireBlocksUntilRelease) {
+  Engine engine;
+  CapacityPool pool(&engine, 100.0);
+  ASSERT_TRUE(pool.try_acquire(100.0));
+  bool granted = false;
+  pool.acquire(50.0, [&] { granted = true; });
+  engine.run();
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(pool.waiters(), 1u);
+  pool.release(100.0);
+  engine.run();
+  EXPECT_TRUE(granted);
+  EXPECT_DOUBLE_EQ(pool.in_use(), 50.0);
+}
+
+TEST(CapacityPoolTest, WaitersServedFifo) {
+  Engine engine;
+  CapacityPool pool(&engine, 10.0);
+  ASSERT_TRUE(pool.try_acquire(10.0));
+  std::vector<int> order;
+  pool.acquire(5.0, [&] { order.push_back(1); });
+  pool.acquire(5.0, [&] { order.push_back(2); });
+  pool.release(10.0);
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(CapacityPoolTest, NoQueueJumpingPastWaiters) {
+  Engine engine;
+  CapacityPool pool(&engine, 10.0);
+  ASSERT_TRUE(pool.try_acquire(8.0));
+  pool.acquire(5.0, [] {});  // waits (only 2 available)
+  // A small request that *would* fit must not bypass the FIFO.
+  EXPECT_FALSE(pool.try_acquire(1.0));
+}
+
+TEST(CapacityPoolTest, ReleaseClampsAtCapacity) {
+  Engine engine;
+  CapacityPool pool(&engine, 10.0);
+  pool.release(100.0);
+  EXPECT_DOUBLE_EQ(pool.available(), 10.0);
+}
+
+}  // namespace
+}  // namespace vmp::sim

@@ -1,0 +1,344 @@
+// Unit tests for the artifact store, disk model, image layout, and the
+// link-vs-copy cloning mechanics.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/artifact_store.h"
+#include "storage/clone_ops.h"
+#include "storage/disk.h"
+#include "storage/image_layout.h"
+
+namespace vmp::storage {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("vmp-storage-test-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+    store_ = std::make_unique<ArtifactStore>(root_);
+  }
+  void TearDown() override {
+    store_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  std::filesystem::path root_;
+  std::unique_ptr<ArtifactStore> store_;
+};
+
+// -- Path safety --------------------------------------------------------------
+
+TEST_F(StorageTest, RejectsAbsolutePaths) {
+  EXPECT_FALSE(store_->resolve("/etc/passwd").ok());
+  EXPECT_FALSE(store_->write_file("/etc/shadow", "x").ok());
+}
+
+TEST_F(StorageTest, RejectsTraversal) {
+  EXPECT_FALSE(store_->resolve("../outside").ok());
+  EXPECT_FALSE(store_->resolve("a/../../b").ok());
+}
+
+TEST_F(StorageTest, ResolvesRelativePaths) {
+  auto p = store_->resolve("a/b/c.txt");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value(), root_ / "a/b/c.txt");
+}
+
+// -- Files -------------------------------------------------------------------
+
+TEST_F(StorageTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(store_->write_file("dir/file.txt", "hello\nworld").ok());
+  auto content = store_->read_file("dir/file.txt");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "hello\nworld");
+  EXPECT_TRUE(store_->exists("dir/file.txt"));
+  EXPECT_FALSE(store_->exists("dir/other.txt"));
+}
+
+TEST_F(StorageTest, ReadMissingFileFails) {
+  EXPECT_FALSE(store_->read_file("nope").ok());
+}
+
+TEST_F(StorageTest, AppendGrowsFile) {
+  ASSERT_TRUE(store_->write_file("log", "a").ok());
+  ASSERT_TRUE(store_->append_file("log", "b").ok());
+  EXPECT_EQ(store_->read_file("log").value(), "ab");
+}
+
+TEST_F(StorageTest, SparseFileHasLogicalSizeWithoutDiskUse) {
+  const std::uint64_t gb = 1ull << 30;
+  auto acct = store_->create_sparse_file("disk.vmdk", 2 * gb);
+  ASSERT_TRUE(acct.ok());
+  EXPECT_EQ(acct.value().bytes_written, 2 * gb);
+  EXPECT_EQ(store_->file_size("disk.vmdk").value(), 2 * gb);
+  // Allocated blocks must be tiny (the point of sparseness).
+  struct stat st {};
+  ASSERT_EQ(::stat((root_ / "disk.vmdk").c_str(), &st), 0);
+  EXPECT_LT(static_cast<std::uint64_t>(st.st_blocks) * 512, 1ull << 20);
+}
+
+TEST_F(StorageTest, CopySmallFileIsReal) {
+  ASSERT_TRUE(store_->write_file("src", "content").ok());
+  auto acct = store_->copy_file("src", "dst");
+  ASSERT_TRUE(acct.ok());
+  EXPECT_EQ(acct.value().bytes_read, 7u);
+  EXPECT_EQ(store_->read_file("dst").value(), "content");
+}
+
+TEST_F(StorageTest, CopySparseFileStaysSparseButAccountsLogicalBytes) {
+  const std::uint64_t mb256 = 256ull << 20;
+  ASSERT_TRUE(store_->create_sparse_file("memory.vmss", mb256).ok());
+  auto acct = store_->copy_file("memory.vmss", "clone/memory.vmss");
+  ASSERT_TRUE(acct.ok());
+  EXPECT_EQ(acct.value().bytes_written, mb256);
+  EXPECT_EQ(store_->file_size("clone/memory.vmss").value(), mb256);
+  struct stat st {};
+  ASSERT_EQ(::stat((root_ / "clone/memory.vmss").c_str(), &st), 0);
+  EXPECT_LT(static_cast<std::uint64_t>(st.st_blocks) * 512, 1ull << 20);
+}
+
+TEST_F(StorageTest, CopyMissingSourceFails) {
+  EXPECT_FALSE(store_->copy_file("missing", "dst").ok());
+}
+
+// -- Links --------------------------------------------------------------------
+
+TEST_F(StorageTest, LinkCreatesSymlinkReadThrough) {
+  ASSERT_TRUE(store_->write_file("golden/disk", "DISKDATA").ok());
+  auto acct = store_->link_file("golden/disk", "clone/disk");
+  ASSERT_TRUE(acct.ok());
+  EXPECT_EQ(acct.value().links_created, 1u);
+  EXPECT_EQ(acct.value().bytes_written, 0u);
+  EXPECT_TRUE(store_->is_symlink("clone/disk"));
+  EXPECT_FALSE(store_->is_symlink("golden/disk"));
+  EXPECT_EQ(store_->read_file("clone/disk").value(), "DISKDATA");
+  // file_size of a symlink reports 0 (link itself); logical follows.
+  EXPECT_EQ(store_->file_size("clone/disk").value(), 0u);
+  EXPECT_EQ(store_->logical_size("clone/disk").value(), 8u);
+}
+
+TEST_F(StorageTest, LinkMissingSourceFails) {
+  EXPECT_FALSE(store_->link_file("missing", "clone/x").ok());
+}
+
+// -- Directory ops ---------------------------------------------------------------
+
+TEST_F(StorageTest, ListDirSorted) {
+  ASSERT_TRUE(store_->write_file("d/b", "").ok());
+  ASSERT_TRUE(store_->write_file("d/a", "").ok());
+  ASSERT_TRUE(store_->write_file("d/c", "").ok());
+  auto entries = store_->list_dir("d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(StorageTest, RemoveTreeDeletesEverything) {
+  ASSERT_TRUE(store_->write_file("t/x/y", "1").ok());
+  ASSERT_TRUE(store_->remove_tree("t").ok());
+  EXPECT_FALSE(store_->exists("t"));
+}
+
+TEST_F(StorageTest, RemoveSingleFile) {
+  ASSERT_TRUE(store_->write_file("f", "1").ok());
+  EXPECT_TRUE(store_->remove("f").ok());
+  EXPECT_FALSE(store_->remove("f").ok());
+}
+
+// -- DiskSpec ----------------------------------------------------------------------
+
+TEST(DiskSpecTest, SpanNamesAndSizes) {
+  DiskSpec disk;
+  disk.name = "disk0";
+  disk.capacity_bytes = 100;
+  disk.span_count = 3;
+  const auto names = disk.span_file_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "disk0-s001.vmdk");
+  EXPECT_EQ(names[2], "disk0-s003.vmdk");
+  EXPECT_EQ(disk.span_size(0), 33u);
+  EXPECT_EQ(disk.span_size(1), 33u);
+  EXPECT_EQ(disk.span_size(2), 34u);  // remainder in the last span
+  EXPECT_EQ(disk.span_size(0) + disk.span_size(1) + disk.span_size(2), 100u);
+  EXPECT_EQ(disk.redo_file_name(), "disk0.redo");
+}
+
+TEST(DiskSpecTest, Validation) {
+  DiskSpec ok{"d", 100, 2, DiskMode::kNonPersistent};
+  EXPECT_TRUE(ok.validate().ok());
+  DiskSpec no_name{"", 100, 2, DiskMode::kNonPersistent};
+  EXPECT_FALSE(no_name.validate().ok());
+  DiskSpec zero_cap{"d", 0, 2, DiskMode::kNonPersistent};
+  EXPECT_FALSE(zero_cap.validate().ok());
+  DiskSpec zero_spans{"d", 100, 0, DiskMode::kNonPersistent};
+  EXPECT_FALSE(zero_spans.validate().ok());
+}
+
+TEST(DiskSpecTest, ModeNamesRoundTrip) {
+  EXPECT_EQ(parse_disk_mode(disk_mode_name(DiskMode::kPersistent)).value(),
+            DiskMode::kPersistent);
+  EXPECT_EQ(parse_disk_mode(disk_mode_name(DiskMode::kNonPersistent)).value(),
+            DiskMode::kNonPersistent);
+  EXPECT_FALSE(parse_disk_mode("bogus").ok());
+}
+
+// -- MachineSpec / config file --------------------------------------------------------
+
+MachineSpec paper_spec(std::uint64_t mem_mb) {
+  MachineSpec spec;
+  spec.os = "linux-mandrake-8.1";
+  spec.memory_bytes = mem_mb << 20;
+  spec.suspended = true;
+  spec.disk = DiskSpec{"disk0", 2048ull << 20, 16, DiskMode::kNonPersistent};
+  return spec;
+}
+
+TEST(MachineSpecTest, ConfigRoundTrip) {
+  const MachineSpec spec = paper_spec(64);
+  auto parsed = parse_machine_config(render_machine_config(spec));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().os, spec.os);
+  EXPECT_EQ(parsed.value().memory_bytes, spec.memory_bytes);
+  EXPECT_EQ(parsed.value().suspended, spec.suspended);
+  EXPECT_EQ(parsed.value().disk.span_count, 16u);
+  EXPECT_EQ(parsed.value().disk.mode, DiskMode::kNonPersistent);
+}
+
+TEST(MachineSpecTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_machine_config("nonsense line").ok());
+  EXPECT_FALSE(parse_machine_config("unknown_key = 1").ok());
+  EXPECT_FALSE(parse_machine_config("").ok());  // fails validation
+}
+
+// -- materialize_image -----------------------------------------------------------------
+
+TEST_F(StorageTest, MaterializeCreatesAllArtifacts) {
+  const MachineSpec spec = paper_spec(32);
+  const ImageLayout layout{"warehouse/golden-32mb"};
+  auto acct = materialize_image(store_.get(), layout, spec);
+  ASSERT_TRUE(acct.ok()) << acct.error().to_string();
+
+  EXPECT_TRUE(store_->exists(layout.config_path()));
+  EXPECT_TRUE(store_->exists(layout.memory_path()));
+  EXPECT_TRUE(store_->exists(layout.base_redo_path(spec.disk)));
+  for (const auto& span : layout.span_paths(spec.disk)) {
+    EXPECT_TRUE(store_->exists(span));
+  }
+  EXPECT_EQ(store_->file_size(layout.memory_path()).value(), 32ull << 20);
+}
+
+TEST_F(StorageTest, MaterializeBootImageHasNoMemoryState) {
+  MachineSpec spec = paper_spec(32);
+  spec.suspended = false;
+  const ImageLayout layout{"warehouse/uml"};
+  ASSERT_TRUE(materialize_image(store_.get(), layout, spec).ok());
+  EXPECT_FALSE(store_->exists(layout.memory_path()));
+}
+
+// -- clone_image -------------------------------------------------------------------------
+
+class CloneTest : public StorageTest {
+ protected:
+  void SetUp() override {
+    StorageTest::SetUp();
+    spec_ = paper_spec(64);
+    golden_ = ImageLayout{"warehouse/golden"};
+    ASSERT_TRUE(materialize_image(store_.get(), golden_, spec_).ok());
+  }
+  MachineSpec spec_;
+  ImageLayout golden_;
+};
+
+TEST_F(CloneTest, LinkedCloneLinksDisksAndCopiesMemory) {
+  auto report = clone_image(store_.get(), golden_, spec_, "clones/vm1",
+                            CloneStrategy::kLinked);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+
+  // Disk spans are links, not copies.
+  EXPECT_EQ(report.value().disk.links_created, 16u);
+  EXPECT_EQ(report.value().disk.bytes_written, 0u);
+  // Memory is a real (logical) copy of 64 MB.
+  EXPECT_EQ(report.value().memory.bytes_written, 64ull << 20);
+
+  const ImageLayout clone{"clones/vm1"};
+  EXPECT_TRUE(store_->is_symlink(clone.span_paths(spec_.disk)[0]));
+  EXPECT_FALSE(store_->is_symlink(clone.memory_path()));
+  EXPECT_TRUE(store_->exists(clone.config_path()));
+  EXPECT_TRUE(store_->exists(clone.base_redo_path(spec_.disk)));
+}
+
+TEST_F(CloneTest, FullCopyWritesAllBytes) {
+  auto report = clone_image(store_.get(), golden_, spec_, "clones/vm2",
+                            CloneStrategy::kFullCopy);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().disk.links_created, 0u);
+  EXPECT_EQ(report.value().disk.bytes_written, 2048ull << 20);
+  const ImageLayout clone{"clones/vm2"};
+  EXPECT_FALSE(store_->is_symlink(clone.span_paths(spec_.disk)[0]));
+}
+
+TEST_F(CloneTest, CloneAccountingGapMatchesPaperMechanism) {
+  // The whole point of linked cloning (paper §4.3): bytes moved shrink from
+  // disk-sized to memory-sized.
+  auto linked = clone_image(store_.get(), golden_, spec_, "clones/a",
+                            CloneStrategy::kLinked);
+  auto copied = clone_image(store_.get(), golden_, spec_, "clones/b",
+                            CloneStrategy::kFullCopy);
+  ASSERT_TRUE(linked.ok());
+  ASSERT_TRUE(copied.ok());
+  const double ratio =
+      static_cast<double>(copied.value().total().bytes_written) /
+      static_cast<double>(linked.value().total().bytes_written);
+  EXPECT_GT(ratio, 30.0);  // 2 GB+64MB vs 64 MB ≈ 33x
+}
+
+TEST_F(CloneTest, LinkedCloneOfPersistentDiskRefused) {
+  MachineSpec persistent = spec_;
+  persistent.disk.mode = DiskMode::kPersistent;
+  auto report = clone_image(store_.get(), golden_, persistent, "clones/vm3",
+                            CloneStrategy::kLinked);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code(), util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(CloneTest, CloneIntoExistingDirRefused) {
+  ASSERT_TRUE(store_->make_dir("clones/vm4").ok());
+  auto report = clone_image(store_.get(), golden_, spec_, "clones/vm4",
+                            CloneStrategy::kLinked);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code(), util::ErrorCode::kAlreadyExists);
+}
+
+TEST_F(CloneTest, DestroyCloneRemovesCloneNotGolden) {
+  ASSERT_TRUE(clone_image(store_.get(), golden_, spec_, "clones/vm5",
+                          CloneStrategy::kLinked)
+                  .ok());
+  ASSERT_TRUE(destroy_clone(store_.get(), "clones/vm5").ok());
+  EXPECT_FALSE(store_->exists("clones/vm5"));
+  // Golden artefacts untouched.
+  EXPECT_TRUE(store_->exists(golden_.memory_path()));
+  for (const auto& span : golden_.span_paths(spec_.disk)) {
+    EXPECT_TRUE(store_->exists(span));
+  }
+  EXPECT_FALSE(destroy_clone(store_.get(), "clones/vm5").ok());
+}
+
+TEST_F(CloneTest, ManyClonesShareOneGolden) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(clone_image(store_.get(), golden_, spec_,
+                            "clones/many" + std::to_string(i),
+                            CloneStrategy::kLinked)
+                    .ok());
+  }
+  // All clones read the same base disk content through their links.
+  for (int i = 0; i < 10; ++i) {
+    const ImageLayout clone{"clones/many" + std::to_string(i)};
+    EXPECT_TRUE(store_->is_symlink(clone.span_paths(spec_.disk)[5]));
+  }
+}
+
+}  // namespace
+}  // namespace vmp::storage

@@ -1,0 +1,326 @@
+// Unit tests for the virtual-networking substrate: MAC addresses, learning
+// switches, per-domain network allocation, and VNET bridge/tunnel
+// connectivity + isolation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vnet/allocator.h"
+#include "vnet/ethernet.h"
+#include "vnet/switch.h"
+#include "vnet/vnet_bridge.h"
+
+namespace vmp::vnet {
+namespace {
+
+// -- MacAddress --------------------------------------------------------------
+
+TEST(MacAddressTest, FromIndexIsDeterministicAndUnique) {
+  EXPECT_EQ(MacAddress::from_index(1), MacAddress::from_index(1));
+  EXPECT_FALSE(MacAddress::from_index(1) == MacAddress::from_index(2));
+  EXPECT_EQ(MacAddress::from_index(0x010203).to_string(), "02:56:4d:01:02:03");
+}
+
+TEST(MacAddressTest, ParseRoundTrip) {
+  auto mac = MacAddress::parse("02:56:4d:00:00:2a");
+  ASSERT_TRUE(mac.ok());
+  EXPECT_EQ(mac.value().to_string(), "02:56:4d:00:00:2a");
+}
+
+TEST(MacAddressTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::parse("02:56:4d:00:00").ok());
+  EXPECT_FALSE(MacAddress::parse("zz:56:4d:00:00:2a").ok());
+  EXPECT_FALSE(MacAddress::parse("2:56:4d:0:0:2a").ok());
+  EXPECT_FALSE(MacAddress::parse("").ok());
+}
+
+TEST(MacAddressTest, Broadcast) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_FALSE(MacAddress::from_index(1).is_broadcast());
+  EXPECT_EQ(MacAddress::broadcast().to_string(), "ff:ff:ff:ff:ff:ff");
+}
+
+// -- HostOnlySwitch -----------------------------------------------------------
+
+struct PortLog {
+  std::vector<EthernetFrame> frames;
+  FrameSink sink() {
+    return [this](const EthernetFrame& f) { frames.push_back(f); };
+  }
+};
+
+EthernetFrame frame(const MacAddress& src, const MacAddress& dst,
+                    const std::string& payload = "data") {
+  EthernetFrame f;
+  f.src = src;
+  f.dst = dst;
+  f.payload = payload;
+  return f;
+}
+
+TEST(SwitchTest, FloodsUnknownDestination) {
+  HostOnlySwitch sw("vmnet1");
+  PortLog a, b, c;
+  const auto pa = sw.attach(a.sink());
+  sw.attach(b.sink());
+  sw.attach(c.sink());
+
+  const MacAddress src = MacAddress::from_index(1);
+  const MacAddress dst = MacAddress::from_index(2);
+  ASSERT_TRUE(sw.inject(pa, frame(src, dst)).ok());
+  EXPECT_EQ(a.frames.size(), 0u);  // no hairpin
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(c.frames.size(), 1u);
+  EXPECT_EQ(sw.frames_flooded(), 1u);
+}
+
+TEST(SwitchTest, LearnsAndSwitchesUnicast) {
+  HostOnlySwitch sw("vmnet1");
+  PortLog a, b, c;
+  const auto pa = sw.attach(a.sink());
+  const auto pb = sw.attach(b.sink());
+  sw.attach(c.sink());
+
+  const MacAddress ma = MacAddress::from_index(1);
+  const MacAddress mb = MacAddress::from_index(2);
+  // B talks first: switch learns B's port.
+  ASSERT_TRUE(sw.inject(pb, frame(mb, ma)).ok());
+  ASSERT_EQ(sw.learned_port(mb), pb);
+  // Now A->B is switched, not flooded.
+  c.frames.clear();
+  ASSERT_TRUE(sw.inject(pa, frame(ma, mb)).ok());
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_TRUE(c.frames.empty());
+  EXPECT_EQ(sw.frames_switched(), 1u);
+}
+
+TEST(SwitchTest, BroadcastReachesAllButIngress) {
+  HostOnlySwitch sw("vmnet1");
+  PortLog a, b, c;
+  const auto pa = sw.attach(a.sink());
+  sw.attach(b.sink());
+  sw.attach(c.sink());
+  ASSERT_TRUE(
+      sw.inject(pa, frame(MacAddress::from_index(1), MacAddress::broadcast()))
+          .ok());
+  EXPECT_TRUE(a.frames.empty());
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(c.frames.size(), 1u);
+}
+
+TEST(SwitchTest, DetachFlushesLearnedMacs) {
+  HostOnlySwitch sw("vmnet1");
+  PortLog a, b;
+  const auto pa = sw.attach(a.sink());
+  const auto pb = sw.attach(b.sink());
+  const MacAddress mb = MacAddress::from_index(2);
+  ASSERT_TRUE(sw.inject(pb, frame(mb, MacAddress::from_index(1))).ok());
+  ASSERT_TRUE(sw.detach(pb).ok());
+  EXPECT_FALSE(sw.learned_port(mb).has_value());
+  EXPECT_FALSE(sw.detach(pb).ok());
+  (void)pa;
+}
+
+TEST(SwitchTest, InjectOnUnknownPortFails) {
+  HostOnlySwitch sw("vmnet1");
+  EXPECT_FALSE(
+      sw.inject(99, frame(MacAddress::from_index(1), MacAddress::broadcast()))
+          .ok());
+}
+
+// -- NetworkAllocator ------------------------------------------------------------
+
+TEST(AllocatorTest, PaperConfigurationFourNetworks) {
+  NetworkAllocator alloc("plant0", 4);
+  EXPECT_EQ(alloc.total_networks(), 4u);
+  EXPECT_EQ(alloc.free_networks(), 4u);
+}
+
+TEST(AllocatorTest, DomainReusesItsNetwork) {
+  NetworkAllocator alloc("plant0", 2);
+  auto n1 = alloc.acquire("ufl.edu");
+  ASSERT_TRUE(n1.ok());
+  auto n2 = alloc.acquire("ufl.edu");
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(n1.value(), n2.value());
+  EXPECT_EQ(alloc.free_networks(), 1u);
+  EXPECT_EQ(alloc.domains_served(), 1u);
+}
+
+TEST(AllocatorTest, DistinctDomainsGetDistinctNetworks) {
+  NetworkAllocator alloc("plant0", 2);
+  auto n1 = alloc.acquire("ufl.edu");
+  auto n2 = alloc.acquire("northwestern.edu");
+  ASSERT_TRUE(n1.ok());
+  ASSERT_TRUE(n2.ok());
+  EXPECT_NE(n1.value(), n2.value());
+  EXPECT_EQ(alloc.holder_of(n1.value()), "ufl.edu");
+  EXPECT_EQ(alloc.holder_of(n2.value()), "northwestern.edu");
+}
+
+TEST(AllocatorTest, ExhaustionRefusesNewDomains) {
+  NetworkAllocator alloc("plant0", 1);
+  ASSERT_TRUE(alloc.acquire("d1").ok());
+  auto r = alloc.acquire("d2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), util::ErrorCode::kResourceExhausted);
+  // Existing domain can still add VMs.
+  EXPECT_TRUE(alloc.acquire("d1").ok());
+  EXPECT_TRUE(alloc.can_serve("d1"));
+  EXPECT_FALSE(alloc.can_serve("d2"));
+}
+
+TEST(AllocatorTest, ReleaseReturnsNetworkWhenLastVmLeaves) {
+  NetworkAllocator alloc("plant0", 1);
+  ASSERT_TRUE(alloc.acquire("d1").ok());
+  ASSERT_TRUE(alloc.acquire("d1").ok());
+  ASSERT_TRUE(alloc.release("d1").ok());
+  EXPECT_EQ(alloc.free_networks(), 0u);  // one VM still using it
+  ASSERT_TRUE(alloc.release("d1").ok());
+  EXPECT_EQ(alloc.free_networks(), 1u);
+  // Now a new domain fits.
+  EXPECT_TRUE(alloc.acquire("d2").ok());
+}
+
+TEST(AllocatorTest, ReleaseWithoutAcquireFails) {
+  NetworkAllocator alloc("plant0", 1);
+  EXPECT_FALSE(alloc.release("ghost").ok());
+}
+
+TEST(AllocatorTest, NeedsNewNetworkDrivesTheCostModel) {
+  NetworkAllocator alloc("plant0", 4);
+  EXPECT_TRUE(alloc.needs_new_network("d1"));
+  ASSERT_TRUE(alloc.acquire("d1").ok());
+  EXPECT_FALSE(alloc.needs_new_network("d1"));
+  EXPECT_TRUE(alloc.needs_new_network("d2"));
+}
+
+TEST(AllocatorTest, EmptyDomainRejected) {
+  NetworkAllocator alloc("plant0", 1);
+  EXPECT_FALSE(alloc.acquire("").ok());
+}
+
+TEST(AllocatorTest, SwitchForNamedNetwork) {
+  NetworkAllocator alloc("plant0", 2);
+  auto name = alloc.acquire("d1");
+  ASSERT_TRUE(name.ok());
+  auto sw = alloc.switch_for(name.value());
+  ASSERT_TRUE(sw.ok());
+  EXPECT_EQ(sw.value()->name(), name.value());
+  EXPECT_FALSE(alloc.switch_for("bogus").ok());
+}
+
+// -- VNET bridge end-to-end ----------------------------------------------------------
+
+class VnetEndToEndTest : public ::testing::Test {
+ protected:
+  // Client home network with a "client workstation" attached; plant
+  // host-only network with a "VM" attached; VNET server + proxy bridging.
+  void SetUp() override {
+    vm_port_ = host_only_.attach(vm_log_.sink());
+    client_port_ = home_.attach(client_log_.sink());
+
+    server_ = std::make_unique<VnetServer>("vnet-plant0", &host_only_);
+    proxy_ = std::make_unique<VnetProxy>("proxy-ufl", &home_);
+    tunnel_ = std::make_unique<Tunnel>(
+        "t1", std::vector<std::string>{"gateway.acis.ufl.edu", "ssh:4096"});
+    ASSERT_TRUE(server_->connect(tunnel_.get()).ok());
+    ASSERT_TRUE(proxy_->connect(tunnel_.get()).ok());
+    tunnel_->bind(server_.get(), proxy_.get());
+  }
+
+  HostOnlySwitch host_only_{"plant0-vmnet1"};
+  HostOnlySwitch home_{"ufl-lan"};
+  PortLog vm_log_, client_log_;
+  std::uint32_t vm_port_ = 0, client_port_ = 0;
+  std::unique_ptr<VnetServer> server_;
+  std::unique_ptr<VnetProxy> proxy_;
+  std::unique_ptr<Tunnel> tunnel_;
+
+  const MacAddress vm_mac_ = MacAddress::from_index(100);
+  const MacAddress client_mac_ = MacAddress::from_index(200);
+};
+
+TEST_F(VnetEndToEndTest, VmReachesClientDomainThroughTunnel) {
+  // VM sends to the (unknown) client MAC: floods to the uplink, crosses
+  // the tunnel, floods the home network, reaches the client.
+  ASSERT_TRUE(host_only_.inject(vm_port_, frame(vm_mac_, client_mac_, "ping"))
+                  .ok());
+  ASSERT_EQ(client_log_.frames.size(), 1u);
+  EXPECT_EQ(client_log_.frames[0].payload, "ping");
+  EXPECT_EQ(tunnel_->frames_to_proxy(), 1u);
+}
+
+TEST_F(VnetEndToEndTest, ClientReachesVmBack) {
+  // Prime: VM talks first so both sides learn.
+  ASSERT_TRUE(host_only_.inject(vm_port_, frame(vm_mac_, client_mac_, "syn"))
+                  .ok());
+  ASSERT_TRUE(home_.inject(client_port_, frame(client_mac_, vm_mac_, "ack"))
+                  .ok());
+  ASSERT_EQ(vm_log_.frames.size(), 1u);
+  EXPECT_EQ(vm_log_.frames[0].payload, "ack");
+  EXPECT_EQ(tunnel_->frames_to_plant(), 1u);
+}
+
+TEST_F(VnetEndToEndTest, BroadcastCrossesTheBridge) {
+  ASSERT_TRUE(
+      home_.inject(client_port_, frame(client_mac_, MacAddress::broadcast(),
+                                       "arp-who-has"))
+          .ok());
+  ASSERT_EQ(vm_log_.frames.size(), 1u);
+  EXPECT_EQ(vm_log_.frames[0].payload, "arp-who-has");
+}
+
+TEST_F(VnetEndToEndTest, TearDownSevers) {
+  tunnel_->tear_down();
+  EXPECT_FALSE(tunnel_->connected());
+  ASSERT_TRUE(host_only_.inject(vm_port_, frame(vm_mac_, client_mac_, "lost"))
+                  .ok());
+  EXPECT_TRUE(client_log_.frames.empty());
+}
+
+TEST_F(VnetEndToEndTest, HopsRecorded) {
+  ASSERT_EQ(tunnel_->hops().size(), 2u);
+  EXPECT_EQ(tunnel_->hops()[0], "gateway.acis.ufl.edu");
+}
+
+TEST(VnetIsolationTest, DomainsOnDifferentNetworksCannotTalk) {
+  // Two domains, two host-only networks on the same plant, two tunnels to
+  // two different home networks.  Frames from domain A's VM must never
+  // appear in domain B's home network.
+  NetworkAllocator alloc("plant0", 2);
+  auto net_a = alloc.acquire("domA");
+  auto net_b = alloc.acquire("domB");
+  ASSERT_TRUE(net_a.ok());
+  ASSERT_TRUE(net_b.ok());
+  HostOnlySwitch* sw_a = alloc.switch_for(net_a.value()).value();
+  HostOnlySwitch* sw_b = alloc.switch_for(net_b.value()).value();
+
+  PortLog vm_a, vm_b, home_a_log, home_b_log;
+  const auto port_a = sw_a->attach(vm_a.sink());
+  sw_b->attach(vm_b.sink());
+
+  HostOnlySwitch home_a("homeA"), home_b("homeB");
+  home_a.attach(home_a_log.sink());
+  home_b.attach(home_b_log.sink());
+
+  VnetServer server_a("va", sw_a), server_b("vb", sw_b);
+  VnetProxy proxy_a("pa", &home_a), proxy_b("pb", &home_b);
+  Tunnel tun_a("ta", {}), tun_b("tb", {});
+  ASSERT_TRUE(server_a.connect(&tun_a).ok());
+  ASSERT_TRUE(proxy_a.connect(&tun_a).ok());
+  tun_a.bind(&server_a, &proxy_a);
+  ASSERT_TRUE(server_b.connect(&tun_b).ok());
+  ASSERT_TRUE(proxy_b.connect(&tun_b).ok());
+  tun_b.bind(&server_b, &proxy_b);
+
+  ASSERT_TRUE(sw_a->inject(port_a, frame(MacAddress::from_index(1),
+                                         MacAddress::broadcast(), "secret"))
+                  .ok());
+  EXPECT_EQ(home_a_log.frames.size(), 1u);   // own domain sees it
+  EXPECT_TRUE(home_b_log.frames.empty());    // other domain isolated
+  EXPECT_TRUE(vm_b.frames.empty());
+}
+
+}  // namespace
+}  // namespace vmp::vnet

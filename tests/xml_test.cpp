@@ -1,0 +1,208 @@
+// Unit tests for the XML document model, parser, and writer.
+#include <gtest/gtest.h>
+
+#include "xml/xml.h"
+
+namespace vmp::xml {
+namespace {
+
+TEST(XmlBuildTest, ElementBasics) {
+  Element e("vm");
+  e.set_attr("id", "vm-1");
+  e.set_text("hello");
+  EXPECT_EQ(e.name(), "vm");
+  EXPECT_TRUE(e.has_attr("id"));
+  EXPECT_EQ(e.attr("id"), "vm-1");
+  EXPECT_FALSE(e.has_attr("missing"));
+  EXPECT_EQ(e.attr("missing"), "");
+  EXPECT_EQ(e.text(), "hello");
+}
+
+TEST(XmlBuildTest, ChildNavigation) {
+  Element root("root");
+  root.add_child("a").set_text("1");
+  root.add_child("b").set_text("2");
+  root.add_child("a").set_text("3");
+  ASSERT_NE(root.child("a"), nullptr);
+  EXPECT_EQ(root.child("a")->text(), "1");
+  EXPECT_EQ(root.child_text("b"), "2");
+  EXPECT_EQ(root.children_named("a").size(), 2u);
+  EXPECT_EQ(root.child("zzz"), nullptr);
+}
+
+TEST(XmlBuildTest, AttrIntAndDouble) {
+  Element e("x");
+  e.set_attr("n", "42");
+  e.set_attr("d", "2.5");
+  e.set_attr("bad", "zz");
+  EXPECT_EQ(e.attr_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(e.attr_double("d", 0), 2.5);
+  EXPECT_EQ(e.attr_int("bad", 7), 7);
+  EXPECT_EQ(e.attr_int("absent", 9), 9);
+}
+
+TEST(XmlEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+TEST(XmlParseTest, SimpleElement) {
+  auto doc = parse("<vm id=\"vm-1\">text</vm>");
+  ASSERT_TRUE(doc.ok()) << doc.error().to_string();
+  EXPECT_EQ(doc.value()->name(), "vm");
+  EXPECT_EQ(doc.value()->attr("id"), "vm-1");
+  EXPECT_EQ(doc.value()->text(), "text");
+}
+
+TEST(XmlParseTest, SelfClosing) {
+  auto doc = parse("<edge from=\"A\" to=\"B\"/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->attr("from"), "A");
+  EXPECT_EQ(doc.value()->attr("to"), "B");
+}
+
+TEST(XmlParseTest, Nesting) {
+  auto doc = parse("<a><b><c/></b><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->children().size(), 2u);
+  EXPECT_NE(doc.value()->child("b")->child("c"), nullptr);
+}
+
+TEST(XmlParseTest, EntityDecoding) {
+  auto doc = parse("<x a=\"&lt;&amp;&gt;\">&quot;hi&apos;</x>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->attr("a"), "<&>");
+  EXPECT_EQ(doc.value()->text(), "\"hi'");
+}
+
+TEST(XmlParseTest, NumericEntities) {
+  auto doc = parse("<x>&#65;&#x42;</x>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->text(), "AB");
+}
+
+TEST(XmlParseTest, Utf8NumericEntity) {
+  auto doc = parse("<x>&#233;</x>");  // é
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->text(), "\xc3\xa9");
+}
+
+TEST(XmlParseTest, CdataPreservedVerbatim) {
+  auto doc = parse("<s><![CDATA[if (a < b && c) { }]]></s>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->text(), "if (a < b && c) { }");
+}
+
+TEST(XmlParseTest, CommentsSkipped) {
+  auto doc = parse("<!-- header --><a><!-- inner -->x<b/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->text(), "x");
+  EXPECT_EQ(doc.value()->children().size(), 1u);
+}
+
+TEST(XmlParseTest, XmlDeclarationTolerated) {
+  auto doc = parse("<?xml version=\"1.0\"?>\n<a/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->name(), "a");
+}
+
+TEST(XmlParseTest, WhitespaceAroundDocument) {
+  auto doc = parse("  \n <a/>  \n");
+  ASSERT_TRUE(doc.ok());
+}
+
+TEST(XmlParseTest, SingleQuotedAttributes) {
+  auto doc = parse("<a k='v'/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->attr("k"), "v");
+}
+
+// -- Malformed inputs ---------------------------------------------------------
+
+TEST(XmlParseErrorTest, MismatchedTags) {
+  EXPECT_FALSE(parse("<a></b>").ok());
+}
+
+TEST(XmlParseErrorTest, UnterminatedElement) {
+  EXPECT_FALSE(parse("<a><b></b>").ok());
+}
+
+TEST(XmlParseErrorTest, DuplicateAttribute) {
+  EXPECT_FALSE(parse("<a k=\"1\" k=\"2\"/>").ok());
+}
+
+TEST(XmlParseErrorTest, UnknownEntity) {
+  EXPECT_FALSE(parse("<a>&bogus;</a>").ok());
+}
+
+TEST(XmlParseErrorTest, TrailingContent) {
+  EXPECT_FALSE(parse("<a/><b/>").ok());
+}
+
+TEST(XmlParseErrorTest, BareText) {
+  EXPECT_FALSE(parse("just text").ok());
+}
+
+TEST(XmlParseErrorTest, UnterminatedAttribute) {
+  EXPECT_FALSE(parse("<a k=\"v/>").ok());
+}
+
+TEST(XmlParseErrorTest, MissingAttrValue) {
+  EXPECT_FALSE(parse("<a k/>").ok());
+}
+
+TEST(XmlParseErrorTest, EmptyInput) {
+  EXPECT_FALSE(parse("").ok());
+}
+
+TEST(XmlParseErrorTest, BadNumericEntity) {
+  EXPECT_FALSE(parse("<a>&#xZZ;</a>").ok());
+  EXPECT_FALSE(parse("<a>&#1114112;</a>").ok());  // beyond U+10FFFF
+}
+
+// -- Round trips ----------------------------------------------------------------
+
+TEST(XmlRoundTripTest, SerializeParseDeepEqual) {
+  Element root("create-request");
+  root.set_attr("id", "req-1");
+  Element& dag = root.add_child("dag");
+  Element& action = dag.add_child("action");
+  action.set_attr("id", "A");
+  action.set_attr("op", "install-os");
+  action.add_child("param").set_attr("name", "distro");
+  action.child("param")->set_text("redhat-8.0 & \"friends\" <beta>");
+  dag.add_child("edge");
+
+  auto parsed = parse(root.to_string());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_TRUE(root.deep_equal(*parsed.value()));
+}
+
+TEST(XmlRoundTripTest, CompactForm) {
+  Element root("a");
+  root.add_child("b").set_text("x");
+  EXPECT_EQ(root.to_compact_string(), "<a><b>x</b></a>");
+  auto parsed = parse(root.to_compact_string());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(root.deep_equal(*parsed.value()));
+}
+
+TEST(XmlRoundTripTest, CloneIsDeepAndIndependent) {
+  Element root("a");
+  root.add_child("b").set_attr("k", "v");
+  auto copy = root.clone();
+  ASSERT_TRUE(copy->deep_equal(root));
+  copy->child("b")->set_attr("k", "other");
+  EXPECT_FALSE(copy->deep_equal(root));
+  EXPECT_EQ(root.child("b")->attr("k"), "v");
+}
+
+TEST(XmlRoundTripTest, SpecialCharactersInAttributes) {
+  Element root("m");
+  root.set_attr("expr", "a < b && \"x\"");
+  auto parsed = parse(root.to_string());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value()->attr("expr"), "a < b && \"x\"");
+}
+
+}  // namespace
+}  // namespace vmp::xml
