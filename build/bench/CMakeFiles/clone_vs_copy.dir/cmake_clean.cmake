@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clone_vs_copy.dir/clone_vs_copy.cpp.o"
+  "CMakeFiles/clone_vs_copy.dir/clone_vs_copy.cpp.o.d"
+  "clone_vs_copy"
+  "clone_vs_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clone_vs_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

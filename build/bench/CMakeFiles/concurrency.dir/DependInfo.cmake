@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/concurrency.cpp" "bench/CMakeFiles/concurrency.dir/concurrency.cpp.o" "gcc" "bench/CMakeFiles/concurrency.dir/concurrency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vmp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vmp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/classad/CMakeFiles/vmp_classad.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/vmp_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnet/CMakeFiles/vmp_vnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/vmp_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/vmp_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/vmp_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

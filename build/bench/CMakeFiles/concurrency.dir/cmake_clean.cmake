@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency.dir/concurrency.cpp.o"
+  "CMakeFiles/concurrency.dir/concurrency.cpp.o.d"
+  "concurrency"
+  "concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

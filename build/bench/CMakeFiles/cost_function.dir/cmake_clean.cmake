@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_function.dir/cost_function.cpp.o"
+  "CMakeFiles/cost_function.dir/cost_function.cpp.o.d"
+  "cost_function"
+  "cost_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_matching.dir/dag_matching.cpp.o"
+  "CMakeFiles/dag_matching.dir/dag_matching.cpp.o.d"
+  "dag_matching"
+  "dag_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sequence_profile.dir/fig6_sequence_profile.cpp.o"
+  "CMakeFiles/fig6_sequence_profile.dir/fig6_sequence_profile.cpp.o.d"
+  "fig6_sequence_profile"
+  "fig6_sequence_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sequence_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative.dir/speculative.cpp.o"
+  "CMakeFiles/speculative.dir/speculative.cpp.o.d"
+  "speculative"
+  "speculative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uml_production_line.dir/uml_production_line.cpp.o"
+  "CMakeFiles/uml_production_line.dir/uml_production_line.cpp.o.d"
+  "uml_production_line"
+  "uml_production_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uml_production_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

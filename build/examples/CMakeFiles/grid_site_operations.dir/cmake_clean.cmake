@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_site_operations.dir/grid_site_operations.cpp.o"
+  "CMakeFiles/grid_site_operations.dir/grid_site_operations.cpp.o.d"
+  "grid_site_operations"
+  "grid_site_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_site_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

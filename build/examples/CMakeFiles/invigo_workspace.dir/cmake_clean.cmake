@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invigo_workspace.dir/invigo_workspace.cpp.o"
+  "CMakeFiles/invigo_workspace.dir/invigo_workspace.cpp.o.d"
+  "invigo_workspace"
+  "invigo_workspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invigo_workspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

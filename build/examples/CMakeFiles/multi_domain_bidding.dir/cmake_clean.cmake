@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_domain_bidding.dir/multi_domain_bidding.cpp.o"
+  "CMakeFiles/multi_domain_bidding.dir/multi_domain_bidding.cpp.o.d"
+  "multi_domain_bidding"
+  "multi_domain_bidding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_domain_bidding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

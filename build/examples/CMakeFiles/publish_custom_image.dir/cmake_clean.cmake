@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publish_custom_image.dir/publish_custom_image.cpp.o"
+  "CMakeFiles/publish_custom_image.dir/publish_custom_image.cpp.o.d"
+  "publish_custom_image"
+  "publish_custom_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publish_custom_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for publish_custom_image.
+# This may be replaced when dependencies are built.

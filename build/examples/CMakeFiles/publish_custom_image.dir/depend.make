@@ -1,0 +1,2 @@
+# Empty dependencies file for publish_custom_image.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("xml")
+subdirs("classad")
+subdirs("sim")
+subdirs("dag")
+subdirs("storage")
+subdirs("net")
+subdirs("vnet")
+subdirs("hypervisor")
+subdirs("warehouse")
+subdirs("core")
+subdirs("workload")
+subdirs("cluster")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_classad.dir/classad.cpp.o"
+  "CMakeFiles/vmp_classad.dir/classad.cpp.o.d"
+  "CMakeFiles/vmp_classad.dir/expr.cpp.o"
+  "CMakeFiles/vmp_classad.dir/expr.cpp.o.d"
+  "CMakeFiles/vmp_classad.dir/matchmaker.cpp.o"
+  "CMakeFiles/vmp_classad.dir/matchmaker.cpp.o.d"
+  "CMakeFiles/vmp_classad.dir/parser.cpp.o"
+  "CMakeFiles/vmp_classad.dir/parser.cpp.o.d"
+  "CMakeFiles/vmp_classad.dir/value.cpp.o"
+  "CMakeFiles/vmp_classad.dir/value.cpp.o.d"
+  "libvmp_classad.a"
+  "libvmp_classad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_classad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_cluster.dir/concurrent_sim.cpp.o"
+  "CMakeFiles/vmp_cluster.dir/concurrent_sim.cpp.o.d"
+  "CMakeFiles/vmp_cluster.dir/deployment.cpp.o"
+  "CMakeFiles/vmp_cluster.dir/deployment.cpp.o.d"
+  "CMakeFiles/vmp_cluster.dir/timing_model.cpp.o"
+  "CMakeFiles/vmp_cluster.dir/timing_model.cpp.o.d"
+  "libvmp_cluster.a"
+  "libvmp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/architect.cpp" "src/core/CMakeFiles/vmp_core.dir/architect.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/architect.cpp.o.d"
+  "/root/repo/src/core/broker.cpp" "src/core/CMakeFiles/vmp_core.dir/broker.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/broker.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/core/CMakeFiles/vmp_core.dir/cost.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/cost.cpp.o.d"
+  "/root/repo/src/core/info_system.cpp" "src/core/CMakeFiles/vmp_core.dir/info_system.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/info_system.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "src/core/CMakeFiles/vmp_core.dir/migration.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/migration.cpp.o.d"
+  "/root/repo/src/core/plant.cpp" "src/core/CMakeFiles/vmp_core.dir/plant.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/plant.cpp.o.d"
+  "/root/repo/src/core/ppp.cpp" "src/core/CMakeFiles/vmp_core.dir/ppp.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/ppp.cpp.o.d"
+  "/root/repo/src/core/production_line.cpp" "src/core/CMakeFiles/vmp_core.dir/production_line.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/production_line.cpp.o.d"
+  "/root/repo/src/core/request.cpp" "src/core/CMakeFiles/vmp_core.dir/request.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/request.cpp.o.d"
+  "/root/repo/src/core/shop.cpp" "src/core/CMakeFiles/vmp_core.dir/shop.cpp.o" "gcc" "src/core/CMakeFiles/vmp_core.dir/shop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vmp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/vmp_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/classad/CMakeFiles/vmp_classad.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/vmp_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnet/CMakeFiles/vmp_vnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/vmp_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/vmp_warehouse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

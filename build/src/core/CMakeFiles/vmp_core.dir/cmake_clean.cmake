@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_core.dir/architect.cpp.o"
+  "CMakeFiles/vmp_core.dir/architect.cpp.o.d"
+  "CMakeFiles/vmp_core.dir/broker.cpp.o"
+  "CMakeFiles/vmp_core.dir/broker.cpp.o.d"
+  "CMakeFiles/vmp_core.dir/cost.cpp.o"
+  "CMakeFiles/vmp_core.dir/cost.cpp.o.d"
+  "CMakeFiles/vmp_core.dir/info_system.cpp.o"
+  "CMakeFiles/vmp_core.dir/info_system.cpp.o.d"
+  "CMakeFiles/vmp_core.dir/migration.cpp.o"
+  "CMakeFiles/vmp_core.dir/migration.cpp.o.d"
+  "CMakeFiles/vmp_core.dir/plant.cpp.o"
+  "CMakeFiles/vmp_core.dir/plant.cpp.o.d"
+  "CMakeFiles/vmp_core.dir/ppp.cpp.o"
+  "CMakeFiles/vmp_core.dir/ppp.cpp.o.d"
+  "CMakeFiles/vmp_core.dir/production_line.cpp.o"
+  "CMakeFiles/vmp_core.dir/production_line.cpp.o.d"
+  "CMakeFiles/vmp_core.dir/request.cpp.o"
+  "CMakeFiles/vmp_core.dir/request.cpp.o.d"
+  "CMakeFiles/vmp_core.dir/shop.cpp.o"
+  "CMakeFiles/vmp_core.dir/shop.cpp.o.d"
+  "libvmp_core.a"
+  "libvmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

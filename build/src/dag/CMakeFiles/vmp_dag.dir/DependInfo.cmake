@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/action.cpp" "src/dag/CMakeFiles/vmp_dag.dir/action.cpp.o" "gcc" "src/dag/CMakeFiles/vmp_dag.dir/action.cpp.o.d"
+  "/root/repo/src/dag/dag.cpp" "src/dag/CMakeFiles/vmp_dag.dir/dag.cpp.o" "gcc" "src/dag/CMakeFiles/vmp_dag.dir/dag.cpp.o.d"
+  "/root/repo/src/dag/dag_xml.cpp" "src/dag/CMakeFiles/vmp_dag.dir/dag_xml.cpp.o" "gcc" "src/dag/CMakeFiles/vmp_dag.dir/dag_xml.cpp.o.d"
+  "/root/repo/src/dag/matching.cpp" "src/dag/CMakeFiles/vmp_dag.dir/matching.cpp.o" "gcc" "src/dag/CMakeFiles/vmp_dag.dir/matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vmp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/vmp_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_dag.dir/action.cpp.o"
+  "CMakeFiles/vmp_dag.dir/action.cpp.o.d"
+  "CMakeFiles/vmp_dag.dir/dag.cpp.o"
+  "CMakeFiles/vmp_dag.dir/dag.cpp.o.d"
+  "CMakeFiles/vmp_dag.dir/dag_xml.cpp.o"
+  "CMakeFiles/vmp_dag.dir/dag_xml.cpp.o.d"
+  "CMakeFiles/vmp_dag.dir/matching.cpp.o"
+  "CMakeFiles/vmp_dag.dir/matching.cpp.o.d"
+  "libvmp_dag.a"
+  "libvmp_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

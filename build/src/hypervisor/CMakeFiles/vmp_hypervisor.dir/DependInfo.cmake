@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypervisor/gsx.cpp" "src/hypervisor/CMakeFiles/vmp_hypervisor.dir/gsx.cpp.o" "gcc" "src/hypervisor/CMakeFiles/vmp_hypervisor.dir/gsx.cpp.o.d"
+  "/root/repo/src/hypervisor/guest.cpp" "src/hypervisor/CMakeFiles/vmp_hypervisor.dir/guest.cpp.o" "gcc" "src/hypervisor/CMakeFiles/vmp_hypervisor.dir/guest.cpp.o.d"
+  "/root/repo/src/hypervisor/hypervisor.cpp" "src/hypervisor/CMakeFiles/vmp_hypervisor.dir/hypervisor.cpp.o" "gcc" "src/hypervisor/CMakeFiles/vmp_hypervisor.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/hypervisor/uml.cpp" "src/hypervisor/CMakeFiles/vmp_hypervisor.dir/uml.cpp.o" "gcc" "src/hypervisor/CMakeFiles/vmp_hypervisor.dir/uml.cpp.o.d"
+  "/root/repo/src/hypervisor/xen.cpp" "src/hypervisor/CMakeFiles/vmp_hypervisor.dir/xen.cpp.o" "gcc" "src/hypervisor/CMakeFiles/vmp_hypervisor.dir/xen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vmp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vmp_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

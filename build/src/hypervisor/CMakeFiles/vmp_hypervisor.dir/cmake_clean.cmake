@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_hypervisor.dir/gsx.cpp.o"
+  "CMakeFiles/vmp_hypervisor.dir/gsx.cpp.o.d"
+  "CMakeFiles/vmp_hypervisor.dir/guest.cpp.o"
+  "CMakeFiles/vmp_hypervisor.dir/guest.cpp.o.d"
+  "CMakeFiles/vmp_hypervisor.dir/hypervisor.cpp.o"
+  "CMakeFiles/vmp_hypervisor.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/vmp_hypervisor.dir/uml.cpp.o"
+  "CMakeFiles/vmp_hypervisor.dir/uml.cpp.o.d"
+  "CMakeFiles/vmp_hypervisor.dir/xen.cpp.o"
+  "CMakeFiles/vmp_hypervisor.dir/xen.cpp.o.d"
+  "libvmp_hypervisor.a"
+  "libvmp_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_net.dir/bus.cpp.o"
+  "CMakeFiles/vmp_net.dir/bus.cpp.o.d"
+  "CMakeFiles/vmp_net.dir/message.cpp.o"
+  "CMakeFiles/vmp_net.dir/message.cpp.o.d"
+  "CMakeFiles/vmp_net.dir/registry.cpp.o"
+  "CMakeFiles/vmp_net.dir/registry.cpp.o.d"
+  "libvmp_net.a"
+  "libvmp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_sim.dir/engine.cpp.o"
+  "CMakeFiles/vmp_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/vmp_sim.dir/resources.cpp.o"
+  "CMakeFiles/vmp_sim.dir/resources.cpp.o.d"
+  "libvmp_sim.a"
+  "libvmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/artifact_store.cpp" "src/storage/CMakeFiles/vmp_storage.dir/artifact_store.cpp.o" "gcc" "src/storage/CMakeFiles/vmp_storage.dir/artifact_store.cpp.o.d"
+  "/root/repo/src/storage/clone_ops.cpp" "src/storage/CMakeFiles/vmp_storage.dir/clone_ops.cpp.o" "gcc" "src/storage/CMakeFiles/vmp_storage.dir/clone_ops.cpp.o.d"
+  "/root/repo/src/storage/disk.cpp" "src/storage/CMakeFiles/vmp_storage.dir/disk.cpp.o" "gcc" "src/storage/CMakeFiles/vmp_storage.dir/disk.cpp.o.d"
+  "/root/repo/src/storage/image_layout.cpp" "src/storage/CMakeFiles/vmp_storage.dir/image_layout.cpp.o" "gcc" "src/storage/CMakeFiles/vmp_storage.dir/image_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_storage.dir/artifact_store.cpp.o"
+  "CMakeFiles/vmp_storage.dir/artifact_store.cpp.o.d"
+  "CMakeFiles/vmp_storage.dir/clone_ops.cpp.o"
+  "CMakeFiles/vmp_storage.dir/clone_ops.cpp.o.d"
+  "CMakeFiles/vmp_storage.dir/disk.cpp.o"
+  "CMakeFiles/vmp_storage.dir/disk.cpp.o.d"
+  "CMakeFiles/vmp_storage.dir/image_layout.cpp.o"
+  "CMakeFiles/vmp_storage.dir/image_layout.cpp.o.d"
+  "libvmp_storage.a"
+  "libvmp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

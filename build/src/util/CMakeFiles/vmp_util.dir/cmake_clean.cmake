@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_util.dir/error.cpp.o"
+  "CMakeFiles/vmp_util.dir/error.cpp.o.d"
+  "CMakeFiles/vmp_util.dir/ids.cpp.o"
+  "CMakeFiles/vmp_util.dir/ids.cpp.o.d"
+  "CMakeFiles/vmp_util.dir/logging.cpp.o"
+  "CMakeFiles/vmp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/vmp_util.dir/random.cpp.o"
+  "CMakeFiles/vmp_util.dir/random.cpp.o.d"
+  "CMakeFiles/vmp_util.dir/stats.cpp.o"
+  "CMakeFiles/vmp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vmp_util.dir/strings.cpp.o"
+  "CMakeFiles/vmp_util.dir/strings.cpp.o.d"
+  "CMakeFiles/vmp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/vmp_util.dir/thread_pool.cpp.o.d"
+  "libvmp_util.a"
+  "libvmp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vnet/allocator.cpp" "src/vnet/CMakeFiles/vmp_vnet.dir/allocator.cpp.o" "gcc" "src/vnet/CMakeFiles/vmp_vnet.dir/allocator.cpp.o.d"
+  "/root/repo/src/vnet/ethernet.cpp" "src/vnet/CMakeFiles/vmp_vnet.dir/ethernet.cpp.o" "gcc" "src/vnet/CMakeFiles/vmp_vnet.dir/ethernet.cpp.o.d"
+  "/root/repo/src/vnet/router.cpp" "src/vnet/CMakeFiles/vmp_vnet.dir/router.cpp.o" "gcc" "src/vnet/CMakeFiles/vmp_vnet.dir/router.cpp.o.d"
+  "/root/repo/src/vnet/switch.cpp" "src/vnet/CMakeFiles/vmp_vnet.dir/switch.cpp.o" "gcc" "src/vnet/CMakeFiles/vmp_vnet.dir/switch.cpp.o.d"
+  "/root/repo/src/vnet/vnet_bridge.cpp" "src/vnet/CMakeFiles/vmp_vnet.dir/vnet_bridge.cpp.o" "gcc" "src/vnet/CMakeFiles/vmp_vnet.dir/vnet_bridge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

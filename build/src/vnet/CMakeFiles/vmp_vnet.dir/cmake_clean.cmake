@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_vnet.dir/allocator.cpp.o"
+  "CMakeFiles/vmp_vnet.dir/allocator.cpp.o.d"
+  "CMakeFiles/vmp_vnet.dir/ethernet.cpp.o"
+  "CMakeFiles/vmp_vnet.dir/ethernet.cpp.o.d"
+  "CMakeFiles/vmp_vnet.dir/router.cpp.o"
+  "CMakeFiles/vmp_vnet.dir/router.cpp.o.d"
+  "CMakeFiles/vmp_vnet.dir/switch.cpp.o"
+  "CMakeFiles/vmp_vnet.dir/switch.cpp.o.d"
+  "CMakeFiles/vmp_vnet.dir/vnet_bridge.cpp.o"
+  "CMakeFiles/vmp_vnet.dir/vnet_bridge.cpp.o.d"
+  "libvmp_vnet.a"
+  "libvmp_vnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_vnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_warehouse.dir/warehouse.cpp.o"
+  "CMakeFiles/vmp_warehouse.dir/warehouse.cpp.o.d"
+  "libvmp_warehouse.a"
+  "libvmp_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_workload.dir/dag_library.cpp.o"
+  "CMakeFiles/vmp_workload.dir/dag_library.cpp.o.d"
+  "CMakeFiles/vmp_workload.dir/request_gen.cpp.o"
+  "CMakeFiles/vmp_workload.dir/request_gen.cpp.o.d"
+  "libvmp_workload.a"
+  "libvmp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

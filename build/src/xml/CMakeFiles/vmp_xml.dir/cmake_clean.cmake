@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmp_xml.dir/xml.cpp.o"
+  "CMakeFiles/vmp_xml.dir/xml.cpp.o.d"
+  "libvmp_xml.a"
+  "libvmp_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmp_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

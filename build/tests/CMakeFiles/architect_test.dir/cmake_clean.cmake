@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architect_test.dir/architect_test.cpp.o"
+  "CMakeFiles/architect_test.dir/architect_test.cpp.o.d"
+  "architect_test"
+  "architect_test.pdb"
+  "architect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_matching_test.dir/dag_matching_test.cpp.o"
+  "CMakeFiles/dag_matching_test.dir/dag_matching_test.cpp.o.d"
+  "dag_matching_test"
+  "dag_matching_test.pdb"
+  "dag_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shop_test.dir/shop_test.cpp.o"
+  "CMakeFiles/shop_test.dir/shop_test.cpp.o.d"
+  "shop_test"
+  "shop_test.pdb"
+  "shop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
