@@ -24,6 +24,14 @@ std::unique_ptr<hv::Hypervisor> make_hypervisor(const std::string& backend,
   return std::make_unique<hv::GsxHypervisor>(store);
 }
 
+/// Transient failures worth a plant-local clone retry; anything else
+/// (validation errors, capacity, unknown goldens) will not improve on a
+/// second attempt.
+bool clone_error_is_transient(util::ErrorCode code) {
+  return code == ErrorCode::kUnavailable || code == ErrorCode::kTimeout ||
+         code == ErrorCode::kInternal;
+}
+
 }  // namespace
 
 VmPlant::VmPlant(PlantConfig config, storage::ArtifactStore* store,
@@ -102,11 +110,26 @@ Result<classad::ClassAd> VmPlant::create(const CreateRequest& request) {
     pool->second.pop_back();
     speculative_hit = true;
   } else {
-    vm_id = vm_ids_.next();
-    auto report = production_->clone_and_start(plan.value().golden, vm_id);
-    if (!report.ok()) {
-      (void)allocator_.release(request.domain);
-      return report.propagate<classad::ClassAd>();
+    // Clone+resume under the plant-local retry policy: transient failures
+    // (store hiccups, VMM resume errors) are retried with deterministic
+    // exponential backoff in sim-time; persistent errors propagate at once
+    // so the shop can fail over to another plant.  Each attempt uses a
+    // fresh VM id — the hypervisor retires ids of destroyed instances.
+    util::RetryState retry_state(config_.clone_retry);
+    while (true) {
+      vm_id = vm_ids_.next();
+      auto report = production_->clone_and_start(plan.value().golden, vm_id);
+      if (report.ok()) break;
+      if (!clone_error_is_transient(report.error().code()) ||
+          !retry_state.allow_retry()) {
+        (void)allocator_.release(request.domain);
+        return report.propagate<classad::ClassAd>();
+      }
+      ++clone_retries_;
+      kLog.warn() << config_.name << ": clone of " << vm_id
+                  << " failed transiently (" << report.error().to_string()
+                  << "); retry " << retry_state.retries_granted() << " after "
+                  << retry_state.elapsed_backoff_s() << "s backoff";
     }
   }
 

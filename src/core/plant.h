@@ -26,6 +26,7 @@
 #include "net/registry.h"
 #include "util/error.h"
 #include "util/ids.h"
+#include "util/retry.h"
 #include "vnet/allocator.h"
 
 namespace vmp::core {
@@ -38,6 +39,12 @@ struct PlantConfig {
   std::size_t host_only_networks = 4;     // paper §3.4 example
   std::string clone_base_dir;             // store-relative; default <name>/clones
   std::string cost_model = "network-compute";
+  /// Plant-local retry for the clone+resume phase, applied only to
+  /// transient failures (unavailable / timeout / internal).  Disabled by
+  /// default (one attempt): the shop's next-best-bid failover is the
+  /// primary recovery path, and double-retrying underneath it would
+  /// inflate creation latency.
+  util::RetryPolicy clone_retry = util::RetryPolicy{.max_attempts = 1};
 };
 
 /// Snapshot of plant state captured before a creation (consumed by the
@@ -111,6 +118,8 @@ class VmPlant {
   // -- Introspection ---------------------------------------------------------
   std::size_t active_vms() const;
   std::uint64_t resident_memory_bytes() const;
+  /// Clone+resume attempts retried locally under config().clone_retry.
+  std::uint64_t clone_retries() const { return clone_retries_; }
   vnet::NetworkAllocator& allocator() { return allocator_; }
   hv::Hypervisor& hypervisor() { return *hypervisor_; }
   VmInformationSystem& info_system() { return info_; }
@@ -148,6 +157,7 @@ class VmPlant {
   std::map<std::string, std::string> vm_domains_;
   /// golden_id -> parked pre-created instances (speculative pool).
   std::map<std::string, std::vector<std::string>> speculative_;
+  std::uint64_t clone_retries_ = 0;
 };
 
 }  // namespace vmp::core

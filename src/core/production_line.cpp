@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
 #include "util/logging.h"
 
 namespace vmp::core {
@@ -149,7 +150,15 @@ Status ProductionLine::attempt_action(const dag::Action& action,
                       action.id() + "'");
   }
 
-  // Guest action: compile -> ISO -> guest daemon.
+  // Guest action: compile -> ISO -> guest daemon.  Injected configuration
+  // faults flow through the same error-policy machinery (retry / error
+  // sub-graph / continue) as organic guest failures.
+  if (auto fault = fault::check(fault::points::kPlantConfigureAction,
+                                action.id());
+      !fault.ok()) {
+    return fault;
+  }
+
   auto script = compile_guest_script(action);
   if (!script.ok()) return script.error();
 

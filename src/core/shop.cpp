@@ -1,6 +1,7 @@
 #include "core/shop.h"
 
 #include <algorithm>
+#include <set>
 
 #include "util/logging.h"
 #include "util/strings.h"
@@ -72,17 +73,78 @@ Result<classad::ClassAd> VmShop::create(const CreateRequest& request) {
   std::sort(bids.begin(), bids.end(),
             [](const Bid& a, const Bid& b) { return a.cost < b.cost; });
 
-  // Try the winner; on failure fall through the remaining bids in cost
-  // order (bid selection re-randomizes ties within the prefix each round).
+  // Creation proper.  Two distinct failure classes drive two distinct
+  // recovery strategies (both bounded by config_.retry):
+  //
+  //   * transport errors (the bus call itself fails: message loss,
+  //     timeout) -> retry the SAME plant with exponential backoff, since
+  //     the request may simply not have arrived;
+  //   * application faults (the plant answered and said no: clone
+  //     failure, capacity, ...) -> the plant is marked failed for the
+  //     rest of this request and the shop fails over to the next-best
+  //     bid.  A failed plant is never re-attempted within one request,
+  //     even if bids are re-collected.
+  std::set<std::string> failed_plants;
+  util::RetryState retry_state(config_.retry);
+  bool rebid_done = false;
   std::string last_failure;
-  while (!bids.empty()) {
+
+  while (true) {
+    bids.erase(std::remove_if(bids.begin(), bids.end(),
+                              [&](const Bid& b) {
+                                return failed_plants.count(b.plant_address) != 0;
+                              }),
+               bids.end());
+    if (bids.empty()) {
+      // One fresh bid round before giving up: bid collection is cheap and
+      // plant load may have changed.  Plants that already failed in this
+      // request are skipped (filtered on the next pass), not re-bid into
+      // the candidate set.
+      if (rebid_done) break;
+      rebid_done = true;
+      bids = collect_bids(request);
+      std::sort(bids.begin(), bids.end(),
+                [](const Bid& a, const Bid& b) { return a.cost < b.cost; });
+      continue;
+    }
+
     auto chosen = select_bid(bids);
-    net::Message m = net::Message::request("vmplant.create", config_.name,
-                                           chosen->plant_address,
-                                           request.request_id);
-    request.to_xml(&m.body());
-    auto response = net::call_expecting_success(bus_, m);
-    if (response.ok()) {
+
+    // Transport attempts against the chosen plant.
+    Result<net::Message> response(
+        Error(ErrorCode::kInternal, "create: no attempt made"));
+    bool abandoned = false;
+    while (true) {
+      net::Message m = net::Message::request("vmplant.create", config_.name,
+                                             chosen->plant_address,
+                                             request.request_id);
+      request.to_xml(&m.body());
+      response = bus_->call(m);
+      if (response.ok()) break;
+
+      last_failure =
+          chosen->plant_address + ": " + response.error().to_string();
+      const double backoff_before = retry_state.elapsed_backoff_s();
+      if (!retry_state.allow_retry()) {
+        if (retry_state.timed_out()) {
+          return Result<classad::ClassAd>(Error(
+              ErrorCode::kTimeout,
+              "create " + request.request_id +
+                  " exceeded its retry budget (" + config_.retry.to_string() +
+                  "); last: " + last_failure));
+        }
+        // Per-request transport attempts exhausted: give up on this plant.
+        abandoned = true;
+        break;
+      }
+      retry_backoff_s_ += retry_state.elapsed_backoff_s() - backoff_before;
+      ++retries_;
+      kLog.debug() << "transport failure (" << last_failure << "); retry "
+                   << retry_state.retries_granted() << " after "
+                   << retry_state.elapsed_backoff_s() << "s backoff";
+    }
+
+    if (!abandoned && response.ok() && !response.value().is_fault()) {
       auto ad = classad::ClassAd::from_xml(response.value().body());
       if (!ad.ok()) return ad;
       const auto vm_id = ad.value().get_string(attrs::kVmId);
@@ -94,14 +156,15 @@ Result<classad::ClassAd> VmShop::create(const CreateRequest& request) {
       }
       return ad;
     }
-    last_failure = chosen->plant_address + ": " + response.error().to_string();
+
+    if (!abandoned && response.ok()) {
+      last_failure = chosen->plant_address + ": " +
+                     response.value().fault_error().to_string();
+    }
+    failed_plants.insert(chosen->plant_address);
+    ++failovers_;
     kLog.warn() << "creation failed at " << last_failure
-                << "; trying next-best bid";
-    bids.erase(std::remove_if(bids.begin(), bids.end(),
-                              [&](const Bid& b) {
-                                return b.plant_address == chosen->plant_address;
-                              }),
-               bids.end());
+                << "; failing over to next-best bid";
   }
   return Result<classad::ClassAd>(
       Error(ErrorCode::kUnavailable,

@@ -30,6 +30,7 @@
 #include "net/registry.h"
 #include "util/error.h"
 #include "util/random.h"
+#include "util/retry.h"
 
 namespace vmp::core {
 
@@ -42,6 +43,12 @@ struct Bid {
 struct ShopConfig {
   std::string name = "vmshop";
   std::uint64_t tie_break_seed = 42;
+  /// Retry policy for the creation leg of a request.  Transport-level
+  /// failures (lost or timed-out bus calls) are retried against the same
+  /// plant with exponential backoff in sim-time; application faults
+  /// reported by a plant mark it failed for the rest of the request and
+  /// trigger failover to the next-best bid.
+  util::RetryPolicy retry;
 };
 
 class VmShop {
@@ -92,6 +99,13 @@ class VmShop {
   /// Number of creations served (diagnostics).
   std::uint64_t creations() const { return creations_; }
 
+  /// Transport-level retries granted across all create() calls.
+  std::uint64_t retries() const { return retries_; }
+  /// Plants abandoned mid-request (failovers to the next-best bid).
+  std::uint64_t failovers() const { return failovers_; }
+  /// Total exponential-backoff delay charged, in virtual sim-seconds.
+  double retry_backoff_s() const { return retry_backoff_s_; }
+
  private:
   net::Message handle_message(const net::Message& request_msg);
   util::Result<classad::ClassAd> query_at(const std::string& plant_address,
@@ -106,6 +120,9 @@ class VmShop {
   std::map<std::string, classad::ClassAd> ad_cache_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t creations_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t failovers_ = 0;
+  double retry_backoff_s_ = 0.0;
   bool attached_ = false;
 };
 

@@ -1,5 +1,7 @@
 #include "hypervisor/hypervisor.h"
 
+#include "fault/fault.h"
+
 namespace vmp::hv {
 
 using util::Error;
@@ -78,10 +80,14 @@ Result<std::string> Hypervisor::clone_vm(const CloneSource& source,
   vm.clone_report = report.value();
 
   // The clone carries the golden's guest state file for crash recovery /
-  // inspection; write the clone's own copy.
+  // inspection; write the clone's own copy.  A failure here must not leave
+  // a half-written clone directory behind.
   auto gs = store_->write_file(clone_dir + "/guest.state",
                                render_guest_state(vm.guest));
-  if (!gs.ok()) return gs.propagate<std::string>();
+  if (!gs.ok()) {
+    (void)store_->remove_tree(clone_dir);
+    return gs.propagate<std::string>();
+  }
 
   instances_.emplace(vm_id, std::move(vm));
   return vm_id;
@@ -140,6 +146,11 @@ Status Hypervisor::start_vm(const std::string& vm_id) {
     injected->second = false;
     return Status(ErrorCode::kInternal,
                   type() + ": injected start failure for " + vm_id);
+  }
+  // Plan-driven fault injection (resume/boot failures look like VMM errors).
+  if (auto fault = fault::check(fault::points::kHypervisorResume, vm_id);
+      !fault.ok()) {
+    return fault;
   }
   VMP_RETURN_IF_ERROR(do_start(vm.value()));
   vm.value()->power = PowerState::kRunning;

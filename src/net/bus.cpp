@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "fault/fault.h"
+
 namespace vmp::net {
 
 using util::Error;
@@ -44,6 +46,18 @@ std::vector<std::string> MessageBus::endpoints() const {
 }
 
 Result<Message> MessageBus::call(const Message& request_msg) {
+  // Injected transport faults (message loss, timeouts) surface exactly like
+  // the built-in down/drop mechanisms: as transport-level Result errors.
+  if (auto injected = fault::check(fault::points::kBusSend, request_msg.to());
+      !injected.ok()) {
+    return injected.propagate<Message>();
+  }
+  if (auto injected =
+          fault::check(fault::points::kBusTimeout, request_msg.to());
+      !injected.ok()) {
+    return injected.propagate<Message>();
+  }
+
   // Wire encoding happens outside the lock; routing decisions inside.
   const std::string wire = request_msg.serialize();
 

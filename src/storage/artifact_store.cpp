@@ -8,6 +8,8 @@
 
 #include <optional>
 
+#include "fault/fault.h"
+
 namespace vmp::storage {
 
 namespace fs = std::filesystem;
@@ -130,6 +132,10 @@ Status ArtifactStore::make_dir(const std::string& relative) {
 
 Result<IoAccounting> ArtifactStore::create_sparse_file(
     const std::string& relative, std::uint64_t size) {
+  if (auto injected = fault::check(fault::points::kStoreWrite, relative);
+      !injected.ok()) {
+    return injected.propagate<IoAccounting>();
+  }
   auto p = resolve(relative);
   if (!p.ok()) return p.propagate<IoAccounting>();
   std::error_code ec;
@@ -156,6 +162,10 @@ Result<IoAccounting> ArtifactStore::create_sparse_file(
 
 Result<IoAccounting> ArtifactStore::write_file(const std::string& relative,
                                                const std::string& content) {
+  if (auto injected = fault::check(fault::points::kStoreWrite, relative);
+      !injected.ok()) {
+    return injected.propagate<IoAccounting>();
+  }
   auto p = resolve(relative);
   if (!p.ok()) return p.propagate<IoAccounting>();
   std::error_code ec;
@@ -178,6 +188,10 @@ Result<IoAccounting> ArtifactStore::write_file(const std::string& relative,
 }
 
 Result<std::string> ArtifactStore::read_file(const std::string& relative) const {
+  if (auto injected = fault::check(fault::points::kStoreRead, relative);
+      !injected.ok()) {
+    return injected.propagate<std::string>();
+  }
   auto p = resolve(relative);
   if (!p.ok()) return p.propagate<std::string>();
   std::ifstream in(p.value(), std::ios::binary);
@@ -192,6 +206,10 @@ Result<std::string> ArtifactStore::read_file(const std::string& relative) const 
 
 Result<IoAccounting> ArtifactStore::append_file(const std::string& relative,
                                                 const std::string& content) {
+  if (auto injected = fault::check(fault::points::kStoreWrite, relative);
+      !injected.ok()) {
+    return injected.propagate<IoAccounting>();
+  }
   auto p = resolve(relative);
   if (!p.ok()) return p.propagate<IoAccounting>();
   std::ofstream out(p.value(), std::ios::binary | std::ios::app);
@@ -209,6 +227,10 @@ Result<IoAccounting> ArtifactStore::append_file(const std::string& relative,
 
 Result<IoAccounting> ArtifactStore::copy_file(const std::string& from,
                                               const std::string& to) {
+  if (auto injected = fault::check(fault::points::kStoreWrite, to);
+      !injected.ok()) {
+    return injected.propagate<IoAccounting>();
+  }
   auto from_p = resolve(from);
   if (!from_p.ok()) return from_p.propagate<IoAccounting>();
   auto to_p = resolve(to);
@@ -257,6 +279,10 @@ Result<IoAccounting> ArtifactStore::copy_file(const std::string& from,
 
 Result<IoAccounting> ArtifactStore::link_file(const std::string& from,
                                               const std::string& to) {
+  if (auto injected = fault::check(fault::points::kStoreWrite, to);
+      !injected.ok()) {
+    return injected.propagate<IoAccounting>();
+  }
   auto from_p = resolve(from);
   if (!from_p.ok()) return from_p.propagate<IoAccounting>();
   auto to_p = resolve(to);

@@ -42,19 +42,28 @@ Result<CloneReport> clone_image(ArtifactStore* store,
   }
   VMP_RETURN_IF_ERROR_AS(store->make_dir(clone_dir), CloneReport);
 
+  // A failed artefact copy (disk full, injected store.write fault, ...)
+  // must not leave a half-written clone directory behind: the partial tree
+  // is removed before the error propagates, so a retry or a failover to
+  // another plant starts from a clean slate.
+  auto abort_clone = [&](const Error& error) {
+    (void)store->remove_tree(clone_dir);
+    return Result<CloneReport>(error);
+  };
+
   const ImageLayout clone{clone_dir};
   CloneReport report;
 
   // Config file is always replicated (it is tiny and per-clone mutable).
   auto cfg = store->copy_file(golden.config_path(), clone.config_path());
-  if (!cfg.ok()) return cfg.propagate<CloneReport>();
+  if (!cfg.ok()) return abort_clone(cfg.error());
   report.config = cfg.value();
 
   // Memory state: VMware GSX requires the .vmss to be a private copy
   // (paper footnote 2) — this is the size-proportional cost of cloning.
   if (spec.suspended) {
     auto mem = store->copy_file(golden.memory_path(), clone.memory_path());
-    if (!mem.ok()) return mem.propagate<CloneReport>();
+    if (!mem.ok()) return abort_clone(mem.error());
     report.memory = mem.value();
   }
 
@@ -65,7 +74,7 @@ Result<CloneReport> clone_image(ArtifactStore* store,
     auto op = strategy == CloneStrategy::kLinked
                   ? store->link_file(golden_spans[i], clone_spans[i])
                   : store->copy_file(golden_spans[i], clone_spans[i]);
-    if (!op.ok()) return op.propagate<CloneReport>();
+    if (!op.ok()) return abort_clone(op.error());
     report.disk += op.value();
   }
 
@@ -73,7 +82,7 @@ Result<CloneReport> clone_image(ArtifactStore* store,
   // committed view.
   auto redo = store->copy_file(golden.base_redo_path(spec.disk),
                                clone.base_redo_path(spec.disk));
-  if (!redo.ok()) return redo.propagate<CloneReport>();
+  if (!redo.ok()) return abort_clone(redo.error());
   report.redo = redo.value();
 
   return report;

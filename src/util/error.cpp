@@ -23,6 +23,30 @@ const char* error_code_name(ErrorCode code) noexcept {
   return "UNKNOWN";
 }
 
+std::optional<ErrorCode> error_code_from_name(const std::string& name) {
+  static const ErrorCode kAll[] = {
+      ErrorCode::kOk,
+      ErrorCode::kInvalidArgument,
+      ErrorCode::kNotFound,
+      ErrorCode::kAlreadyExists,
+      ErrorCode::kResourceExhausted,
+      ErrorCode::kFailedPrecondition,
+      ErrorCode::kUnavailable,
+      ErrorCode::kTimeout,
+      ErrorCode::kInternal,
+      ErrorCode::kParseError,
+      ErrorCode::kConfigActionFailed,
+      ErrorCode::kNoMatchingImage,
+      ErrorCode::kNoBids,
+      ErrorCode::kPermissionDenied,
+      ErrorCode::kCancelled,
+  };
+  for (ErrorCode code : kAll) {
+    if (name == error_code_name(code)) return code;
+  }
+  return std::nullopt;
+}
+
 std::string Error::to_string() const {
   std::string out = error_code_name(code_);
   if (!message_.empty()) {

@@ -38,6 +38,10 @@ enum class ErrorCode : std::uint32_t {
 /// Human-readable name of an ErrorCode ("NOT_FOUND", ...).
 const char* error_code_name(ErrorCode code) noexcept;
 
+/// Inverse of error_code_name; nullopt for unknown names.  Used by the
+/// fault-injection spec parser and by wire decoding.
+std::optional<ErrorCode> error_code_from_name(const std::string& name);
+
 /// An error with category, message, and optional nested context frames.
 class Error {
  public:

@@ -1,0 +1,42 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace vmp::util {
+
+double RetryPolicy::backoff(int retry_index) const {
+  double delay = initial_backoff_s;
+  for (int i = 0; i < retry_index; ++i) {
+    delay *= backoff_multiplier;
+    if (delay >= max_backoff_s) break;
+  }
+  return std::min(delay, max_backoff_s);
+}
+
+std::string RetryPolicy::to_string() const {
+  std::ostringstream out;
+  out << "attempts=" << max_attempts << " backoff=" << format_double(initial_backoff_s)
+      << "s*" << format_double(backoff_multiplier) << "<="
+      << format_double(max_backoff_s) << "s timeout="
+      << format_double(request_timeout_s) << "s";
+  return out.str();
+}
+
+bool RetryState::allow_retry() {
+  ++failures_;
+  if (failures_ >= policy_.max_attempts) return false;
+  const double delay = policy_.backoff(retries_);
+  if (policy_.request_timeout_s > 0.0 &&
+      elapsed_ + delay > policy_.request_timeout_s) {
+    timed_out_ = true;
+    return false;
+  }
+  elapsed_ += delay;
+  ++retries_;
+  return true;
+}
+
+}  // namespace vmp::util

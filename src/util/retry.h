@@ -1,0 +1,66 @@
+// Bounded retry with deterministic exponential backoff in sim-time.
+//
+// The shop's bid-then-retry creation flow and the plant's production line
+// both need "try again, but not forever" semantics.  Real wall-clock
+// sleeping would make tests slow and nondeterministic, so backoff is
+// accounted in virtual seconds: each recorded failure charges the next
+// backoff delay against a per-request sim-time budget, and the caller can
+// feed the accumulated delay into the DES timing model (or ignore it in
+// direct-call tests).  Everything is pure arithmetic — same failures, same
+// decisions, every run.
+#pragma once
+
+#include <string>
+
+namespace vmp::util {
+
+struct RetryPolicy {
+  /// Total attempts allowed, including the first (1 = no retries).
+  int max_attempts = 3;
+  /// Backoff before the first retry, in sim seconds.
+  double initial_backoff_s = 0.5;
+  /// Each subsequent backoff multiplies by this (>= 1).
+  double backoff_multiplier = 2.0;
+  /// Backoff ceiling, in sim seconds.
+  double max_backoff_s = 8.0;
+  /// Per-request budget of accumulated backoff sim-time; a retry whose
+  /// backoff would exceed the budget is refused (0 = unlimited).
+  double request_timeout_s = 60.0;
+
+  /// Backoff charged before retry number `retry_index` (0-based):
+  /// min(initial * multiplier^retry_index, max).
+  double backoff(int retry_index) const;
+
+  /// "attempts=3 backoff=0.5s*2<=8s timeout=60s" (diagnostics).
+  std::string to_string() const;
+};
+
+/// Tracks one request's retry budget against a policy.
+class RetryState {
+ public:
+  explicit RetryState(const RetryPolicy& policy) : policy_(policy) {}
+
+  /// Record a failed attempt.  Returns true when another attempt is allowed
+  /// (attempt count and sim-time budget both permit), charging the backoff
+  /// delay to elapsed(); returns false when the budget is exhausted.
+  bool allow_retry();
+
+  /// Failed attempts recorded so far.
+  int failures() const { return failures_; }
+  /// Retries granted so far.
+  int retries_granted() const { return retries_; }
+  /// Virtual seconds spent backing off.
+  double elapsed_backoff_s() const { return elapsed_; }
+  /// True when allow_retry() refused because the sim-time budget ran out
+  /// (as opposed to the attempt cap).
+  bool timed_out() const { return timed_out_; }
+
+ private:
+  RetryPolicy policy_;
+  int failures_ = 0;
+  int retries_ = 0;
+  double elapsed_ = 0.0;
+  bool timed_out_ = false;
+};
+
+}  // namespace vmp::util

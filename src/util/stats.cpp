@@ -82,4 +82,24 @@ std::string Histogram::to_table(const std::string& label) const {
   return out.str();
 }
 
+void FaultReport::record(const std::string& point) {
+  ++counts_[point];
+  ++total_;
+}
+
+std::uint64_t FaultReport::count(const std::string& point) const {
+  auto it = counts_.find(point);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::string FaultReport::to_string() const {
+  if (total_ == 0) return "no injections";
+  std::ostringstream out;
+  for (const auto& [point, count] : counts_) {
+    out << point << "=" << count << " ";
+  }
+  out << "(total " << total_ << ")";
+  return out.str();
+}
+
 }  // namespace vmp::util

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,29 @@ class Summary {
 
 /// Percentile over a copy of the samples (p in [0,100], nearest-rank).
 double percentile(std::vector<double> samples, double p);
+
+/// Per-point counters of fired fault injections.  The fault registry keeps
+/// one and hands out snapshots, so tests and benches can assert exactly
+/// which injections fired ("store.write fired twice, bus.send never").
+class FaultReport {
+ public:
+  void record(const std::string& point);
+
+  /// Fired count for one injection point (0 when it never fired).
+  std::uint64_t count(const std::string& point) const;
+  std::uint64_t total() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  const std::map<std::string, std::uint64_t>& by_point() const {
+    return counts_;
+  }
+
+  /// "bus.send=1 store.write=2 (total 3)"; "no injections" when empty.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
 
 /// Fixed-width histogram with explicit bin edges [lo, lo+w), [lo+w, lo+2w)...
 /// Out-of-range samples clamp into the first/last bin, matching how the

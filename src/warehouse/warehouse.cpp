@@ -103,16 +103,24 @@ Status Warehouse::publish(const GoldenImage& image) {
   GoldenImage stored = image;
   stored.layout.dir = dir_for(image.id);
 
+  // The warehouse must never keep a half-written image directory: any
+  // failure after the directory exists removes the partial tree before
+  // the error propagates, so a later rescan() sees complete images only.
+  auto abort_publish = [&](const Error& error) {
+    (void)store_->remove_tree(stored.layout.dir);
+    return Status(error);
+  };
+
   auto materialized = storage::materialize_image(store_, stored.layout, stored.spec);
-  if (!materialized.ok()) return materialized.error();
+  if (!materialized.ok()) return abort_publish(materialized.error());
 
   auto guest_write = store_->write_file(stored.layout.dir + "/guest.state",
                                         hv::render_guest_state(stored.guest));
-  if (!guest_write.ok()) return guest_write.error();
+  if (!guest_write.ok()) return abort_publish(guest_write.error());
 
   auto desc_write = store_->write_file(stored.layout.dir + "/descriptor.xml",
                                        render_descriptor(stored));
-  if (!desc_write.ok()) return desc_write.error();
+  if (!desc_write.ok()) return abort_publish(desc_write.error());
 
   images_.emplace(stored.id, std::move(stored));
   return Status();

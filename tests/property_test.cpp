@@ -4,17 +4,25 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
+#include <memory>
 #include <set>
 
+#include "core/plant.h"
 #include "core/request.h"
+#include "core/shop.h"
 #include "dag/dag_xml.h"
 #include "dag/matching.h"
-#include "workload/request_gen.h"
+#include "fault/fault.h"
+#include "net/bus.h"
+#include "net/registry.h"
 #include "sim/engine.h"
 #include "sim/resources.h"
 #include "util/random.h"
+#include "warehouse/warehouse.h"
 #include "workload/dag_library.h"
+#include "workload/request_gen.h"
 
 namespace vmp {
 namespace {
@@ -302,6 +310,154 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(std::size_t{0}, std::size_t{1},
                                          std::size_t{17}, std::size_t{127},
                                          std::size_t{300})));
+
+// =====================================================================
+// Fault-schedule properties: random single-fault schedules against the
+// full shop->plant->store path.  Whatever fires, a creation either
+// succeeds or fails with a typed error, and the store never keeps
+// half-written clone or image directories.
+// =====================================================================
+
+class SingleFaultScheduleProperty
+    : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("vmp-prop-fault-" + std::to_string(::getpid()) + "-" +
+             std::to_string(GetParam()));
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override {
+    fault::FaultRegistry::instance().clear();
+    std::filesystem::remove_all(root_);
+  }
+
+  // Every directory under the plants' clone areas must be a complete
+  // clone (its guest.state exists — the last artefact written), and every
+  // directory under the warehouse must hold a descriptor.
+  void check_no_partial_dirs(storage::ArtifactStore* store,
+                             const std::vector<std::string>& clone_areas) {
+    for (const std::string& area : clone_areas) {
+      auto entries = store->list_dir(area);
+      ASSERT_TRUE(entries.ok()) << entries.error().to_string();
+      for (const std::string& entry : entries.value()) {
+        EXPECT_TRUE(store->exists(area + "/" + entry + "/guest.state"))
+            << "half-written clone dir: " << area << "/" << entry;
+      }
+    }
+    auto images = store->list_dir("warehouse");
+    ASSERT_TRUE(images.ok());
+    for (const std::string& entry : images.value()) {
+      EXPECT_TRUE(store->exists("warehouse/" + entry + "/descriptor.xml"))
+          << "half-written image dir: warehouse/" << entry;
+    }
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_P(SingleFaultScheduleProperty, CreationsFailTypedAndStoreStaysClean) {
+  const std::uint64_t seed = GetParam();
+  util::SplitMix64 rng(seed);
+  storage::ArtifactStore store(root_);
+  warehouse::Warehouse warehouse(&store, "warehouse");
+  ASSERT_TRUE(workload::publish_paper_goldens(&warehouse).ok());
+  net::MessageBus bus;
+  net::ServiceRegistry registry;
+  std::vector<std::unique_ptr<core::VmPlant>> plants;
+  std::vector<std::string> clone_areas;
+  for (int i = 0; i < 2; ++i) {
+    core::PlantConfig pc;
+    pc.name = "plant" + std::to_string(i);
+    plants.push_back(
+        std::make_unique<core::VmPlant>(pc, &store, &warehouse));
+    ASSERT_TRUE(plants.back()->attach_to_bus(&bus, &registry).ok());
+    clone_areas.push_back(pc.name + "/clones");
+  }
+  core::VmShop shop(core::ShopConfig{}, &bus, &registry);
+  ASSERT_TRUE(shop.attach_to_bus().ok());
+
+  const std::vector<std::string>& points = fault::known_points();
+  for (int iter = 0; iter < 8; ++iter) {
+    // One random fault rule per iteration: random point, random onset.
+    const std::string& point = points[rng.next_below(points.size())];
+    const std::string spec = point + ":after=" +
+                             std::to_string(rng.next_below(6)) + ",times=1";
+    fault::ScopedFaultPlan scoped(
+        fault::FaultPlan::parse(spec, seed + iter).value());
+
+    // Mix well-formed workspace requests with random-DAG requests (whose
+    // configuration may not match any golden image at all).
+    core::CreateRequest request = workload::workspace_request(32, iter, "d");
+    if (rng.bernoulli(0.25)) {
+      request.config = workload::random_layered_dag(
+          seed * 31 + iter, 2 + rng.next_below(3), 2 + rng.next_below(3), 0.4);
+    }
+
+    auto ad = shop.create(request);
+    if (ad.ok()) {
+      EXPECT_TRUE(ad.value().get_string(core::attrs::kVmId).has_value());
+    } else {
+      // Failure must be a typed error with a message, never a crash or an
+      // untagged fault.
+      EXPECT_NE(ad.error().code(), util::ErrorCode::kOk);
+      EXPECT_FALSE(ad.error().message().empty());
+    }
+    check_no_partial_dirs(&store, clone_areas);
+  }
+}
+
+TEST_P(SingleFaultScheduleProperty, WarehouseNeverKeepsHalfWrittenImages) {
+  const std::uint64_t seed = GetParam();
+  util::SplitMix64 rng(seed ^ 0x5A5A5A5Aull);
+  storage::ArtifactStore store(root_);
+  warehouse::Warehouse warehouse(&store, "warehouse");
+
+  storage::MachineSpec spec;
+  spec.os = "linux";
+  spec.memory_bytes = 32ull << 20;
+  spec.suspended = true;
+  spec.disk = {"disk0", 128ull << 20, 2, storage::DiskMode::kNonPersistent};
+
+  int published = 0;
+  for (int iter = 0; iter < 10; ++iter) {
+    warehouse::GoldenImage image;
+    image.id = "image-" + std::to_string(iter);
+    image.backend = "vmware-gsx";
+    image.spec = spec;
+
+    util::Status publish_status;
+    if (rng.bernoulli(0.6)) {
+      fault::ScopedFaultPlan scoped(fault::FaultPlan::parse(
+          "store.write:after=" + std::to_string(rng.next_below(8)) +
+              ",times=1",
+          seed + iter).value());
+      publish_status = warehouse.publish(image);
+    } else {
+      publish_status = warehouse.publish(image);
+    }
+    if (publish_status.ok()) {
+      ++published;
+    } else {
+      EXPECT_NE(publish_status.error().code(), util::ErrorCode::kOk);
+    }
+    // Invariant after every attempt: all image dirs are complete.
+    auto entries = store.list_dir("warehouse");
+    ASSERT_TRUE(entries.ok());
+    for (const std::string& entry : entries.value()) {
+      EXPECT_TRUE(store.exists("warehouse/" + entry + "/descriptor.xml"))
+          << "half-written image dir: warehouse/" << entry;
+    }
+  }
+
+  // A fresh rescan agrees with the surviving set.
+  warehouse::Warehouse reloaded(&store, "warehouse");
+  ASSERT_TRUE(reloaded.rescan().ok());
+  EXPECT_EQ(reloaded.size(), static_cast<std::size_t>(published));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SingleFaultScheduleProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
 
 }  // namespace
 }  // namespace vmp

@@ -10,6 +10,7 @@
 #include "core/plant.h"
 #include "core/shop.h"
 #include "dag/dag_xml.h"
+#include "fault/fault.h"
 #include "hypervisor/gsx.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -267,6 +268,136 @@ TEST_F(FaultTest, SpeculativeHitsFlowThroughTheShop) {
   auto ad = shop_->create(workload::workspace_request(32, 0, "d"));
   ASSERT_TRUE(ad.ok());
   EXPECT_TRUE(ad.value().get_boolean(core::attrs::kSpeculativeHit).value());
+}
+
+// -- Plan-driven fault injection ----------------------------------------------------
+
+TEST_F(FaultTest, CorruptedGoldenDescriptorFailsRescanWithParseError) {
+  // Corrupt one golden image descriptor on disk; a fresh warehouse rescan
+  // must surface kParseError (not crash, not silently drop the image).
+  ASSERT_TRUE(store_
+                  ->write_file("warehouse/golden-32mb/descriptor.xml",
+                               "<golden id=\"x\"><machi")
+                  .ok());
+  warehouse::Warehouse reloaded(store_.get(), "warehouse");
+  auto rescan = reloaded.rescan();
+  ASSERT_FALSE(rescan.ok());
+  EXPECT_EQ(rescan.error().code(), util::ErrorCode::kParseError);
+}
+
+TEST_F(FaultTest, InjectedDescriptorReadFailureSurfacesAsStoreError) {
+  fault::ScopedFaultPlan scoped(
+      fault::FaultPlan::parse("store.read:target=descriptor.xml,times=1")
+          .value());
+  warehouse::Warehouse reloaded(store_.get(), "warehouse");
+  auto rescan = reloaded.rescan();
+  ASSERT_FALSE(rescan.ok());
+  EXPECT_EQ(rescan.error().code(), util::ErrorCode::kUnavailable);
+  EXPECT_EQ(fault::FaultRegistry::instance().fired("store.read"), 1u);
+  // With the fault spent, the same rescan succeeds.
+  EXPECT_TRUE(reloaded.rescan().ok());
+}
+
+TEST_F(FaultTest, BidMessageLossExcludesPlantFromBidding) {
+  // plant1 is unreachable for the whole request: it never bids, and the
+  // creation lands on one of the surviving plants.
+  fault::ScopedFaultPlan scoped(
+      fault::FaultPlan::parse("bus.send:target=plant1").value());
+  auto ad = shop_->create(workload::workspace_request(32, 0, "d"));
+  ASSERT_TRUE(ad.ok()) << ad.error().to_string();
+  EXPECT_NE(ad.value().get_string(core::attrs::kPlant).value(), "plant1");
+  EXPECT_GE(fault::FaultRegistry::instance().fired("bus.send"), 1u);
+}
+
+TEST_F(FaultTest, TransportTimeoutOnCreateIsRetriedAgainstSamePlant) {
+  // The three estimate calls pass (after=3); the first create call times
+  // out at the transport layer, and the shop retries the same plant with
+  // backoff instead of abandoning it.
+  fault::ScopedFaultPlan scoped(
+      fault::FaultPlan::parse("bus.timeout:after=3,times=1").value());
+  auto ad = shop_->create(workload::workspace_request(32, 0, "d"));
+  ASSERT_TRUE(ad.ok()) << ad.error().to_string();
+  EXPECT_EQ(fault::FaultRegistry::instance().fired("bus.timeout"), 1u);
+  EXPECT_EQ(shop_->retries(), 1u);
+  EXPECT_EQ(shop_->failovers(), 0u);
+  EXPECT_GT(shop_->retry_backoff_s(), 0.0);
+}
+
+TEST_F(FaultTest, StoreWriteFaultMidCloneRecoversViaShopFailover) {
+  // Acceptance scenario: the first artefact write of the winning plant's
+  // clone fails; the plant reports a typed fault, the shop marks it failed
+  // and the next-best bid completes the creation.
+  fault::ScopedFaultPlan scoped(
+      fault::FaultPlan::parse("store.write:target=/clones/,times=1").value());
+  auto ad = shop_->create(workload::workspace_request(32, 0, "d"));
+  ASSERT_TRUE(ad.ok()) << ad.error().to_string();
+  EXPECT_EQ(fault::FaultRegistry::instance().fired("store.write"), 1u);
+  EXPECT_EQ(shop_->failovers(), 1u);
+  EXPECT_EQ(shop_->retries(), 0u);
+
+  // The failed plant kept nothing: no instance, no network, and no
+  // half-written clone directory.
+  const std::string failed_plant = fault::FaultRegistry::instance()
+                                       .sequence()
+                                       .front()
+                                       .substr(std::string("store.write@").size());
+  for (auto& plant : plants_) {
+    if (failed_plant.rfind(plant->name() + "/", 0) == 0) {
+      EXPECT_EQ(plant->active_vms(), 0u);
+      EXPECT_EQ(plant->allocator().free_networks(), 4u);
+      auto leftover = store_->list_dir(plant->name() + "/clones");
+      ASSERT_TRUE(leftover.ok());
+      EXPECT_TRUE(leftover.value().empty());
+    }
+  }
+}
+
+TEST_F(FaultTest, ResumeFaultAbortsCleanlyWhenPlantRetryDisabled) {
+  // Default plants run with clone_retry disabled (one attempt): an
+  // injected VMM resume failure surfaces as the plant's typed error and
+  // leaves no residue.
+  fault::ScopedFaultPlan scoped(
+      fault::FaultPlan::parse("hypervisor.resume:times=1").value());
+  auto& plant = *plants_[0];
+  auto ad = plant.create(workload::workspace_request(32, 0, "d"));
+  ASSERT_FALSE(ad.ok());
+  EXPECT_EQ(ad.error().code(), util::ErrorCode::kInternal);
+  EXPECT_EQ(plant.active_vms(), 0u);
+  EXPECT_EQ(plant.allocator().free_networks(), 4u);
+  EXPECT_EQ(plant.clone_retries(), 0u);
+}
+
+TEST_F(FaultTest, ResumeFaultRecoveredByPlantLocalRetry) {
+  // A plant configured with clone_retry enabled absorbs the same transient
+  // resume fault locally: the clone is rebuilt and the creation succeeds
+  // without any shop involvement.
+  core::PlantConfig pc;
+  pc.name = "plant-retry";
+  pc.clone_retry.max_attempts = 2;
+  core::VmPlant plant(pc, store_.get(), warehouse_.get());
+
+  fault::ScopedFaultPlan scoped(
+      fault::FaultPlan::parse("hypervisor.resume:times=1").value());
+  auto ad = plant.create(workload::workspace_request(32, 0, "d"));
+  ASSERT_TRUE(ad.ok()) << ad.error().to_string();
+  EXPECT_EQ(plant.clone_retries(), 1u);
+  EXPECT_EQ(plant.active_vms(), 1u);
+  EXPECT_EQ(fault::FaultRegistry::instance().fired("hypervisor.resume"), 1u);
+}
+
+TEST_F(FaultTest, AllPlantsFaultingYieldsTypedUnavailable) {
+  // Every clone write fails everywhere: after failing over through every
+  // bidder (and one re-bid round) the shop reports kUnavailable.
+  fault::ScopedFaultPlan scoped(
+      fault::FaultPlan::parse("store.write:target=/clones/").value());
+  auto ad = shop_->create(workload::workspace_request(32, 0, "d"));
+  ASSERT_FALSE(ad.ok());
+  EXPECT_EQ(ad.error().code(), util::ErrorCode::kUnavailable);
+  EXPECT_EQ(shop_->failovers(), 3u);
+  for (auto& plant : plants_) {
+    EXPECT_EQ(plant->active_vms(), 0u);
+    EXPECT_EQ(plant->allocator().free_networks(), 4u);
+  }
 }
 
 // -- Session-state mechanics -----------------------------------------------------
