@@ -1,0 +1,101 @@
+// Overhead of the observability plane on production paths.
+//
+// The tracer's disarmed cost is one relaxed atomic load per ScopedSpan —
+// the contract that lets every hot path stay instrumented all the time.
+// Measured four ways so regressions in the "nobody is tracing" path show
+// up:
+//   1. ScopedSpan construct+destruct, tracer disarmed  (target: <= 5 ns/op)
+//   2. ScopedSpan construct+destruct, tracer armed     (reported, not bounded)
+//   3. Counter::add and Timer::record (always-on metrics)
+//   4. MessageBus::call round-trip, disarmed vs armed
+#include <chrono>
+#include <cstdio>
+
+#include "common.h"
+#include "net/bus.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace vmp;
+  bench::print_header(
+      "observability overhead — cost of spans and metrics on hot paths",
+      "disarmed ScopedSpan is one relaxed atomic load (<= 5 ns/op); "
+      "counters are sharded relaxed atomics and stay armed always");
+
+  constexpr int kSpanIters = 2'000'000;
+  constexpr int kMetricIters = 2'000'000;
+  constexpr int kCallIters = 20'000;
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+
+  tracer.disarm();
+  {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSpanIters; ++i) {
+      obs::ScopedSpan span("bench.noop", "bench");
+    }
+    const double ns = seconds_since(start) * 1e9 / kSpanIters;
+    std::printf("span disarmed        : %8.2f ns/op %s\n", ns,
+                ns <= 5.0 ? "(within 5 ns budget)" : "(OVER 5 ns budget!)");
+  }
+
+  tracer.arm();
+  {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSpanIters / 20; ++i) {
+      obs::ScopedSpan span("bench.noop", "bench");
+    }
+    std::printf("span armed           : %8.2f ns/op (%zu spans recorded)\n",
+                seconds_since(start) * 1e9 / (kSpanIters / 20),
+                tracer.span_count());
+  }
+  tracer.disarm();
+
+  {
+    obs::Counter* c = obs::MetricsRegistry::instance().counter("bench.count");
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kMetricIters; ++i) c->add();
+    std::printf("counter add          : %8.2f ns/op\n",
+                seconds_since(start) * 1e9 / kMetricIters);
+  }
+  {
+    obs::Timer* t = obs::MetricsRegistry::instance().timer("bench.seconds");
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kMetricIters; ++i) t->record(1e-6);
+    std::printf("timer record         : %8.2f ns/op\n",
+                seconds_since(start) * 1e9 / kMetricIters);
+  }
+
+  // A full bus round-trip with a trivial echo handler, disarmed vs armed.
+  net::MessageBus bus;
+  (void)bus.register_endpoint("echo", [](const net::Message& m) {
+    return net::Message::response_to(m);
+  });
+  const auto call_sweep = [&](const char* label) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kCallIters; ++i) {
+      net::Message m = net::Message::request("echo.ping", "bench", "echo",
+                                             "c" + std::to_string(i));
+      (void)bus.call(m);
+    }
+    std::printf("%s: %8.2f us/call\n", label,
+                seconds_since(start) * 1e6 / kCallIters);
+  };
+  call_sweep("bus.call disarmed    ");
+  tracer.arm();
+  call_sweep("bus.call armed       ");
+  tracer.disarm();
+
+  return 0;
+}

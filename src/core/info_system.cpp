@@ -1,6 +1,9 @@
 #include "core/info_system.h"
 
 #include "core/request.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vmp::core {
 
@@ -65,6 +68,20 @@ std::size_t VmInformationSystem::size() const {
   return ads_.size();
 }
 
+std::size_t VmInformationSystem::remove_prefixed(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t removed = 0;
+  for (auto it = ads_.begin(); it != ads_.end();) {
+    if (it->first.starts_with(prefix)) {
+      it = ads_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
 Status VmMonitor::refresh(const std::string& vm_id) {
   const hv::VmInstance* vm = hypervisor_->find(vm_id);
   if (vm == nullptr) {
@@ -83,10 +100,39 @@ Status VmMonitor::refresh(const std::string& vm_id) {
 
 std::size_t VmMonitor::refresh_all() {
   std::size_t ok = 0;
+  std::size_t active = 0;
+  std::size_t suspended = 0;
   for (const std::string& id : info_->vm_ids()) {
-    if (refresh(id).ok()) ++ok;
+    if (id.starts_with(kObsAdPrefix)) continue;  // not a VM
+    if (!refresh(id).ok()) continue;
+    ++ok;
+    if (const hv::VmInstance* vm = hypervisor_->find(id)) {
+      if (vm->power == hv::PowerState::kRunning) ++active;
+      if (vm->power == hv::PowerState::kSuspended) ++suspended;
+    }
   }
+  obs::MetricsRegistry& r = obs::MetricsRegistry::instance();
+  r.gauge("vm.active.gauge")->set(static_cast<std::int64_t>(active));
+  r.gauge("vm.suspended.gauge")->set(static_cast<std::int64_t>(suspended));
+  if (obs_export_.load(std::memory_order_relaxed)) publish_obs_ads();
   return ok;
+}
+
+void VmMonitor::enable_obs_export() {
+  obs_export_.store(true, std::memory_order_relaxed);
+}
+
+void VmMonitor::disable_obs_export() {
+  obs_export_.store(false, std::memory_order_relaxed);
+  (void)info_->remove_prefixed(kObsAdPrefix);
+}
+
+void VmMonitor::publish_obs_ads() {
+  const obs::ExportBundle bundle = obs::export_bundle();
+  info_->store(kObsMetricsId, bundle.metrics);
+  for (const auto& [vm_id, ad] : bundle.vm_traces) {
+    info_->store(kObsTracePrefix + vm_id, ad);
+  }
 }
 
 void VmMonitor::start_periodic(std::chrono::milliseconds interval) {
@@ -113,7 +159,14 @@ void VmMonitor::stop_periodic() {
     stopping_ = true;
   }
   stop_cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  if (thread_.joinable()) {
+    thread_.join();
+    // A stopped monitor leaves no stale observability ads behind: the
+    // obs:// snapshots are only meaningful while sweeps keep them fresh.
+    if (obs_export_.load(std::memory_order_relaxed)) {
+      (void)info_->remove_prefixed(kObsAdPrefix);
+    }
+  }
 }
 
 }  // namespace vmp::core

@@ -23,6 +23,15 @@
 
 namespace vmp::core {
 
+/// Reserved id prefix for observability classads published by the monitor
+/// (DESIGN.md §8): "obs://metrics" holds the process-wide metrics snapshot,
+/// "obs://trace/<vm_id>" a per-VM span summary.  These are not VMs: vm_ids()
+/// still lists them (they live in the same store), but monitor refreshes
+/// skip them.
+inline constexpr char kObsAdPrefix[] = "obs://";
+inline constexpr char kObsMetricsId[] = "obs://metrics";
+inline constexpr char kObsTracePrefix[] = "obs://trace/";
+
 class VmInformationSystem {
  public:
   /// Store (or replace) the classad for a VM.
@@ -38,6 +47,9 @@ class VmInformationSystem {
 
   std::vector<std::string> vm_ids() const;
   std::size_t size() const;
+
+  /// Remove every ad whose id starts with `prefix`; returns how many.
+  std::size_t remove_prefixed(const std::string& prefix);
 
  private:
   mutable std::mutex mutex_;
@@ -75,7 +87,18 @@ class VmMonitor {
   /// Completed refresh sweeps since start_periodic.
   std::uint64_t sweeps() const { return sweeps_.load(); }
 
+  /// Publish observability classads (obs://metrics + obs://trace/<vm_id>)
+  /// into the information system on every sweep.  Off by default; each
+  /// explicit refresh_all() and every periodic sweep republishes while
+  /// enabled.  stop_periodic() removes the obs:// ads so a stopped monitor
+  /// leaves no stale observability state behind.
+  void enable_obs_export();
+  void disable_obs_export();
+  bool obs_export_enabled() const { return obs_export_.load(); }
+
  private:
+  void publish_obs_ads();
+
   hv::Hypervisor* hypervisor_;
   VmInformationSystem* info_;
   std::thread thread_;
@@ -83,6 +106,7 @@ class VmMonitor {
   std::condition_variable stop_cv_;
   bool stopping_ = false;
   std::atomic<std::uint64_t> sweeps_{0};
+  std::atomic<bool> obs_export_{false};
 };
 
 }  // namespace vmp::core

@@ -1,8 +1,12 @@
 #include "core/plant.h"
 
+#include <chrono>
+
 #include "hypervisor/gsx.h"
 #include "hypervisor/uml.h"
 #include "hypervisor/xen.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -31,6 +35,28 @@ bool clone_error_is_transient(util::ErrorCode code) {
   return code == ErrorCode::kUnavailable || code == ErrorCode::kTimeout ||
          code == ErrorCode::kInternal;
 }
+
+struct PlantMetrics {
+  obs::Counter* creates;
+  obs::Counter* create_failures;
+  obs::Counter* collects;
+  obs::Counter* clone_retries;
+  obs::Counter* speculative_hits;
+  obs::Timer* create_seconds;
+
+  static PlantMetrics& get() {
+    static PlantMetrics m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::instance();
+      return PlantMetrics{r.counter("plant.create.count"),
+                          r.counter("plant.create_fail.count"),
+                          r.counter("plant.collect.count"),
+                          r.counter("plant.clone_retry.count"),
+                          r.counter("plant.speculative_hit.count"),
+                          r.timer("plant.create.seconds")};
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -82,6 +108,26 @@ Result<double> VmPlant::estimate(const CreateRequest& request) const {
 }
 
 Result<classad::ClassAd> VmPlant::create(const CreateRequest& request) {
+  PlantMetrics& metrics = PlantMetrics::get();
+  obs::ScopedSpan span("plant.create", "vmplant", config_.name);
+  const auto start = std::chrono::steady_clock::now();
+
+  Result<classad::ClassAd> result = create_impl(request);
+
+  metrics.create_seconds->record(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  if (result.ok()) {
+    metrics.creates->add();
+    span.set_vm(result.value().get_string(attrs::kVmId).value_or(""));
+  } else {
+    metrics.create_failures->add();
+    span.set_status(util::error_code_name(result.error().code()));
+  }
+  return result;
+}
+
+Result<classad::ClassAd> VmPlant::create_impl(const CreateRequest& request) {
   std::lock_guard<std::mutex> lock(mutex_);
   VMP_RETURN_IF_ERROR_AS(request.validate(), classad::ClassAd);
 
@@ -97,7 +143,14 @@ Result<classad::ClassAd> VmPlant::create(const CreateRequest& request) {
   if (!plan.ok()) return plan.propagate<classad::ClassAd>();
 
   // Host-only network for the client's domain.
-  auto network = allocator_.acquire(request.domain);
+  auto network = [&] {
+    obs::ScopedSpan vnet_span("vnet.attach", "vnet", request.domain);
+    auto acquired = allocator_.acquire(request.domain);
+    if (!acquired.ok()) {
+      vnet_span.set_status(util::error_code_name(acquired.error().code()));
+    }
+    return acquired;
+  }();
   if (!network.ok()) return network.propagate<classad::ClassAd>();
 
   // Speculative pool: a parked pre-created clone of the planned golden
@@ -109,6 +162,7 @@ Result<classad::ClassAd> VmPlant::create(const CreateRequest& request) {
     vm_id = pool->second.back();
     pool->second.pop_back();
     speculative_hit = true;
+    PlantMetrics::get().speculative_hits->add();
   } else {
     // Clone+resume under the plant-local retry policy: transient failures
     // (store hiccups, VMM resume errors) are retried with deterministic
@@ -126,6 +180,9 @@ Result<classad::ClassAd> VmPlant::create(const CreateRequest& request) {
         return report.propagate<classad::ClassAd>();
       }
       ++clone_retries_;
+      PlantMetrics::get().clone_retries->add();
+      obs::Tracer::instance().instant("plant.clone_retry", "vmplant", "retry",
+                                      vm_id);
       kLog.warn() << config_.name << ": clone of " << vm_id
                   << " failed transiently (" << report.error().to_string()
                   << "); retry " << retry_state.retries_granted() << " after "
@@ -201,6 +258,8 @@ Result<classad::ClassAd> VmPlant::query(const std::string& vm_id) const {
 }
 
 Status VmPlant::collect(const std::string& vm_id) {
+  obs::ScopedSpan span("plant.collect", "vmplant", config_.name);
+  span.set_vm(vm_id);
   std::lock_guard<std::mutex> lock(mutex_);
   auto domain = vm_domains_.find(vm_id);
   if (domain == vm_domains_.end()) {
@@ -211,6 +270,7 @@ Status VmPlant::collect(const std::string& vm_id) {
   (void)allocator_.release(domain->second);
   vm_domains_.erase(domain);
   (void)info_.remove(vm_id);
+  PlantMetrics::get().collects->add();
   kLog.info() << config_.name << ": collected " << vm_id;
   return Status();
 }

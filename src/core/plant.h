@@ -134,6 +134,7 @@ class VmPlant {
 
  private:
   net::Message handle_message(const net::Message& request_msg);
+  util::Result<classad::ClassAd> create_impl(const CreateRequest& request);
   PlantSnapshot snapshot() const;
   PlantLoad load_for(const CreateRequest& request) const;
 

@@ -1,13 +1,59 @@
 #include "core/ppp.h"
 
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace vmp::core {
 
 using util::Error;
 using util::ErrorCode;
 using util::Result;
 
+namespace {
+
+/// Match-kind counters (DESIGN.md §8): each hardware-passing candidate is
+/// classified by the first DAG test it fails; plan outcomes feed the
+/// warehouse hit ratio.
+struct PppMetrics {
+  obs::Counter* match_hit;
+  obs::Counter* subset_fail;
+  obs::Counter* prefix_fail;
+  obs::Counter* order_fail;
+  obs::Counter* plan_hit;
+  obs::Counter* plan_miss;
+  obs::Timer* plan_seconds;
+
+  static PppMetrics& get() {
+    static PppMetrics m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::instance();
+      return PppMetrics{r.counter("ppp.match_hit.count"),
+                        r.counter("ppp.match_subset_fail.count"),
+                        r.counter("ppp.match_prefix_fail.count"),
+                        r.counter("ppp.match_order_fail.count"),
+                        r.counter("ppp.plan_hit.count"),
+                        r.counter("ppp.plan_miss.count"),
+                        r.timer("ppp.plan.seconds")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
 Result<ProductionPlan> ProductionProcessPlanner::plan(
     const CreateRequest& request) const {
+  PppMetrics& metrics = PppMetrics::get();
+  obs::ScopedSpan span("ppp.match", "ppp", request.request_id);
+  const auto start = std::chrono::steady_clock::now();
+  const auto record_elapsed = [&] {
+    metrics.plan_seconds->record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  };
+
   const std::string backend =
       request.backend.empty() ? "vmware-gsx" : request.backend;
 
@@ -20,6 +66,9 @@ Result<ProductionPlan> ProductionProcessPlanner::plan(
     }
   }
   if (candidates.empty()) {
+    metrics.plan_miss->add();
+    record_elapsed();
+    span.set_status(util::error_code_name(ErrorCode::kNoMatchingImage));
     return Result<ProductionPlan>(Error(
         ErrorCode::kNoMatchingImage,
         "no golden machine passes the hardware filter (backend=" + backend +
@@ -27,29 +76,58 @@ Result<ProductionPlan> ProductionProcessPlanner::plan(
             std::to_string(request.hardware.memory_bytes) + ")"));
   }
 
-  std::vector<std::vector<std::string>> histories;
-  histories.reserve(candidates.size());
-  for (const auto& image : candidates) histories.push_back(image.performed);
-
-  auto ranked = dag::rank_matches(request.config, histories);
-  if (!ranked.ok()) return ranked.propagate<ProductionPlan>();
-  if (ranked.value().empty()) {
+  // One evaluation per candidate yields both the ranking and the
+  // match-kind classification (subset / prefix / partial-order / hit).
+  struct Scored {
+    std::size_t index;
+    dag::MatchEvaluation eval;
+  };
+  std::vector<Scored> matching;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    auto eval = dag::evaluate_match(request.config, candidates[i].performed);
+    if (!eval.ok()) {
+      record_elapsed();
+      span.set_status(util::error_code_name(eval.error().code()));
+      return eval.propagate<ProductionPlan>();
+    }
+    if (eval.value().matches()) {
+      metrics.match_hit->add();
+      matching.push_back(Scored{i, std::move(eval.value())});
+    } else if (!eval.value().subset_ok) {
+      metrics.subset_fail->add();
+    } else if (!eval.value().prefix_ok) {
+      metrics.prefix_fail->add();
+    } else {
+      metrics.order_fail->add();
+    }
+  }
+  if (matching.empty()) {
+    metrics.plan_miss->add();
+    record_elapsed();
+    span.set_status(util::error_code_name(ErrorCode::kNoMatchingImage));
     return Result<ProductionPlan>(Error(
         ErrorCode::kNoMatchingImage,
         "no golden machine passes the DAG matching tests (" +
             std::to_string(candidates.size()) + " hardware candidates)"));
   }
 
-  const dag::RankedMatch& best = ranked.value().front();
-  auto eval =
-      dag::evaluate_match(request.config, histories[best.image_index]);
-  if (!eval.ok()) return eval.propagate<ProductionPlan>();
+  // Most satisfied actions first (fewest remaining), stable on ties —
+  // the same order dag::rank_matches produces.
+  std::stable_sort(matching.begin(), matching.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.eval.satisfied_nodes.size() >
+                            b.eval.satisfied_nodes.size();
+                   });
 
+  Scored& best = matching.front();
   ProductionPlan plan;
-  plan.golden = std::move(candidates[best.image_index]);
-  plan.satisfied_nodes = std::move(eval.value().satisfied_nodes);
-  plan.remaining_plan = std::move(eval.value().remaining_plan);
+  plan.golden = std::move(candidates[best.index]);
+  plan.satisfied_nodes = std::move(best.eval.satisfied_nodes);
+  plan.remaining_plan = std::move(best.eval.remaining_plan);
   plan.hardware_candidates = candidates.size();
+
+  metrics.plan_hit->add();
+  record_elapsed();
   return plan;
 }
 

@@ -1,8 +1,11 @@
 #include "core/production_line.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace vmp::core {
@@ -13,8 +16,33 @@ using util::Result;
 using util::Status;
 
 namespace {
+
 const util::Logger kLog("production-line");
+
+struct LineMetrics {
+  obs::Counter* actions;
+  obs::Counter* action_failures;
+  obs::Timer* action_seconds;
+  obs::Timer* configure_seconds;
+
+  static LineMetrics& get() {
+    static LineMetrics m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::instance();
+      return LineMetrics{r.counter("plant.configure_action.count"),
+                         r.counter("plant.configure_action_fail.count"),
+                         r.timer("plant.configure_action.seconds"),
+                         r.timer("plant.configure.seconds")};
+    }();
+    return m;
+  }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
 }
+
+}  // namespace
 
 Result<std::string> compile_guest_script(const dag::Action& action) {
   const std::string& op = action.operation();
@@ -192,6 +220,20 @@ Status ProductionLine::run_action(const dag::ConfigDag& config,
                   "plan references unknown action " + action_id);
   }
 
+  LineMetrics& metrics = LineMetrics::get();
+  obs::ScopedSpan span("configure.action", "production-line", action_id);
+  span.set_vm(vm_id);
+  const auto span_start = std::chrono::steady_clock::now();
+  const auto record = [&](const Status& outcome) {
+    metrics.actions->add();
+    metrics.action_seconds->record(seconds_since(span_start));
+    if (!outcome.ok()) {
+      metrics.action_failures->add();
+      span.set_status(util::error_code_name(outcome.error().code()));
+    }
+    return outcome;
+  };
+
   // Phase 1: direct attempts (1 + retries when the policy allows).
   const int attempts =
       1 + (action->error_policy() == dag::ErrorPolicy::kRetry
@@ -200,7 +242,7 @@ Status ProductionLine::run_action(const dag::ConfigDag& config,
   Status last;
   for (int i = 0; i < attempts; ++i) {
     last = attempt_action(*action, vm_id, network_name, result);
-    if (last.ok()) return last;
+    if (last.ok()) return record(last);
     kLog.debug() << vm_id << ": action " << action_id << " attempt "
                  << (i + 1) << "/" << attempts << " failed: "
                  << last.error().message();
@@ -223,7 +265,7 @@ Status ProductionLine::run_action(const dag::ConfigDag& config,
       }
       if (subgraph_ok) {
         last = attempt_action(*action, vm_id, network_name, result);
-        if (last.ok()) return last;
+        if (last.ok()) return record(last);
       }
     }
   }
@@ -233,27 +275,41 @@ Status ProductionLine::run_action(const dag::ConfigDag& config,
     ++result->failures_continued;
     result->ad.set_string("ActionFailure_" + action_id,
                           last.error().message());
+    (void)record(last);  // record the underlying failure despite continuing
     return Status();
   }
-  return Status(ErrorCode::kConfigActionFailed,
-                "production aborted at action '" + action_id + "': " +
-                    last.error().message());
+  return record(Status(ErrorCode::kConfigActionFailed,
+                       "production aborted at action '" + action_id + "': " +
+                           last.error().message()));
 }
 
 Result<storage::CloneReport> ProductionLine::clone_and_start(
     const warehouse::GoldenImage& golden, const std::string& vm_id) {
+  obs::ScopedSpan span("plant.clone", "production-line", golden.id);
+  span.set_vm(vm_id);
   hv::CloneSource source;
   source.layout = golden.layout;
   source.spec = golden.spec;
   source.guest = golden.guest;
   const std::string clone_dir = clone_base_dir_ + "/" + vm_id;
   auto cloned = hypervisor_->clone_vm(source, clone_dir, vm_id);
-  if (!cloned.ok()) return cloned.propagate<storage::CloneReport>();
+  if (!cloned.ok()) {
+    span.set_status(util::error_code_name(cloned.error().code()));
+    return cloned.propagate<storage::CloneReport>();
+  }
   const storage::CloneReport report = hypervisor_->find(vm_id)->clone_report;
 
-  Status started = hypervisor_->start_vm(vm_id);
+  Status started = [&] {
+    obs::ScopedSpan resume_span("hypervisor.resume", "hypervisor",
+                                hypervisor_->type());
+    resume_span.set_vm(vm_id);
+    Status s = hypervisor_->start_vm(vm_id);
+    if (!s.ok()) resume_span.set_status(util::error_code_name(s.error().code()));
+    return s;
+  }();
   if (!started.ok()) {
     (void)hypervisor_->destroy_vm(vm_id);
+    span.set_status(util::error_code_name(started.error().code()));
     return started.propagate<storage::CloneReport>();
   }
   return report;
@@ -262,6 +318,10 @@ Result<storage::CloneReport> ProductionLine::clone_and_start(
 Result<ProductionResult> ProductionLine::configure(
     const ProductionPlan& plan, const CreateRequest& request,
     const std::string& vm_id, const std::string& network_name) {
+  obs::ScopedSpan span("plant.configure", "production-line",
+                       std::to_string(plan.remaining_plan.size()) + " actions");
+  span.set_vm(vm_id);
+  const auto start = std::chrono::steady_clock::now();
   ProductionResult result;
   result.vm_id = vm_id;
   const hv::VmInstance* vm = hypervisor_->find(vm_id);
@@ -280,9 +340,12 @@ Result<ProductionResult> ProductionLine::configure(
                           &result);
     if (!s.ok()) {
       (void)hypervisor_->destroy_vm(vm_id);
+      LineMetrics::get().configure_seconds->record(seconds_since(start));
+      span.set_status(util::error_code_name(s.error().code()));
       return s.propagate<ProductionResult>();
     }
   }
+  LineMetrics::get().configure_seconds->record(seconds_since(start));
   return result;
 }
 

@@ -1,8 +1,11 @@
 #include "core/shop.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -15,7 +18,39 @@ using util::Status;
 
 namespace {
 const util::Logger kLog("vmshop");
+
+struct ShopMetrics {
+  obs::Counter* creates;
+  obs::Counter* create_failures;
+  obs::Counter* retries;
+  obs::Counter* failovers;
+  obs::Counter* cache_hits;
+  obs::Counter* bids;
+  obs::Timer* create_seconds;
+  obs::Timer* bid_seconds;
+
+  static ShopMetrics& get() {
+    static ShopMetrics m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::instance();
+      return ShopMetrics{r.counter("shop.create.count"),
+                         r.counter("shop.create_fail.count"),
+                         r.counter("shop.retry.count"),
+                         r.counter("shop.failover.count"),
+                         r.counter("shop.cache_hit.count"),
+                         r.counter("shop.bid.count"),
+                         r.timer("shop.create.seconds"),
+                         r.timer("shop.bid.seconds")};
+    }();
+    return m;
+  }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
+}  // namespace
 
 VmShop::VmShop(ShopConfig config, net::MessageBus* bus,
                net::ServiceRegistry* registry)
@@ -27,6 +62,8 @@ VmShop::VmShop(ShopConfig config, net::MessageBus* bus,
 VmShop::~VmShop() { detach_from_bus(); }
 
 std::vector<Bid> VmShop::collect_bids(const CreateRequest& request) {
+  obs::ScopedSpan span("shop.bid", "vmshop", request.request_id);
+  const auto start = std::chrono::steady_clock::now();
   std::vector<Bid> bids;
   for (const net::ServiceRecord& plant : registry_->discover("vmplant")) {
     net::Message m = net::Message::request("vmplant.estimate", config_.name,
@@ -45,6 +82,8 @@ std::vector<Bid> VmShop::collect_bids(const CreateRequest& request) {
     bid.cost = bid_elem->attr_double("cost", 0.0);
     bids.push_back(bid);
   }
+  ShopMetrics::get().bids->add(bids.size());
+  ShopMetrics::get().bid_seconds->record(seconds_since(start));
   return bids;
 }
 
@@ -62,6 +101,26 @@ std::optional<Bid> VmShop::select_bid(const std::vector<Bid>& bids) {
 }
 
 Result<classad::ClassAd> VmShop::create(const CreateRequest& request) {
+  // Root span of the request's trace: everything downstream (bids, bus
+  // hops, plant-side production) chains underneath this context.
+  ShopMetrics& metrics = ShopMetrics::get();
+  obs::ScopedSpan span("shop.create", "vmshop", request.request_id);
+  const auto start = std::chrono::steady_clock::now();
+
+  Result<classad::ClassAd> result = create_impl(request);
+
+  metrics.create_seconds->record(seconds_since(start));
+  if (result.ok()) {
+    metrics.creates->add();
+    span.set_vm(result.value().get_string(attrs::kVmId).value_or(""));
+  } else {
+    metrics.create_failures->add();
+    span.set_status(util::error_code_name(result.error().code()));
+  }
+  return result;
+}
+
+Result<classad::ClassAd> VmShop::create_impl(const CreateRequest& request) {
   VMP_RETURN_IF_ERROR_AS(request.validate(), classad::ClassAd);
 
   std::vector<Bid> bids = collect_bids(request);
@@ -139,6 +198,9 @@ Result<classad::ClassAd> VmShop::create(const CreateRequest& request) {
       }
       retry_backoff_s_ += retry_state.elapsed_backoff_s() - backoff_before;
       ++retries_;
+      ShopMetrics::get().retries->add();
+      obs::Tracer::instance().instant("shop.retry", "vmshop", "retry",
+                                      chosen->plant_address);
       kLog.debug() << "transport failure (" << last_failure << "); retry "
                    << retry_state.retries_granted() << " after "
                    << retry_state.elapsed_backoff_s() << "s backoff";
@@ -163,6 +225,9 @@ Result<classad::ClassAd> VmShop::create(const CreateRequest& request) {
     }
     failed_plants.insert(chosen->plant_address);
     ++failovers_;
+    ShopMetrics::get().failovers->add();
+    obs::Tracer::instance().instant("shop.failover", "vmshop", "failover",
+                                    chosen->plant_address);
     kLog.warn() << "creation failed at " << last_failure
                 << "; failing over to next-best bid";
   }
@@ -182,6 +247,7 @@ Result<classad::ClassAd> VmShop::query_at(const std::string& plant_address,
 }
 
 Result<classad::ClassAd> VmShop::query(const std::string& vm_id) {
+  obs::ScopedSpan span("shop.query", "vmshop", vm_id);
   std::string routed;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -212,6 +278,7 @@ Result<classad::ClassAd> VmShop::query(const std::string& vm_id) {
 }
 
 Status VmShop::destroy(const std::string& vm_id) {
+  obs::ScopedSpan span("shop.destroy", "vmshop", vm_id);
   // Resolve the owning plant (query refreshes the routing cache).
   auto ad = query(vm_id);
   if (!ad.ok()) return ad.error();
@@ -238,6 +305,7 @@ Result<classad::ClassAd> VmShop::cached_query(const std::string& vm_id) {
     auto it = ad_cache_.find(vm_id);
     if (it != ad_cache_.end()) {
       ++cache_hits_;
+      ShopMetrics::get().cache_hits->add();
       return it->second;
     }
   }

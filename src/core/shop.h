@@ -108,6 +108,7 @@ class VmShop {
 
  private:
   net::Message handle_message(const net::Message& request_msg);
+  util::Result<classad::ClassAd> create_impl(const CreateRequest& request);
   util::Result<classad::ClassAd> query_at(const std::string& plant_address,
                                           const std::string& vm_id);
 

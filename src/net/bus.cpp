@@ -1,8 +1,10 @@
 #include "net/bus.h"
 
+#include <chrono>
 #include <vector>
 
 #include "fault/fault.h"
+#include "obs/trace.h"
 
 namespace vmp::net {
 
@@ -11,7 +13,14 @@ using util::ErrorCode;
 using util::Result;
 using util::Status;
 
-MessageBus::MessageBus(std::uint64_t fault_seed) : fault_rng_(fault_seed) {}
+MessageBus::MessageBus(std::uint64_t fault_seed) : fault_rng_(fault_seed) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::instance();
+  obs_calls_ = metrics.counter("bus.call.count");
+  obs_errors_ = metrics.counter("bus.error.count");
+  obs_bytes_ = metrics.counter("bus.bytes.count");
+  obs_inflight_ = metrics.gauge("bus.inflight.gauge");
+  obs_latency_ = metrics.timer("bus.call.seconds");
+}
 
 Status MessageBus::register_endpoint(const std::string& address,
                                      Handler handler) {
@@ -46,6 +55,30 @@ std::vector<std::string> MessageBus::endpoints() const {
 }
 
 Result<Message> MessageBus::call(const Message& request_msg) {
+  // Client-side transport span, parented by the context carried on the
+  // message (the caller's span) so a request joins its originating trace
+  // even when the caller sits on another thread.
+  obs::ScopedSpan span("bus.call", "bus",
+                       request_msg.service() + "->" + request_msg.to(),
+                       request_msg.trace());
+  obs_calls_->add();
+  obs_inflight_->add(1);
+  const auto start = std::chrono::steady_clock::now();
+
+  Result<Message> result = call_impl(request_msg);
+
+  obs_latency_->record(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  obs_inflight_->add(-1);
+  if (!result.ok()) {
+    obs_errors_->add();
+    span.set_status(util::error_code_name(result.error().code()));
+  }
+  return result;
+}
+
+Result<Message> MessageBus::call_impl(const Message& request_msg) {
   // Injected transport faults (message loss, timeouts) surface exactly like
   // the built-in down/drop mechanisms: as transport-level Result errors.
   if (auto injected = fault::check(fault::points::kBusSend, request_msg.to());
@@ -83,14 +116,23 @@ Result<Message> MessageBus::call(const Message& request_msg) {
     handler = it->second.handler;
   }
 
+  obs_bytes_->add(wire.size());
+
   // Decode on the "server" side.
   auto decoded = Message::deserialize(wire);
   if (!decoded.ok()) return decoded;
 
-  const Message response = handler(decoded.value());
+  // Adopt the trace context that actually survived the wire encoding, so
+  // handler-side spans join the caller's trace the way a remote process
+  // would (not via this thread's ambient context).
+  const Message response = [&] {
+    obs::ContextGuard adopt(decoded.value().trace());
+    return handler(decoded.value());
+  }();
 
   // Encode/decode the response leg too.
   const std::string response_wire = response.serialize();
+  obs_bytes_->add(response_wire.size());
   {
     std::lock_guard<std::mutex> lock(mutex_);
     bytes_ += response_wire.size();

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "net/message.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/random.h"
 
@@ -57,11 +58,20 @@ class MessageBus {
     double drop_rate = 0.0;
   };
 
+  util::Result<Message> call_impl(const Message& request_msg);
+
   mutable std::mutex mutex_;
   std::map<std::string, Endpoint> endpoints_;
   util::SplitMix64 fault_rng_;
   std::uint64_t calls_ = 0;
   std::uint64_t bytes_ = 0;
+
+  // Metrics, resolved once (stable pointers into the process registry).
+  obs::Counter* obs_calls_;
+  obs::Counter* obs_errors_;
+  obs::Counter* obs_bytes_;
+  obs::Gauge* obs_inflight_;
+  obs::Timer* obs_latency_;
 };
 
 /// Helper for the common request/response pattern: returns the response

@@ -1,5 +1,7 @@
 #include "net/message.h"
 
+#include <cstdlib>
+
 namespace vmp::net {
 
 using util::Error;
@@ -31,6 +33,8 @@ Message Message::request(std::string service, std::string from, std::string to,
   m.from_ = std::move(from);
   m.to_ = std::move(to);
   m.correlation_ = std::move(correlation);
+  // Join the calling thread's trace (empty context when tracing is off).
+  m.trace_ = obs::current_context();
   return m;
 }
 
@@ -41,6 +45,7 @@ Message Message::response_to(const Message& request_msg) {
   m.from_ = request_msg.to_;
   m.to_ = request_msg.from_;
   m.correlation_ = request_msg.correlation_;
+  m.trace_ = request_msg.trace_;
   return m;
 }
 
@@ -76,6 +81,10 @@ std::string Message::serialize() const {
   root.set_attr("from", from_);
   root.set_attr("to", to_);
   root.set_attr("correlation", correlation_);
+  if (trace_.valid()) {
+    root.set_attr("trace", trace_.trace_id);
+    root.set_attr("span", std::to_string(trace_.span_id));
+  }
   for (const auto& child : body_->children()) {
     root.adopt_child(child->clone());
   }
@@ -99,6 +108,11 @@ Result<Message> Message::deserialize(const std::string& wire) {
   m.from_ = root.attr("from");
   m.to_ = root.attr("to");
   m.correlation_ = root.attr("correlation");
+  if (root.has_attr("trace")) {
+    m.trace_.trace_id = root.attr("trace");
+    m.trace_.span_id = static_cast<std::uint64_t>(
+        std::strtoull(root.attr("span").c_str(), nullptr, 10));
+  }
   for (const auto& child : root.children()) {
     m.body().adopt_child(child->clone());
   }
@@ -112,6 +126,7 @@ Message Message::clone_shallow_header() const {
   m.from_ = from_;
   m.to_ = to_;
   m.correlation_ = correlation_;
+  m.trace_ = trace_;
   return m;
 }
 

@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace.h"
 #include "util/error.h"
 #include "xml/xml.h"
 
@@ -48,6 +49,13 @@ class Message {
   util::Error fault_error() const;
   bool is_fault() const { return kind_ == MessageKind::kFault; }
 
+  /// Trace context riding the envelope (serialized as trace="..."
+  /// span="..." attributes when set).  Message::request captures the
+  /// calling thread's current span automatically; responses inherit the
+  /// request's context.
+  const obs::TraceContext& trace() const { return trace_; }
+  void set_trace(obs::TraceContext ctx) { trace_ = std::move(ctx); }
+
   /// Wire form.
   std::string serialize() const;
   static util::Result<Message> deserialize(const std::string& wire);
@@ -60,6 +68,7 @@ class Message {
   std::string from_;
   std::string to_;
   std::string correlation_;
+  obs::TraceContext trace_;
   std::unique_ptr<xml::Element> body_;
 };
 

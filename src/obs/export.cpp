@@ -1,0 +1,116 @@
+#include "obs/export.h"
+
+#include "fault/fault.h"
+
+namespace vmp::obs {
+
+std::string attr_name(const std::string& metric_name) {
+  std::string out = metric_name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+std::vector<TraceSummary> summarize_traces(const std::vector<Span>& spans) {
+  std::vector<TraceSummary> out;
+  std::map<std::string, std::size_t> index;  // trace_id -> out position
+  for (const Span& span : spans) {
+    auto it = index.find(span.trace_id);
+    if (it == index.end()) {
+      it = index.emplace(span.trace_id, out.size()).first;
+      out.push_back(TraceSummary{});
+      out.back().trace_id = span.trace_id;
+    }
+    TraceSummary& summary = out[it->second];
+    ++summary.span_count;
+    if (!span.ok()) ++summary.error_count;
+    if (span.status == "retry") ++summary.retry_count;
+    if (!span.vm_id.empty()) summary.vm_id = span.vm_id;
+    summary.phase_seconds[span.name] += span.duration_s();
+    if (span.parent_id == 0) {
+      summary.root_name = span.name;
+      summary.duration_s = span.duration_s();
+    }
+  }
+  // Traces whose root never closed: report the span extent instead.
+  for (TraceSummary& summary : out) {
+    if (!summary.root_name.empty()) continue;
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    for (const Span& span : spans) {
+      if (span.trace_id != summary.trace_id) continue;
+      if (first || span.start_s < lo) lo = span.start_s;
+      if (first || span.end_s > hi) hi = span.end_s;
+      first = false;
+    }
+    summary.duration_s = hi - lo;
+  }
+  return out;
+}
+
+classad::ClassAd metrics_ad(const MetricsSnapshot& snapshot,
+                            const util::FaultReport& faults) {
+  classad::ClassAd ad;
+  ad.set_string(export_attrs::kKind, "metrics");
+  for (const auto& [name, value] : snapshot.counters) {
+    ad.set_integer(attr_name(name), static_cast<std::int64_t>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    ad.set_integer(attr_name(name), value);
+  }
+  for (const auto& [name, stats] : snapshot.timers) {
+    const std::string base = attr_name(name);
+    ad.set_integer(base + "_count", static_cast<std::int64_t>(stats.count));
+    ad.set_real(base + "_mean", stats.mean_s);
+    ad.set_real(base + "_min", stats.min_s);
+    ad.set_real(base + "_max", stats.max_s);
+    ad.set_real(base + "_sum", stats.sum_s);
+  }
+  for (const auto& [point, count] : faults.by_point()) {
+    ad.set_integer("fault_" + attr_name(point) + "_count",
+                   static_cast<std::int64_t>(count));
+  }
+  if (auto ratio =
+          snapshot.ratio("ppp.plan_hit.count", "ppp.plan_miss.count")) {
+    ad.set_real(export_attrs::kWarehouseHitRatio, *ratio);
+  }
+  return ad;
+}
+
+classad::ClassAd trace_summary_ad(const TraceSummary& summary) {
+  classad::ClassAd ad;
+  ad.set_string(export_attrs::kKind, "trace");
+  ad.set_string(export_attrs::kTraceId, summary.trace_id);
+  if (!summary.root_name.empty()) {
+    ad.set_string(export_attrs::kRootSpan, summary.root_name);
+  }
+  if (!summary.vm_id.empty()) {
+    ad.set_string(export_attrs::kVmId, summary.vm_id);
+  }
+  ad.set_real(export_attrs::kDurationSeconds, summary.duration_s);
+  ad.set_integer(export_attrs::kSpanCount,
+                 static_cast<std::int64_t>(summary.span_count));
+  ad.set_integer(export_attrs::kErrorCount,
+                 static_cast<std::int64_t>(summary.error_count));
+  ad.set_integer(export_attrs::kRetryCount,
+                 static_cast<std::int64_t>(summary.retry_count));
+  for (const auto& [phase, seconds] : summary.phase_seconds) {
+    ad.set_real("Phase_" + attr_name(phase), seconds);
+  }
+  return ad;
+}
+
+ExportBundle export_bundle() {
+  ExportBundle bundle;
+  bundle.metrics = metrics_ad(MetricsRegistry::instance().snapshot(),
+                              fault::FaultRegistry::instance().report());
+  for (const TraceSummary& summary :
+       summarize_traces(Tracer::instance().spans())) {
+    if (summary.vm_id.empty()) continue;
+    bundle.vm_traces.emplace_back(summary.vm_id, trace_summary_ad(summary));
+  }
+  return bundle;
+}
+
+}  // namespace vmp::obs

@@ -1,0 +1,81 @@
+// Export metrics snapshots and trace summaries as classads.
+//
+// Paper-faithful monitoring: Figure 2's VM Information System "maintains
+// state about currently active machines (including dynamic information
+// gathered by a VM monitor)" — classads are the monitoring store.  This
+// module renders the numeric plane (obs::MetricsRegistry) and the tracing
+// plane (obs::Tracer) into classads; core::VmMonitor publishes them into
+// the per-plant VmInformationSystem on every sweep under reserved
+// "obs://..." ids (see core/info_system.h).
+//
+// Attribute naming: metric names ("component.verb.unit") are folded to
+// classad-safe identifiers by replacing [.-] with '_', e.g.
+// "bus.call.count" -> bus_call_count.  Timers export _count/_mean/_min/
+// _max/_sum variants.  Fired fault injections (util::FaultReport) merge in
+// as fault_<point>_count so one snapshot answers "what happened".
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stats.h"
+
+namespace vmp::obs {
+
+/// Reserved attribute names in exported ads.
+namespace export_attrs {
+inline constexpr const char* kKind = "ObsKind";  // "metrics" | "trace"
+inline constexpr const char* kTraceId = "TraceId";
+inline constexpr const char* kRootSpan = "RootSpan";
+inline constexpr const char* kVmId = "VMID";
+inline constexpr const char* kDurationSeconds = "DurationSeconds";
+inline constexpr const char* kSpanCount = "SpanCount";
+inline constexpr const char* kErrorCount = "ErrorCount";
+inline constexpr const char* kRetryCount = "RetryCount";
+inline constexpr const char* kWarehouseHitRatio = "WarehouseHitRatio";
+}  // namespace export_attrs
+
+/// Fold a metric name into a classad-safe attribute name.
+std::string attr_name(const std::string& metric_name);
+
+/// One trace rolled up for the information system.
+struct TraceSummary {
+  std::string trace_id;
+  std::string root_name;     // name of the root span ("" when still open)
+  std::string vm_id;         // last non-empty Span::vm_id in the trace
+  double duration_s = 0.0;   // root duration; span extent when no root
+  std::size_t span_count = 0;
+  std::size_t error_count = 0;   // spans with !ok()
+  std::size_t retry_count = 0;   // spans with status "retry"
+  /// Summed duration per span name (the per-phase breakdown).
+  std::map<std::string, double> phase_seconds;
+};
+
+/// Roll up finished spans by trace id (first-completion order).
+std::vector<TraceSummary> summarize_traces(const std::vector<Span>& spans);
+
+/// Render a metrics snapshot (+ fired fault injections) as one classad.
+/// Computes derived attributes: WarehouseHitRatio from
+/// ppp.plan_hit.count / ppp.plan_miss.count when either is non-zero.
+classad::ClassAd metrics_ad(const MetricsSnapshot& snapshot,
+                            const util::FaultReport& faults);
+
+/// Render one trace summary as a classad (Phase_<name> attributes carry
+/// the per-phase seconds).
+classad::ClassAd trace_summary_ad(const TraceSummary& summary);
+
+/// Snapshot the process-wide registries (metrics + tracer + fault report)
+/// into export-ready ads: the metrics ad plus one ad per trace that
+/// produced a VM, keyed by vm id.
+struct ExportBundle {
+  classad::ClassAd metrics;
+  std::vector<std::pair<std::string, classad::ClassAd>> vm_traces;
+};
+ExportBundle export_bundle();
+
+}  // namespace vmp::obs

@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace vmp::obs {
+
+void Timer::record(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  summary_.add(seconds);
+  if (histogram_) histogram_->add(seconds);
+}
+
+void Timer::set_bins(double lo, double hi, double width) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  histogram_ = std::make_unique<util::Histogram>(lo, hi, width);
+}
+
+util::Summary Timer::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return summary_;
+}
+
+std::optional<util::Histogram> Timer::histogram() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!histogram_) return std::nullopt;
+  return *histogram_;
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::int64_t MetricsSnapshot::gauge(const std::string& name) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+std::optional<double> MetricsSnapshot::ratio(
+    const std::string& hit_counter, const std::string& miss_counter) const {
+  const double hits = static_cast<double>(counter(hit_counter));
+  const double misses = static_cast<double>(counter(miss_counter));
+  if (hits + misses == 0.0) return std::nullopt;
+  return hits / (hits + misses);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Timer* MetricsRegistry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<Timer>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, timer] : timers_) {
+    const util::Summary s = timer->summary();
+    TimerStats stats;
+    stats.count = s.count();
+    stats.sum_s = s.sum();
+    stats.mean_s = s.mean();
+    stats.min_s = s.min();
+    stats.max_s = s.max();
+    snap.timers[name] = stats;
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Handed-out pointers must stay valid: reset in place by replacing the
+  // pointees' state, not the slots.
+  for (auto& [name, counter] : counters_) {
+    counter->~Counter();
+    new (counter.get()) Counter();
+  }
+  for (auto& [name, gauge] : gauges_) gauge->set(0);
+  for (auto& [name, timer] : timers_) {
+    timer->~Timer();
+    new (timer.get()) Timer();
+  }
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size() + gauges_.size() + timers_.size());
+  for (const auto& [name, c] : counters_) out.push_back(name);
+  for (const auto& [name, g] : gauges_) out.push_back(name);
+  for (const auto& [name, t] : timers_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string render_metrics_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  char line[256];
+  if (!snapshot.counters.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      std::snprintf(line, sizeof(line), "  %-40s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out << line;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      std::snprintf(line, sizeof(line), "  %-40s %12lld\n", name.c_str(),
+                    static_cast<long long>(value));
+      out << line;
+    }
+  }
+  if (!snapshot.timers.empty()) {
+    out << "timers:\n";
+    for (const auto& [name, stats] : snapshot.timers) {
+      std::snprintf(line, sizeof(line),
+                    "  %-40s n=%-8zu mean=%.6fs min=%.6fs max=%.6fs\n",
+                    name.c_str(), stats.count, stats.mean_s, stats.min_s,
+                    stats.max_s);
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace vmp::obs

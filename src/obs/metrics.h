@@ -1,0 +1,149 @@
+// Lock-cheap metrics registry: named counters, gauges, latency timers.
+//
+// The paper's monitoring plane (Figure 2) stores per-VM state in the VM
+// Information System; this module is the fleet-wide numeric side of that
+// plane.  Components resolve a metric once (a stable pointer) and then
+// update it on hot paths:
+//
+//   * Counter   — monotonically increasing; sharded cache-line-padded
+//                 atomics so concurrent increments do not bounce one line.
+//   * Gauge     — a settable signed level (active VMs, in-flight calls).
+//   * Timer     — latency samples folded into a util::Summary plus an
+//                 optional fixed-bin util::Histogram (mutex-protected; the
+//                 paths that record timers already pay far more than a
+//                 lock).
+//
+// Naming scheme (DESIGN.md §8): "component.verb.unit" where unit is one of
+// `count`, `gauge`, `seconds` (e.g. "bus.call.seconds", "vm.active.gauge").
+// The process-wide registry is what the classad exporter snapshots into the
+// information system on every monitor sweep.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace vmp::obs {
+
+/// Monotonic counter, sharded to keep concurrent increments cheap.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    shards_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static std::size_t shard_index() {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t index =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return index;
+  }
+  Shard shards_[kShards];
+};
+
+/// Settable signed level.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Latency recorder: Summary always, Histogram when bins are configured.
+class Timer {
+ public:
+  void record(double seconds);
+  /// Attach fixed-width bins (replaces any existing histogram; keeps the
+  /// summary).  Width/bounds follow util::Histogram semantics.
+  void set_bins(double lo, double hi, double width);
+
+  util::Summary summary() const;
+  std::optional<util::Histogram> histogram() const;
+
+ private:
+  mutable std::mutex mutex_;
+  util::Summary summary_;
+  std::unique_ptr<util::Histogram> histogram_;
+};
+
+/// Point-in-time copy of every metric (safe to read with no locks held).
+struct TimerStats {
+  std::size_t count = 0;
+  double sum_s = 0.0;
+  double mean_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, TimerStats> timers;
+
+  /// counters[name], 0 when absent.
+  std::uint64_t counter(const std::string& name) const;
+  std::int64_t gauge(const std::string& name) const;
+
+  /// hits / (hits + misses); nullopt when both are zero.
+  std::optional<double> ratio(const std::string& hit_counter,
+                              const std::string& miss_counter) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumented component uses.
+  static MetricsRegistry& instance();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create.  Returned pointers are stable for the registry's
+  /// lifetime — resolve once, update forever.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Timer* timer(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every metric (counters restart, gauges reset, timers empty).
+  /// Registered names and handed-out pointers stay valid.
+  void reset();
+
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+/// Render a snapshot as an aligned human-readable table.
+std::string render_metrics_text(const MetricsSnapshot& snapshot);
+
+}  // namespace vmp::obs

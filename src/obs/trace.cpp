@@ -1,0 +1,247 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace vmp::obs {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+/// Wall seconds since the process first asked for the time.
+double wall_seconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Per-thread stack of contexts: spans begun on this thread plus contexts
+/// adopted from the wire (ContextGuard).  The open-span records parallel
+/// the subset of entries begun locally.
+thread_local std::vector<TraceContext> tl_context_stack;
+thread_local std::vector<Span> tl_open_spans;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Span::to_json() const {
+  std::ostringstream out;
+  out << "{\"trace\":\"" << json_escape(trace_id) << "\""
+      << ",\"span\":" << span_id << ",\"parent\":" << parent_id
+      << ",\"name\":\"" << json_escape(name) << "\""
+      << ",\"component\":\"" << json_escape(component) << "\"";
+  if (!detail.empty()) out << ",\"detail\":\"" << json_escape(detail) << "\"";
+  if (!vm_id.empty()) out << ",\"vm\":\"" << json_escape(vm_id) << "\"";
+  out << ",\"start\":" << start_s << ",\"end\":" << end_s
+      << ",\"status\":\"" << json_escape(status) << "\"}";
+  return out.str();
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::arm() {
+  clear();
+  detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disarm() {
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::set_clock(std::function<double()> clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+double Tracer::now() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return clock_ ? clock_() : wall_seconds();
+}
+
+TraceContext Tracer::begin_span(const std::string& name,
+                                const std::string& component,
+                                const std::string& detail,
+                                const TraceContext& parent) {
+  Span span;
+  span.name = name;
+  span.component = component;
+  span.detail = detail;
+  span.span_id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  span.start_s = now();
+
+  TraceContext effective_parent = parent;
+  if (!effective_parent.valid() && !tl_context_stack.empty()) {
+    effective_parent = tl_context_stack.back();
+  }
+  if (effective_parent.valid()) {
+    span.trace_id = effective_parent.trace_id;
+    span.parent_id = effective_parent.span_id;
+  } else {
+    span.trace_id =
+        "trace-" +
+        std::to_string(next_trace_.fetch_add(1, std::memory_order_relaxed));
+    span.parent_id = 0;
+  }
+
+  TraceContext ctx{span.trace_id, span.span_id};
+  tl_context_stack.push_back(ctx);
+  tl_open_spans.push_back(std::move(span));
+  return ctx;
+}
+
+void Tracer::end_span(const TraceContext& ctx, const std::string& status,
+                      const std::string& vm_id) {
+  if (tl_open_spans.empty()) return;
+  Span span = std::move(tl_open_spans.back());
+  tl_open_spans.pop_back();
+  // The context stack entry for this span is on top unless a ContextGuard
+  // leaked (it cannot: both are strict RAII); be defensive anyway.
+  if (!tl_context_stack.empty() &&
+      tl_context_stack.back().span_id == ctx.span_id) {
+    tl_context_stack.pop_back();
+  }
+  span.end_s = now();
+  span.status = status;
+  span.vm_id = vm_id;
+  if (log_spans_.load(std::memory_order_relaxed)) {
+    util::Logger("trace").debug()
+        << span.name << " [" << span.component << "] "
+        << span.duration_s() << "s status=" << span.status
+        << (span.detail.empty() ? "" : " " + span.detail);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  finished_.push_back(std::move(span));
+}
+
+void Tracer::instant(const std::string& name, const std::string& component,
+                     const std::string& status, const std::string& detail) {
+  if (!armed()) return;
+  Span span;
+  span.name = name;
+  span.component = component;
+  span.detail = detail;
+  span.status = status;
+  span.span_id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  span.start_s = span.end_s = now();
+  if (!tl_context_stack.empty()) {
+    span.trace_id = tl_context_stack.back().trace_id;
+    span.parent_id = tl_context_stack.back().span_id;
+  } else {
+    span.trace_id =
+        "trace-" +
+        std::to_string(next_trace_.fetch_add(1, std::memory_order_relaxed));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  finished_.push_back(std::move(span));
+}
+
+TraceContext Tracer::current() {
+  if (tl_context_stack.empty()) return TraceContext{};
+  return tl_context_stack.back();
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_;
+}
+
+std::vector<Span> Tracer::trace(const std::string& trace_id) const {
+  std::vector<Span> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Span& s : finished_) {
+    if (s.trace_id == trace_id) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::string> Tracer::trace_ids() const {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Span& s : finished_) {
+    bool seen = false;
+    for (const std::string& id : out) {
+      if (id == s.trace_id) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(s.trace_id);
+  }
+  return out;
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  finished_.clear();
+}
+
+bool Tracer::write_jsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Span& s : finished_) out << s.to_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+ContextGuard::ContextGuard(const TraceContext& ctx) {
+  if (!ctx.valid() || !tracer_armed()) return;
+  tl_context_stack.push_back(ctx);
+  restored_ = true;
+}
+
+ContextGuard::~ContextGuard() {
+  if (restored_ && !tl_context_stack.empty()) tl_context_stack.pop_back();
+}
+
+std::map<std::uint64_t, std::vector<const Span*>> span_children(
+    const std::vector<Span>& spans) {
+  std::map<std::uint64_t, std::vector<const Span*>> index;
+  for (const Span& s : spans) index[s.parent_id].push_back(&s);
+  return index;
+}
+
+const Span* find_root(const std::vector<Span>& trace_spans) {
+  for (const Span& s : trace_spans) {
+    if (s.parent_id == 0) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace vmp::obs

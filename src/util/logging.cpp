@@ -1,6 +1,7 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
@@ -9,6 +10,15 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+LogSink g_sink;                       // guarded by g_mutex
+std::function<double()> g_clock;      // guarded by g_mutex
+
+double wall_seconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -26,12 +36,38 @@ const char* level_tag(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void set_log_clock(std::function<double()> clock) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_clock = std::move(clock);
+}
+
 void log_line(LogLevel level, const std::string& component,
               const std::string& message) {
   if (level < log_level()) return;
+  LogRecord record;
+  record.level = level;
+  record.component = component;
+  record.message = message;
+  record.wall_time_s = wall_seconds();
+
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s: %s\n", level_tag(level), component.c_str(),
-               message.c_str());
+  if (g_clock) record.sim_time_s = g_clock();
+  if (g_sink) {
+    g_sink(record);
+    return;
+  }
+  if (record.sim_time_s >= 0.0) {
+    std::fprintf(stderr, "[%s] t=%.3f %s: %s\n", level_tag(level),
+                 record.sim_time_s, component.c_str(), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s: %s\n", level_tag(level), component.c_str(),
+                 message.c_str());
+  }
 }
 
 }  // namespace vmp::util

@@ -3,8 +3,15 @@
 // Services in this repo (VMShop, VMPlant daemons, the simulated cluster) run
 // on multiple threads; the logger serializes lines and tags them with a
 // component name, mirroring the per-daemon logs of the original prototype.
+//
+// Lines carry wall-time (seconds since the first log call) and, when a
+// sim-time clock is installed (set_log_clock), virtual time too.  The
+// default stderr format stays "[level] component: message" with no clock
+// installed; sinks (set_log_sink) receive the full record — tests capture
+// lines with them, and the tracer mirrors span-end events through here.
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -17,6 +24,25 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// One emitted line, as handed to sinks.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string component;
+  std::string message;
+  double wall_time_s = 0.0;  // seconds since the first log call
+  double sim_time_s = -1.0;  // virtual seconds; < 0 when no clock installed
+};
+
+/// Replace the stderr writer with `sink` (nullptr restores stderr).  The
+/// sink runs under the logger's mutex: records arrive serialized.
+using LogSink = std::function<void(const LogRecord&)>;
+void set_log_sink(LogSink sink);
+
+/// Install a sim-time source stamped onto every record (e.g. the DES
+/// clock).  nullptr removes it.  With a clock installed, the stderr format
+/// becomes "[level] t=<sim> component: message".
+void set_log_clock(std::function<double()> clock);
+
 /// Emit one line: "[level] component: message".  Thread-safe.
 void log_line(LogLevel level, const std::string& component,
               const std::string& message);
@@ -28,9 +54,11 @@ class Logger {
 
   class Line {
    public:
-    Line(LogLevel level, const std::string& component)
+    // The component is stored by value: a Line routinely outlives the
+    // temporary Logger that minted it (Logger("x").info() << ...).
+    Line(LogLevel level, std::string component)
         : level_(level),
-          component_(component),
+          component_(std::move(component)),
           active_(level >= log_level()) {}
     Line(const Line&) = delete;
     Line& operator=(const Line&) = delete;
@@ -45,7 +73,7 @@ class Logger {
 
    private:
     LogLevel level_;
-    const std::string& component_;
+    std::string component_;
     std::ostringstream stream_;
     bool active_;
   };

@@ -1,11 +1,35 @@
 #include "vnet/allocator.h"
 
+#include "obs/metrics.h"
+
 namespace vmp::vnet {
 
 using util::Error;
 using util::ErrorCode;
 using util::Result;
 using util::Status;
+
+namespace {
+
+struct VnetMetrics {
+  obs::Counter* acquires;
+  obs::Counter* acquire_failures;
+  obs::Counter* releases;
+  obs::Gauge* domains_active;
+
+  static VnetMetrics& get() {
+    static VnetMetrics m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::instance();
+      return VnetMetrics{r.counter("vnet.acquire.count"),
+                         r.counter("vnet.acquire_fail.count"),
+                         r.counter("vnet.release.count"),
+                         r.gauge("vnet.domains_active.gauge")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 NetworkAllocator::NetworkAllocator(std::string host_name,
                                    std::size_t network_count)
@@ -42,6 +66,7 @@ Result<std::string> NetworkAllocator::acquire(const std::string& domain) {
   if (held != domain_to_net_.end()) {
     Network& net = networks_.at(held->second);
     ++net.vm_count;
+    VnetMetrics::get().acquires->add();
     return held->second;
   }
   for (auto& [name, net] : networks_) {
@@ -49,9 +74,13 @@ Result<std::string> NetworkAllocator::acquire(const std::string& domain) {
       net.domain = domain;
       net.vm_count = 1;
       domain_to_net_[domain] = name;
+      VnetMetrics::get().acquires->add();
+      VnetMetrics::get().domains_active->set(
+          static_cast<std::int64_t>(domain_to_net_.size()));
       return name;
     }
   }
+  VnetMetrics::get().acquire_failures->add();
   return Result<std::string>(Error(
       ErrorCode::kResourceExhausted,
       host_name_ + ": no free host-only network for domain " + domain));
@@ -72,7 +101,10 @@ Status NetworkAllocator::release(const std::string& domain) {
   if (--net.vm_count == 0) {
     net.domain.clear();
     domain_to_net_.erase(held);
+    VnetMetrics::get().domains_active->set(
+        static_cast<std::int64_t>(domain_to_net_.size()));
   }
+  VnetMetrics::get().releases->add();
   return Status();
 }
 

@@ -1,5 +1,6 @@
 #include "warehouse/warehouse.h"
 
+#include "obs/metrics.h"
 #include "xml/xml.h"
 
 namespace vmp::warehouse {
@@ -8,6 +9,28 @@ using util::Error;
 using util::ErrorCode;
 using util::Result;
 using util::Status;
+
+namespace {
+
+struct WarehouseMetrics {
+  obs::Counter* lookup_hits;
+  obs::Counter* lookup_misses;
+  obs::Counter* publishes;
+  obs::Gauge* images;
+
+  static WarehouseMetrics& get() {
+    static WarehouseMetrics m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::instance();
+      return WarehouseMetrics{r.counter("warehouse.lookup_hit.count"),
+                              r.counter("warehouse.lookup_miss.count"),
+                              r.counter("warehouse.publish.count"),
+                              r.gauge("warehouse.images.gauge")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 std::string render_descriptor(const GoldenImage& image) {
   xml::Element root("golden");
@@ -123,6 +146,8 @@ Status Warehouse::publish(const GoldenImage& image) {
   if (!desc_write.ok()) return abort_publish(desc_write.error());
 
   images_.emplace(stored.id, std::move(stored));
+  WarehouseMetrics::get().publishes->add();
+  WarehouseMetrics::get().images->set(static_cast<std::int64_t>(images_.size()));
   return Status();
 }
 
@@ -144,9 +169,11 @@ Result<GoldenImage> Warehouse::lookup(const std::string& id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = images_.find(id);
   if (it == images_.end()) {
+    WarehouseMetrics::get().lookup_misses->add();
     return Result<GoldenImage>(
         Error(ErrorCode::kNotFound, "no golden image: " + id));
   }
+  WarehouseMetrics::get().lookup_hits->add();
   return it->second;
 }
 
@@ -163,6 +190,7 @@ Status Warehouse::remove(const std::string& id) {
   }
   VMP_RETURN_IF_ERROR(store_->remove_tree(it->second.layout.dir));
   images_.erase(it);
+  WarehouseMetrics::get().images->set(static_cast<std::int64_t>(images_.size()));
   return Status();
 }
 

@@ -1,0 +1,611 @@
+// Observability tests: metrics registry primitives, request tracing end to
+// end through a shop->plant creation, the classad exporter and the monitor
+// publishing obs:// ads into the VM Information System, trace propagation
+// across a lost-then-retried bus message, and logger sinks/timestamps.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include "classad/classad.h"
+#include "core/info_system.h"
+#include "core/plant.h"
+#include "core/shop.h"
+#include "dag/dag.h"
+#include "fault/fault.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "warehouse/warehouse.h"
+#include "workload/request_gen.h"
+
+namespace vmp {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::Tracer;
+
+// -- Metrics primitives -------------------------------------------------------
+
+TEST(MetricsTest, CounterAccumulatesAcrossThreads) {
+  obs::Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10'000; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 80'000u);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  obs::Gauge g;
+  g.set(7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(MetricsTest, TimerFoldsSummaryAndOptionalHistogram) {
+  obs::Timer t;
+  t.record(1.0);
+  t.record(3.0);
+  EXPECT_EQ(t.summary().count(), 2u);
+  EXPECT_DOUBLE_EQ(t.summary().mean(), 2.0);
+  EXPECT_FALSE(t.histogram().has_value());
+
+  t.set_bins(0.0, 4.0, 1.0);
+  t.record(0.5);
+  ASSERT_TRUE(t.histogram().has_value());
+  EXPECT_EQ(t.summary().count(), 3u);
+}
+
+TEST(MetricsTest, RegistryHandsOutStablePointersAndSnapshots) {
+  MetricsRegistry r;
+  obs::Counter* c = r.counter("a.b.count");
+  EXPECT_EQ(r.counter("a.b.count"), c);  // get-or-create is idempotent
+  c->add(5);
+  r.gauge("a.depth.gauge")->set(3);
+  r.timer("a.lat.seconds")->record(0.25);
+
+  obs::MetricsSnapshot snap = r.snapshot();
+  EXPECT_EQ(snap.counter("a.b.count"), 5u);
+  EXPECT_EQ(snap.gauge("a.depth.gauge"), 3);
+  EXPECT_EQ(snap.counter("missing"), 0u);
+  ASSERT_EQ(snap.timers.count("a.lat.seconds"), 1u);
+  EXPECT_DOUBLE_EQ(snap.timers.at("a.lat.seconds").mean_s, 0.25);
+
+  // reset() zeroes values but keeps handed-out pointers usable.
+  r.reset();
+  EXPECT_EQ(r.snapshot().counter("a.b.count"), 0u);
+  c->add(2);
+  EXPECT_EQ(r.snapshot().counter("a.b.count"), 2u);
+}
+
+TEST(MetricsTest, RatioAndTextRender) {
+  MetricsRegistry r;
+  r.counter("w.hit.count")->add(3);
+  r.counter("w.miss.count")->add(1);
+  obs::MetricsSnapshot snap = r.snapshot();
+  ASSERT_TRUE(snap.ratio("w.hit.count", "w.miss.count").has_value());
+  EXPECT_DOUBLE_EQ(*snap.ratio("w.hit.count", "w.miss.count"), 0.75);
+  EXPECT_FALSE(snap.ratio("none.a", "none.b").has_value());
+
+  const std::string text = obs::render_metrics_text(snap);
+  EXPECT_NE(text.find("w.hit.count"), std::string::npos);
+  EXPECT_NE(text.find("3"), std::string::npos);
+}
+
+// -- Tracer primitives --------------------------------------------------------
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::instance().arm(); }
+  void TearDown() override {
+    Tracer::instance().disarm();
+    Tracer::instance().set_clock(nullptr);
+  }
+};
+
+TEST_F(TracerTest, DisarmedScopedSpanRecordsNothing) {
+  Tracer::instance().disarm();
+  {
+    obs::ScopedSpan span("noop", "test");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(Tracer::instance().span_count(), 0u);
+}
+
+TEST_F(TracerTest, NestedSpansFormOneTraceWithParentLinks) {
+  {
+    obs::ScopedSpan outer("outer", "test");
+    obs::ScopedSpan inner("inner", "test");
+    (void)outer;
+    (void)inner;
+  }
+  auto spans = Tracer::instance().spans();
+  ASSERT_EQ(spans.size(), 2u);  // inner finishes first
+  const obs::Span& inner = spans[0];
+  const obs::Span& outer = spans[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(inner.parent_id, outer.span_id);
+  EXPECT_EQ(inner.trace_id, outer.trace_id);
+  EXPECT_EQ(Tracer::instance().trace_ids().size(), 1u);
+}
+
+TEST_F(TracerTest, SeparateRootsGetSeparateTraceIds) {
+  { obs::ScopedSpan a("a", "test"); }
+  { obs::ScopedSpan b("b", "test"); }
+  EXPECT_EQ(Tracer::instance().trace_ids().size(), 2u);
+}
+
+TEST_F(TracerTest, ExplicitParentContextWins) {
+  obs::TraceContext wire;
+  {
+    obs::ScopedSpan remote("remote", "test");
+    wire = remote.context();
+  }
+  {
+    obs::ScopedSpan local("local", "test");  // ambient span on this thread
+    obs::ScopedSpan child("child", "test", "", wire);
+    (void)local;
+    (void)child;
+  }
+  auto spans = Tracer::instance().spans();
+  const obs::Span* child = nullptr;
+  for (const auto& s : spans) {
+    if (s.name == "child") child = &s;
+  }
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->trace_id, wire.trace_id);
+  EXPECT_EQ(child->parent_id, wire.span_id);
+}
+
+TEST_F(TracerTest, ContextGuardAdoptsWireContext) {
+  obs::TraceContext wire;
+  {
+    obs::ScopedSpan remote("remote", "test");
+    wire = remote.context();
+  }
+  {
+    obs::ContextGuard guard(wire);
+    obs::ScopedSpan handler("handler", "test");
+    (void)handler;
+  }
+  EXPECT_FALSE(obs::current_context().valid());  // guard restored
+  const auto spans = Tracer::instance().spans();
+  const obs::Span* handler = nullptr;
+  for (const auto& s : spans) {
+    if (s.name == "handler") handler = &s;
+  }
+  ASSERT_NE(handler, nullptr);
+  EXPECT_EQ(handler->trace_id, wire.trace_id);
+  EXPECT_EQ(handler->parent_id, wire.span_id);
+}
+
+TEST_F(TracerTest, InstantSpansAndStatusPropagate) {
+  {
+    obs::ScopedSpan op("op", "test");
+    Tracer::instance().instant("op.retry", "test", "retry", "attempt 1");
+    op.set_status("TIMEOUT");
+  }
+  auto spans = Tracer::instance().spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "op.retry");
+  EXPECT_EQ(spans[0].status, "retry");
+  EXPECT_TRUE(spans[0].ok());  // retries are not failures
+  EXPECT_DOUBLE_EQ(spans[0].duration_s(), 0.0);
+  EXPECT_EQ(spans[1].status, "TIMEOUT");
+  EXPECT_FALSE(spans[1].ok());
+}
+
+TEST_F(TracerTest, PluggableClockStampsSpans) {
+  double now = 100.0;
+  Tracer::instance().set_clock([&now] { return now; });
+  {
+    obs::ScopedSpan op("op", "test");
+    now = 103.5;
+  }
+  auto spans = Tracer::instance().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(spans[0].start_s, 100.0);
+  EXPECT_DOUBLE_EQ(spans[0].end_s, 103.5);
+}
+
+TEST_F(TracerTest, WriteJsonlEmitsOneObjectPerSpan) {
+  {
+    obs::ScopedSpan op("op\"quoted\"", "test", "detail");
+  }
+  const auto path = std::filesystem::temp_directory_path() /
+                    "vmp-obs-test-trace.jsonl";
+  std::filesystem::remove(path);
+  ASSERT_TRUE(Tracer::instance().write_jsonl(path.string()));
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\\\"quoted\\\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 1u);
+  std::filesystem::remove(path);
+}
+
+// -- Exporter -----------------------------------------------------------------
+
+TEST(ExportTest, AttrNameFoldsMetricNames) {
+  EXPECT_EQ(obs::attr_name("bus.call.count"), "bus_call_count");
+  EXPECT_EQ(obs::attr_name("clone-full.seconds"), "clone_full_seconds");
+}
+
+TEST(ExportTest, MetricsAdCarriesCountersTimersAndHitRatio) {
+  obs::MetricsSnapshot snap;
+  snap.counters["ppp.plan_hit.count"] = 3;
+  snap.counters["ppp.plan_miss.count"] = 1;
+  snap.gauges["vm.active.gauge"] = 2;
+  snap.timers["bus.call.seconds"] = obs::TimerStats{4, 2.0, 0.5, 0.1, 0.9};
+
+  classad::ClassAd ad = obs::metrics_ad(snap, util::FaultReport{});
+  EXPECT_EQ(ad.get_string(obs::export_attrs::kKind).value(), "metrics");
+  EXPECT_EQ(ad.get_integer("ppp_plan_hit_count").value(), 3);
+  EXPECT_EQ(ad.get_integer("vm_active_gauge").value(), 2);
+  EXPECT_EQ(ad.get_integer("bus_call_seconds_count").value(), 4);
+  EXPECT_DOUBLE_EQ(ad.get_number("bus_call_seconds_mean").value(), 0.5);
+  EXPECT_DOUBLE_EQ(
+      ad.get_number(obs::export_attrs::kWarehouseHitRatio).value(), 0.75);
+}
+
+TEST(ExportTest, TraceSummaryRollsUpPhasesErrorsAndRetries) {
+  std::vector<obs::Span> spans;
+  obs::Span root;
+  root.trace_id = "t1";
+  root.span_id = 1;
+  root.name = "shop.create";
+  root.vm_id = "vm-1";
+  root.start_s = 0.0;
+  root.end_s = 5.0;
+  obs::Span clone;
+  clone.trace_id = "t1";
+  clone.span_id = 2;
+  clone.parent_id = 1;
+  clone.name = "plant.clone";
+  clone.start_s = 1.0;
+  clone.end_s = 3.0;
+  obs::Span retry;
+  retry.trace_id = "t1";
+  retry.span_id = 3;
+  retry.parent_id = 1;
+  retry.name = "shop.retry";
+  retry.status = "retry";
+  spans = {clone, retry, root};
+
+  auto summaries = obs::summarize_traces(spans);
+  ASSERT_EQ(summaries.size(), 1u);
+  const obs::TraceSummary& s = summaries[0];
+  EXPECT_EQ(s.trace_id, "t1");
+  EXPECT_EQ(s.root_name, "shop.create");
+  EXPECT_EQ(s.vm_id, "vm-1");
+  EXPECT_DOUBLE_EQ(s.duration_s, 5.0);
+  EXPECT_EQ(s.span_count, 3u);
+  EXPECT_EQ(s.retry_count, 1u);
+  EXPECT_EQ(s.error_count, 0u);
+  EXPECT_DOUBLE_EQ(s.phase_seconds.at("plant.clone"), 2.0);
+
+  classad::ClassAd ad = obs::trace_summary_ad(s);
+  EXPECT_EQ(ad.get_string(obs::export_attrs::kKind).value(), "trace");
+  EXPECT_EQ(ad.get_string(obs::export_attrs::kVmId).value(), "vm-1");
+  EXPECT_EQ(ad.get_integer(obs::export_attrs::kSpanCount).value(), 3);
+  EXPECT_DOUBLE_EQ(ad.get_number("Phase_plant_clone").value(), 2.0);
+}
+
+// -- End-to-end: trace + metrics through a real shop->plant creation ----------
+
+class ObsEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("vmp-obs-test-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+    store_ = std::make_unique<storage::ArtifactStore>(root_);
+    warehouse_ =
+        std::make_unique<warehouse::Warehouse>(store_.get(), "warehouse");
+    ASSERT_TRUE(workload::publish_paper_goldens(warehouse_.get()).ok());
+    core::PlantConfig pc;
+    pc.name = "plant0";
+    plant_ = std::make_unique<core::VmPlant>(pc, store_.get(), warehouse_.get());
+    ASSERT_TRUE(plant_->attach_to_bus(&bus_, &registry_).ok());
+    shop_ = std::make_unique<core::VmShop>(core::ShopConfig{}, &bus_, &registry_);
+    ASSERT_TRUE(shop_->attach_to_bus().ok());
+    MetricsRegistry::instance().reset();
+    Tracer::instance().arm();
+  }
+  void TearDown() override {
+    Tracer::instance().disarm();
+    shop_.reset();
+    plant_.reset();
+    warehouse_.reset();
+    store_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  const obs::Span* find_span(const std::vector<obs::Span>& spans,
+                             const std::string& name) {
+    for (const auto& s : spans) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+
+  std::filesystem::path root_;
+  std::unique_ptr<storage::ArtifactStore> store_;
+  std::unique_ptr<warehouse::Warehouse> warehouse_;
+  net::MessageBus bus_;
+  net::ServiceRegistry registry_;
+  std::unique_ptr<core::VmPlant> plant_;
+  std::unique_ptr<core::VmShop> shop_;
+};
+
+TEST_F(ObsEndToEndTest, CreateYieldsSpanTreeCoveringBidMatchCloneConfigureAttach) {
+  auto ad = shop_->create(workload::workspace_request(32, 0, "ufl.edu"));
+  ASSERT_TRUE(ad.ok()) << ad.error().to_string();
+  const std::string vm_id = ad.value().get_string(core::attrs::kVmId).value();
+
+  // Every span of the creation belongs to one trace.
+  auto trace_ids = Tracer::instance().trace_ids();
+  ASSERT_EQ(trace_ids.size(), 1u);
+  auto spans = Tracer::instance().trace(trace_ids[0]);
+
+  const obs::Span* root = obs::find_root(spans);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name, "shop.create");
+  EXPECT_EQ(root->vm_id, vm_id);
+  EXPECT_TRUE(root->ok());
+
+  // The full creation pipeline shows up: bid -> match -> clone ->
+  // configure -> attach.
+  for (const char* phase :
+       {"shop.bid", "bus.call", "ppp.match", "plant.create", "plant.clone",
+        "storage.clone", "hypervisor.resume", "plant.configure",
+        "configure.action", "vnet.attach"}) {
+    EXPECT_NE(find_span(spans, phase), nullptr) << "missing span " << phase;
+  }
+
+  // Wire propagation: plant.create's parent is the shop-side context that
+  // rode the message (the shop.create span), not the bus.call client span
+  // that happened to be open on the same thread.
+  const obs::Span* plant_create = find_span(spans, "plant.create");
+  ASSERT_NE(plant_create, nullptr);
+  EXPECT_EQ(plant_create->parent_id, root->span_id);
+  EXPECT_EQ(plant_create->vm_id, vm_id);
+
+  // The tree is connected: every non-root span's parent exists.
+  std::set<std::uint64_t> ids;
+  for (const auto& s : spans) ids.insert(s.span_id);
+  for (const auto& s : spans) {
+    if (s.parent_id != 0) {
+      EXPECT_TRUE(ids.count(s.parent_id))
+          << s.name << " has dangling parent " << s.parent_id;
+    }
+  }
+
+  // Metrics: the creation incremented the whole pipeline's counters.
+  obs::MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counter("shop.create.count"), 1u);
+  EXPECT_EQ(snap.counter("plant.create.count"), 1u);
+  EXPECT_EQ(snap.counter("ppp.plan_hit.count"), 1u);
+  EXPECT_GE(snap.counter("ppp.match_hit.count"), 1u);
+  EXPECT_GE(snap.counter("bus.call.count"), 2u);  // estimate + create
+  EXPECT_GE(snap.counter("storage.clone_linked.count"), 1u);
+  EXPECT_GE(snap.counter("vnet.acquire.count"), 1u);
+  EXPECT_GE(snap.counter("plant.configure_action.count"), 1u);
+  EXPECT_EQ(snap.gauge("bus.inflight.gauge"), 0);
+  ASSERT_EQ(snap.timers.count("bus.call.seconds"), 1u);
+  EXPECT_GE(snap.timers.at("bus.call.seconds").count, 2u);
+}
+
+TEST_F(ObsEndToEndTest, MatchKindCountersClassifyNonMatchingGoldens) {
+  // The 32 MB request hardware-matches only golden-32mb; the DAG prefix
+  // matches it too.  A second request whose DAG diverges from every golden
+  // image's performed prefix still plans (full configuration from scratch
+  // is not an error) — but here we assert the per-kind classification by
+  // sending a request whose config is a subset mismatch for the goldens
+  // that pass the hardware filter.
+  auto request = workload::workspace_request(32, 0, "ufl.edu");
+  ASSERT_TRUE(shop_->create(request).ok());
+  obs::MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  const std::uint64_t classified = snap.counter("ppp.match_hit.count") +
+                                   snap.counter("ppp.match_subset_fail.count") +
+                                   snap.counter("ppp.match_prefix_fail.count") +
+                                   snap.counter("ppp.match_order_fail.count");
+  EXPECT_GE(classified, 1u);
+  EXPECT_EQ(snap.counter("ppp.plan_hit.count"), 1u);
+  ASSERT_TRUE(
+      snap.ratio("ppp.plan_hit.count", "ppp.plan_miss.count").has_value());
+  EXPECT_DOUBLE_EQ(
+      *snap.ratio("ppp.plan_hit.count", "ppp.plan_miss.count"), 1.0);
+}
+
+TEST_F(ObsEndToEndTest, MonitorSweepPublishesObsClassAds) {
+  auto ad = shop_->create(workload::workspace_request(32, 0, "ufl.edu"));
+  ASSERT_TRUE(ad.ok()) << ad.error().to_string();
+  const std::string vm_id = ad.value().get_string(core::attrs::kVmId).value();
+
+  core::VmInformationSystem& info = plant_->info_system();
+  core::VmMonitor monitor(&plant_->hypervisor(), &info);
+  monitor.enable_obs_export();
+  monitor.refresh_all();
+
+  // obs://metrics is queryable and carries pipeline counters + hit ratio.
+  auto metrics = info.query(core::kObsMetricsId);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics.value().get_string(obs::export_attrs::kKind).value(),
+            "metrics");
+  EXPECT_EQ(metrics.value().get_integer("shop_create_count").value(), 1);
+  EXPECT_GE(metrics.value().get_integer("ppp_match_hit_count").value(), 1);
+  EXPECT_DOUBLE_EQ(
+      metrics.value().get_number(obs::export_attrs::kWarehouseHitRatio).value(),
+      1.0);
+
+  // obs://trace/<vm> summarizes the creation's span tree.
+  auto trace = info.query(core::kObsTracePrefix + vm_id);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace.value().get_string(obs::export_attrs::kRootSpan).value(),
+            "shop.create");
+  EXPECT_GE(trace.value().get_integer(obs::export_attrs::kSpanCount).value(), 5);
+  EXPECT_TRUE(trace.value().has("Phase_plant_clone"));
+
+  // The VM's own ad is untouched and still queryable.
+  EXPECT_TRUE(info.query(vm_id).ok());
+  // Gauges were refreshed from hypervisor power states during the sweep.
+  EXPECT_EQ(MetricsRegistry::instance().snapshot().gauge("vm.active.gauge"), 1);
+}
+
+TEST_F(ObsEndToEndTest, PeriodicMonitorPublishesAndStopLeavesNoStaleAds) {
+  ASSERT_TRUE(shop_->create(workload::workspace_request(32, 0, "ufl.edu")).ok());
+  core::VmInformationSystem& info = plant_->info_system();
+  core::VmMonitor monitor(&plant_->hypervisor(), &info);
+  monitor.enable_obs_export();
+  monitor.start_periodic(std::chrono::milliseconds(1));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (monitor.sweeps() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(monitor.sweeps(), 2u);
+  EXPECT_TRUE(info.contains(core::kObsMetricsId));
+
+  monitor.stop_periodic();
+  // No obs:// ad survives the stop; the VM ads do.
+  for (const std::string& id : info.vm_ids()) {
+    EXPECT_FALSE(id.starts_with(core::kObsAdPrefix)) << id;
+  }
+  EXPECT_EQ(info.size(), 1u);
+}
+
+TEST_F(ObsEndToEndTest, LostThenRetriedMessageKeepsOneTraceWithRetrySpan) {
+  // One plant: call 1 is the estimate (passes), call 2 the create (lost).
+  // The shop's transport retry resends to the same plant; the whole
+  // request — including the retry — must stay a single trace.
+  fault::ScopedFaultPlan scoped(
+      fault::FaultPlan::parse("bus.send:after=1,times=1").value());
+  auto ad = shop_->create(workload::workspace_request(32, 0, "ufl.edu"));
+  ASSERT_TRUE(ad.ok()) << ad.error().to_string();
+  EXPECT_EQ(shop_->retries(), 1u);
+
+  auto trace_ids = Tracer::instance().trace_ids();
+  ASSERT_EQ(trace_ids.size(), 1u);
+  auto spans = Tracer::instance().trace(trace_ids[0]);
+
+  const obs::Span* retry = find_span(spans, "shop.retry");
+  ASSERT_NE(retry, nullptr);
+  EXPECT_EQ(retry->status, "retry");
+  EXPECT_TRUE(retry->ok());
+
+  // Both bus.call legs (lost + retried) and the eventual plant.create all
+  // hang off the same root.
+  const obs::Span* root = obs::find_root(spans);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name, "shop.create");
+  std::size_t bus_calls = 0;
+  for (const auto& s : spans) {
+    if (s.name == "bus.call" && s.parent_id == root->span_id) ++bus_calls;
+  }
+  EXPECT_GE(bus_calls, 2u);
+  const obs::Span* plant_create = find_span(spans, "plant.create");
+  ASSERT_NE(plant_create, nullptr);
+  EXPECT_EQ(plant_create->parent_id, root->span_id);
+
+  obs::MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counter("shop.retry.count"), 1u);
+  EXPECT_GE(snap.counter("bus.error.count"), 1u);
+
+  // The exporter surfaces the retry in the per-VM trace summary.
+  auto summaries = obs::summarize_traces(spans);
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].retry_count, 1u);
+}
+
+// -- Logger satellites --------------------------------------------------------
+
+class LogCaptureTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::set_log_sink(nullptr);
+    util::set_log_clock(nullptr);
+    util::set_log_level(util::LogLevel::kWarn);
+  }
+};
+
+TEST_F(LogCaptureTest, SinkReceivesRecordsWithTimestamps) {
+  std::vector<util::LogRecord> records;
+  util::set_log_sink([&records](const util::LogRecord& r) {
+    records.push_back(r);
+  });
+  util::Logger("obs-test").warn() << "hello " << 42;
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].component, "obs-test");
+  EXPECT_EQ(records[0].message, "hello 42");
+  EXPECT_EQ(records[0].level, util::LogLevel::kWarn);
+  EXPECT_GE(records[0].wall_time_s, 0.0);
+  EXPECT_LT(records[0].sim_time_s, 0.0);  // no sim clock installed
+}
+
+TEST_F(LogCaptureTest, SimClockStampsRecords) {
+  util::set_log_clock([] { return 12.5; });
+  std::vector<util::LogRecord> records;
+  util::set_log_sink([&records](const util::LogRecord& r) {
+    records.push_back(r);
+  });
+  util::Logger("obs-test").error() << "boom";
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records[0].sim_time_s, 12.5);
+}
+
+TEST_F(LogCaptureTest, LineOutlivesTemporaryLogger) {
+  // The Line stores the component by value, so the idiomatic
+  // Logger("x").warn() << ... stays safe even though the Logger temporary
+  // dies before the Line flushes.
+  util::set_log_level(util::LogLevel::kDebug);
+  std::vector<util::LogRecord> records;
+  util::set_log_sink([&records](const util::LogRecord& r) {
+    records.push_back(r);
+  });
+  util::Logger(std::string("ephemeral-") + "component").debug()
+      << "still " << "alive";
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].component, "ephemeral-component");
+  EXPECT_EQ(records[0].message, "still alive");
+}
+
+TEST_F(LogCaptureTest, TracerMirrorsSpanEndsIntoLogger) {
+  util::set_log_level(util::LogLevel::kDebug);
+  std::vector<util::LogRecord> records;
+  util::set_log_sink([&records](const util::LogRecord& r) {
+    records.push_back(r);
+  });
+  Tracer::instance().arm();
+  Tracer::instance().set_log_spans(true);
+  { obs::ScopedSpan op("mirrored.op", "test"); }
+  Tracer::instance().set_log_spans(false);
+  Tracer::instance().disarm();
+  bool saw = false;
+  for (const auto& r : records) {
+    if (r.component == "trace" &&
+        r.message.find("mirrored.op") != std::string::npos) {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace vmp
