@@ -1,0 +1,189 @@
+// Fleet SLO tour: three plants, one of them degrading, and a shop that
+// learns to route around it.
+//
+// The walk-through (all timing on a virtual clock, so the run is
+// deterministic):
+//   phase 1  baseline — creations spread across the fleet, every plant
+//            healthy, the aggregator's sweep publishes obs://health ads
+//            and the obs://fleet/metrics rollup;
+//   phase 2  an injected fault plan makes plant1's resumes fail 90% of
+//            the time.  Its local retries inflate the create p99 and the
+//            exhausted retries burn its error budget — the aggregator's
+//            SLO tracker sees both and plant1's health collapses;
+//   phase 3  faults cleared — plant1 would work again, but its burned
+//            budget penalizes its bids, so the shop proactively shifts
+//            Create requests to the healthy plants instead of waiting
+//            for another failover.
+//
+// Ends by exporting the published ads as JSONL for tools/fleet_report.py.
+//
+// Build & run:  ./build/examples/fleet_slo_tour
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/fleet.h"
+#include "core/info_system.h"
+#include "core/plant.h"
+#include "core/request.h"
+#include "core/shop.h"
+#include "fault/fault.h"
+#include "net/bus.h"
+#include "net/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/artifact_store.h"
+#include "warehouse/warehouse.h"
+#include "workload/request_gen.h"
+
+namespace {
+
+constexpr std::size_t kCreatesPerPhase = 24;
+
+/// Run one phase of creations and return how many landed on each plant.
+/// Requests cycle through six client domains so the paper's network-cost
+/// affinity (a plant that already has a domain's network bids cheaper)
+/// doesn't hand all traffic to a single plant.
+std::map<std::string, int> run_phase(vmp::core::VmShop& shop,
+                                     std::size_t first_index) {
+  using namespace vmp;
+  std::map<std::string, int> placements;
+  for (std::size_t i = 0; i < kCreatesPerPhase; ++i) {
+    const std::string domain = "dom-" + std::string(1, 'a' + (i % 6));
+    auto ad = shop.create(
+        workload::workspace_request(32, first_index + i, domain));
+    if (!ad.ok()) {
+      std::fprintf(stderr, "create failed: %s\n",
+                   ad.error().to_string().c_str());
+      continue;
+    }
+    placements[ad.value().get_string(core::attrs::kPlant).value_or("?")]++;
+  }
+  return placements;
+}
+
+void print_phase(const char* title, const std::map<std::string, int>& placed,
+                 const vmp::core::FleetAggregator& agg) {
+  std::printf("%s\n", title);
+  std::printf("  placements:");
+  for (const auto& [plant, n] : placed) {
+    std::printf("  %s=%d", plant.c_str(), n);
+  }
+  std::printf("\n  %-8s %8s %11s %10s %7s %6s\n", "plant", "health",
+              "short_burn", "long_burn", "p99_ms", "fails");
+  for (const auto& ph : agg.plant_healths()) {
+    std::printf("  %-8s %8.3f %11.2f %10.2f %7.2f %6llu\n", ph.plant.c_str(),
+                ph.health, ph.short_burn, ph.long_burn,
+                ph.sli_quantile_s.value_or(0.0) * 1e3,
+                static_cast<unsigned long long>(ph.bad_total));
+  }
+  const vmp::obs::MetricsSnapshot fleet = agg.fleet_snapshot();
+  if (const vmp::obs::TimerStats* sli =
+          fleet.timer_stats("fleet.create.seconds")) {
+    std::printf("  fleet: n=%zu p50=%.2f ms p99=%.2f ms\n\n", sli->count,
+                sli->p50_s * 1e3, sli->p99_s * 1e3);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace vmp;
+
+  const auto sandbox =
+      std::filesystem::temp_directory_path() / "vmplants-fleet-slo-tour";
+  std::filesystem::remove_all(sandbox);
+  storage::ArtifactStore store(sandbox);
+  warehouse::Warehouse wh(&store, "warehouse");
+  if (!workload::publish_paper_goldens(&wh).ok()) return 1;
+
+  // Virtual clock: every read advances 0.1 ms, so latencies reflect how
+  // much work (clone attempts, retries) each creation did — identically
+  // on every run.
+  obs::Tracer::instance().set_clock([] {
+    static double t = 0.0;
+    return t += 0.0001;
+  });
+
+  net::MessageBus bus;
+  net::ServiceRegistry registry;
+  std::vector<std::unique_ptr<core::VmPlant>> plants;
+  for (const char* name : {"plant0", "plant1", "plant2"}) {
+    core::PlantConfig pc;
+    pc.name = name;
+    pc.obs_export = true;
+    // Local retries so transient resume faults turn into latency (the
+    // paper's plants retry the clone+resume phase before giving up).
+    pc.clone_retry = util::RetryPolicy{.max_attempts = 4};
+    plants.push_back(
+        std::make_unique<core::VmPlant>(pc, &store, &wh));
+    if (!plants.back()->attach_to_bus(&bus, &registry).ok()) return 1;
+  }
+
+  // The aggregator publishes its verdicts into the shop-side information
+  // system; its observation clock is stepped explicitly between sweeps.
+  core::VmInformationSystem shop_info;
+  core::FleetAggregatorConfig fc;
+  fc.stale_after_s = 120.0;
+  fc.slo.error_budget = 0.10;
+  fc.slo.short_window_s = 30.0;
+  fc.slo.long_window_s = 120.0;
+  core::FleetAggregator agg(fc, &bus, &registry, &shop_info);
+  double fleet_clock_s = 0.0;
+  agg.set_clock([&fleet_clock_s] { return fleet_clock_s; });
+
+  // The shop consults the aggregator on every bid round: effective cost =
+  // cost * (1 + weight * (1 - health)).
+  core::ShopConfig sc;
+  sc.health_penalty_weight = 8.0;
+  core::VmShop shop(sc, &bus, &registry);
+  shop.set_health_provider(
+      [&agg](const std::string& plant) { return agg.health(plant); });
+
+  // Phase 1: healthy fleet.
+  auto placed = run_phase(shop, 0);
+  fleet_clock_s = 5.0;
+  agg.sweep();
+  print_phase("phase 1 — baseline (all plants healthy)", placed, agg);
+
+  // Phase 2: plant1's resumes fail 90% of the time (seeded, so the same
+  // creations fail on every run).  Retries inflate its p99; exhausted
+  // retries fail the creation at the plant, burning its error budget
+  // while the shop fails over to the next-best bid.
+  auto plan = fault::FaultPlan::parse("hypervisor.resume:target=plant1-vm,p=0.9");
+  if (!plan.ok()) return 1;
+  fault::FaultRegistry::instance().install(plan.value());
+  placed = run_phase(shop, kCreatesPerPhase);
+  fleet_clock_s = 10.0;
+  agg.sweep();
+  print_phase("phase 2 — plant1 resumes failing (p=0.9)", placed, agg);
+  const std::uint64_t failovers_during_fault = shop.failovers();
+
+  // Phase 3: faults gone, but plant1's burned budget keeps penalizing its
+  // bids — the shop routes around it without a single new failover.
+  fault::FaultRegistry::instance().clear();
+  placed = run_phase(shop, 2 * kCreatesPerPhase);
+  fleet_clock_s = 15.0;
+  agg.sweep();
+  print_phase("phase 3 — faults cleared, penalty still steering", placed,
+              agg);
+  std::printf("failovers: during fault=%llu, after recovery=%llu\n",
+              static_cast<unsigned long long>(failovers_during_fault),
+              static_cast<unsigned long long>(shop.failovers() -
+                                              failovers_during_fault));
+
+  // Export the published ads for tools/fleet_report.py.
+  const auto jsonl = std::filesystem::temp_directory_path() /
+                     "vmplants-fleet-slo-tour.jsonl";
+  std::filesystem::remove(jsonl);
+  if (agg.export_jsonl(jsonl.string())) {
+    std::printf("wrote fleet ads to %s\n", jsonl.string().c_str());
+    std::printf("  python3 tools/fleet_report.py %s\n", jsonl.string().c_str());
+  }
+
+  obs::Tracer::instance().set_clock(nullptr);
+  std::filesystem::remove_all(sandbox);
+  return 0;
+}

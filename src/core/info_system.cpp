@@ -114,7 +114,7 @@ std::size_t VmMonitor::refresh_all() {
   obs::MetricsRegistry& r = obs::MetricsRegistry::instance();
   r.gauge("vm.active.gauge")->set(static_cast<std::int64_t>(active));
   r.gauge("vm.suspended.gauge")->set(static_cast<std::int64_t>(suspended));
-  if (obs_export_.load(std::memory_order_relaxed)) publish_obs_ads();
+  publish_obs_ads();
   return ok;
 }
 
@@ -128,6 +128,7 @@ void VmMonitor::disable_obs_export() {
 }
 
 void VmMonitor::publish_obs_ads() {
+  if (!obs_export_.load(std::memory_order_relaxed)) return;
   const obs::ExportBundle bundle = obs::export_bundle();
   info_->store(kObsMetricsId, bundle.metrics);
   for (const auto& [vm_id, ad] : bundle.vm_traces) {

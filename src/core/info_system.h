@@ -25,12 +25,17 @@ namespace vmp::core {
 
 /// Reserved id prefix for observability classads published by the monitor
 /// (DESIGN.md §8): "obs://metrics" holds the process-wide metrics snapshot,
-/// "obs://trace/<vm_id>" a per-VM span summary.  These are not VMs: vm_ids()
-/// still lists them (they live in the same store), but monitor refreshes
-/// skip them.
+/// "obs://trace/<vm_id>" a per-VM span summary.  The fleet aggregator
+/// (core/fleet.h, DESIGN.md §9) additionally publishes
+/// "obs://health/<plant>" per-plant SLO verdicts and "obs://fleet/metrics",
+/// the cross-plant rollup, into the shop-side store.  These are not VMs:
+/// vm_ids() still lists them (they live in the same store), but monitor
+/// refreshes skip them.
 inline constexpr char kObsAdPrefix[] = "obs://";
 inline constexpr char kObsMetricsId[] = "obs://metrics";
 inline constexpr char kObsTracePrefix[] = "obs://trace/";
+inline constexpr char kObsHealthPrefix[] = "obs://health/";
+inline constexpr char kObsFleetMetricsId[] = "obs://fleet/metrics";
 
 class VmInformationSystem {
  public:
@@ -96,9 +101,13 @@ class VmMonitor {
   void disable_obs_export();
   bool obs_export_enabled() const { return obs_export_.load(); }
 
- private:
+  /// Publish the obs:// ads immediately (no-op unless export is enabled).
+  /// VmPlant calls this before serving an obs:// query so a remote puller
+  /// (the fleet aggregator) always sees a fresh snapshot, even between
+  /// sweeps.
   void publish_obs_ads();
 
+ private:
   hv::Hypervisor* hypervisor_;
   VmInformationSystem* info_;
   std::thread thread_;

@@ -69,7 +69,13 @@ VmPlant::VmPlant(PlantConfig config, storage::ArtifactStore* store,
       ppp_(warehouse),
       allocator_(config_.name, config_.host_only_networks),
       cost_model_(make_cost_model(config_.cost_model)),
-      vm_ids_(config_.name + "-vm") {
+      vm_ids_(config_.name + "-vm"),
+      sli_create_seconds_(obs::MetricsRegistry::instance().timer(
+          config_.name + ".create.seconds")),
+      sli_create_ok_(obs::MetricsRegistry::instance().counter(
+          config_.name + ".create.count")),
+      sli_create_fail_(obs::MetricsRegistry::instance().counter(
+          config_.name + ".create_fail.count")) {
   if (config_.clone_base_dir.empty()) {
     config_.clone_base_dir = config_.name + "/clones";
   }
@@ -77,6 +83,7 @@ VmPlant::VmPlant(PlantConfig config, storage::ArtifactStore* store,
   production_ =
       std::make_unique<ProductionLine>(hypervisor_.get(), config_.clone_base_dir);
   monitor_ = std::make_unique<VmMonitor>(hypervisor_.get(), &info_);
+  if (config_.obs_export) monitor_->enable_obs_export();
 }
 
 VmPlant::~VmPlant() { detach_from_bus(); }
@@ -110,18 +117,23 @@ Result<double> VmPlant::estimate(const CreateRequest& request) const {
 Result<classad::ClassAd> VmPlant::create(const CreateRequest& request) {
   PlantMetrics& metrics = PlantMetrics::get();
   obs::ScopedSpan span("plant.create", "vmplant", config_.name);
-  const auto start = std::chrono::steady_clock::now();
+  // The tracer clock, not steady_clock: under an installed virtual clock
+  // the latency histograms see the same simulated durations as the spans
+  // (deterministic examples and tests).
+  const double start_s = obs::Tracer::instance().now();
 
   Result<classad::ClassAd> result = create_impl(request);
 
-  metrics.create_seconds->record(
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count());
+  const double elapsed_s = obs::Tracer::instance().now() - start_s;
+  metrics.create_seconds->record(elapsed_s);
+  sli_create_seconds_->record(elapsed_s);
   if (result.ok()) {
     metrics.creates->add();
+    sli_create_ok_->add();
     span.set_vm(result.value().get_string(attrs::kVmId).value_or(""));
   } else {
     metrics.create_failures->add();
+    sli_create_fail_->add();
     span.set_status(util::error_code_name(result.error().code()));
   }
   return result;
@@ -253,6 +265,12 @@ Result<classad::ClassAd> VmPlant::create_impl(const CreateRequest& request) {
 
 Result<classad::ClassAd> VmPlant::query(const std::string& vm_id) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (vm_id.starts_with(kObsAdPrefix)) {
+    // Observability pull (fleet aggregator): republish so the puller sees
+    // a fresh snapshot even between monitor sweeps.
+    monitor_->publish_obs_ads();
+    return info_.query(vm_id);
+  }
   (void)monitor_->refresh(vm_id);
   return info_.query(vm_id);
 }

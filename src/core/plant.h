@@ -24,6 +24,7 @@
 #include "core/request.h"
 #include "net/bus.h"
 #include "net/registry.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/ids.h"
 #include "util/retry.h"
@@ -45,6 +46,10 @@ struct PlantConfig {
   /// primary recovery path, and double-retrying underneath it would
   /// inflate creation latency.
   util::RetryPolicy clone_retry = util::RetryPolicy{.max_attempts = 1};
+  /// Publish obs:// classads (metrics snapshot, per-VM traces) into this
+  /// plant's information system so a fleet aggregator can pull them over
+  /// the bus (vmplant.query of "obs://metrics").  Off by default.
+  bool obs_export = false;
 };
 
 /// Snapshot of plant state captured before a creation (consumed by the
@@ -123,6 +128,7 @@ class VmPlant {
   vnet::NetworkAllocator& allocator() { return allocator_; }
   hv::Hypervisor& hypervisor() { return *hypervisor_; }
   VmInformationSystem& info_system() { return info_; }
+  VmMonitor& monitor() { return *monitor_; }
 
   // -- Bus integration --------------------------------------------------------
   /// Register this plant's endpoint and publish it in the registry.
@@ -149,6 +155,13 @@ class VmPlant {
   vnet::NetworkAllocator allocator_;
   std::unique_ptr<CostModel> cost_model_;
   util::IdGenerator vm_ids_;
+  /// Plant-name-scoped SLI metrics ("<name>.create.seconds" etc.).  The
+  /// process-wide registry is shared by every in-process plant, so the
+  /// fleet aggregator needs per-plant names to attribute latency and
+  /// failures to the right plant (DESIGN.md §9).
+  obs::Timer* sli_create_seconds_;
+  obs::Counter* sli_create_ok_;
+  obs::Counter* sli_create_fail_;
   /// Serializes create/collect against each other (the prototype's plant
   /// processed production orders sequentially per host).
   mutable std::mutex mutex_;

@@ -1,7 +1,6 @@
 #include "core/production_line.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "fault/fault.h"
 #include "obs/metrics.h"
@@ -24,6 +23,8 @@ struct LineMetrics {
   obs::Counter* action_failures;
   obs::Timer* action_seconds;
   obs::Timer* configure_seconds;
+  obs::Timer* clone_seconds;
+  obs::Timer* resume_seconds;
 
   static LineMetrics& get() {
     static LineMetrics m = [] {
@@ -31,16 +32,17 @@ struct LineMetrics {
       return LineMetrics{r.counter("plant.configure_action.count"),
                          r.counter("plant.configure_action_fail.count"),
                          r.timer("plant.configure_action.seconds"),
-                         r.timer("plant.configure.seconds")};
+                         r.timer("plant.configure.seconds"),
+                         r.timer("plant.clone.seconds"),
+                         r.timer("hypervisor.resume.seconds")};
     }();
     return m;
   }
 };
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
-}
+/// Timer readings come from the tracer clock so latency histograms match
+/// the spans under an installed virtual clock (deterministic tests).
+double now_s() { return obs::Tracer::instance().now(); }
 
 }  // namespace
 
@@ -223,10 +225,10 @@ Status ProductionLine::run_action(const dag::ConfigDag& config,
   LineMetrics& metrics = LineMetrics::get();
   obs::ScopedSpan span("configure.action", "production-line", action_id);
   span.set_vm(vm_id);
-  const auto span_start = std::chrono::steady_clock::now();
+  const double span_start_s = now_s();
   const auto record = [&](const Status& outcome) {
     metrics.actions->add();
-    metrics.action_seconds->record(seconds_since(span_start));
+    metrics.action_seconds->record(now_s() - span_start_s);
     if (!outcome.ok()) {
       metrics.action_failures->add();
       span.set_status(util::error_code_name(outcome.error().code()));
@@ -287,6 +289,7 @@ Result<storage::CloneReport> ProductionLine::clone_and_start(
     const warehouse::GoldenImage& golden, const std::string& vm_id) {
   obs::ScopedSpan span("plant.clone", "production-line", golden.id);
   span.set_vm(vm_id);
+  const double clone_start_s = now_s();
   hv::CloneSource source;
   source.layout = golden.layout;
   source.spec = golden.spec;
@@ -303,10 +306,13 @@ Result<storage::CloneReport> ProductionLine::clone_and_start(
     obs::ScopedSpan resume_span("hypervisor.resume", "hypervisor",
                                 hypervisor_->type());
     resume_span.set_vm(vm_id);
+    const double resume_start_s = now_s();
     Status s = hypervisor_->start_vm(vm_id);
+    LineMetrics::get().resume_seconds->record(now_s() - resume_start_s);
     if (!s.ok()) resume_span.set_status(util::error_code_name(s.error().code()));
     return s;
   }();
+  LineMetrics::get().clone_seconds->record(now_s() - clone_start_s);
   if (!started.ok()) {
     (void)hypervisor_->destroy_vm(vm_id);
     span.set_status(util::error_code_name(started.error().code()));
@@ -321,7 +327,7 @@ Result<ProductionResult> ProductionLine::configure(
   obs::ScopedSpan span("plant.configure", "production-line",
                        std::to_string(plan.remaining_plan.size()) + " actions");
   span.set_vm(vm_id);
-  const auto start = std::chrono::steady_clock::now();
+  const double start_s = now_s();
   ProductionResult result;
   result.vm_id = vm_id;
   const hv::VmInstance* vm = hypervisor_->find(vm_id);
@@ -340,12 +346,12 @@ Result<ProductionResult> ProductionLine::configure(
                           &result);
     if (!s.ok()) {
       (void)hypervisor_->destroy_vm(vm_id);
-      LineMetrics::get().configure_seconds->record(seconds_since(start));
+      LineMetrics::get().configure_seconds->record(now_s() - start_s);
       span.set_status(util::error_code_name(s.error().code()));
       return s.propagate<ProductionResult>();
     }
   }
-  LineMetrics::get().configure_seconds->record(seconds_since(start));
+  LineMetrics::get().configure_seconds->record(now_s() - start_s);
   return result;
 }
 

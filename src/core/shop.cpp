@@ -1,7 +1,6 @@
 #include "core/shop.h"
 
 #include <algorithm>
-#include <chrono>
 #include <set>
 
 #include "obs/metrics.h"
@@ -45,11 +44,6 @@ struct ShopMetrics {
   }
 };
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
 }  // namespace
 
 VmShop::VmShop(ShopConfig config, net::MessageBus* bus,
@@ -63,7 +57,7 @@ VmShop::~VmShop() { detach_from_bus(); }
 
 std::vector<Bid> VmShop::collect_bids(const CreateRequest& request) {
   obs::ScopedSpan span("shop.bid", "vmshop", request.request_id);
-  const auto start = std::chrono::steady_clock::now();
+  const double start_s = obs::Tracer::instance().now();
   std::vector<Bid> bids;
   for (const net::ServiceRecord& plant : registry_->discover("vmplant")) {
     net::Message m = net::Message::request("vmplant.estimate", config_.name,
@@ -83,17 +77,40 @@ std::vector<Bid> VmShop::collect_bids(const CreateRequest& request) {
     bids.push_back(bid);
   }
   ShopMetrics::get().bids->add(bids.size());
-  ShopMetrics::get().bid_seconds->record(seconds_since(start));
+  ShopMetrics::get().bid_seconds->record(obs::Tracer::instance().now() -
+                                         start_s);
   return bids;
+}
+
+double VmShop::effective_cost(const Bid& bid) const {
+  if (config_.health_penalty_weight <= 0.0 || !health_provider_) {
+    return bid.cost;
+  }
+  const double health =
+      std::clamp(health_provider_(bid.plant_address), 0.0, 1.0);
+  return bid.cost * (1.0 + config_.health_penalty_weight * (1.0 - health));
 }
 
 std::optional<Bid> VmShop::select_bid(const std::vector<Bid>& bids) {
   if (bids.empty()) return std::nullopt;
-  double best = bids.front().cost;
-  for (const Bid& b : bids) best = std::min(best, b.cost);
+  double best = effective_cost(bids.front());
+  for (const Bid& b : bids) best = std::min(best, effective_cost(b));
   std::vector<const Bid*> cheapest;
   for (const Bid& b : bids) {
-    if (b.cost <= best) cheapest.push_back(&b);
+    if (effective_cost(b) <= best) cheapest.push_back(&b);
+  }
+  // Among equal effective costs, prefer the healthiest plant (fleet SLO
+  // verdicts, DESIGN.md §9) — skipped entirely when the penalty is off so
+  // the paper-faithful path below consumes the RNG identically.
+  if (config_.health_penalty_weight > 0.0 && health_provider_ &&
+      cheapest.size() > 1) {
+    double best_health = 0.0;
+    for (const Bid* b : cheapest) {
+      best_health = std::max(best_health, health_provider_(b->plant_address));
+    }
+    std::erase_if(cheapest, [&](const Bid* b) {
+      return health_provider_(b->plant_address) < best_health - 1e-12;
+    });
   }
   // "The VMShop picks one plant at random" among equal bids (paper §3.4).
   const std::size_t pick = tie_rng_.next_below(cheapest.size());
@@ -105,11 +122,11 @@ Result<classad::ClassAd> VmShop::create(const CreateRequest& request) {
   // hops, plant-side production) chains underneath this context.
   ShopMetrics& metrics = ShopMetrics::get();
   obs::ScopedSpan span("shop.create", "vmshop", request.request_id);
-  const auto start = std::chrono::steady_clock::now();
+  const double start_s = obs::Tracer::instance().now();
 
   Result<classad::ClassAd> result = create_impl(request);
 
-  metrics.create_seconds->record(seconds_since(start));
+  metrics.create_seconds->record(obs::Tracer::instance().now() - start_s);
   if (result.ok()) {
     metrics.creates->add();
     span.set_vm(result.value().get_string(attrs::kVmId).value_or(""));
@@ -130,7 +147,9 @@ Result<classad::ClassAd> VmShop::create_impl(const CreateRequest& request) {
                                 request.request_id));
   }
   std::sort(bids.begin(), bids.end(),
-            [](const Bid& a, const Bid& b) { return a.cost < b.cost; });
+            [this](const Bid& a, const Bid& b) {
+              return effective_cost(a) < effective_cost(b);
+            });
 
   // Creation proper.  Two distinct failure classes drive two distinct
   // recovery strategies (both bounded by config_.retry):
@@ -163,7 +182,9 @@ Result<classad::ClassAd> VmShop::create_impl(const CreateRequest& request) {
       rebid_done = true;
       bids = collect_bids(request);
       std::sort(bids.begin(), bids.end(),
-                [](const Bid& a, const Bid& b) { return a.cost < b.cost; });
+                [this](const Bid& a, const Bid& b) {
+                  return effective_cost(a) < effective_cost(b);
+                });
       continue;
     }
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -49,6 +50,12 @@ struct ShopConfig {
   /// reported by a plant mark it failed for the rest of the request and
   /// trigger failover to the next-best bid.
   util::RetryPolicy retry;
+  /// How strongly plant health (from the fleet aggregator, [0, 1]) penalizes
+  /// a bid: effective cost = cost * (1 + weight * (1 - health)).  0 (the
+  /// default) disables the penalty entirely — selection is byte-for-byte
+  /// the paper's cheapest-bid-with-random-ties, consuming the tie-break RNG
+  /// identically.
+  double health_penalty_weight = 0.0;
 };
 
 class VmShop {
@@ -86,8 +93,22 @@ class VmShop {
   /// refuse (fault) are skipped; transport failures are skipped too.
   std::vector<Bid> collect_bids(const CreateRequest& request);
 
-  /// Lowest-cost bid; ties broken uniformly at random (seeded).
+  /// Lowest effective-cost bid.  Ties prefer the healthiest plant (when a
+  /// health provider is installed and the penalty weight is positive), then
+  /// break uniformly at random (seeded).
   std::optional<Bid> select_bid(const std::vector<Bid>& bids);
+
+  /// Install the per-plant health source consulted by select_bid (e.g.
+  /// [&agg](const std::string& p) { return agg.health(p); }).  Plants the
+  /// provider does not know should score 1.0 (no penalty).  Install during
+  /// setup — swapping mid-request is not synchronized.
+  void set_health_provider(std::function<double(const std::string&)> provider) {
+    health_provider_ = std::move(provider);
+  }
+
+  /// Bid cost after the health penalty (identity when the weight is 0 or
+  /// no provider is installed).
+  double effective_cost(const Bid& bid) const;
 
   // -- Bus integration ---------------------------------------------------------
   /// Register the shop endpoint (services vmshop.create / query / destroy)
@@ -116,6 +137,7 @@ class VmShop {
   net::MessageBus* bus_;
   net::ServiceRegistry* registry_;
   util::SplitMix64 tie_rng_;
+  std::function<double(const std::string&)> health_provider_;
   mutable std::mutex mutex_;
   std::map<std::string, std::string> vm_to_plant_;
   std::map<std::string, classad::ClassAd> ad_cache_;

@@ -66,6 +66,11 @@ classad::ClassAd metrics_ad(const MetricsSnapshot& snapshot,
     ad.set_real(base + "_min", stats.min_s);
     ad.set_real(base + "_max", stats.max_s);
     ad.set_real(base + "_sum", stats.sum_s);
+    ad.set_real(base + "_p50", stats.p50_s);
+    ad.set_real(base + "_p90", stats.p90_s);
+    ad.set_real(base + "_p99", stats.p99_s);
+    ad.set_real(base + "_p999", stats.p999_s);
+    if (!stats.hist.empty()) ad.set_string(base + "_hist", stats.hist.encode());
   }
   for (const auto& [point, count] : faults.by_point()) {
     ad.set_integer("fault_" + attr_name(point) + "_count",
@@ -76,6 +81,85 @@ classad::ClassAd metrics_ad(const MetricsSnapshot& snapshot,
     ad.set_real(export_attrs::kWarehouseHitRatio, *ratio);
   }
   return ad;
+}
+
+MetricsSnapshot metrics_snapshot_from_ad(const classad::ClassAd& ad) {
+  MetricsSnapshot snap;
+  // Timer attrs are "<base>_seconds_<component>"; everything else is
+  // classified by value type and the _gauge naming suffix.
+  static constexpr const char* kTimerComponents[] = {
+      "count", "mean", "min", "max", "sum", "p50", "p90", "p99", "p999",
+      "hist"};
+  for (const std::string& name : ad.names()) {
+    std::string base, component;
+    for (const char* c : kTimerComponents) {
+      const std::string suffix = std::string("_") + c;
+      if (name.size() > suffix.size() && name.ends_with(suffix)) {
+        std::string candidate = name.substr(0, name.size() - suffix.size());
+        if (candidate.ends_with("_seconds")) {
+          base = std::move(candidate);
+          component = c;
+          break;
+        }
+      }
+    }
+    if (!base.empty()) {
+      TimerStats& stats = snap.timers[base];
+      if (component == "hist") {
+        if (auto text = ad.get_string(name)) {
+          if (auto hist = HistogramSnapshot::decode(*text)) {
+            stats.hist = std::move(*hist);
+          }
+        }
+        continue;
+      }
+      const auto value = ad.get_number(name);
+      if (!value.has_value()) continue;
+      if (component == "count") {
+        stats.count = static_cast<std::size_t>(*value);
+      } else if (component == "mean") {
+        stats.mean_s = *value;
+      } else if (component == "min") {
+        stats.min_s = *value;
+      } else if (component == "max") {
+        stats.max_s = *value;
+      } else if (component == "sum") {
+        stats.sum_s = *value;
+      } else if (component == "p50") {
+        stats.p50_s = *value;
+      } else if (component == "p90") {
+        stats.p90_s = *value;
+      } else if (component == "p99") {
+        stats.p99_s = *value;
+      } else if (component == "p999") {
+        stats.p999_s = *value;
+      }
+      continue;
+    }
+    if (auto integer = ad.get_integer(name)) {
+      if (name.ends_with("_gauge")) {
+        snap.gauges[name] = *integer;
+      } else {
+        snap.counters[name] = static_cast<std::uint64_t>(
+            std::max<std::int64_t>(0, *integer));
+      }
+      continue;
+    }
+    if (auto real = ad.get_number(name)) {
+      snap.derived[name] = *real;
+      if (name == export_attrs::kWarehouseHitRatio) {
+        // Serve ratio("ppp.plan_hit.count", "ppp.plan_miss.count") on
+        // pre-merged snapshots whose raw counters were dropped.
+        snap.derived["ppp_plan_hit_count/ppp_plan_miss_count"] = *real;
+      }
+    }
+  }
+  for (auto& [name, stats] : snap.timers) {
+    if (!stats.hist.empty() && stats.p50_s == 0.0 && stats.p99_s == 0.0) {
+      stats.refresh_quantiles();
+    }
+  }
+  return snap;
 }
 
 classad::ClassAd trace_summary_ad(const TraceSummary& summary) {

@@ -11,8 +11,15 @@
 // Attribute naming: metric names ("component.verb.unit") are folded to
 // classad-safe identifiers by replacing [.-] with '_', e.g.
 // "bus.call.count" -> bus_call_count.  Timers export _count/_mean/_min/
-// _max/_sum variants.  Fired fault injections (util::FaultReport) merge in
-// as fault_<point>_count so one snapshot answers "what happened".
+// _max/_sum variants plus _p50/_p90/_p99/_p999 quantiles and an encoded
+// _hist attribute (obs::HistogramSnapshot) so a remote aggregator can
+// merge tails across plants.  Fired fault injections (util::FaultReport)
+// merge in as fault_<point>_count so one snapshot answers "what happened".
+//
+// metrics_snapshot_from_ad is the inverse: the fleet aggregator pulls a
+// plant's obs://metrics ad over the bus and reconstructs a mergeable
+// MetricsSnapshot from it (names stay in their folded spelling; the
+// snapshot accessors fold on lookup).
 #pragma once
 
 #include <cstddef>
@@ -64,6 +71,14 @@ std::vector<TraceSummary> summarize_traces(const std::vector<Span>& spans);
 /// ppp.plan_hit.count / ppp.plan_miss.count when either is non-zero.
 classad::ClassAd metrics_ad(const MetricsSnapshot& snapshot,
                             const util::FaultReport& faults);
+
+/// Reconstruct a MetricsSnapshot from a metrics ad.  Classification relies
+/// on the naming scheme: integer attrs ending in "_gauge" are gauges,
+/// other integers are counters, attrs with a "_seconds_<component>" suffix
+/// reassemble timers (including the encoded _hist), remaining reals land
+/// in `derived` (WarehouseHitRatio doubles as the derived plan-hit ratio).
+/// Names keep their folded spelling.
+MetricsSnapshot metrics_snapshot_from_ad(const classad::ClassAd& ad);
 
 /// Render one trace summary as a classad (Phase_<name> attributes carry
 /// the per-phase seconds).

@@ -7,6 +7,7 @@
 namespace vmp::obs {
 
 void Timer::record(double seconds) {
+  log_hist_.record(seconds);  // lock-free
   std::lock_guard<std::mutex> lock(mutex_);
   summary_.add(seconds);
   if (histogram_) histogram_->add(seconds);
@@ -28,22 +29,84 @@ std::optional<util::Histogram> Timer::histogram() const {
   return *histogram_;
 }
 
+namespace {
+/// Classad-folded spelling of a metric name (mirrors obs::attr_name; kept
+/// local to avoid an include cycle with export.h).
+std::string fold_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+}  // namespace
+
+void TimerStats::refresh_quantiles() {
+  if (hist.empty()) return;
+  p50_s = hist.quantile(0.50);
+  p90_s = hist.quantile(0.90);
+  p99_s = hist.quantile(0.99);
+  p999_s = hist.quantile(0.999);
+}
+
+void TimerStats::merge(const TimerStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  min_s = std::min(min_s, other.min_s);
+  max_s = std::max(max_s, other.max_s);
+  count += other.count;
+  sum_s += other.sum_s;
+  mean_s = sum_s / static_cast<double>(count);
+  hist.merge(other.hist);
+  if (!hist.empty()) {
+    refresh_quantiles();
+  } else {
+    // No histograms to merge (e.g. stats reconstructed from a legacy ad):
+    // fall back to the worse of the exported quantiles.
+    p50_s = std::max(p50_s, other.p50_s);
+    p90_s = std::max(p90_s, other.p90_s);
+    p99_s = std::max(p99_s, other.p99_s);
+    p999_s = std::max(p999_s, other.p999_s);
+  }
+}
+
 std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
   auto it = counters.find(name);
+  if (it == counters.end()) it = counters.find(fold_name(name));
   return it == counters.end() ? 0 : it->second;
 }
 
 std::int64_t MetricsSnapshot::gauge(const std::string& name) const {
   auto it = gauges.find(name);
+  if (it == gauges.end()) it = gauges.find(fold_name(name));
   return it == gauges.end() ? 0 : it->second;
+}
+
+const TimerStats* MetricsSnapshot::timer_stats(const std::string& name) const {
+  auto it = timers.find(name);
+  if (it == timers.end()) it = timers.find(fold_name(name));
+  return it == timers.end() ? nullptr : &it->second;
 }
 
 std::optional<double> MetricsSnapshot::ratio(
     const std::string& hit_counter, const std::string& miss_counter) const {
   const double hits = static_cast<double>(counter(hit_counter));
   const double misses = static_cast<double>(counter(miss_counter));
-  if (hits + misses == 0.0) return std::nullopt;
-  return hits / (hits + misses);
+  if (hits + misses > 0.0) return hits / (hits + misses);
+  // Pre-merged fleet snapshots may carry only the derived ratio.
+  auto it = derived.find(fold_name(hit_counter) + "/" + fold_name(miss_counter));
+  if (it != derived.end()) return it->second;
+  return std::nullopt;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, stats] : other.timers) timers[name].merge(stats);
+  for (const auto& [name, value] : other.derived) derived.emplace(name, value);
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -89,6 +152,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     stats.mean_s = s.mean();
     stats.min_s = s.min();
     stats.max_s = s.max();
+    stats.hist = timer->quantile_histogram();
+    stats.refresh_quantiles();
     snap.timers[name] = stats;
   }
   return snap;
@@ -142,10 +207,12 @@ std::string render_metrics_text(const MetricsSnapshot& snapshot) {
   if (!snapshot.timers.empty()) {
     out << "timers:\n";
     for (const auto& [name, stats] : snapshot.timers) {
-      std::snprintf(line, sizeof(line),
-                    "  %-40s n=%-8zu mean=%.6fs min=%.6fs max=%.6fs\n",
-                    name.c_str(), stats.count, stats.mean_s, stats.min_s,
-                    stats.max_s);
+      std::snprintf(
+          line, sizeof(line),
+          "  %-40s n=%-8zu mean=%.6fs min=%.6fs max=%.6fs p50=%.6fs "
+          "p99=%.6fs\n",
+          name.c_str(), stats.count, stats.mean_s, stats.min_s, stats.max_s,
+          stats.p50_s, stats.p99_s);
       out << line;
     }
   }

@@ -8,10 +8,12 @@
 //   * Counter   — monotonically increasing; sharded cache-line-padded
 //                 atomics so concurrent increments do not bounce one line.
 //   * Gauge     — a settable signed level (active VMs, in-flight calls).
-//   * Timer     — latency samples folded into a util::Summary plus an
-//                 optional fixed-bin util::Histogram (mutex-protected; the
-//                 paths that record timers already pay far more than a
-//                 lock).
+//   * Timer     — latency samples folded into a util::Summary (mutex-
+//                 protected; the paths that record timers already pay far
+//                 more than a lock), an always-on log-linear LogHistogram
+//                 (lock-free) so every latency site answers p50/p90/p99/
+//                 p999, and an optional fixed-bin util::Histogram for the
+//                 paper figures.
 //
 // Naming scheme (DESIGN.md §8): "component.verb.unit" where unit is one of
 // `count`, `gauge`, `seconds` (e.g. "bus.call.seconds", "vm.active.gauge").
@@ -29,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "util/stats.h"
 
 namespace vmp::obs {
@@ -73,7 +76,8 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
-/// Latency recorder: Summary always, Histogram when bins are configured.
+/// Latency recorder: Summary + LogHistogram always, fixed-bin Histogram
+/// when bins are configured.
 class Timer {
  public:
   void record(double seconds);
@@ -83,34 +87,68 @@ class Timer {
 
   util::Summary summary() const;
   std::optional<util::Histogram> histogram() const;
+  /// Mergeable snapshot of the always-on log-linear histogram.
+  HistogramSnapshot quantile_histogram() const { return log_hist_.snapshot(); }
 
  private:
   mutable std::mutex mutex_;
   util::Summary summary_;
   std::unique_ptr<util::Histogram> histogram_;
+  LogHistogram log_hist_;
 };
 
-/// Point-in-time copy of every metric (safe to read with no locks held).
+/// Point-in-time copy of one timer.  The mean/min/max fields and their
+/// classad attribute names predate the histogram and stay backward
+/// compatible; the p* quantiles come from `hist`, which also makes the
+/// stats mergeable across plants (fleet rollups).
 struct TimerStats {
   std::size_t count = 0;
   double sum_s = 0.0;
   double mean_s = 0.0;
   double min_s = 0.0;
   double max_s = 0.0;
+  double p50_s = 0.0;
+  double p90_s = 0.0;
+  double p99_s = 0.0;
+  double p999_s = 0.0;
+  HistogramSnapshot hist;
+
+  /// Recompute the p* fields from `hist` (no-op when hist is empty).
+  void refresh_quantiles();
+  /// Fold another plant's stats into this one (fleet rollup): counts and
+  /// sums add, min/max widen, histograms merge, quantiles refresh.
+  void merge(const TimerStats& other);
 };
 
+/// Point-in-time copy of every metric (safe to read with no locks held).
+/// Also the fleet rollup unit: snapshots parsed back from exported classads
+/// (obs::metrics_snapshot_from_ad) carry classad-folded names
+/// ("bus_call_count"), so the accessors fall back to the folded spelling,
+/// and merge() folds per-plant snapshots into one.
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::int64_t> gauges;
   std::map<std::string, TimerStats> timers;
+  /// Derived real-valued attributes a pre-merged fleet snapshot may carry
+  /// in place of raw counters; ratio() keys are "<hit>/<miss>" in folded
+  /// spelling.
+  std::map<std::string, double> derived;
 
-  /// counters[name], 0 when absent.
+  /// counters[name], 0 when absent (folded-name fallback).
   std::uint64_t counter(const std::string& name) const;
   std::int64_t gauge(const std::string& name) const;
+  /// Timer stats, nullptr when absent (folded-name fallback).
+  const TimerStats* timer_stats(const std::string& name) const;
 
-  /// hits / (hits + misses); nullopt when both are zero.
+  /// hits / (hits + misses); nullopt when both are zero.  Pre-merged fleet
+  /// snapshots that carry only the derived ratio (no raw counters) are
+  /// served from `derived`.
   std::optional<double> ratio(const std::string& hit_counter,
                               const std::string& miss_counter) const;
+
+  /// Fold another snapshot in: counters/gauges sum, timers merge, derived
+  /// values keep the first spelling seen.
+  void merge(const MetricsSnapshot& other);
 };
 
 class MetricsRegistry {

@@ -1,0 +1,113 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vmp::obs {
+
+TimeSeriesRing::TimeSeriesRing(std::size_t buckets, double bucket_width_s)
+    : buckets_(std::max<std::size_t>(1, buckets)),
+      width_(bucket_width_s > 0.0 ? bucket_width_s : 1.0) {}
+
+std::int64_t TimeSeriesRing::epoch_of(double t) const {
+  return static_cast<std::int64_t>(std::floor(t / width_));
+}
+
+void TimeSeriesRing::add(double t, double value) {
+  const std::int64_t epoch = epoch_of(t);
+  if (newest_epoch_ >= 0 &&
+      epoch <= newest_epoch_ - static_cast<std::int64_t>(capacity())) {
+    return;  // older than anything the ring still holds
+  }
+  Bucket& b = buckets_[static_cast<std::size_t>(
+      ((epoch % static_cast<std::int64_t>(capacity())) +
+       static_cast<std::int64_t>(capacity())) %
+      static_cast<std::int64_t>(capacity()))];
+  if (b.epoch != epoch) {
+    b.epoch = epoch;
+    b.sum = 0.0;
+    b.samples = 0;
+  }
+  b.sum += value;
+  ++b.samples;
+  newest_epoch_ = std::max(newest_epoch_, epoch);
+}
+
+double TimeSeriesRing::sum_over(double t_now, double window_s) const {
+  const std::int64_t e_now = epoch_of(t_now);
+  const std::int64_t e_min = epoch_of(t_now - window_s) + 1;
+  double sum = 0.0;
+  for (const Bucket& b : buckets_) {
+    if (b.epoch >= e_min && b.epoch <= e_now) sum += b.sum;
+  }
+  return sum;
+}
+
+std::uint64_t TimeSeriesRing::samples_over(double t_now,
+                                           double window_s) const {
+  const std::int64_t e_now = epoch_of(t_now);
+  const std::int64_t e_min = epoch_of(t_now - window_s) + 1;
+  std::uint64_t samples = 0;
+  for (const Bucket& b : buckets_) {
+    if (b.epoch >= e_min && b.epoch <= e_now) samples += b.samples;
+  }
+  return samples;
+}
+
+double TimeSeriesRing::rate_per_s(double t_now, double window_s) const {
+  if (window_s <= 0.0) return 0.0;
+  return sum_over(t_now, window_s) / window_s;
+}
+
+SloTracker::SloTracker(SloPolicy policy, std::size_t ring_buckets,
+                       double bucket_width_s)
+    : policy_(policy),
+      good_(ring_buckets, bucket_width_s),
+      bad_(ring_buckets, bucket_width_s) {}
+
+void SloTracker::observe(double now, std::uint64_t good_delta,
+                         std::uint64_t bad_delta) {
+  if (good_delta > 0) good_.add(now, static_cast<double>(good_delta));
+  if (bad_delta > 0) bad_.add(now, static_cast<double>(bad_delta));
+}
+
+double SloTracker::burn_rate(double now, double window_s) const {
+  const double good = good_.sum_over(now, window_s);
+  const double bad = bad_.sum_over(now, window_s);
+  const double total = good + bad;
+  if (total <= 0.0 || policy_.error_budget <= 0.0) return 0.0;
+  return (bad / total) / policy_.error_budget;
+}
+
+double SloTracker::short_burn(double now) const {
+  return burn_rate(now, policy_.short_window_s);
+}
+
+double SloTracker::long_burn(double now) const {
+  return burn_rate(now, policy_.long_window_s);
+}
+
+double SloTracker::health(double now,
+                          std::optional<double> sli_quantile_s) const {
+  double h = 1.0;
+  // Budget term: both windows must burn (multi-window AND), so a stale
+  // long-window incident cannot depress health forever once the short
+  // window is clean, and a single blip in the short window is filtered by
+  // the long one.
+  const double burn = std::min(short_burn(now), long_burn(now));
+  if (burn > 1.0 && policy_.fast_burn > 1.0) {
+    h *= std::clamp(1.0 - (burn - 1.0) / (policy_.fast_burn - 1.0), 0.0, 1.0);
+  }
+  // Latency term: the SLI quantile against the objective.
+  if (sli_quantile_s.has_value() && policy_.latency_objective_s > 0.0 &&
+      *sli_quantile_s > policy_.latency_objective_s &&
+      policy_.latency_degraded_factor > 1.0) {
+    const double overshoot = *sli_quantile_s / policy_.latency_objective_s;
+    h *= std::clamp(
+        1.0 - (overshoot - 1.0) / (policy_.latency_degraded_factor - 1.0),
+        0.0, 1.0);
+  }
+  return h;
+}
+
+}  // namespace vmp::obs

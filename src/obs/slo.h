@@ -1,0 +1,112 @@
+// Time-series ring buffers and SLO error-budget tracking.
+//
+// Grid-scale resource selection (cf. the CMS testbed's aggregated site
+// health) wants rates over recent windows, not lifetime totals.  A
+// TimeSeriesRing buckets values by a caller-supplied clock (sim- or
+// wall-seconds) into a fixed-capacity ring, so "events in the last N
+// seconds" needs no external storage and old buckets overwrite themselves.
+//
+// SloTracker implements the standard multi-window error-budget burn test on
+// two rings (good/bad event counts): burn rate = (bad fraction) / (error
+// budget), alerting only when BOTH the short and the long window burn — the
+// short window makes recovery fast, the long window filters blips.  The
+// resulting health score in [0, 1] is what the shop's bid selection
+// consumes (core::FleetAggregator, DESIGN.md §9).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vmp::obs {
+
+/// Fixed-capacity ring of time buckets.  Not thread-safe; owners (the
+/// fleet aggregator, tests) serialize access.
+class TimeSeriesRing {
+ public:
+  /// `buckets` slots of `bucket_width_s` seconds each; the ring covers the
+  /// trailing buckets*width seconds of history.
+  TimeSeriesRing(std::size_t buckets, double bucket_width_s);
+
+  /// Fold `value` into the bucket containing time `t` (seconds on the
+  /// owner's clock).  Writing into a bucket older than the ring's span
+  /// relative to the newest write is a no-op.
+  void add(double t, double value);
+
+  /// Sum of values in buckets overlapping (t_now - window_s, t_now].
+  double sum_over(double t_now, double window_s) const;
+  /// Number of add() calls landing in that window.
+  std::uint64_t samples_over(double t_now, double window_s) const;
+  /// sum_over / window_s.
+  double rate_per_s(double t_now, double window_s) const;
+
+  std::size_t capacity() const { return buckets_.size(); }
+  double bucket_width_s() const { return width_; }
+  /// Seconds of history the ring can hold.
+  double span_s() const { return width_ * static_cast<double>(capacity()); }
+
+ private:
+  struct Bucket {
+    std::int64_t epoch = -1;  // floor(t / width); -1 = never written
+    double sum = 0.0;
+    std::uint64_t samples = 0;
+  };
+  std::int64_t epoch_of(double t) const;
+
+  std::vector<Bucket> buckets_;
+  double width_;
+  std::int64_t newest_epoch_ = -1;
+};
+
+/// Service-level objective: a latency target on one quantile plus an
+/// error budget burned by failed requests.
+struct SloPolicy {
+  /// Which quantile of the SLI timer is compared to the objective.
+  double target_quantile = 0.99;
+  /// Latency objective for that quantile, seconds.  <= 0 disables the
+  /// latency term.
+  double latency_objective_s = 0.0;
+  /// Quantile/objective ratio at which the latency term reaches zero
+  /// health (linear in between).
+  double latency_degraded_factor = 4.0;
+  /// Allowed failing fraction of requests (the error budget).
+  double error_budget = 0.01;
+  /// Burn windows, seconds on the aggregator's clock.
+  double short_window_s = 60.0;
+  double long_window_s = 300.0;
+  /// Burn rate at which the budget term reaches zero health (a burn of 1.0
+  /// exactly spends the budget; SRE practice pages at ~14x).
+  double fast_burn = 14.0;
+};
+
+/// Per-plant error-budget state: two event rings (good/bad) plus the
+/// policy's health arithmetic.  Deterministic: same observations at the
+/// same clock readings yield the same scores.
+class SloTracker {
+ public:
+  explicit SloTracker(SloPolicy policy, std::size_t ring_buckets = 128,
+                      double bucket_width_s = 1.0);
+
+  /// Record one sweep's worth of new events at time `now`.
+  void observe(double now, std::uint64_t good_delta, std::uint64_t bad_delta);
+
+  /// (bad fraction over window) / error budget; 0 when the window is empty.
+  double burn_rate(double now, double window_s) const;
+  double short_burn(double now) const;
+  double long_burn(double now) const;
+
+  /// Health in [0, 1]: the product of the budget term (min of the two
+  /// window burns, linear from 1.0 at burn<=1 down to 0 at fast_burn) and
+  /// the latency term (linear from 1.0 at quantile<=objective down to 0 at
+  /// objective*latency_degraded_factor).
+  double health(double now, std::optional<double> sli_quantile_s) const;
+
+  const SloPolicy& policy() const { return policy_; }
+
+ private:
+  SloPolicy policy_;
+  TimeSeriesRing good_;
+  TimeSeriesRing bad_;
+};
+
+}  // namespace vmp::obs

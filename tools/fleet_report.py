@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Render a fleet observability export as per-plant health + rollup tables.
+
+FleetAggregator::export_jsonl (src/core/fleet.cpp) writes one JSON object
+per published classad:
+
+    {"id": "obs://health/<plant>", "attrs": {"Health": 0.8, ...}}
+    {"id": "obs://fleet/metrics",  "attrs": {"fleet_create_count": 72, ...}}
+
+This tool turns that into the operator's view: a health table (health,
+burn rates, SLI quantile, good/bad totals per plant) and the fleet rollup
+(plant count, creations, failures, merged latency quantiles).
+
+Usage:
+    python3 tools/fleet_report.py fleet.jsonl [--json]
+
+With --json, emits a single machine-readable summary object instead of
+tables.
+"""
+
+import argparse
+import json
+import sys
+
+HEALTH_PREFIX = "obs://health/"
+FLEET_ID = "obs://fleet/metrics"
+
+
+def load_ads(path):
+    ads = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ads.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                print(f"{path}:{lineno}: skipping bad line: {err}",
+                      file=sys.stderr)
+    return ads
+
+
+def split_ads(ads):
+    """Latest health ad per plant plus the latest fleet rollup."""
+    plants = {}
+    rollup = None
+    for ad in ads:
+        ad_id = ad.get("id", "")
+        attrs = ad.get("attrs", {})
+        if ad_id.startswith(HEALTH_PREFIX):
+            plants[ad_id[len(HEALTH_PREFIX):]] = attrs
+        elif ad_id == FLEET_ID:
+            rollup = attrs
+    return plants, rollup
+
+
+def health_grade(health):
+    if health >= 0.99:
+        return "ok"
+    if health >= 0.8:
+        return "warn"
+    return "burning"
+
+
+def print_health_table(plants):
+    header = (f"{'plant':<16} {'health':>8} {'grade':>8} {'short_burn':>11} "
+              f"{'long_burn':>10} {'sli ms':>9} {'good':>8} {'bad':>6}")
+    print(header)
+    print("-" * len(header))
+    for plant in sorted(plants):
+        attrs = plants[plant]
+        health = float(attrs.get("Health", 1.0))
+        sli = float(attrs.get("SliQuantileSeconds", 0.0))
+        print(f"{plant:<16} {health:>8.3f} {health_grade(health):>8} "
+              f"{float(attrs.get('ShortBurn', 0.0)):>11.2f} "
+              f"{float(attrs.get('LongBurn', 0.0)):>10.2f} "
+              f"{sli * 1e3:>9.2f} "
+              f"{int(attrs.get('GoodTotal', 0)):>8} "
+              f"{int(attrs.get('BadTotal', 0)):>6}")
+
+
+def rollup_summary(rollup):
+    """Pick the headline numbers out of the folded metric attribute names."""
+    if not rollup:
+        return {}
+    summary = {
+        "plants": int(rollup.get("PlantCount", 0)),
+        "creates": int(rollup.get("fleet_create_count", 0)),
+        "failures": int(rollup.get("fleet_create_fail_count", 0)),
+    }
+    for quantile in ("p50", "p90", "p99", "p999"):
+        key = f"fleet_create_seconds_{quantile}"
+        if key in rollup:
+            summary[quantile + "_s"] = float(rollup[key])
+    return summary
+
+
+def print_rollup(rollup):
+    summary = rollup_summary(rollup)
+    if not summary:
+        print("no fleet rollup ad in this export", file=sys.stderr)
+        return
+    creates = summary["creates"]
+    failures = summary["failures"]
+    total = creates + failures
+    rate = failures / total * 100.0 if total else 0.0
+    print(f"fleet: {summary['plants']} plants, {creates} creations, "
+          f"{failures} failures ({rate:.1f}%)")
+    quantiles = [f"{q}={summary[q + '_s'] * 1e3:.2f} ms"
+                 for q in ("p50", "p90", "p99", "p999")
+                 if q + "_s" in summary]
+    if quantiles:
+        print("fleet create latency: " + "  ".join(quantiles))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("jsonl",
+                        help="file written by FleetAggregator::export_jsonl")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one machine-readable summary object")
+    args = parser.parse_args()
+
+    ads = load_ads(args.jsonl)
+    if not ads:
+        print("no ads found", file=sys.stderr)
+        return 1
+    plants, rollup = split_ads(ads)
+
+    if args.json:
+        print(json.dumps({
+            "plants": {
+                name: {
+                    "health": float(attrs.get("Health", 1.0)),
+                    "grade": health_grade(float(attrs.get("Health", 1.0))),
+                    "short_burn": float(attrs.get("ShortBurn", 0.0)),
+                    "long_burn": float(attrs.get("LongBurn", 0.0)),
+                    "sli_quantile_s": float(
+                        attrs.get("SliQuantileSeconds", 0.0)),
+                    "good": int(attrs.get("GoodTotal", 0)),
+                    "bad": int(attrs.get("BadTotal", 0)),
+                } for name, attrs in sorted(plants.items())
+            },
+            "fleet": rollup_summary(rollup),
+        }, indent=2))
+        return 0
+
+    if plants:
+        print_health_table(plants)
+        print()
+    print_rollup(rollup)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
