@@ -82,6 +82,29 @@ std::vector<Bid> VmShop::collect_bids(const CreateRequest& request) {
   return bids;
 }
 
+std::map<std::string, double> VmShop::snapshot_health(
+    const std::vector<Bid>& bids) const {
+  std::map<std::string, double> health;
+  if (config_.health_penalty_weight <= 0.0 || !health_provider_) {
+    return health;
+  }
+  for (const Bid& b : bids) {
+    if (health.count(b.plant_address) == 0) {
+      health[b.plant_address] =
+          std::clamp(health_provider_(b.plant_address), 0.0, 1.0);
+    }
+  }
+  return health;
+}
+
+double VmShop::effective_cost_in(
+    const Bid& bid, const std::map<std::string, double>& health) const {
+  auto it = health.find(bid.plant_address);
+  if (it == health.end()) return bid.cost;
+  return bid.cost *
+         (1.0 + config_.health_penalty_weight * (1.0 - it->second));
+}
+
 double VmShop::effective_cost(const Bid& bid) const {
   if (config_.health_penalty_weight <= 0.0 || !health_provider_) {
     return bid.cost;
@@ -91,25 +114,36 @@ double VmShop::effective_cost(const Bid& bid) const {
   return bid.cost * (1.0 + config_.health_penalty_weight * (1.0 - health));
 }
 
+void VmShop::sort_by_effective_cost(std::vector<Bid>* bids) const {
+  const std::map<std::string, double> health = snapshot_health(*bids);
+  std::stable_sort(bids->begin(), bids->end(),
+                   [&](const Bid& a, const Bid& b) {
+                     return effective_cost_in(a, health) <
+                            effective_cost_in(b, health);
+                   });
+}
+
 std::optional<Bid> VmShop::select_bid(const std::vector<Bid>& bids) {
   if (bids.empty()) return std::nullopt;
-  double best = effective_cost(bids.front());
-  for (const Bid& b : bids) best = std::min(best, effective_cost(b));
+  const std::map<std::string, double> health = snapshot_health(bids);
+  double best = effective_cost_in(bids.front(), health);
+  for (const Bid& b : bids) {
+    best = std::min(best, effective_cost_in(b, health));
+  }
   std::vector<const Bid*> cheapest;
   for (const Bid& b : bids) {
-    if (effective_cost(b) <= best) cheapest.push_back(&b);
+    if (effective_cost_in(b, health) <= best) cheapest.push_back(&b);
   }
   // Among equal effective costs, prefer the healthiest plant (fleet SLO
   // verdicts, DESIGN.md §9) — skipped entirely when the penalty is off so
   // the paper-faithful path below consumes the RNG identically.
-  if (config_.health_penalty_weight > 0.0 && health_provider_ &&
-      cheapest.size() > 1) {
+  if (!health.empty() && cheapest.size() > 1) {
     double best_health = 0.0;
     for (const Bid* b : cheapest) {
-      best_health = std::max(best_health, health_provider_(b->plant_address));
+      best_health = std::max(best_health, health.at(b->plant_address));
     }
     std::erase_if(cheapest, [&](const Bid* b) {
-      return health_provider_(b->plant_address) < best_health - 1e-12;
+      return health.at(b->plant_address) < best_health - 1e-12;
     });
   }
   // "The VMShop picks one plant at random" among equal bids (paper §3.4).
@@ -146,10 +180,7 @@ Result<classad::ClassAd> VmShop::create_impl(const CreateRequest& request) {
         ErrorCode::kNoBids, "no plant produced a bid for request " +
                                 request.request_id));
   }
-  std::sort(bids.begin(), bids.end(),
-            [this](const Bid& a, const Bid& b) {
-              return effective_cost(a) < effective_cost(b);
-            });
+  sort_by_effective_cost(&bids);
 
   // Creation proper.  Two distinct failure classes drive two distinct
   // recovery strategies (both bounded by config_.retry):
@@ -181,10 +212,7 @@ Result<classad::ClassAd> VmShop::create_impl(const CreateRequest& request) {
       if (rebid_done) break;
       rebid_done = true;
       bids = collect_bids(request);
-      std::sort(bids.begin(), bids.end(),
-                [this](const Bid& a, const Bid& b) {
-                  return effective_cost(a) < effective_cost(b);
-                });
+      sort_by_effective_cost(&bids);
       continue;
     }
 

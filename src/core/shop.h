@@ -133,6 +133,20 @@ class VmShop {
   util::Result<classad::ClassAd> query_at(const std::string& plant_address,
                                           const std::string& vm_id);
 
+  /// One clamped health sample per plant in `bids`.  The provider (the
+  /// fleet aggregator) is mutated concurrently by its sweep thread, so a
+  /// selection pass must read each plant's health exactly once and reuse
+  /// the cached value for every comparison — otherwise the min/filter/sort
+  /// passes can disagree with each other (empty candidate set, comparator
+  /// without strict weak ordering).  Empty when the penalty is off.
+  std::map<std::string, double> snapshot_health(
+      const std::vector<Bid>& bids) const;
+  /// effective_cost() against a snapshot instead of a live provider read.
+  double effective_cost_in(const Bid& bid,
+                           const std::map<std::string, double>& health) const;
+  /// Stable sort by effective cost under one health snapshot.
+  void sort_by_effective_cost(std::vector<Bid>* bids) const;
+
   ShopConfig config_;
   net::MessageBus* bus_;
   net::ServiceRegistry* registry_;

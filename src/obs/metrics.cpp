@@ -60,16 +60,37 @@ void TimerStats::merge(const TimerStats& other) {
   count += other.count;
   sum_s += other.sum_s;
   mean_s = sum_s / static_cast<double>(count);
+  // A side without a histogram (stats reconstructed from a legacy ad)
+  // still contributed its count/sum above; remember its exported
+  // quantiles so they widen the recomputed ones instead of being
+  // silently dropped from the rollup.
+  double legacy_p50 = 0.0, legacy_p90 = 0.0, legacy_p99 = 0.0,
+         legacy_p999 = 0.0;
+  if (hist.empty()) {
+    legacy_p50 = p50_s;
+    legacy_p90 = p90_s;
+    legacy_p99 = p99_s;
+    legacy_p999 = p999_s;
+  }
+  if (other.hist.empty()) {
+    legacy_p50 = std::max(legacy_p50, other.p50_s);
+    legacy_p90 = std::max(legacy_p90, other.p90_s);
+    legacy_p99 = std::max(legacy_p99, other.p99_s);
+    legacy_p999 = std::max(legacy_p999, other.p999_s);
+  }
   hist.merge(other.hist);
   if (!hist.empty()) {
     refresh_quantiles();
+    p50_s = std::max(p50_s, legacy_p50);
+    p90_s = std::max(p90_s, legacy_p90);
+    p99_s = std::max(p99_s, legacy_p99);
+    p999_s = std::max(p999_s, legacy_p999);
   } else {
-    // No histograms to merge (e.g. stats reconstructed from a legacy ad):
-    // fall back to the worse of the exported quantiles.
-    p50_s = std::max(p50_s, other.p50_s);
-    p90_s = std::max(p90_s, other.p90_s);
-    p99_s = std::max(p99_s, other.p99_s);
-    p999_s = std::max(p999_s, other.p999_s);
+    // No histograms on either side: the worse of the exported quantiles.
+    p50_s = legacy_p50;
+    p90_s = legacy_p90;
+    p99_s = legacy_p99;
+    p999_s = legacy_p999;
   }
 }
 

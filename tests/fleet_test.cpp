@@ -218,6 +218,45 @@ TEST(TimerStatsTest, MergeAddsCountsWidensExtremaRefreshesQuantiles) {
   EXPECT_NEAR(merged.p99_s, 1.0, 0.10 * 1.0);
 }
 
+TEST(TimerStatsTest, MergeWidensQuantilesFromHistLessLegacyPeer) {
+  obs::Timer fast;
+  for (int i = 0; i < 100; ++i) fast.record(0.010);
+  obs::TimerStats with_hist;
+  with_hist.count = 100;
+  with_hist.sum_s = 1.0;
+  with_hist.mean_s = 0.010;
+  with_hist.min_s = 0.010;
+  with_hist.max_s = 0.010;
+  with_hist.hist = fast.quantile_histogram();
+  with_hist.refresh_quantiles();
+
+  // A legacy plant's snapshot: exported quantiles only, no histogram.
+  obs::TimerStats legacy;
+  legacy.count = 100;
+  legacy.sum_s = 100.0;
+  legacy.mean_s = 1.0;
+  legacy.min_s = 1.0;
+  legacy.max_s = 1.0;
+  legacy.p50_s = 1.0;
+  legacy.p90_s = 1.0;
+  legacy.p99_s = 1.0;
+  legacy.p999_s = 1.0;
+
+  // The legacy peer's worse quantiles must survive the histogram-driven
+  // refresh in either merge direction, not just in the all-legacy branch.
+  obs::TimerStats merged = with_hist;
+  merged.merge(legacy);
+  EXPECT_EQ(merged.count, 200u);
+  EXPECT_GE(merged.p50_s, 1.0);
+  EXPECT_GE(merged.p99_s, 1.0);
+
+  obs::TimerStats reversed = legacy;
+  reversed.merge(with_hist);
+  EXPECT_EQ(reversed.count, 200u);
+  EXPECT_GE(reversed.p50_s, 1.0);
+  EXPECT_GE(reversed.p99_s, 1.0);
+}
+
 TEST(MetricsSnapshotTest, MergeSumsCountersAndRatioFallsBackToDerived) {
   obs::MetricsSnapshot a;
   a.counters["ppp.plan_hit.count"] = 3;
@@ -544,6 +583,28 @@ TEST_F(FleetAggregatorTest, ZeroWeightKeepsPaperSelectionAndRng) {
     ASSERT_TRUE(b.has_value());
     EXPECT_EQ(a->plant_address, b->plant_address);
   }
+}
+
+TEST_F(FleetAggregatorTest, SelectBidSnapshotsHealthOncePerPlant) {
+  core::ShopConfig sc;
+  sc.health_penalty_weight = 1.0;
+  core::VmShop shop(sc, &bus_, &registry_);
+  // Adversarial provider: health decays on every read, emulating the
+  // aggregator's sweep thread mutating health mid-selection.  Selection
+  // must read each plant exactly once and reuse the cached value — with
+  // live re-reads the filter pass can disagree with the min pass and end
+  // up with zero candidates.
+  int calls = 0;
+  shop.set_health_provider([&calls](const std::string&) {
+    return 1.0 - 0.1 * static_cast<double>(calls++);
+  });
+
+  std::vector<core::Bid> bids{{"plant0", 10.0}, {"plant1", 10.0}};
+  auto chosen = shop.select_bid(bids);
+  ASSERT_TRUE(chosen.has_value());
+  // First read wins: plant0 sampled at health 1.0 beats plant1 at 0.9.
+  EXPECT_EQ(chosen->plant_address, "plant0");
+  EXPECT_EQ(calls, 2);
 }
 
 TEST_F(FleetAggregatorTest, ShopRoutesAroundBurningPlantViaAggregator) {
