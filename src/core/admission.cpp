@@ -1,0 +1,56 @@
+#include "core/admission.h"
+
+namespace vmp::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+Result<AdmissionController::Ticket> AdmissionController::admit() {
+  if (config_.max_inflight == 0) return Ticket(this);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (inflight_ < config_.max_inflight) {
+    ++inflight_;
+    return Ticket(this);
+  }
+  if (queued_ >= config_.queue_limit) {
+    ++rejected_;
+    return Result<Ticket>(Error(
+        ErrorCode::kResourceExhausted,
+        "admission: " + std::to_string(inflight_) + " creations in flight, " +
+            std::to_string(queued_) + " queued (limit " +
+            std::to_string(config_.queue_limit) + ")"));
+  }
+  ++queued_;
+  slot_free_.wait(lock, [this] { return inflight_ < config_.max_inflight; });
+  --queued_;
+  ++inflight_;
+  return Ticket(this);
+}
+
+void AdmissionController::release() {
+  if (config_.max_inflight == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --inflight_;
+  }
+  slot_free_.notify_one();
+}
+
+std::size_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_;
+}
+
+std::size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+std::uint64_t AdmissionController::rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+}  // namespace vmp::core

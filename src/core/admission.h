@@ -1,0 +1,91 @@
+// Shop-side admission control for the creation path.
+//
+// The concurrent plant pipeline (DESIGN.md §10) means the shop no longer
+// has a natural serialization point: every client thread that calls
+// create() drives clone I/O somewhere in the fleet.  The admission
+// controller bounds that fan-in with two numbers: how many creations may
+// be in flight at once, and how many callers may wait for a slot.  A
+// caller beyond both bounds is rejected immediately with
+// kResourceExhausted — backpressure the client can see and retry against,
+// instead of an unbounded convoy of blocked threads.
+//
+// The controller is pure mechanism (no metrics, no tracing); the shop
+// wraps admit() with its own timers and gauges so the policy stays
+// testable in isolation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "util/error.h"
+
+namespace vmp::core {
+
+struct AdmissionConfig {
+  /// Creations allowed in flight at once; 0 disables admission control
+  /// entirely (every admit() succeeds immediately).
+  std::size_t max_inflight = 0;
+  /// Callers allowed to WAIT for a slot beyond max_inflight.  A caller
+  /// arriving when the queue is full is rejected, not blocked.
+  std::size_t queue_limit = 16;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config) : config_(config) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII slot: releasing (destruction) wakes one queued waiter.
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit Ticket(AdmissionController* controller)
+        : controller_(controller) {}
+    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { release(); }
+
+   private:
+    void release() {
+      if (controller_ != nullptr) controller_->release();
+      controller_ = nullptr;
+    }
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Take a slot, waiting in the bounded queue if necessary.  Returns
+  /// kResourceExhausted without blocking when the queue is already full.
+  util::Result<Ticket> admit();
+
+  std::size_t inflight() const;
+  std::size_t queued() const;
+  std::uint64_t rejected() const;
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  void release();
+
+  AdmissionConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable slot_free_;
+  std::size_t inflight_ = 0;
+  std::size_t queued_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace vmp::core

@@ -83,8 +83,11 @@ std::size_t VmInformationSystem::remove_prefixed(const std::string& prefix) {
 }
 
 Status VmMonitor::refresh(const std::string& vm_id) {
-  const hv::VmInstance* vm = hypervisor_->find(vm_id);
-  if (vm == nullptr) {
+  // The monitor runs on its own thread while creates are in flight, so it
+  // reads a consistent copy rather than borrowing a pointer into the
+  // hypervisor's instance table.
+  const std::optional<hv::VmInstance> vm = hypervisor_->snapshot_vm(vm_id);
+  if (!vm.has_value()) {
     return Status(ErrorCode::kNotFound, "monitor: hypervisor lost VM " + vm_id);
   }
   classad::ClassAd updates;
@@ -106,7 +109,7 @@ std::size_t VmMonitor::refresh_all() {
     if (id.starts_with(kObsAdPrefix)) continue;  // not a VM
     if (!refresh(id).ok()) continue;
     ++ok;
-    if (const hv::VmInstance* vm = hypervisor_->find(id)) {
+    if (const auto vm = hypervisor_->snapshot_vm(id)) {
       if (vm->power == hv::PowerState::kRunning) ++active;
       if (vm->power == hv::PowerState::kSuspended) ++suspended;
     }

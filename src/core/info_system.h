@@ -82,10 +82,9 @@ class VmMonitor {
   std::size_t refresh_all();
 
   /// Run refresh_all() on a background thread every `interval`.
-  /// Idempotent; stop with stop_periodic().  NOTE: callers must guarantee
-  /// the hypervisor is not mutated concurrently without external locking
-  /// (VmPlant serializes through its own mutex and does not use this; the
-  /// periodic mode suits standalone hypervisor deployments and tests).
+  /// Idempotent; stop with stop_periodic().  The monitor only ever reads
+  /// snapshot_vm() copies taken under the hypervisor's internal lock, so
+  /// sweeps are safe against concurrent creates/collects (DESIGN.md §10).
   void start_periodic(std::chrono::milliseconds interval);
   void stop_periodic();
   bool periodic_running() const { return thread_.joinable(); }

@@ -1,6 +1,8 @@
 #include "core/plant.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "hypervisor/gsx.h"
 #include "hypervisor/uml.h"
@@ -72,6 +74,10 @@ VmPlant::VmPlant(PlantConfig config, storage::ArtifactStore* store,
       vm_ids_(config_.name + "-vm"),
       sli_create_seconds_(obs::MetricsRegistry::instance().timer(
           config_.name + ".create.seconds")),
+      sli_clone_seconds_(obs::MetricsRegistry::instance().timer(
+          config_.name + ".clone.seconds")),
+      sli_configure_seconds_(obs::MetricsRegistry::instance().timer(
+          config_.name + ".configure.seconds")),
       sli_create_ok_(obs::MetricsRegistry::instance().counter(
           config_.name + ".create.count")),
       sli_create_fail_(obs::MetricsRegistry::instance().counter(
@@ -84,13 +90,24 @@ VmPlant::VmPlant(PlantConfig config, storage::ArtifactStore* store,
       std::make_unique<ProductionLine>(hypervisor_.get(), config_.clone_base_dir);
   monitor_ = std::make_unique<VmMonitor>(hypervisor_.get(), &info_);
   if (config_.obs_export) monitor_->enable_obs_export();
+  const std::size_t threads =
+      config_.worker_threads != 0
+          ? config_.worker_threads
+          : std::max<std::size_t>(2, std::thread::hardware_concurrency());
+  workers_ = std::make_unique<util::ThreadPool>(threads);
 }
 
-VmPlant::~VmPlant() { detach_from_bus(); }
+VmPlant::~VmPlant() {
+  // Drain the worker pool before anything else goes away; late
+  // create_async() submissions get Stopped futures instead of running
+  // against a half-destroyed plant.
+  workers_.reset();
+  detach_from_bus();
+}
 
 PlantSnapshot VmPlant::snapshot() const {
   PlantSnapshot snap;
-  snap.active_vms = hypervisor_->instance_ids().size();
+  snap.active_vms = hypervisor_->active_instances();
   snap.resident_memory_bytes = hypervisor_->resident_memory_bytes();
   return snap;
 }
@@ -109,7 +126,9 @@ PlantLoad VmPlant::load_for(const CreateRequest& request) const {
 }
 
 Result<double> VmPlant::estimate(const CreateRequest& request) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // No plant lock: the snapshot and allocator queries are internally
+  // synchronized, and a bid is an estimate by nature — it may be stale the
+  // moment it is produced (the shop re-validates by actually creating).
   VMP_RETURN_IF_ERROR_AS(request.validate(), double);
   return cost_model_->estimate(load_for(request));
 }
@@ -139,18 +158,49 @@ Result<classad::ClassAd> VmPlant::create(const CreateRequest& request) {
   return result;
 }
 
+std::future<Result<classad::ClassAd>> VmPlant::create_async(
+    const CreateRequest& request) {
+  // Capture the caller's trace context on the caller's thread and adopt it
+  // on the worker, so the create span parents under the caller's span the
+  // same way a bus hop would (net/bus.cpp does the identical dance).
+  const obs::TraceContext parent = obs::current_context();
+  return workers_->submit([this, request, parent] {
+    obs::ContextGuard adopt(parent);
+    return create(request);
+  });
+}
+
 Result<classad::ClassAd> VmPlant::create_impl(const CreateRequest& request) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> serial(serialize_mutex_, std::defer_lock);
+  if (config_.serialize_creates) serial.lock();
   VMP_RETURN_IF_ERROR_AS(request.validate(), classad::ClassAd);
 
   const PlantSnapshot before = snapshot();
-  if (before.active_vms >= config_.max_vms) {
-    return Result<classad::ClassAd>(Error(
-        ErrorCode::kResourceExhausted,
-        config_.name + ": at VM capacity (" + std::to_string(config_.max_vms) + ")"));
-  }
 
-  // Plan before committing any resources.
+  // Claim a capacity slot: active instances plus creations still in
+  // flight.  The slot is held for the whole pipeline so N concurrent
+  // admissions can never overshoot max_vms between clone and register.
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (hypervisor_->active_instances() + inflight_creates_ >=
+        config_.max_vms) {
+      return Result<classad::ClassAd>(
+          Error(ErrorCode::kResourceExhausted,
+                config_.name + ": at VM capacity (" +
+                    std::to_string(config_.max_vms) + ")"));
+    }
+    ++inflight_creates_;
+  }
+  struct SlotRelease {
+    VmPlant* plant;
+    ~SlotRelease() {
+      std::lock_guard<std::mutex> lock(plant->state_mutex_);
+      --plant->inflight_creates_;
+    }
+  } slot_release{this};
+
+  // Plan before committing any resources.  The PPP scans the warehouse
+  // under its shared lock, so concurrent planners do not serialize.
   auto plan = ppp_.plan(request);
   if (!plan.ok()) return plan.propagate<classad::ClassAd>();
 
@@ -169,11 +219,16 @@ Result<classad::ClassAd> VmPlant::create_impl(const CreateRequest& request) {
   // image skips the clone+resume phase entirely (paper §6 future work).
   bool speculative_hit = false;
   std::string vm_id;
-  auto pool = speculative_.find(plan.value().golden.id);
-  if (pool != speculative_.end() && !pool->second.empty()) {
-    vm_id = pool->second.back();
-    pool->second.pop_back();
-    speculative_hit = true;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto pool = speculative_.find(plan.value().golden.id);
+    if (pool != speculative_.end() && !pool->second.empty()) {
+      vm_id = pool->second.back();
+      pool->second.pop_back();
+      speculative_hit = true;
+    }
+  }
+  if (speculative_hit) {
     PlantMetrics::get().speculative_hits->add();
   } else {
     // Clone+resume under the plant-local retry policy: transient failures
@@ -181,6 +236,9 @@ Result<classad::ClassAd> VmPlant::create_impl(const CreateRequest& request) {
     // exponential backoff in sim-time; persistent errors propagate at once
     // so the shop can fail over to another plant.  Each attempt uses a
     // fresh VM id — the hypervisor retires ids of destroyed instances.
+    // No plant lock is held here: this is the creation's dominant cost and
+    // the stretch where concurrent orders actually overlap.
+    const double clone_start_s = obs::Tracer::instance().now();
     util::RetryState retry_state(config_.clone_retry);
     while (true) {
       vm_id = vm_ids_.next();
@@ -191,7 +249,7 @@ Result<classad::ClassAd> VmPlant::create_impl(const CreateRequest& request) {
         (void)allocator_.release(request.domain);
         return report.propagate<classad::ClassAd>();
       }
-      ++clone_retries_;
+      clone_retries_.fetch_add(1, std::memory_order_relaxed);
       PlantMetrics::get().clone_retries->add();
       obs::Tracer::instance().instant("plant.clone_retry", "vmplant", "retry",
                                       vm_id);
@@ -200,10 +258,14 @@ Result<classad::ClassAd> VmPlant::create_impl(const CreateRequest& request) {
                   << "); retry " << retry_state.retries_granted() << " after "
                   << retry_state.elapsed_backoff_s() << "s backoff";
     }
+    sli_clone_seconds_->record(obs::Tracer::instance().now() - clone_start_s);
   }
 
+  const double configure_start_s = obs::Tracer::instance().now();
   auto produced =
       production_->configure(plan.value(), request, vm_id, network.value());
+  sli_configure_seconds_->record(obs::Tracer::instance().now() -
+                                 configure_start_s);
   if (!produced.ok()) {
     (void)allocator_.release(request.domain);
     return produced.propagate<classad::ClassAd>();
@@ -254,7 +316,10 @@ Result<classad::ClassAd> VmPlant::create_impl(const CreateRequest& request) {
   // Dynamic attributes from the monitor.
   info_.store(vm_id, ad);
   (void)monitor_->refresh(vm_id);
-  vm_domains_[vm_id] = request.domain;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    vm_domains_[vm_id] = request.domain;
+  }
 
   kLog.info() << config_.name << ": created " << vm_id << " from golden '"
               << plan.value().golden.id << "' (" << result.guest_actions_executed
@@ -264,7 +329,8 @@ Result<classad::ClassAd> VmPlant::create_impl(const CreateRequest& request) {
 }
 
 Result<classad::ClassAd> VmPlant::query(const std::string& vm_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // The monitor and information system synchronize internally; queries
+  // never contend with the create pipeline.
   if (vm_id.starts_with(kObsAdPrefix)) {
     // Observability pull (fleet aggregator): republish so the puller sees
     // a fresh snapshot even between monitor sweeps.
@@ -278,15 +344,28 @@ Result<classad::ClassAd> VmPlant::query(const std::string& vm_id) const {
 Status VmPlant::collect(const std::string& vm_id) {
   obs::ScopedSpan span("plant.collect", "vmplant", config_.name);
   span.set_vm(vm_id);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto domain = vm_domains_.find(vm_id);
-  if (domain == vm_domains_.end()) {
-    return Status(ErrorCode::kNotFound,
-                  config_.name + ": unknown VM " + vm_id);
+  // Claim the VM's bookkeeping entry up front so two racing collects of
+  // the same id cannot both destroy it (and release its network twice);
+  // the loser sees kNotFound.  The destroy I/O then runs unlocked, and a
+  // failed destroy restores the claim so collect stays retryable.
+  std::string domain;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto it = vm_domains_.find(vm_id);
+    if (it == vm_domains_.end()) {
+      return Status(ErrorCode::kNotFound,
+                    config_.name + ": unknown VM " + vm_id);
+    }
+    domain = it->second;
+    vm_domains_.erase(it);
   }
-  VMP_RETURN_IF_ERROR(production_->collect(vm_id));
-  (void)allocator_.release(domain->second);
-  vm_domains_.erase(domain);
+  Status collected = production_->collect(vm_id);
+  if (!collected.ok()) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    vm_domains_.emplace(vm_id, domain);
+    return collected;
+  }
+  (void)allocator_.release(domain);
   (void)info_.remove(vm_id);
   PlantMetrics::get().collects->add();
   kLog.info() << config_.name << ": collected " << vm_id;
@@ -298,7 +377,9 @@ Status VmPlant::collect(const std::string& vm_id) {
 // ---------------------------------------------------------------------------
 
 Status VmPlant::pre_create(const std::string& golden_id, std::size_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Pre-creation is an off-peak batch operation; holding the state lock
+  // for its whole run keeps the pool bookkeeping trivially consistent.
+  std::lock_guard<std::mutex> lock(state_mutex_);
   auto golden = warehouse_->lookup(golden_id);
   if (!golden.ok()) return golden.error();
   if (golden.value().backend != config_.backend) {
@@ -307,7 +388,8 @@ Status VmPlant::pre_create(const std::string& golden_id, std::size_t count) {
                       "' targets backend " + golden.value().backend);
   }
   for (std::size_t i = 0; i < count; ++i) {
-    if (hypervisor_->instance_ids().size() >= config_.max_vms) {
+    if (hypervisor_->active_instances() + inflight_creates_ >=
+        config_.max_vms) {
       return Status(ErrorCode::kResourceExhausted,
                     config_.name + ": at VM capacity during pre-create");
     }
@@ -322,7 +404,7 @@ Status VmPlant::pre_create(const std::string& golden_id, std::size_t count) {
 }
 
 std::size_t VmPlant::speculative_pool_size(const std::string& golden_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(state_mutex_);
   if (!golden_id.empty()) {
     auto it = speculative_.find(golden_id);
     return it == speculative_.end() ? 0 : it->second.size();
@@ -333,7 +415,7 @@ std::size_t VmPlant::speculative_pool_size(const std::string& golden_id) const {
 }
 
 void VmPlant::discard_speculative() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(state_mutex_);
   for (auto& [golden_id, pool] : speculative_) {
     for (const std::string& vm_id : pool) {
       (void)hypervisor_->destroy_vm(vm_id);
@@ -347,7 +429,7 @@ void VmPlant::discard_speculative() {
 // ---------------------------------------------------------------------------
 
 Result<VmPlant::MigrationBundle> VmPlant::migrate_out(const std::string& vm_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(state_mutex_);
   auto domain = vm_domains_.find(vm_id);
   if (domain == vm_domains_.end()) {
     return Result<MigrationBundle>(
@@ -359,14 +441,14 @@ Result<VmPlant::MigrationBundle> VmPlant::migrate_out(const std::string& vm_id) 
         config_.name + ": backend '" + hypervisor_->type() +
             "' cannot checkpoint; live state would be lost by migration"));
   }
-  const hv::VmInstance* vm = hypervisor_->find(vm_id);
-  if (vm == nullptr) {
+  auto vm = hypervisor_->snapshot_vm(vm_id);
+  if (!vm.has_value()) {
     return Result<MigrationBundle>(
         Error(ErrorCode::kNotFound, config_.name + ": hypervisor lost " + vm_id));
   }
   if (vm->power == hv::PowerState::kRunning) {
     VMP_RETURN_IF_ERROR_AS(hypervisor_->suspend_vm(vm_id), MigrationBundle);
-    vm = hypervisor_->find(vm_id);
+    vm = hypervisor_->snapshot_vm(vm_id);
   }
   MigrationBundle bundle;
   bundle.source_vm_id = vm_id;
@@ -378,8 +460,8 @@ Result<VmPlant::MigrationBundle> VmPlant::migrate_out(const std::string& vm_id) 
 }
 
 Result<classad::ClassAd> VmPlant::migrate_in(const MigrationBundle& bundle) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (hypervisor_->instance_ids().size() >= config_.max_vms) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (hypervisor_->active_instances() + inflight_creates_ >= config_.max_vms) {
     return Result<classad::ClassAd>(Error(
         ErrorCode::kResourceExhausted, config_.name + ": at VM capacity"));
   }
@@ -433,18 +515,20 @@ Result<classad::ClassAd> VmPlant::migrate_in(const MigrationBundle& bundle) {
 }
 
 Status VmPlant::resume_after_failed_migration(const std::string& vm_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
   return hypervisor_->start_vm(vm_id);
 }
 
 std::size_t VmPlant::active_vms() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hypervisor_->instance_ids().size();
+  return hypervisor_->active_instances();
 }
 
 std::uint64_t VmPlant::resident_memory_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   return hypervisor_->resident_memory_bytes();
+}
+
+std::size_t VmPlant::inflight_creates() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return inflight_creates_;
 }
 
 // ---------------------------------------------------------------------------

@@ -11,7 +11,9 @@
 // networks rationed per client domain (vnet::NetworkAllocator).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -28,6 +30,7 @@
 #include "util/error.h"
 #include "util/ids.h"
 #include "util/retry.h"
+#include "util/thread_pool.h"
 #include "vnet/allocator.h"
 
 namespace vmp::core {
@@ -50,6 +53,13 @@ struct PlantConfig {
   /// plant's information system so a fleet aggregator can pull them over
   /// the bus (vmplant.query of "obs://metrics").  Off by default.
   bool obs_export = false;
+  /// Worker threads for create_async() (0 = auto: hardware concurrency,
+  /// at least 2 so the pipeline is exercised even on one-core hosts).
+  std::size_t worker_threads = 0;
+  /// Re-serialize creations through one plant-wide lock (the pre-§10
+  /// behavior: one production order at a time per host).  Kept as the
+  /// benchmark baseline and as an escape hatch.
+  bool serialize_creates = false;
 };
 
 /// Snapshot of plant state captured before a creation (consumed by the
@@ -74,8 +84,16 @@ class VmPlant {
   /// Estimate the cost of serving `request` (the bid).
   util::Result<double> estimate(const CreateRequest& request) const;
 
-  /// Create a VM; returns its classad.
+  /// Create a VM; returns its classad.  Independent creations overlap:
+  /// the plant only serializes instance-table bookkeeping, not the
+  /// clone -> resume -> configure pipeline (DESIGN.md §10).
   util::Result<classad::ClassAd> create(const CreateRequest& request);
+
+  /// Create on the plant's worker pool; the caller's trace context is
+  /// propagated to the worker so spans keep their parent.  After the
+  /// plant starts shutting down the future holds ThreadPool::Stopped.
+  std::future<util::Result<classad::ClassAd>> create_async(
+      const CreateRequest& request);
 
   /// Query an active VM's classad (refreshed by the monitor first).
   util::Result<classad::ClassAd> query(const std::string& vm_id) const;
@@ -123,8 +141,12 @@ class VmPlant {
   // -- Introspection ---------------------------------------------------------
   std::size_t active_vms() const;
   std::uint64_t resident_memory_bytes() const;
+  /// Creations admitted but not yet finished (capacity slots held).
+  std::size_t inflight_creates() const;
   /// Clone+resume attempts retried locally under config().clone_retry.
-  std::uint64_t clone_retries() const { return clone_retries_; }
+  std::uint64_t clone_retries() const {
+    return clone_retries_.load(std::memory_order_relaxed);
+  }
   vnet::NetworkAllocator& allocator() { return allocator_; }
   hv::Hypervisor& hypervisor() { return *hypervisor_; }
   VmInformationSystem& info_system() { return info_; }
@@ -158,20 +180,34 @@ class VmPlant {
   /// Plant-name-scoped SLI metrics ("<name>.create.seconds" etc.).  The
   /// process-wide registry is shared by every in-process plant, so the
   /// fleet aggregator needs per-plant names to attribute latency and
-  /// failures to the right plant (DESIGN.md §9).
+  /// failures to the right plant (DESIGN.md §9).  The per-stage timers
+  /// expose where a concurrent pipeline spends its time (clone I/O vs
+  /// configuration) rather than only the end-to-end latency.
   obs::Timer* sli_create_seconds_;
+  obs::Timer* sli_clone_seconds_;
+  obs::Timer* sli_configure_seconds_;
   obs::Counter* sli_create_ok_;
   obs::Counter* sli_create_fail_;
-  /// Serializes create/collect against each other (the prototype's plant
-  /// processed production orders sequentially per host).
-  mutable std::mutex mutex_;
+  /// Guards ONLY the plant's own bookkeeping: vm_domains_, speculative_,
+  /// and the in-flight admission count.  The hypervisor, warehouse, info
+  /// system, and network allocator each lock internally, so the expensive
+  /// clone/configure pipeline runs with no plant-wide lock held.  Lock
+  /// order when nesting is needed: state_mutex_ before the hypervisor's
+  /// internal mutex (never the reverse).
+  mutable std::mutex state_mutex_;
+  /// Taken for the whole creation when config_.serialize_creates is set.
+  std::mutex serialize_mutex_;
+  std::size_t inflight_creates_ = 0;  // guarded by state_mutex_
   net::MessageBus* bus_ = nullptr;
   net::ServiceRegistry* registry_ = nullptr;
   /// vm_id -> domain, for releasing the network on collect.
   std::map<std::string, std::string> vm_domains_;
   /// golden_id -> parked pre-created instances (speculative pool).
   std::map<std::string, std::vector<std::string>> speculative_;
-  std::uint64_t clone_retries_ = 0;
+  std::atomic<std::uint64_t> clone_retries_{0};
+  /// Declared last: destroyed first, so in-flight create_async tasks
+  /// finish (and stop touching the members above) before they go away.
+  std::unique_ptr<util::ThreadPool> workers_;
 };
 
 }  // namespace vmp::core

@@ -57,15 +57,36 @@ Result<ProductionPlan> ProductionProcessPlanner::plan(
   const std::string backend =
       request.backend.empty() ? "vmware-gsx" : request.backend;
 
-  // Hardware filter first (memory / disk / OS), then DAG matching.
-  std::vector<warehouse::GoldenImage> candidates;
-  for (warehouse::GoldenImage& image : warehouse_->list_backend(backend)) {
-    if (request.hardware.satisfied_by(image.spec.os, image.spec.memory_bytes,
-                                      image.spec.disk.capacity_bytes)) {
-      candidates.push_back(std::move(image));
-    }
+  // Digest the request's action multiset once.  A degenerate request DAG
+  // with duplicate signatures defeats the digests (the Subset test rejects
+  // repeats the mask cannot see), so fall back to an all-ones mask — every
+  // candidate passes the prune and correctness rests on the full tests.
+  std::vector<std::string> request_signatures;
+  request_signatures.reserve(request.config.size());
+  for (const std::string& id : request.config.node_ids()) {
+    request_signatures.push_back(request.config.action(id)->signature());
   }
-  if (candidates.empty()) {
+  std::uint64_t request_mask = warehouse::action_mask(request_signatures);
+  std::uint64_t request_fingerprint =
+      warehouse::action_fingerprint(request_signatures);
+  bool digests_valid = request.config.signature_index().ok();
+  if (!digests_valid) request_mask = ~0ull;
+
+  // Hardware filter first (memory / disk / OS, counted for diagnostics),
+  // then the warehouse's precomputed action-mask prune, then DAG matching.
+  warehouse::CandidateSet scan = warehouse_->match_candidates(
+      backend,
+      [&request](const warehouse::GoldenImage& image) {
+        return request.hardware.satisfied_by(image.spec.os,
+                                             image.spec.memory_bytes,
+                                             image.spec.disk.capacity_bytes);
+      },
+      request_mask);
+  std::vector<warehouse::GoldenImage>& candidates = scan.images;
+  // A mask-pruned candidate is a proven Subset failure; classify it like
+  // one so the match-kind counters still cover every hardware candidate.
+  metrics.subset_fail->add(scan.mask_rejected);
+  if (scan.hardware_candidates == 0) {
     metrics.plan_miss->add();
     record_elapsed();
     span.set_status(util::error_code_name(ErrorCode::kNoMatchingImage));
@@ -78,12 +99,33 @@ Result<ProductionPlan> ProductionProcessPlanner::plan(
 
   // One evaluation per candidate yields both the ranking and the
   // match-kind classification (subset / prefix / partial-order / hit).
+  //
+  // Candidates whose performed-multiset fingerprint equals the request's
+  // are probed first: a FULL match (history covers every request node)
+  // implies multiset equality, so only those can fully match, and the first
+  // one found — id order within each pass — is exactly the candidate the
+  // stable sort below would rank first.  Finding one ends the scan early
+  // with nothing left to configure.
   struct Scored {
     std::size_t index;
     dag::MatchEvaluation eval;
   };
   std::vector<Scored> matching;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
+  std::vector<std::size_t> probe_order;
+  probe_order.reserve(candidates.size());
+  if (digests_valid) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (scan.fingerprints[i] == request_fingerprint) probe_order.push_back(i);
+    }
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (scan.fingerprints[i] != request_fingerprint) probe_order.push_back(i);
+    }
+  } else {
+    for (std::size_t i = 0; i < candidates.size(); ++i) probe_order.push_back(i);
+  }
+  const std::size_t total_nodes = request.config.size();
+  bool full_match = false;
+  for (const std::size_t i : probe_order) {
     auto eval = dag::evaluate_match(request.config, candidates[i].performed);
     if (!eval.ok()) {
       record_elapsed();
@@ -92,7 +134,12 @@ Result<ProductionPlan> ProductionProcessPlanner::plan(
     }
     if (eval.value().matches()) {
       metrics.match_hit->add();
+      const bool full = eval.value().satisfied_nodes.size() == total_nodes;
       matching.push_back(Scored{i, std::move(eval.value())});
+      if (full && digests_valid) {
+        full_match = true;
+        break;  // nothing can rank higher; skip the remaining evaluations
+      }
     } else if (!eval.value().subset_ok) {
       metrics.subset_fail->add();
     } else if (!eval.value().prefix_ok) {
@@ -108,23 +155,34 @@ Result<ProductionPlan> ProductionProcessPlanner::plan(
     return Result<ProductionPlan>(Error(
         ErrorCode::kNoMatchingImage,
         "no golden machine passes the DAG matching tests (" +
-            std::to_string(candidates.size()) + " hardware candidates)"));
+            std::to_string(scan.hardware_candidates) +
+            " hardware candidates)"));
   }
 
-  // Most satisfied actions first (fewest remaining), stable on ties —
-  // the same order dag::rank_matches produces.
-  std::stable_sort(matching.begin(), matching.end(),
-                   [](const Scored& a, const Scored& b) {
-                     return a.eval.satisfied_nodes.size() >
-                            b.eval.satisfied_nodes.size();
-                   });
-
-  Scored& best = matching.front();
+  // Most satisfied actions first (fewest remaining), stable on ties — the
+  // same order dag::rank_matches produces.  The probe order interleaved
+  // fingerprint-equal candidates ahead of the rest, so re-sorting by index
+  // first restores id order among equally-satisfied candidates.
+  Scored* best = nullptr;
+  if (full_match) {
+    best = &matching.back();
+  } else {
+    std::stable_sort(matching.begin(), matching.end(),
+                     [](const Scored& a, const Scored& b) {
+                       return a.index < b.index;
+                     });
+    std::stable_sort(matching.begin(), matching.end(),
+                     [](const Scored& a, const Scored& b) {
+                       return a.eval.satisfied_nodes.size() >
+                              b.eval.satisfied_nodes.size();
+                     });
+    best = &matching.front();
+  }
   ProductionPlan plan;
-  plan.golden = std::move(candidates[best.index]);
-  plan.satisfied_nodes = std::move(best.eval.satisfied_nodes);
-  plan.remaining_plan = std::move(best.eval.remaining_plan);
-  plan.hardware_candidates = candidates.size();
+  plan.golden = std::move(candidates[best->index]);
+  plan.satisfied_nodes = std::move(best->eval.satisfied_nodes);
+  plan.remaining_plan = std::move(best->eval.remaining_plan);
+  plan.hardware_candidates = scan.hardware_candidates;
 
   metrics.plan_hit->add();
   record_elapsed();

@@ -25,8 +25,12 @@ struct ShopMetrics {
   obs::Counter* failovers;
   obs::Counter* cache_hits;
   obs::Counter* bids;
+  obs::Counter* admission_rejects;
   obs::Timer* create_seconds;
   obs::Timer* bid_seconds;
+  obs::Timer* admission_wait_seconds;
+  obs::Gauge* admission_queue;
+  obs::Gauge* admission_inflight;
 
   static ShopMetrics& get() {
     static ShopMetrics m = [] {
@@ -37,8 +41,12 @@ struct ShopMetrics {
                          r.counter("shop.failover.count"),
                          r.counter("shop.cache_hit.count"),
                          r.counter("shop.bid.count"),
+                         r.counter("shop.admission_reject.count"),
                          r.timer("shop.create.seconds"),
-                         r.timer("shop.bid.seconds")};
+                         r.timer("shop.bid.seconds"),
+                         r.timer("shop.admission_wait.seconds"),
+                         r.gauge("shop.admission_queue.gauge"),
+                         r.gauge("shop.admission_inflight.gauge")};
     }();
     return m;
   }
@@ -51,7 +59,9 @@ VmShop::VmShop(ShopConfig config, net::MessageBus* bus,
     : config_(std::move(config)),
       bus_(bus),
       registry_(registry),
-      tie_rng_(config_.tie_break_seed) {}
+      tie_rng_(config_.tie_break_seed),
+      admission_(AdmissionConfig{config_.max_inflight_creates,
+                                 config_.admission_queue_limit}) {}
 
 VmShop::~VmShop() { detach_from_bus(); }
 
@@ -147,7 +157,12 @@ std::optional<Bid> VmShop::select_bid(const std::vector<Bid>& bids) {
     });
   }
   // "The VMShop picks one plant at random" among equal bids (paper §3.4).
-  const std::size_t pick = tie_rng_.next_below(cheapest.size());
+  // The draw is guarded: concurrent selections share one seeded stream.
+  std::size_t pick;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pick = tie_rng_.next_below(cheapest.size());
+  }
   return *cheapest[pick];
 }
 
@@ -158,7 +173,21 @@ Result<classad::ClassAd> VmShop::create(const CreateRequest& request) {
   obs::ScopedSpan span("shop.create", "vmshop", request.request_id);
   const double start_s = obs::Tracer::instance().now();
 
-  Result<classad::ClassAd> result = create_impl(request);
+  // Admission before any work: bounded concurrency with backpressure the
+  // client can observe (queue-wait latency) or act on (kResourceExhausted
+  // when the wait queue itself is full).
+  auto ticket = admission_.admit();
+  metrics.admission_wait_seconds->record(obs::Tracer::instance().now() -
+                                         start_s);
+  metrics.admission_queue->set(
+      static_cast<std::int64_t>(admission_.queued()));
+  metrics.admission_inflight->set(
+      static_cast<std::int64_t>(admission_.inflight()));
+  if (!ticket.ok()) metrics.admission_rejects->add();
+
+  Result<classad::ClassAd> result =
+      ticket.ok() ? create_impl(request)
+                  : ticket.propagate<classad::ClassAd>();
 
   metrics.create_seconds->record(obs::Tracer::instance().now() - start_s);
   if (result.ok()) {
@@ -245,8 +274,11 @@ Result<classad::ClassAd> VmShop::create_impl(const CreateRequest& request) {
         abandoned = true;
         break;
       }
-      retry_backoff_s_ += retry_state.elapsed_backoff_s() - backoff_before;
-      ++retries_;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        retry_backoff_s_ += retry_state.elapsed_backoff_s() - backoff_before;
+      }
+      retries_.fetch_add(1, std::memory_order_relaxed);
       ShopMetrics::get().retries->add();
       obs::Tracer::instance().instant("shop.retry", "vmshop", "retry",
                                       chosen->plant_address);
@@ -263,7 +295,7 @@ Result<classad::ClassAd> VmShop::create_impl(const CreateRequest& request) {
         std::lock_guard<std::mutex> lock(mutex_);
         vm_to_plant_[*vm_id] = chosen->plant_address;
         ad_cache_[*vm_id] = ad.value();
-        ++creations_;
+        creations_.fetch_add(1, std::memory_order_relaxed);
       }
       return ad;
     }
@@ -273,7 +305,7 @@ Result<classad::ClassAd> VmShop::create_impl(const CreateRequest& request) {
                      response.value().fault_error().to_string();
     }
     failed_plants.insert(chosen->plant_address);
-    ++failovers_;
+    failovers_.fetch_add(1, std::memory_order_relaxed);
     ShopMetrics::get().failovers->add();
     obs::Tracer::instance().instant("shop.failover", "vmshop", "failover",
                                     chosen->plant_address);
@@ -369,6 +401,11 @@ std::uint64_t VmShop::cache_hits() const {
 std::size_t VmShop::cache_size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return ad_cache_.size();
+}
+
+double VmShop::retry_backoff_s() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retry_backoff_s_;
 }
 
 Status VmShop::attach_to_bus() {

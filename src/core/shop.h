@@ -17,6 +17,7 @@
 // and the shop can rebuild routing by broadcasting queries.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "classad/classad.h"
+#include "core/admission.h"
 #include "core/request.h"
 #include "net/bus.h"
 #include "net/registry.h"
@@ -56,6 +58,12 @@ struct ShopConfig {
   /// the paper's cheapest-bid-with-random-ties, consuming the tie-break RNG
   /// identically.
   double health_penalty_weight = 0.0;
+  /// Admission control for the creation path (DESIGN.md §10): at most this
+  /// many creations in flight at once, the rest queueing up to
+  /// admission_queue_limit before callers are rejected with
+  /// kResourceExhausted.  0 (default) = unlimited, no admission control.
+  std::size_t max_inflight_creates = 0;
+  std::size_t admission_queue_limit = 16;
 };
 
 class VmShop {
@@ -118,14 +126,23 @@ class VmShop {
   const std::string& bus_address() const { return config_.name; }
 
   /// Number of creations served (diagnostics).
-  std::uint64_t creations() const { return creations_; }
+  std::uint64_t creations() const {
+    return creations_.load(std::memory_order_relaxed);
+  }
 
   /// Transport-level retries granted across all create() calls.
-  std::uint64_t retries() const { return retries_; }
+  std::uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
   /// Plants abandoned mid-request (failovers to the next-best bid).
-  std::uint64_t failovers() const { return failovers_; }
+  std::uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
   /// Total exponential-backoff delay charged, in virtual sim-seconds.
-  double retry_backoff_s() const { return retry_backoff_s_; }
+  double retry_backoff_s() const;
+
+  /// The creation-path admission controller (tests and diagnostics).
+  const AdmissionController& admission() const { return admission_; }
 
  private:
   net::Message handle_message(const net::Message& request_msg);
@@ -150,16 +167,21 @@ class VmShop {
   ShopConfig config_;
   net::MessageBus* bus_;
   net::ServiceRegistry* registry_;
+  /// Guarded by mutex_: concurrent create() calls draw tie-break picks
+  /// from one seeded stream (the order of draws under contention is
+  /// scheduling-dependent, but the stream itself stays intact — and
+  /// single-threaded callers remain bit-for-bit reproducible).
   util::SplitMix64 tie_rng_;
   std::function<double(const std::string&)> health_provider_;
+  AdmissionController admission_;
   mutable std::mutex mutex_;
   std::map<std::string, std::string> vm_to_plant_;
   std::map<std::string, classad::ClassAd> ad_cache_;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t creations_ = 0;
-  std::uint64_t retries_ = 0;
-  std::uint64_t failovers_ = 0;
-  double retry_backoff_s_ = 0.0;
+  std::uint64_t cache_hits_ = 0;  // guarded by mutex_
+  std::atomic<std::uint64_t> creations_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  double retry_backoff_s_ = 0.0;  // guarded by mutex_
   bool attached_ = false;
 };
 

@@ -30,11 +30,21 @@ Result<VmInstance*> Hypervisor::find_mutable(const std::string& vm_id) {
 }
 
 const VmInstance* Hypervisor::find(const std::string& vm_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = instances_.find(vm_id);
   return it == instances_.end() ? nullptr : &it->second;
 }
 
+std::optional<VmInstance> Hypervisor::snapshot_vm(
+    const std::string& vm_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = instances_.find(vm_id);
+  if (it == instances_.end()) return std::nullopt;
+  return it->second;
+}
+
 std::vector<std::string> Hypervisor::instance_ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   for (const auto& [id, vm] : instances_) {
     if (vm.power != PowerState::kDestroyed) out.push_back(id);
@@ -42,7 +52,22 @@ std::vector<std::string> Hypervisor::instance_ids() const {
   return out;
 }
 
+std::size_t Hypervisor::instance_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return instances_.size();
+}
+
+std::size_t Hypervisor::active_instances() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& [id, vm] : instances_) {
+    if (vm.power != PowerState::kDestroyed) ++count;
+  }
+  return count;
+}
+
 std::uint64_t Hypervisor::resident_memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [id, vm] : instances_) {
     if (vm.power == PowerState::kRunning ||
@@ -60,12 +85,18 @@ Result<std::string> Hypervisor::clone_vm(const CloneSource& source,
     return Result<std::string>(
         Error(ErrorCode::kInvalidArgument, "vm id must not be empty"));
   }
-  if (instances_.count(vm_id)) {
-    return Result<std::string>(
-        Error(ErrorCode::kAlreadyExists, type() + ": VM exists: " + vm_id));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (instances_.count(vm_id)) {
+      return Result<std::string>(
+          Error(ErrorCode::kAlreadyExists, type() + ": VM exists: " + vm_id));
+    }
   }
   VMP_RETURN_IF_ERROR_AS(validate_clone_source(source), std::string);
 
+  // The size-proportional copy runs unlocked: clone_dir is private to this
+  // request, so concurrent creations overlap here — the whole point of the
+  // plant's worker pool.
   auto report = storage::clone_image(store_, source.layout, source.spec,
                                      clone_dir, clone_strategy());
   if (!report.ok()) return report.propagate<std::string>();
@@ -89,7 +120,16 @@ Result<std::string> Hypervisor::clone_vm(const CloneSource& source,
     return gs.propagate<std::string>();
   }
 
-  instances_.emplace(vm_id, std::move(vm));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!instances_.emplace(vm_id, std::move(vm)).second) {
+      // Lost a registration race on the same id (ids are generator-unique,
+      // so this is defensive): leave no orphan directory behind.
+      (void)store_->remove_tree(clone_dir);
+      return Result<std::string>(
+          Error(ErrorCode::kAlreadyExists, type() + ": VM exists: " + vm_id));
+    }
+  }
   return vm_id;
 }
 
@@ -101,10 +141,6 @@ Result<std::string> Hypervisor::import_vm(const std::string& clone_dir,
   if (vm_id.empty()) {
     return Result<std::string>(
         Error(ErrorCode::kInvalidArgument, "vm id must not be empty"));
-  }
-  if (instances_.count(vm_id)) {
-    return Result<std::string>(
-        Error(ErrorCode::kAlreadyExists, type() + ": VM exists: " + vm_id));
   }
   VmInstance vm;
   vm.id = vm_id;
@@ -130,11 +166,16 @@ Result<std::string> Hypervisor::import_vm(const std::string& clone_dir,
           type() + ": import missing memory state: " + vm.layout.memory_path()));
     }
   }
-  instances_.emplace(vm_id, std::move(vm));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!instances_.emplace(vm_id, std::move(vm)).second) {
+    return Result<std::string>(
+        Error(ErrorCode::kAlreadyExists, type() + ": VM exists: " + vm_id));
+  }
   return vm_id;
 }
 
 Status Hypervisor::start_vm(const std::string& vm_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto vm = find_mutable(vm_id);
   if (!vm.ok()) return vm.error();
   if (vm.value()->power == PowerState::kRunning) {
@@ -158,6 +199,7 @@ Status Hypervisor::start_vm(const std::string& vm_id) {
 }
 
 Status Hypervisor::suspend_vm(const std::string& vm_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto vm = find_mutable(vm_id);
   if (!vm.ok()) return vm.error();
   if (vm.value()->power != PowerState::kRunning) {
@@ -180,6 +222,7 @@ Status Hypervisor::suspend_vm(const std::string& vm_id) {
 }
 
 Status Hypervisor::power_off(const std::string& vm_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto vm = find_mutable(vm_id);
   if (!vm.ok()) return vm.error();
   if (vm.value()->power == PowerState::kStopped) {
@@ -197,52 +240,94 @@ Status Hypervisor::power_off(const std::string& vm_id) {
 }
 
 Status Hypervisor::destroy_vm(const std::string& vm_id) {
-  auto vm = find_mutable(vm_id);
-  if (!vm.ok()) return vm.error();
-  VMP_RETURN_IF_ERROR(storage::destroy_clone(store_, vm.value()->layout.dir));
-  vm.value()->power = PowerState::kDestroyed;
-  vm.value()->connected_isos.clear();
+  // Claim the instance under the lock, then delete its tree unlocked (tree
+  // removal is the collect path's size-proportional cost, and concurrent
+  // collects of distinct VMs should overlap like concurrent clones do).
+  std::string dir;
+  PowerState prev_power;
+  std::vector<std::string> prev_isos;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto vm = find_mutable(vm_id);
+    if (!vm.ok()) return vm.error();
+    dir = vm.value()->layout.dir;
+    prev_power = vm.value()->power;
+    prev_isos = std::move(vm.value()->connected_isos);
+    vm.value()->power = PowerState::kDestroyed;
+    vm.value()->connected_isos.clear();
+  }
+  Status removed = storage::destroy_clone(store_, dir);
+  if (!removed.ok()) {
+    // Deletion failed: the VM is still materialized on disk, so restore its
+    // registration instead of stranding a live directory as "destroyed".
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = instances_.find(vm_id);
+    if (it != instances_.end()) {
+      it->second.power = prev_power;
+      it->second.connected_isos = std::move(prev_isos);
+    }
+    return removed;
+  }
   return Status();
 }
 
 Result<std::string> Hypervisor::connect_script_iso(const std::string& vm_id,
                                                    const std::string& script) {
-  auto vm = find_mutable(vm_id);
-  if (!vm.ok()) return vm.propagate<std::string>();
-  const std::uint32_t n = ++iso_counters_[vm_id];
-  const std::string iso_path =
-      vm.value()->layout.dir + "/config-cd-" + std::to_string(n) + ".iso";
+  std::string iso_path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto vm = find_mutable(vm_id);
+    if (!vm.ok()) return vm.propagate<std::string>();
+    const std::uint32_t n = ++iso_counters_[vm_id];
+    iso_path =
+        vm.value()->layout.dir + "/config-cd-" + std::to_string(n) + ".iso";
+  }
   // The "ISO" carries the script with a tiny header, like a one-file image.
+  // Written unlocked — the path is unique and lives in this VM's own dir.
   auto write = store_->write_file(iso_path, "#iso9660-sim\n" + script);
   if (!write.ok()) return write.propagate<std::string>();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto vm = find_mutable(vm_id);
+  if (!vm.ok()) return vm.propagate<std::string>();
   vm.value()->connected_isos.push_back(iso_path);
   return iso_path;
 }
 
 Result<GuestOutput> Hypervisor::execute_connected_script(
     const std::string& vm_id) {
-  auto vm = find_mutable(vm_id);
-  if (!vm.ok()) return vm.propagate<GuestOutput>();
-  if (vm.value()->power != PowerState::kRunning) {
-    return Result<GuestOutput>(
-        Error(ErrorCode::kFailedPrecondition,
-              type() + ": guest daemon requires a running VM: " + vm_id));
+  std::string iso_file;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto vm = find_mutable(vm_id);
+    if (!vm.ok()) return vm.propagate<GuestOutput>();
+    if (vm.value()->power != PowerState::kRunning) {
+      return Result<GuestOutput>(
+          Error(ErrorCode::kFailedPrecondition,
+                type() + ": guest daemon requires a running VM: " + vm_id));
+    }
+    if (vm.value()->connected_isos.empty()) {
+      return Result<GuestOutput>(Error(
+          ErrorCode::kFailedPrecondition, type() + ": no ISO connected: " + vm_id));
+    }
+    iso_file = vm.value()->connected_isos.back();
   }
-  if (vm.value()->connected_isos.empty()) {
-    return Result<GuestOutput>(Error(
-        ErrorCode::kFailedPrecondition, type() + ": no ISO connected: " + vm_id));
-  }
-  auto iso = store_->read_file(vm.value()->connected_isos.back());
+  auto iso = store_->read_file(iso_file);
   if (!iso.ok()) return iso.propagate<GuestOutput>();
   // Strip the header line.
   std::string script = iso.value();
   const std::size_t nl = script.find('\n');
   script = nl == std::string::npos ? "" : script.substr(nl + 1);
+  // Guest mutation happens under the lock so monitor snapshots never see a
+  // half-updated guest state.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto vm = find_mutable(vm_id);
+  if (!vm.ok()) return vm.propagate<GuestOutput>();
   return agent_.execute(&vm.value()->guest, script);
 }
 
 Result<GuestOutput> Hypervisor::execute_on_guest(const std::string& vm_id,
                                                  const std::string& script) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto vm = find_mutable(vm_id);
   if (!vm.ok()) return vm.propagate<GuestOutput>();
   if (vm.value()->power != PowerState::kRunning) {
@@ -254,6 +339,7 @@ Result<GuestOutput> Hypervisor::execute_on_guest(const std::string& vm_id,
 }
 
 void Hypervisor::inject_start_failure(const std::string& vm_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   start_failures_[vm_id] = true;
 }
 

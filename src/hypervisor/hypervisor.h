@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -110,9 +112,19 @@ class Hypervisor {
                                              const std::string& script);
 
   // -- Introspection --------------------------------------------------------
+  /// Borrowed pointer into the instance table.  The table is node-based, so
+  /// the pointer stays valid across registrations of OTHER VMs — but the
+  /// pointed-to instance is only safe to read/mutate from the thread that
+  /// owns the VM (its creating request, or its collector).  Cross-owner
+  /// readers (monitors) must use snapshot_vm() instead.
   const VmInstance* find(const std::string& vm_id) const;
+  /// Consistent copy of one instance taken under the hypervisor lock (safe
+  /// from any thread, e.g. the VM monitor refreshing during creates).
+  std::optional<VmInstance> snapshot_vm(const std::string& vm_id) const;
   std::vector<std::string> instance_ids() const;
-  std::size_t instance_count() const { return instances_.size(); }
+  std::size_t instance_count() const;
+  /// Non-destroyed instances (the plant's capacity unit).
+  std::size_t active_instances() const;
   /// Sum of configured memory of non-destroyed instances (bytes).
   std::uint64_t resident_memory_bytes() const;
 
@@ -132,9 +144,16 @@ class Hypervisor {
     return storage::CloneStrategy::kLinked;
   }
 
+  /// Must be called with mutex_ held.
   util::Result<VmInstance*> find_mutable(const std::string& vm_id);
 
   storage::ArtifactStore* store_;
+  /// Guards the instance table and every registered instance's fields.
+  /// Public operations hold it for their whole body EXCEPT the
+  /// size-proportional clone/destroy I/O, which runs unlocked against a
+  /// directory no other request touches — that is what lets independent
+  /// creations overlap on one plant (DESIGN.md §10).
+  mutable std::mutex mutex_;
   std::map<std::string, VmInstance> instances_;
   std::map<std::string, bool> start_failures_;
   GuestAgent agent_;

@@ -156,7 +156,7 @@ Result<IoAccounting> ArtifactStore::create_sparse_file(
   IoAccounting acct;
   acct.bytes_written = size;
   acct.files_touched = 1;
-  lifetime_ += acct;
+  account(acct);
   return acct;
 }
 
@@ -183,7 +183,7 @@ Result<IoAccounting> ArtifactStore::write_file(const std::string& relative,
   IoAccounting acct;
   acct.bytes_written = content.size();
   acct.files_touched = 1;
-  lifetime_ += acct;
+  account(acct);
   return acct;
 }
 
@@ -221,7 +221,7 @@ Result<IoAccounting> ArtifactStore::append_file(const std::string& relative,
   IoAccounting acct;
   acct.bytes_written = content.size();
   acct.files_touched = 1;
-  lifetime_ += acct;
+  account(acct);
   return acct;
 }
 
@@ -273,7 +273,7 @@ Result<IoAccounting> ArtifactStore::copy_file(const std::string& from,
   acct.bytes_read = size.value();
   acct.bytes_written = size.value();
   acct.files_touched = 2;
-  lifetime_ += acct;
+  account(acct);
   return acct;
 }
 
@@ -304,7 +304,7 @@ Result<IoAccounting> ArtifactStore::link_file(const std::string& from,
   IoAccounting acct;
   acct.links_created = 1;
   acct.files_touched = 1;
-  lifetime_ += acct;
+  account(acct);
   return acct;
 }
 
@@ -347,7 +347,7 @@ Result<IoAccounting> ArtifactStore::copy_tree(const std::string& from,
       acct.links_created = 1;
       acct.files_touched = 1;
       total += acct;
-      lifetime_ += acct;
+      account(acct);
     } else if (entry.is_directory()) {
       VMP_RETURN_IF_ERROR_AS(make_dir(target), IoAccounting);
     } else {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -88,10 +89,21 @@ class ArtifactStore {
   util::Status remove_tree(const std::string& relative);
 
   // -- Aggregate accounting ---------------------------------------------------
-  const IoAccounting& lifetime_accounting() const { return lifetime_; }
+  /// Snapshot (by value: concurrent operations keep accumulating while the
+  /// caller reads — plants clone in parallel through one store).
+  IoAccounting lifetime_accounting() const {
+    std::lock_guard<std::mutex> lock(lifetime_mutex_);
+    return lifetime_;
+  }
 
  private:
+  void account(const IoAccounting& acct) {
+    std::lock_guard<std::mutex> lock(lifetime_mutex_);
+    lifetime_ += acct;
+  }
+
   std::filesystem::path root_;
+  mutable std::mutex lifetime_mutex_;
   IoAccounting lifetime_;
 };
 

@@ -17,6 +17,9 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  // Workers drain the queue before exiting, so nothing admitted is left
+  // unrun; wake any wait_idle() stragglers observing the final state.
+  idle_cv_.notify_all();
 }
 
 void ThreadPool::worker_loop() {
@@ -42,6 +45,16 @@ void ThreadPool::worker_loop() {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+bool ThreadPool::stopped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stopping_;
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 }  // namespace vmp::util

@@ -1,4 +1,5 @@
-// Fixed-size thread pool used by the real-backend integration layer.
+// Fixed-size thread pool used by the real-backend integration layer and by
+// each VmPlant's concurrent create pipeline.
 //
 // The simulated cluster is single-threaded (the DES owns time); the real
 // backend instead runs plant daemons and concurrent client requests on pool
@@ -12,6 +13,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -19,13 +21,23 @@ namespace vmp::util {
 
 class ThreadPool {
  public:
+  /// Thrown from a task future's get() when the task was submitted after
+  /// shutdown began and therefore never ran.  submit() itself never throws:
+  /// plants and shops call it from arbitrary request paths, where an
+  /// exception would unwind through Result-based code that expects none.
+  struct Stopped : std::runtime_error {
+    Stopped() : std::runtime_error("ThreadPool stopped before task ran") {}
+  };
+
   explicit ThreadPool(std::size_t threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task; returns a future for its result.
+  /// Enqueue a task; returns a future for its result.  After shutdown has
+  /// begun the task is NOT enqueued and the returned future holds a
+  /// Stopped exception instead (surfacing at get(), never at submit()).
   template <typename F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -35,7 +47,9 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) {
-        throw std::runtime_error("ThreadPool::submit after shutdown");
+        std::promise<R> failed;
+        failed.set_exception(std::make_exception_ptr(Stopped{}));
+        return failed.get_future();
       }
       queue_.emplace_back([packaged] { (*packaged)(); });
     }
@@ -43,8 +57,17 @@ class ThreadPool {
     return result;
   }
 
-  /// Block until all submitted tasks have finished.
+  /// Block until every task submitted so far has finished.  Safe to call
+  /// from any number of threads, concurrently with submit(): a submit that
+  /// races the wait may or may not be covered by it, but the wait itself
+  /// never hangs on a task that was admitted and never misses a wakeup.
   void wait_idle();
+
+  /// True once shutdown has begun (further submits return Stopped futures).
+  bool stopped() const;
+
+  /// Tasks admitted but not yet started (diagnostics).
+  std::size_t pending() const;
 
   std::size_t thread_count() const { return workers_.size(); }
 
@@ -53,7 +76,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::size_t active_ = 0;

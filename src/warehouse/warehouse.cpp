@@ -30,7 +30,37 @@ struct WarehouseMetrics {
   }
 };
 
+/// FNV-1a 64-bit: tiny, deterministic across runs (the digests never leave
+/// the process, so stability across versions does not matter).
+std::uint64_t hash_signature(const std::string& signature) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : signature) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
+
+std::uint64_t action_mask(const std::vector<std::string>& signatures) {
+  std::uint64_t mask = 0;
+  for (const std::string& sig : signatures) {
+    const std::uint64_t h = hash_signature(sig);
+    mask |= 1ull << (h & 63);
+    mask |= 1ull << ((h >> 21) & 63);
+    mask |= 1ull << ((h >> 42) & 63);
+  }
+  return mask;
+}
+
+std::uint64_t action_fingerprint(const std::vector<std::string>& signatures) {
+  // Wrapping sum (not XOR): duplicate signatures must not cancel out, since
+  // the fingerprint identifies a multiset.
+  std::uint64_t fp = 0;
+  for (const std::string& sig : signatures) fp += hash_signature(sig);
+  return fp;
+}
 
 std::string render_descriptor(const GoldenImage& image) {
   xml::Element root("golden");
@@ -112,25 +142,46 @@ std::string Warehouse::dir_for(const std::string& id) const {
   return base_dir_ + "/" + id;
 }
 
+Warehouse::IndexedImage Warehouse::index_image(GoldenImage image) {
+  IndexedImage indexed;
+  indexed.mask = action_mask(image.performed);
+  indexed.fingerprint = action_fingerprint(image.performed);
+  indexed.image = std::move(image);
+  return indexed;
+}
+
 Status Warehouse::publish(const GoldenImage& image) {
   VMP_RETURN_IF_ERROR(image.spec.validate());
   if (image.id.empty()) {
     return Status(ErrorCode::kInvalidArgument, "image id must not be empty");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (images_.count(image.id)) {
-    return Status(ErrorCode::kAlreadyExists,
-                  "golden image exists: " + image.id);
-  }
 
   GoldenImage stored = image;
   stored.layout.dir = dir_for(image.id);
 
+  // Claim the id first (exclusive lock is held only for the map insert), so
+  // the artefact materialization below runs against a directory no other
+  // publisher can touch — and so concurrent match scans never block on
+  // publish I/O.  The placeholder has an empty layout dir; readers treat
+  // the id as taken but the image is not yet servable via match/lookup
+  // (publish has always been non-atomic from the caller's view: it either
+  // completes or removes its partial tree).
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (!images_.emplace(stored.id, IndexedImage{}).second) {
+      return Status(ErrorCode::kAlreadyExists,
+                    "golden image exists: " + image.id);
+    }
+  }
+
   // The warehouse must never keep a half-written image directory: any
-  // failure after the directory exists removes the partial tree before
-  // the error propagates, so a later rescan() sees complete images only.
+  // failure after the directory exists removes the partial tree (and the
+  // claimed id) before the error propagates, so a later rescan() sees
+  // complete images only.
   auto abort_publish = [&](const Error& error) {
     (void)store_->remove_tree(stored.layout.dir);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    images_.erase(stored.id);
     return Status(error);
   };
 
@@ -145,7 +196,9 @@ Status Warehouse::publish(const GoldenImage& image) {
                                        render_descriptor(stored));
   if (!desc_write.ok()) return abort_publish(desc_write.error());
 
-  images_.emplace(stored.id, std::move(stored));
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  const std::string id = stored.id;
+  images_[id] = index_image(std::move(stored));
   WarehouseMetrics::get().publishes->add();
   WarehouseMetrics::get().images->set(static_cast<std::int64_t>(images_.size()));
   return Status();
@@ -166,58 +219,85 @@ Result<GoldenImage> Warehouse::publish_new(
 }
 
 Result<GoldenImage> Warehouse::lookup(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = images_.find(id);
-  if (it == images_.end()) {
+  // A claimed-but-still-materializing publish (empty placeholder) is not
+  // servable yet; it reads as a miss, same as before the claim.
+  if (it == images_.end() || it->second.image.id.empty()) {
     WarehouseMetrics::get().lookup_misses->add();
     return Result<GoldenImage>(
         Error(ErrorCode::kNotFound, "no golden image: " + id));
   }
   WarehouseMetrics::get().lookup_hits->add();
-  return it->second;
+  return it->second.image;
 }
 
 bool Warehouse::contains(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return images_.count(id) != 0;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = images_.find(id);
+  return it != images_.end() && !it->second.image.id.empty();
 }
 
 Status Warehouse::remove(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   auto it = images_.find(id);
-  if (it == images_.end()) {
+  if (it == images_.end() || it->second.image.id.empty()) {
     return Status(ErrorCode::kNotFound, "no golden image: " + id);
   }
-  VMP_RETURN_IF_ERROR(store_->remove_tree(it->second.layout.dir));
+  VMP_RETURN_IF_ERROR(store_->remove_tree(it->second.image.layout.dir));
   images_.erase(it);
   WarehouseMetrics::get().images->set(static_cast<std::int64_t>(images_.size()));
   return Status();
 }
 
 std::vector<GoldenImage> Warehouse::list() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<GoldenImage> out;
   out.reserve(images_.size());
-  for (const auto& [id, image] : images_) out.push_back(image);
+  for (const auto& [id, indexed] : images_) {
+    if (!indexed.image.id.empty()) out.push_back(indexed.image);
+  }
   return out;
 }
 
 std::vector<GoldenImage> Warehouse::list_backend(
     const std::string& backend) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<GoldenImage> out;
-  for (const auto& [id, image] : images_) {
-    if (image.backend == backend) out.push_back(image);
+  for (const auto& [id, indexed] : images_) {
+    if (indexed.image.backend == backend) out.push_back(indexed.image);
+  }
+  return out;
+}
+
+CandidateSet Warehouse::match_candidates(
+    const std::string& backend,
+    const std::function<bool(const GoldenImage&)>& hardware_ok,
+    std::uint64_t request_mask) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  CandidateSet out;
+  for (const auto& [id, indexed] : images_) {
+    if (indexed.image.backend != backend) continue;
+    if (!hardware_ok(indexed.image)) continue;
+    ++out.hardware_candidates;
+    if ((indexed.mask & ~request_mask) != 0) {
+      // Some performed signature is provably not a request node: the
+      // Subset test cannot pass, skip the DAG evaluation entirely.
+      ++out.mask_rejected;
+      continue;
+    }
+    out.images.push_back(indexed.image);
+    out.fingerprints.push_back(indexed.fingerprint);
   }
   return out;
 }
 
 Status Warehouse::rescan() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   auto entries = store_->list_dir(base_dir_);
   if (!entries.ok()) return entries.error();
 
-  std::map<std::string, GoldenImage> rebuilt;
+  std::map<std::string, IndexedImage> rebuilt;
   for (const std::string& entry : entries.value()) {
     const std::string descriptor_path = base_dir_ + "/" + entry + "/descriptor.xml";
     if (!store_->exists(descriptor_path)) continue;  // not an image dir
@@ -236,14 +316,15 @@ Status Warehouse::rescan() {
       if (!guest.ok()) return guest.error();
       loaded.guest = std::move(guest).value();
     }
-    rebuilt.emplace(loaded.id, std::move(loaded));
+    const std::string loaded_id = loaded.id;
+    rebuilt.emplace(loaded_id, index_image(std::move(loaded)));
   }
   images_ = std::move(rebuilt);
   return Status();
 }
 
 std::size_t Warehouse::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return images_.size();
 }
 

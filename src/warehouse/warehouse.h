@@ -17,8 +17,10 @@
 //   <base>/<image-id>/descriptor.xml
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,36 @@ struct GoldenImage {
 std::string render_descriptor(const GoldenImage& image);
 util::Result<GoldenImage> parse_descriptor(const std::string& xml_text);
 
+// -- Action-multiset summaries ----------------------------------------------
+// Two 64-bit digests over a signature list let the PPP prune candidates
+// without touching the DAG machinery (DESIGN.md §10):
+//
+/// Bloom-style membership mask: 3 bits per signature.  If a golden image's
+/// mask has any bit outside the request's mask, some performed signature is
+/// not a request node and the Subset test MUST fail — so the image can be
+/// rejected without evaluating it.  (The converse does not hold; survivors
+/// still run the full tests.)
+std::uint64_t action_mask(const std::vector<std::string>& signatures);
+
+/// Order-insensitive multiset fingerprint (wrapping sum of per-signature
+/// hashes, so duplicates count).  Equal multisets always have equal
+/// fingerprints; a full match — golden history covering every request node —
+/// implies fingerprint equality with the request, which lets the PPP probe
+/// fingerprint-equal candidates first and stop at the first full match.
+std::uint64_t action_fingerprint(const std::vector<std::string>& signatures);
+
+/// Result of the warehouse-side candidate scan for one production order.
+struct CandidateSet {
+  /// Hardware- and mask-passing images, id order.
+  std::vector<GoldenImage> images;
+  /// Per-image performed-multiset fingerprint, parallel to `images`.
+  std::vector<std::uint64_t> fingerprints;
+  /// How many images passed the hardware filter (before mask pruning).
+  std::size_t hardware_candidates = 0;
+  /// Hardware-passing images pruned by the mask (guaranteed Subset fails).
+  std::size_t mask_rejected = 0;
+};
+
 class Warehouse {
  public:
   /// `base_dir` is the store-relative warehouse root (e.g. "warehouse").
@@ -67,6 +99,16 @@ class Warehouse {
   std::vector<GoldenImage> list() const;
   std::vector<GoldenImage> list_backend(const std::string& backend) const;
 
+  /// One-pass candidate scan for the PPP: backend filter, then the caller's
+  /// hardware predicate (counted), then the precomputed action-mask prune.
+  /// Runs under a shared lock, so concurrent production orders scan in
+  /// parallel and only publish/remove/rescan serialize them.
+  /// `request_mask` of ~0 disables mask pruning (every image passes).
+  CandidateSet match_candidates(
+      const std::string& backend,
+      const std::function<bool(const GoldenImage&)>& hardware_ok,
+      std::uint64_t request_mask) const;
+
   /// Rebuild the in-memory index from descriptor.xml files on disk
   /// (service restoration after a failure — the paper's VMShop keeps no
   /// durable state; the warehouse's durable state *is* the disk).
@@ -77,12 +119,25 @@ class Warehouse {
   storage::ArtifactStore* store() { return store_; }
 
  private:
+  /// An image plus its precomputed digests, kept in lockstep by every
+  /// mutation path (publish / remove / rescan).
+  struct IndexedImage {
+    GoldenImage image;
+    std::uint64_t mask = 0;
+    std::uint64_t fingerprint = 0;
+  };
+  static IndexedImage index_image(GoldenImage image);
+
   std::string dir_for(const std::string& id) const;
 
-  mutable std::mutex mutex_;
+  /// Readers (lookup/contains/list/match_candidates/size) share; mutators
+  /// take it exclusively.  Publish materializes its artefacts BEFORE taking
+  /// the exclusive lock — the image directory is private until the index
+  /// insert — so readers only ever block for the map insert itself.
+  mutable std::shared_mutex mutex_;
   storage::ArtifactStore* store_;
   std::string base_dir_;
-  std::map<std::string, GoldenImage> images_;
+  std::map<std::string, IndexedImage> images_;
 };
 
 }  // namespace vmp::warehouse

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Gate CI on the concurrency bench's BENCH_JSON output.
+
+Reads BENCH_JSON lines (from a file or stdin) emitted by bench/concurrency
+and compares them against a baseline file (bench/baselines/concurrency.json):
+
+  * every measurement named in the baseline's "throughput_floor" map must
+    reach floor * (1 - max_regression_pct/100);
+  * "create.speedup.c16" (concurrent pipeline vs the serialized baseline at
+    16 clients) must reach min_speedup_c16 — but only on hosts with at
+    least min_cores_for_speedup_gate cores, since the pipeline cannot beat
+    a serialized memcpy on a single-core runner;
+  * any measurement reporting failures != 0 fails the gate outright.
+
+Exit status 0 = pass, 1 = regression, 2 = bad input.
+"""
+import argparse
+import json
+import re
+import sys
+
+BENCH_LINE = re.compile(r"^BENCH_JSON\s+(\{.*\})\s*$")
+
+
+def parse_bench_lines(stream):
+    results = {}
+    for line in stream:
+        match = BENCH_LINE.match(line.strip())
+        if not match:
+            continue
+        record = json.loads(match.group(1))
+        results[record["name"]] = record
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="baseline JSON (bench/baselines/concurrency.json)")
+    parser.add_argument("--results", default="-",
+                        help="file with BENCH_JSON lines (default: stdin)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    if args.results == "-":
+        results = parse_bench_lines(sys.stdin)
+    else:
+        with open(args.results) as f:
+            results = parse_bench_lines(f)
+
+    if not results:
+        print("bench_gate: no BENCH_JSON lines found in input", file=sys.stderr)
+        return 2
+
+    max_regression = baseline.get("max_regression_pct", 20) / 100.0
+    failures = []
+
+    for record in results.values():
+        if record.get("failures", 0):
+            failures.append(f"{record['name']}: {record['failures']} "
+                            "creations failed")
+
+    for name, floor in baseline.get("throughput_floor", {}).items():
+        record = results.get(name)
+        if record is None:
+            failures.append(f"{name}: measurement missing from bench output")
+            continue
+        measured = record.get("throughput_vm_s", 0.0)
+        allowed = floor * (1.0 - max_regression)
+        verdict = "ok" if measured >= allowed else "REGRESSED"
+        print(f"{name:24s} {measured:10.1f} vm/s  "
+              f"(floor {floor:.1f}, allowed >= {allowed:.1f})  {verdict}")
+        if measured < allowed:
+            failures.append(f"{name}: {measured:.1f} vm/s is below "
+                            f"{allowed:.1f} (floor {floor:.1f} - "
+                            f"{max_regression:.0%})")
+
+    speedup_record = results.get("create.speedup.c16")
+    min_speedup = baseline.get("min_speedup_c16", 2.0)
+    min_cores = baseline.get("min_cores_for_speedup_gate", 4)
+    if speedup_record is None:
+        failures.append("create.speedup.c16: measurement missing")
+    else:
+        speedup = speedup_record.get("speedup", 0.0)
+        cores = speedup_record.get("cores", 0)
+        if cores >= min_cores:
+            verdict = "ok" if speedup >= min_speedup else "REGRESSED"
+            print(f"{'create.speedup.c16':24s} {speedup:10.2f}x     "
+                  f"(required >= {min_speedup:.1f}x on {cores} cores)  "
+                  f"{verdict}")
+            if speedup < min_speedup:
+                failures.append(f"create.speedup.c16: {speedup:.2f}x is below "
+                                f"the {min_speedup:.1f}x floor "
+                                f"({cores} cores)")
+        else:
+            print(f"{'create.speedup.c16':24s} {speedup:10.2f}x     "
+                  f"(informational: only {cores} core(s), gate needs "
+                  f">= {min_cores})")
+
+    if failures:
+        print("\nbench_gate: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench_gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
