@@ -1,0 +1,301 @@
+// Warehouse churn under a disk budget — LRU vs GDSF eviction, plus the
+// allocation cost of a PPP candidate scan.
+//
+// The paper's VM Warehouse (§3.2) never evicts; under a finite budget the
+// lifecycle manager must, and the policy choice is measurable.  A Zipf-
+// popular request mix over golden machines of widely varying sizes (96 MB
+// to ~1.3 GB apparent) drives publish-on-miss / lease-on-hit churn through
+// a budget that holds only a fraction of the working set.  LRU is blind to
+// the fact that one huge cold image displaces a dozen small popular ones;
+// GDSF (priority = clock + hits x rebuild_cost / size) keeps the small
+// popular tail resident and wins on object hit rate at equal quota.
+//
+// Everything is seeded and wall-clock-free: hit rates are deterministic,
+// so bench/baselines/warehouse_churn.json gates ABSOLUTE floors and the
+// gdsf > lru ordering via tools/bench_gate.py "must_exceed".
+//
+// The second measurement counts heap allocations per warehouse candidate
+// scan: match_candidates() returns lightweight CandidateViews (id +
+// performed + fingerprint) instead of full GoldenImage copies; the
+// list_backend() column is what every PPP scan used to pay.
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "lifecycle/lifecycle.h"
+#include "util/random.h"
+#include "warehouse/warehouse.h"
+
+// -- Allocation counter -------------------------------------------------------
+// Global operator new override, bench-binary only: counts every heap
+// allocation so the scan comparison below is exact, not sampled.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace vmp;
+
+constexpr std::size_t kImages = 64;
+constexpr std::size_t kRequests = 3000;
+constexpr double kZipfExponent = 0.9;
+constexpr std::uint64_t kSeed = 20040621;
+
+struct Catalog {
+  std::vector<warehouse::GoldenImage> images;
+  std::uint64_t total_estimate = 0;
+};
+
+/// 64 golden machines, sizes spread over ~14x, configuration depth 0-8.
+/// Popularity rank == index (the Zipf draw below favours low indexes), and
+/// sizes are assigned from a seeded stream so small/large images land at
+/// BOTH popular and unpopular ranks.
+Catalog build_catalog() {
+  util::SplitMix64 rng(kSeed);
+  Catalog catalog;
+  for (std::size_t i = 0; i < kImages; ++i) {
+    warehouse::GoldenImage image;
+    image.id = "golden-" + std::to_string(i);
+    image.backend = "vmware-gsx";
+    image.spec.os = "linux-mandrake-8.1";
+    image.spec.memory_bytes = (32ull + rng.next_below(225)) << 20;
+    image.spec.suspended = true;
+    image.spec.disk =
+        storage::DiskSpec{"disk0", (64ull + rng.next_below(961)) << 20, 4,
+                          storage::DiskMode::kNonPersistent};
+    image.guest.os = image.spec.os;
+    const std::size_t depth = rng.next_below(9);
+    for (std::size_t d = 0; d < depth; ++d) {
+      image.performed.push_back("action-" + std::to_string(d));
+    }
+    catalog.total_estimate +=
+        lifecycle::LifecycleManager::estimate_publish_bytes(image.spec);
+    catalog.images.push_back(std::move(image));
+  }
+  return catalog;
+}
+
+/// Rank-based Zipf sampler over [0, n): P(i) proportional to 1/(i+1)^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s, std::uint64_t seed) : rng_(seed) {
+    cumulative_.reserve(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cumulative_.push_back(total);
+    }
+    for (double& c : cumulative_) c /= total;
+  }
+  std::size_t next() {
+    const double u = rng_.next_double();
+    std::size_t lo = 0, hi = cumulative_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cumulative_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  util::SplitMix64 rng_;
+  std::vector<double> cumulative_;
+};
+
+struct ChurnResult {
+  double hit_rate = 0.0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t rejected_publishes = 0;
+  std::uint64_t evictions_observed = 0;  // miss-publishes that displaced
+};
+
+ChurnResult run_churn(const std::string& policy, std::uint64_t budget) {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() /
+      ("vmp-bench-churn-" + std::to_string(::getpid()) + "-" + policy);
+  std::filesystem::remove_all(root);
+  ChurnResult result;
+  {
+    storage::ArtifactStore store(root);
+    warehouse::Warehouse wh(&store, "warehouse");
+    lifecycle::LifecycleManager::Config config;
+    config.disk_budget_bytes = budget;
+    config.policy = policy;
+    auto manager = lifecycle::LifecycleManager::create(&wh, config);
+    if (!manager.ok()) {
+      std::fprintf(stderr, "lifecycle create failed: %s\n",
+                   manager.error().to_string().c_str());
+      std::exit(2);
+    }
+    lifecycle::LifecycleManager& lifecycle = *manager.value();
+
+    const Catalog catalog = build_catalog();
+    ZipfSampler zipf(kImages, kZipfExponent, kSeed ^ 0x5eed);
+    for (std::size_t r = 0; r < kRequests; ++r) {
+      const warehouse::GoldenImage& want = catalog.images[zipf.next()];
+      if (wh.contains(want.id)) {
+        // Hit: a production order leases the base for its clone.
+        if (lifecycle.acquire(want.id).ok()) {
+          ++result.hits;
+          lifecycle.release(want.id);
+          continue;
+        }
+      }
+      // Miss: the image must be (re)published before the order can run.
+      ++result.misses;
+      const std::size_t before = wh.size();
+      auto published = lifecycle.publish(want);
+      if (!published.ok()) {
+        ++result.rejected_publishes;
+      } else if (wh.size() <= before) {
+        ++result.evictions_observed;
+      }
+    }
+  }
+  std::filesystem::remove_all(root);
+  result.hit_rate = static_cast<double>(result.hits) /
+                    static_cast<double>(kRequests);
+  return result;
+}
+
+void report_churn(const std::string& policy, const ChurnResult& run) {
+  std::printf("%-6s %10.4f %8llu %8llu %10llu %10llu\n", policy.c_str(),
+              run.hit_rate, static_cast<unsigned long long>(run.hits),
+              static_cast<unsigned long long>(run.misses),
+              static_cast<unsigned long long>(run.evictions_observed),
+              static_cast<unsigned long long>(run.rejected_publishes));
+  std::printf("BENCH_JSON {\"name\": \"churn.%s\", \"hit_rate\": %.4f, "
+              "\"hits\": %llu, \"misses\": %llu, \"failures\": %llu}\n",
+              policy.c_str(), run.hit_rate,
+              static_cast<unsigned long long>(run.hits),
+              static_cast<unsigned long long>(run.misses),
+              static_cast<unsigned long long>(run.rejected_publishes));
+}
+
+/// Allocations per candidate scan: CandidateViews vs full-image copies.
+void run_scan_alloc_comparison() {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() /
+      ("vmp-bench-churn-scan-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(root);
+  {
+    storage::ArtifactStore store(root);
+    warehouse::Warehouse wh(&store, "warehouse");
+    const Catalog catalog = build_catalog();
+    for (const warehouse::GoldenImage& image : catalog.images) {
+      if (!wh.publish(image).ok()) {
+        std::fprintf(stderr, "publish %s failed\n", image.id.c_str());
+        std::exit(2);
+      }
+    }
+    constexpr std::size_t kScans = 200;
+    const auto hardware_ok = [](const warehouse::GoldenImage&) {
+      return true;
+    };
+
+    std::uint64_t views_allocs = 0;
+    std::uint64_t full_allocs = 0;
+    std::size_t sink = 0;
+    {
+      const std::uint64_t start =
+          g_allocations.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < kScans; ++i) {
+        auto scan = wh.match_candidates("vmware-gsx", hardware_ok, ~0ull);
+        sink += scan.candidates.size();
+      }
+      views_allocs = g_allocations.load(std::memory_order_relaxed) - start;
+    }
+    {
+      const std::uint64_t start =
+          g_allocations.load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < kScans; ++i) {
+        // What the PPP used to copy per scan: every candidate in full
+        // (layout + spec + guest state), via the list path.
+        auto scan = wh.list_backend("vmware-gsx");
+        sink += scan.size();
+      }
+      full_allocs = g_allocations.load(std::memory_order_relaxed) - start;
+    }
+    if (sink == 0) std::printf("(empty scans?)\n");
+
+    std::printf("\ncandidate-scan allocations over %zu scans x %zu images:\n",
+                kScans, catalog.images.size());
+    std::printf("  lightweight views: %10llu allocs\n",
+                static_cast<unsigned long long>(views_allocs));
+    std::printf("  full-image copies: %10llu allocs  (%.2fx)\n",
+                static_cast<unsigned long long>(full_allocs),
+                views_allocs
+                    ? static_cast<double>(full_allocs) /
+                          static_cast<double>(views_allocs)
+                    : 0.0);
+    std::printf("BENCH_JSON {\"name\": \"scan.alloc.views\", "
+                "\"allocs\": %llu, \"failures\": 0}\n",
+                static_cast<unsigned long long>(views_allocs));
+    std::printf("BENCH_JSON {\"name\": \"scan.alloc.full\", "
+                "\"allocs\": %llu, \"failures\": 0}\n",
+                static_cast<unsigned long long>(full_allocs));
+  }
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "warehouse churn — eviction policy quality under a disk budget",
+      "the paper's warehouse only grows; under a budget, cost/size-aware "
+      "eviction (GDSF) must beat LRU on hit rate at equal quota");
+
+  // Budget = ~22% of the catalog's apparent working set: small enough that
+  // the policies must constantly choose victims, big enough that choosing
+  // WELL keeps the popular tail resident.
+  const Catalog catalog = build_catalog();
+  const std::uint64_t budget = catalog.total_estimate / 9 * 2;
+  std::printf("catalog: %zu images, ~%llu MB apparent; budget %llu MB\n\n",
+              catalog.images.size(),
+              static_cast<unsigned long long>(catalog.total_estimate >> 20),
+              static_cast<unsigned long long>(budget >> 20));
+  std::printf("%-6s %10s %8s %8s %10s %10s\n", "policy", "hit-rate", "hits",
+              "misses", "evicted", "rejected");
+
+  const ChurnResult lru = run_churn("lru", budget);
+  report_churn("lru", lru);
+  const ChurnResult gdsf = run_churn("gdsf", budget);
+  report_churn("gdsf", gdsf);
+
+  run_scan_alloc_comparison();
+
+  bench::print_summary_row(
+      "gdsf vs lru hit rate",
+      "n/a (paper never evicts)",
+      "gdsf " + std::to_string(gdsf.hit_rate) + " vs lru " +
+          std::to_string(lru.hit_rate));
+  return 0;
+}

@@ -456,6 +456,7 @@ Result<VmPlant::MigrationBundle> VmPlant::migrate_out(const std::string& vm_id) 
   bundle.spec = vm->spec;
   bundle.guest = vm->guest;
   bundle.domain = domain->second;
+  bundle.golden_id = vm->golden_id;
   return bundle;
 }
 
@@ -482,7 +483,8 @@ Result<classad::ClassAd> VmPlant::migrate_in(const MigrationBundle& bundle) {
   }
 
   auto imported = hypervisor_->import_vm(clone_dir, bundle.spec, bundle.guest,
-                                         vm_id, /*suspended=*/true);
+                                         vm_id, /*suspended=*/true,
+                                         bundle.golden_id);
   if (!imported.ok()) {
     (void)store_->remove_tree(clone_dir);
     (void)allocator_.release(bundle.domain);

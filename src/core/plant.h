@@ -122,6 +122,9 @@ class VmPlant {
     storage::MachineSpec spec;
     hv::GuestState guest;
     std::string domain;
+    /// Golden base the clone's disk symlinks point at ("" when unleased);
+    /// the target plant re-takes the lease on import.
+    std::string golden_id;
   };
 
   /// Suspend a running VM and export its state for migration.  The VM

@@ -82,7 +82,7 @@ Result<ProductionPlan> ProductionProcessPlanner::plan(
                                              image.spec.disk.capacity_bytes);
       },
       request_mask);
-  std::vector<warehouse::GoldenImage>& candidates = scan.images;
+  std::vector<warehouse::CandidateView>& candidates = scan.candidates;
   // A mask-pruned candidate is a proven Subset failure; classify it like
   // one so the match-kind counters still cover every hardware candidate.
   metrics.subset_fail->add(scan.mask_rejected);
@@ -115,10 +115,12 @@ Result<ProductionPlan> ProductionProcessPlanner::plan(
   probe_order.reserve(candidates.size());
   if (digests_valid) {
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (scan.fingerprints[i] == request_fingerprint) probe_order.push_back(i);
+      if (candidates[i].fingerprint == request_fingerprint)
+        probe_order.push_back(i);
     }
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (scan.fingerprints[i] != request_fingerprint) probe_order.push_back(i);
+      if (candidates[i].fingerprint != request_fingerprint)
+        probe_order.push_back(i);
     }
   } else {
     for (std::size_t i = 0; i < candidates.size(); ++i) probe_order.push_back(i);
@@ -178,8 +180,22 @@ Result<ProductionPlan> ProductionProcessPlanner::plan(
                      });
     best = &matching.front();
   }
+  // The scan returned lightweight views; fetch the winner in full.  The
+  // window between scan and fetch is real: a concurrent eviction can pull
+  // the chosen image out from under the plan, in which case the miss
+  // propagates (the shop fails over, exactly as for a mid-clone eviction).
+  auto golden = warehouse_->lookup(candidates[best->index].id);
+  if (!golden.ok()) {
+    metrics.plan_miss->add();
+    record_elapsed();
+    span.set_status(util::error_code_name(ErrorCode::kNoMatchingImage));
+    return Result<ProductionPlan>(
+        Error(ErrorCode::kNoMatchingImage,
+              "golden machine '" + candidates[best->index].id +
+                  "' vanished between scan and plan (evicted?)"));
+  }
   ProductionPlan plan;
-  plan.golden = std::move(candidates[best->index]);
+  plan.golden = std::move(golden).value();
   plan.satisfied_nodes = std::move(best->eval.satisfied_nodes);
   plan.remaining_plan = std::move(best->eval.remaining_plan);
   plan.hardware_candidates = scan.hardware_candidates;

@@ -294,6 +294,7 @@ Result<storage::CloneReport> ProductionLine::clone_and_start(
   source.layout = golden.layout;
   source.spec = golden.spec;
   source.guest = golden.guest;
+  source.golden_id = golden.id;
   const std::string clone_dir = clone_base_dir_ + "/" + vm_id;
   auto cloned = hypervisor_->clone_vm(source, clone_dir, vm_id);
   if (!cloned.ok()) {

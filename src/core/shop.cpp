@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <set>
 
+#include "lifecycle/lifecycle.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/strings.h"
+#include "warehouse/warehouse.h"
 
 namespace vmp::core {
 
@@ -380,6 +382,25 @@ Status VmShop::destroy(const std::string& vm_id) {
   return Status();
 }
 
+Status VmShop::publish_image(const warehouse::GoldenImage& image) {
+  obs::ScopedSpan span("shop.publish", "vmshop", image.id);
+  if (lifecycle_ == nullptr) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  config_.name +
+                      ": no lifecycle manager attached; image publishing "
+                      "is unavailable at this shop");
+  }
+  Status published = lifecycle_->publish(image);
+  if (!published.ok()) {
+    span.set_status(util::error_code_name(published.error().code()));
+    kLog.warn() << config_.name << ": publish '" << image.id
+                << "' rejected: " << published.error().message();
+  } else {
+    kLog.info() << config_.name << ": published golden '" << image.id << "'";
+  }
+  return published;
+}
+
 Result<classad::ClassAd> VmShop::cached_query(const std::string& vm_id) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -446,6 +467,27 @@ net::Message VmShop::handle_message(const net::Message& request_msg) {
     if (!ad.ok()) return net::Message::fault_to(request_msg, ad.error());
     net::Message response = net::Message::response_to(request_msg);
     ad.value().to_xml(&response.body());
+    return response;
+  }
+
+  if (service == "vmshop.publish") {
+    const xml::Element* golden = request_msg.body().child("golden");
+    if (golden == nullptr) {
+      return net::Message::fault_to(
+          request_msg, Error(ErrorCode::kParseError, "missing <golden>"));
+    }
+    auto image = warehouse::parse_descriptor(golden->to_string());
+    if (!image.ok()) {
+      return net::Message::fault_to(request_msg, image.error());
+    }
+    Status published = publish_image(image.value());
+    // A kResourceExhausted fault here IS the backpressure: installers see
+    // the budget rejection exactly like any other application fault.
+    if (!published.ok()) {
+      return net::Message::fault_to(request_msg, published.error());
+    }
+    net::Message response = net::Message::response_to(request_msg);
+    response.body().add_child("published").set_attr("id", image.value().id);
     return response;
   }
 

@@ -35,6 +35,13 @@
 #include "util/random.h"
 #include "util/retry.h"
 
+namespace vmp::lifecycle {
+class LifecycleManager;
+}
+namespace vmp::warehouse {
+struct GoldenImage;
+}
+
 namespace vmp::core {
 
 /// One collected bid.
@@ -95,6 +102,20 @@ class VmShop {
 
   /// Destroy (collect) an active VM.
   util::Status destroy(const std::string& vm_id);
+
+  /// Publish a golden image to the warehouse through the lifecycle
+  /// manager's quota admission (paper §3.2: installers publish images "for
+  /// subsequent instantiations through VMPlant").  kFailedPrecondition when
+  /// no lifecycle manager is attached; kResourceExhausted is the warehouse
+  /// backpressure signal — the budget is full and eviction could not make
+  /// room, so the installer must retry later or publish elsewhere.
+  util::Status publish_image(const warehouse::GoldenImage& image);
+
+  /// Install the lifecycle manager publish_image()/vmshop.publish admit
+  /// through.  Install during setup — not synchronized.
+  void set_lifecycle(lifecycle::LifecycleManager* lifecycle) {
+    lifecycle_ = lifecycle;
+  }
 
   // -- Bidding (exposed for tests and the cost-function bench) ----------------
   /// Collect bids for a request from every registered plant.  Plants that
@@ -173,6 +194,7 @@ class VmShop {
   /// single-threaded callers remain bit-for-bit reproducible).
   util::SplitMix64 tie_rng_;
   std::function<double(const std::string&)> health_provider_;
+  lifecycle::LifecycleManager* lifecycle_ = nullptr;
   AdmissionController admission_;
   mutable std::mutex mutex_;
   std::map<std::string, std::string> vm_to_plant_;

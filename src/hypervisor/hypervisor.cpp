@@ -94,12 +94,28 @@ Result<std::string> Hypervisor::clone_vm(const CloneSource& source,
   }
   VMP_RETURN_IF_ERROR_AS(validate_clone_source(source), std::string);
 
+  // Lease the golden base BEFORE the clone I/O: a linked clone's disk
+  // symlinks point into the golden tree, so between here and destroy the
+  // lifecycle manager must never reap it.  Taken outside mutex_ (see the
+  // lease_hook_ field comment); every failure path below releases.
+  const bool leased = lease_hook_ != nullptr && !source.golden_id.empty();
+  if (leased) {
+    Status lease = lease_hook_->acquire(source.golden_id);
+    if (!lease.ok()) return Result<std::string>(lease.error());
+  }
+  auto unlease = [&] {
+    if (leased) lease_hook_->release(source.golden_id);
+  };
+
   // The size-proportional copy runs unlocked: clone_dir is private to this
   // request, so concurrent creations overlap here — the whole point of the
   // plant's worker pool.
   auto report = storage::clone_image(store_, source.layout, source.spec,
                                      clone_dir, clone_strategy());
-  if (!report.ok()) return report.propagate<std::string>();
+  if (!report.ok()) {
+    unlease();
+    return report.propagate<std::string>();
+  }
 
   VmInstance vm;
   vm.id = vm_id;
@@ -109,6 +125,7 @@ Result<std::string> Hypervisor::clone_vm(const CloneSource& source,
   vm.guest.flaky_counters.clear();
   vm.power = PowerState::kStopped;
   vm.clone_report = report.value();
+  vm.golden_id = leased ? source.golden_id : "";
 
   // The clone carries the golden's guest state file for crash recovery /
   // inspection; write the clone's own copy.  A failure here must not leave
@@ -117,18 +134,22 @@ Result<std::string> Hypervisor::clone_vm(const CloneSource& source,
                                render_guest_state(vm.guest));
   if (!gs.ok()) {
     (void)store_->remove_tree(clone_dir);
+    unlease();
     return gs.propagate<std::string>();
   }
 
+  bool registered;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!instances_.emplace(vm_id, std::move(vm)).second) {
-      // Lost a registration race on the same id (ids are generator-unique,
-      // so this is defensive): leave no orphan directory behind.
-      (void)store_->remove_tree(clone_dir);
-      return Result<std::string>(
-          Error(ErrorCode::kAlreadyExists, type() + ": VM exists: " + vm_id));
-    }
+    registered = instances_.emplace(vm_id, std::move(vm)).second;
+  }
+  if (!registered) {
+    // Lost a registration race on the same id (ids are generator-unique, so
+    // this is defensive): leave no orphan directory or stuck lease behind.
+    (void)store_->remove_tree(clone_dir);
+    unlease();
+    return Result<std::string>(
+        Error(ErrorCode::kAlreadyExists, type() + ": VM exists: " + vm_id));
   }
   return vm_id;
 }
@@ -137,7 +158,8 @@ Result<std::string> Hypervisor::import_vm(const std::string& clone_dir,
                                           const storage::MachineSpec& spec,
                                           const GuestState& guest,
                                           const std::string& vm_id,
-                                          bool suspended) {
+                                          bool suspended,
+                                          const std::string& golden_id) {
   if (vm_id.empty()) {
     return Result<std::string>(
         Error(ErrorCode::kInvalidArgument, "vm id must not be empty"));
@@ -166,8 +188,22 @@ Result<std::string> Hypervisor::import_vm(const std::string& clone_dir,
           type() + ": import missing memory state: " + vm.layout.memory_path()));
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!instances_.emplace(vm_id, std::move(vm)).second) {
+  // A migrated linked clone still symlinks into the golden tree on the
+  // shared store, so adoption re-takes the lease the source plant dropped
+  // when it deregistered the VM.
+  const bool leased = lease_hook_ != nullptr && !golden_id.empty();
+  if (leased) {
+    Status lease = lease_hook_->acquire(golden_id);
+    if (!lease.ok()) return Result<std::string>(lease.error());
+  }
+  vm.golden_id = leased ? golden_id : "";
+  bool registered;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    registered = instances_.emplace(vm_id, std::move(vm)).second;
+  }
+  if (!registered) {
+    if (leased) lease_hook_->release(golden_id);
     return Result<std::string>(
         Error(ErrorCode::kAlreadyExists, type() + ": VM exists: " + vm_id));
   }
@@ -244,6 +280,7 @@ Status Hypervisor::destroy_vm(const std::string& vm_id) {
   // removal is the collect path's size-proportional cost, and concurrent
   // collects of distinct VMs should overlap like concurrent clones do).
   std::string dir;
+  std::string golden_id;
   PowerState prev_power;
   std::vector<std::string> prev_isos;
   {
@@ -251,22 +288,29 @@ Status Hypervisor::destroy_vm(const std::string& vm_id) {
     auto vm = find_mutable(vm_id);
     if (!vm.ok()) return vm.error();
     dir = vm.value()->layout.dir;
+    golden_id = vm.value()->golden_id;
     prev_power = vm.value()->power;
     prev_isos = std::move(vm.value()->connected_isos);
     vm.value()->power = PowerState::kDestroyed;
     vm.value()->connected_isos.clear();
   }
-  Status removed = storage::destroy_clone(store_, dir);
+  auto removed = storage::destroy_clone(store_, dir);
   if (!removed.ok()) {
     // Deletion failed: the VM is still materialized on disk, so restore its
     // registration instead of stranding a live directory as "destroyed".
+    // The golden lease is kept — the clone's symlinks still exist.
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = instances_.find(vm_id);
     if (it != instances_.end()) {
       it->second.power = prev_power;
       it->second.connected_isos = std::move(prev_isos);
     }
-    return removed;
+    return removed.error();
+  }
+  // Only after the clone tree (and its symlinks into the golden) is gone may
+  // the lifecycle manager reap a zombie base this clone was pinning.
+  if (lease_hook_ != nullptr && !golden_id.empty()) {
+    lease_hook_->release(golden_id);
   }
   return Status();
 }

@@ -45,6 +45,10 @@ struct VmInstance {
   std::vector<std::string> connected_isos;
   /// Accounting from the clone that created this instance.
   storage::CloneReport clone_report;
+  /// Golden image this instance was cloned from ("" when unknown, e.g. a
+  /// test-built instance).  While non-empty AND a lease hook is installed,
+  /// this instance holds a lease on that image (released on destroy).
+  std::string golden_id;
 };
 
 /// Description of a clone source (a golden image already on disk).
@@ -52,6 +56,26 @@ struct CloneSource {
   storage::ImageLayout layout;
   storage::MachineSpec spec;
   GuestState guest;  // guest state captured when the golden was published
+  /// Warehouse id of the golden image ("" disables lease acquisition).
+  std::string golden_id;
+};
+
+/// Lease protocol between the hypervisor and the warehouse lifecycle
+/// manager (lifecycle/lifecycle.h implements it).  A linked clone's
+/// non-persistent disks are symlinks into the golden image's directory, so
+/// the base must outlive every clone: the hypervisor acquires a lease
+/// before the clone I/O and releases it when the clone directory is gone.
+/// Defined here (not in lifecycle/) so the hypervisor does not depend on
+/// the warehouse stack.
+class GoldenLeaseHook {
+ public:
+  virtual ~GoldenLeaseHook() = default;
+  /// Fails when the image is unknown or already evicted — the clone must
+  /// not proceed against a base that can vanish.
+  virtual util::Status acquire(const std::string& golden_id) = 0;
+  /// Releases one lease.  Must tolerate ids it never leased (noexcept:
+  /// called from cleanup paths).
+  virtual void release(const std::string& golden_id) noexcept = 0;
 };
 
 class Hypervisor {
@@ -79,11 +103,15 @@ class Hypervisor {
   /// Used by VM migration: the target plant copies a suspended clone
   /// directory into its clone area and adopts it.  `suspended` instances
   /// require a memory checkpoint on disk and resume on start.
+  /// `golden_id` re-establishes lease protection for the adopted clone's
+  /// golden base (a migrated linked clone still points its disk symlinks at
+  /// the golden tree on the shared store); "" adopts without a lease.
   util::Result<std::string> import_vm(const std::string& clone_dir,
                                       const storage::MachineSpec& spec,
                                       const GuestState& guest,
                                       const std::string& vm_id,
-                                      bool suspended);
+                                      bool suspended,
+                                      const std::string& golden_id = "");
 
   /// Start the instance: resume (GSX) or boot (UML).
   util::Status start_vm(const std::string& vm_id);
@@ -132,6 +160,12 @@ class Hypervisor {
   /// Force the next start_vm on this id to fail (simulates VMM errors).
   void inject_start_failure(const std::string& vm_id);
 
+  /// Install the golden-image lease provider (nullptr disables leasing —
+  /// the default, so tests and plants without a lifecycle manager run
+  /// unchanged).  Not synchronised: wire it up before serving requests.
+  void set_lease_hook(GoldenLeaseHook* hook) { lease_hook_ = hook; }
+  GoldenLeaseHook* lease_hook() const { return lease_hook_; }
+
   storage::ArtifactStore* store() { return store_; }
 
  protected:
@@ -158,6 +192,10 @@ class Hypervisor {
   std::map<std::string, bool> start_failures_;
   GuestAgent agent_;
   std::map<std::string, std::uint32_t> iso_counters_;
+  /// Lease calls run OUTSIDE mutex_ (the hook takes the lifecycle lock,
+  /// which in turn takes the warehouse lock — holding mutex_ across that
+  /// chain would invert against destroy paths).
+  GoldenLeaseHook* lease_hook_ = nullptr;
 };
 
 }  // namespace vmp::hv

@@ -1,0 +1,406 @@
+#include "lifecycle/lifecycle.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace vmp::lifecycle {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+namespace {
+
+const util::Logger kLog("lifecycle");
+
+struct LifecycleMetrics {
+  obs::Counter* lease_hits;
+  obs::Counter* lease_misses;
+  obs::Counter* evictions;
+  obs::Counter* zombie_evictions;
+  obs::Counter* reaps;
+  obs::Counter* orphan_reaps;
+  obs::Counter* publish_rejects;
+  obs::Counter* bytes_reclaimed;
+  obs::Gauge* used_bytes;
+  obs::Gauge* zombies;
+
+  static LifecycleMetrics& get() {
+    static LifecycleMetrics m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::instance();
+      return LifecycleMetrics{r.counter("lifecycle.lease_hit.count"),
+                              r.counter("lifecycle.lease_miss.count"),
+                              r.counter("lifecycle.evict.count"),
+                              r.counter("lifecycle.evict_zombie.count"),
+                              r.counter("lifecycle.reap.count"),
+                              r.counter("lifecycle.orphan_reap.count"),
+                              r.counter("lifecycle.publish_reject.count"),
+                              r.counter("lifecycle.bytes_reclaimed.count"),
+                              r.gauge("lifecycle.used_bytes.gauge"),
+                              r.gauge("lifecycle.zombies.gauge")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+LifecycleManager::LifecycleManager(warehouse::Warehouse* warehouse,
+                                   Config config,
+                                   std::unique_ptr<EvictionPolicy> policy)
+    : config_(std::move(config)),
+      warehouse_(warehouse),
+      store_(warehouse->store()),
+      policy_(std::move(policy)) {}
+
+Result<std::unique_ptr<LifecycleManager>> LifecycleManager::create(
+    warehouse::Warehouse* warehouse, Config config) {
+  auto policy = make_policy(config.policy, config.cost_model);
+  if (!policy.ok()) {
+    return policy.propagate<std::unique_ptr<LifecycleManager>>();
+  }
+  return std::unique_ptr<LifecycleManager>(new LifecycleManager(
+      warehouse, std::move(config), std::move(policy).value()));
+}
+
+std::uint64_t LifecycleManager::estimate_publish_bytes(
+    const storage::MachineSpec& spec) {
+  // Sparse artefacts are charged at full apparent size (the simulation's
+  // convention throughout); config/redo/descriptor/guest.state are noise.
+  constexpr std::uint64_t kMetadataSlack = 64ull << 10;
+  return (spec.suspended ? spec.memory_bytes : 0) +
+         spec.disk.capacity_bytes + kMetadataSlack;
+}
+
+ImageStats LifecycleManager::stats_for(const std::string& id,
+                                       const Entry& entry) const {
+  ImageStats s;
+  s.id = id;
+  s.physical_bytes = entry.physical_bytes;
+  s.files = entry.files;
+  s.hits = entry.hits;
+  s.last_use_tick = entry.last_use_tick;
+  s.rebuild_cost_s = entry.rebuild_cost_s;
+  s.leases = entry.leases;
+  s.pinned = entry.pinned;
+  s.zombie = entry.zombie;
+  return s;
+}
+
+Status LifecycleManager::adopt_locked(const std::string& id) {
+  auto image = warehouse_->lookup(id);
+  if (!image.ok()) return image.error();
+  auto footprint = store_->tree_footprint(image.value().layout.dir);
+  if (!footprint.ok()) return footprint.error();
+  Entry entry;
+  entry.dir = image.value().layout.dir;
+  entry.physical_bytes = footprint.value().physical_bytes;
+  entry.files = footprint.value().files + footprint.value().links;
+  entry.last_use_tick = ++tick_;
+  entry.rebuild_cost_s = config_.cost_model.rebuild_cost_s(
+      entry.physical_bytes, entry.files, image.value().performed.size());
+  used_bytes_ += entry.physical_bytes;
+  entries_[id] = entry;
+  LifecycleMetrics::get().used_bytes->set(
+      static_cast<std::int64_t>(used_bytes_));
+  return Status();
+}
+
+Status LifecycleManager::publish(const warehouse::GoldenImage& image) {
+  LifecycleMetrics& metrics = LifecycleMetrics::get();
+  const std::uint64_t estimate = estimate_publish_bytes(image.spec);
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  if (config_.disk_budget_bytes != 0) {
+    if (estimate > config_.disk_budget_bytes) {
+      metrics.publish_rejects->add();
+      return Status(ErrorCode::kResourceExhausted,
+                    "publish '" + image.id + "': image (~" +
+                        std::to_string(estimate) +
+                        " bytes) exceeds the warehouse disk budget (" +
+                        std::to_string(config_.disk_budget_bytes) + ")");
+    }
+    if (used_bytes_ + estimate > config_.disk_budget_bytes) {
+      const std::uint64_t needed =
+          used_bytes_ + estimate - config_.disk_budget_bytes;
+      const std::uint64_t freed = evict_to_fit_locked(needed);
+      if (freed < needed) {
+        metrics.publish_rejects->add();
+        return Status(
+            ErrorCode::kResourceExhausted,
+            "publish '" + image.id + "': warehouse budget exhausted (" +
+                std::to_string(used_bytes_) + "/" +
+                std::to_string(config_.disk_budget_bytes) +
+                " bytes used; eviction freed " + std::to_string(freed) +
+                " of " + std::to_string(needed) +
+                " needed — remaining images are pinned or leased)");
+      }
+    }
+  }
+
+  VMP_RETURN_IF_ERROR(warehouse_->publish(image));
+  // Charge the measured footprint, not the estimate: adoption re-measures
+  // the tree the publish actually materialized.
+  Status adopted = adopt_locked(image.id);
+  if (!adopted.ok()) {
+    kLog.warn() << "publish '" << image.id
+                << "': footprint measurement failed ("
+                << adopted.error().message()
+                << "); ledger entry missing until warm_start";
+  }
+  return Status();
+}
+
+Status LifecycleManager::acquire(const std::string& golden_id) {
+  LifecycleMetrics& metrics = LifecycleMetrics::get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(golden_id);
+  if (it != entries_.end() && it->second.zombie) {
+    metrics.lease_misses->add();
+    return Status(ErrorCode::kFailedPrecondition,
+                  "golden image '" + golden_id +
+                      "' was evicted (zombie awaiting final release); no new "
+                      "clones may lease it");
+  }
+  if (it == entries_.end()) {
+    // Published directly through the warehouse (pre-seeded fixture, another
+    // manager's lifetime): adopt it into the ledger on first lease.
+    Status adopted = adopt_locked(golden_id);
+    if (!adopted.ok()) {
+      metrics.lease_misses->add();
+      return adopted;
+    }
+    it = entries_.find(golden_id);
+  }
+  ++it->second.leases;
+  ++it->second.hits;
+  it->second.last_use_tick = ++tick_;
+  metrics.lease_hits->add();
+  return Status();
+}
+
+void LifecycleManager::release(const std::string& golden_id) noexcept {
+  LifecycleMetrics& metrics = LifecycleMetrics::get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(golden_id);
+  if (it == entries_.end() || it->second.leases == 0) return;
+  --it->second.leases;
+  if (!it->second.zombie || it->second.leases > 0) return;
+  // Last lease on a zombie: the clone trees that symlinked into this base
+  // are gone, so the base is finally safe to delete.
+  auto removed = store_->remove_tree(it->second.dir);
+  if (!removed.ok()) {
+    kLog.warn() << "zombie reap '" << golden_id << "' failed: "
+                << removed.error().message() << " (left on disk; "
+                << "reap_orphans will retry)";
+    // Keep it descriptor-less on disk but drop the entry: with zero leases
+    // nothing protects it, and the orphan sweep owns it from here.
+  }
+  used_bytes_ -= std::min(used_bytes_, it->second.physical_bytes);
+  const std::uint64_t freed =
+      removed.ok() ? removed.value().bytes_freed : 0;
+  entries_.erase(it);
+  metrics.reaps->add();
+  metrics.bytes_reclaimed->add(freed);
+  metrics.used_bytes->set(static_cast<std::int64_t>(used_bytes_));
+  metrics.zombies->set(static_cast<std::int64_t>(zombie_count_locked()));
+}
+
+Status LifecycleManager::evict_unleased_locked(const std::string& id,
+                                               Entry* entry) {
+  LifecycleMetrics& metrics = LifecycleMetrics::get();
+  auto detached = warehouse_->detach(id);
+  if (!detached.ok()) {
+    // Ledger said live but the index disagrees (removed behind our back):
+    // drop the stale entry so the ledger converges.
+    used_bytes_ -= std::min(used_bytes_, entry->physical_bytes);
+    entries_.erase(id);
+    metrics.used_bytes->set(static_cast<std::int64_t>(used_bytes_));
+    return detached.error();
+  }
+  policy_->on_evict(stats_for(id, *entry));
+  auto removed = store_->remove_tree(entry->dir);
+  const std::uint64_t freed = removed.ok() ? removed.value().bytes_freed : 0;
+  if (!removed.ok()) {
+    kLog.warn() << "evict '" << id << "': tree removal failed: "
+                << removed.error().message()
+                << " (descriptor gone; orphan sweep will retry)";
+  }
+  used_bytes_ -= std::min(used_bytes_, entry->physical_bytes);
+  entries_.erase(id);
+  metrics.evictions->add();
+  metrics.bytes_reclaimed->add(freed);
+  metrics.used_bytes->set(static_cast<std::int64_t>(used_bytes_));
+  return Status();
+}
+
+Status LifecycleManager::evict(const std::string& id) {
+  LifecycleMetrics& metrics = LifecycleMetrics::get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    // Known to the warehouse but never leased/published through us: adopt
+    // first so the ledger credit on eviction is correct.
+    if (!warehouse_->contains(id)) {
+      return Status(ErrorCode::kNotFound, "no golden image: " + id);
+    }
+    VMP_RETURN_IF_ERROR(adopt_locked(id));
+    it = entries_.find(id);
+  }
+  if (it->second.zombie) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "golden image '" + id + "' is already evicted (zombie)");
+  }
+  if (it->second.pinned) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "golden image '" + id + "' is pinned");
+  }
+  if (it->second.leases == 0) {
+    return evict_unleased_locked(id, &it->second);
+  }
+  // Leased: detach from the index so the PPP can never plan against it,
+  // delete ONLY the descriptor (a descriptor-driven rescan must not
+  // resurrect it), and keep the artefacts for the live clones' symlinks.
+  auto detached = warehouse_->detach(id);
+  if (!detached.ok()) return detached.error();
+  policy_->on_evict(stats_for(id, it->second));
+  auto desc = store_->remove_tree(it->second.dir + "/descriptor.xml");
+  if (!desc.ok()) {
+    kLog.warn() << "evict '" << id << "': descriptor removal failed: "
+                << desc.error().message();
+  }
+  it->second.zombie = true;
+  metrics.evictions->add();
+  metrics.zombie_evictions->add();
+  metrics.zombies->set(static_cast<std::int64_t>(zombie_count_locked()));
+  return Status();
+}
+
+std::uint64_t LifecycleManager::evict_to_fit_locked(
+    std::uint64_t bytes_needed) {
+  // Only unleased, unpinned, live images can free bytes NOW; zombie-ing a
+  // leased image reclaims nothing until its clones die, so it would burn
+  // cache value without helping this admission.
+  std::vector<ImageStats> candidates;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.zombie || entry.pinned || entry.leases > 0) continue;
+    candidates.push_back(stats_for(id, entry));
+  }
+  std::uint64_t freed = 0;
+  for (const std::string& id : policy_->rank(candidates)) {
+    if (freed >= bytes_needed) break;
+    auto it = entries_.find(id);
+    if (it == entries_.end() || it->second.leases > 0 || it->second.pinned ||
+        it->second.zombie) {
+      continue;
+    }
+    const std::uint64_t bytes = it->second.physical_bytes;
+    if (evict_unleased_locked(id, &it->second).ok()) freed += bytes;
+  }
+  return freed;
+}
+
+std::uint64_t LifecycleManager::evict_to_fit(std::uint64_t bytes_needed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evict_to_fit_locked(bytes_needed);
+}
+
+Status LifecycleManager::pin(const std::string& id, bool pinned) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    if (!warehouse_->contains(id)) {
+      return Status(ErrorCode::kNotFound, "no golden image: " + id);
+    }
+    VMP_RETURN_IF_ERROR(adopt_locked(id));
+    it = entries_.find(id);
+  }
+  if (it->second.zombie) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "golden image '" + id + "' is already evicted (zombie)");
+  }
+  it->second.pinned = pinned;
+  return Status();
+}
+
+Status LifecycleManager::warm_start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  VMP_RETURN_IF_ERROR(warehouse_->rescan());
+  entries_.clear();
+  used_bytes_ = 0;
+  tick_ = 0;
+  for (const warehouse::GoldenImage& image : warehouse_->list()) {
+    Status adopted = adopt_locked(image.id);
+    if (!adopted.ok()) {
+      return Status(adopted.error().code(),
+                    "warm_start '" + image.id +
+                        "': " + adopted.error().message());
+    }
+  }
+  LifecycleMetrics::get().zombies->set(0);
+  return Status();
+}
+
+Result<ReapReport> LifecycleManager::reap_orphans() {
+  LifecycleMetrics& metrics = LifecycleMetrics::get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto dir_entries = store_->list_dir(warehouse_->base_dir());
+  if (!dir_entries.ok()) return dir_entries.propagate<ReapReport>();
+  ReapReport report;
+  for (const std::string& name : dir_entries.value()) {
+    const std::string dir = warehouse_->base_dir() + "/" + name;
+    if (store_->exists(dir + "/descriptor.xml")) continue;
+    // A live zombie is descriptor-less by design — its leases protect it.
+    auto it = entries_.find(name);
+    if (it != entries_.end() && it->second.zombie && it->second.leases > 0) {
+      continue;
+    }
+    // A claimed id with no descriptor is a publish mid-materialization,
+    // not debris.
+    if (warehouse_->claimed(name)) continue;
+    auto removed = store_->remove_tree(dir);
+    if (!removed.ok()) {
+      kLog.warn() << "orphan sweep: cannot remove '" << dir
+                  << "': " << removed.error().message();
+      continue;
+    }
+    ++report.directories;
+    report.bytes_freed += removed.value().bytes_freed;
+    metrics.orphan_reaps->add();
+  }
+  metrics.bytes_reclaimed->add(report.bytes_freed);
+  return report;
+}
+
+std::vector<ImageStats> LifecycleManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ImageStats> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    out.push_back(stats_for(id, entry));
+  }
+  return out;
+}
+
+std::uint64_t LifecycleManager::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_bytes_;
+}
+
+std::size_t LifecycleManager::zombie_count_locked() const {
+  std::size_t count = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.zombie) ++count;
+  }
+  return count;
+}
+
+std::size_t LifecycleManager::zombie_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return zombie_count_locked();
+}
+
+}  // namespace vmp::lifecycle

@@ -1,0 +1,87 @@
+#include "lifecycle/policy.h"
+
+#include <algorithm>
+
+namespace vmp::lifecycle {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+double RebuildCostModel::rebuild_cost_s(std::uint64_t physical_bytes,
+                                        std::uint64_t files,
+                                        std::size_t performed_actions) const {
+  return clone_fixed_sec +
+         static_cast<double>(physical_bytes) / nfs_copy_bytes_per_sec +
+         static_cast<double>(files) * per_file_copy_overhead_sec +
+         static_cast<double>(performed_actions) *
+             (iso_connect_sec + guest_action_sec);
+}
+
+std::vector<std::string> LruPolicy::rank(
+    const std::vector<ImageStats>& candidates) {
+  std::vector<const ImageStats*> order;
+  order.reserve(candidates.size());
+  for (const ImageStats& s : candidates) order.push_back(&s);
+  std::sort(order.begin(), order.end(),
+            [](const ImageStats* a, const ImageStats* b) {
+              if (a->last_use_tick != b->last_use_tick)
+                return a->last_use_tick < b->last_use_tick;
+              return a->id < b->id;
+            });
+  std::vector<std::string> ids;
+  ids.reserve(order.size());
+  for (const ImageStats* s : order) ids.push_back(s->id);
+  return ids;
+}
+
+double GdsfPolicy::priority(const ImageStats& stats) const {
+  // hits+1: a never-cloned image still carries its rebuild cost — charging
+  // zero would make every fresh publish the instant victim.
+  const double size =
+      static_cast<double>(std::max<std::uint64_t>(stats.physical_bytes, 1));
+  return clock_ + static_cast<double>(stats.hits + 1) *
+                      stats.rebuild_cost_s / size;
+}
+
+std::vector<std::string> GdsfPolicy::rank(
+    const std::vector<ImageStats>& candidates) {
+  std::vector<const ImageStats*> order;
+  order.reserve(candidates.size());
+  for (const ImageStats& s : candidates) order.push_back(&s);
+  std::sort(order.begin(), order.end(),
+            [this](const ImageStats* a, const ImageStats* b) {
+              const double pa = priority(*a);
+              const double pb = priority(*b);
+              if (pa != pb) return pa < pb;
+              return a->id < b->id;
+            });
+  std::vector<std::string> ids;
+  ids.reserve(order.size());
+  for (const ImageStats* s : order) ids.push_back(s->id);
+  return ids;
+}
+
+void GdsfPolicy::on_evict(const ImageStats& victim) {
+  // Classic greedy-dual aging: the clock never moves backwards, and rises
+  // to the evicted priority so surviving images' advantage decays over
+  // time instead of being permanent.
+  clock_ = std::max(clock_, priority(victim));
+}
+
+Result<std::unique_ptr<EvictionPolicy>> make_policy(const std::string& name,
+                                                    RebuildCostModel model) {
+  if (name == "lru") {
+    return Result<std::unique_ptr<EvictionPolicy>>(
+        std::make_unique<LruPolicy>());
+  }
+  if (name == "gdsf") {
+    return Result<std::unique_ptr<EvictionPolicy>>(
+        std::make_unique<GdsfPolicy>(model));
+  }
+  return Result<std::unique_ptr<EvictionPolicy>>(Error(
+      ErrorCode::kInvalidArgument,
+      "unknown eviction policy '" + name + "' (expected \"lru\" or \"gdsf\")"));
+}
+
+}  // namespace vmp::lifecycle

@@ -1,0 +1,101 @@
+// Eviction policies for the warehouse lifecycle manager.
+//
+// The paper's VM Warehouse grows monotonically — every published golden
+// machine stays forever.  On a finite store that is untenable: under a disk
+// budget the lifecycle manager must pick victims, and the right victim is
+// NOT simply the least-recently-used image.  Golden machines differ wildly
+// in both size (a 2 GB disk image vs a 96 MB one) and replacement cost (an
+// image deep in the configuration DAG took many guest actions to author).
+// GDSF (Greedy-Dual-Size-Frequency, Cherkasova '98) folds size, popularity
+// and miss penalty into one priority, and is the cost-aware baseline here;
+// plain LRU is kept as the control the bench compares it against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace vmp::lifecycle {
+
+/// Per-image statistics the policies rank on (a snapshot built by the
+/// manager under its lock; policies never see the live ledger).
+struct ImageStats {
+  std::string id;
+  std::uint64_t physical_bytes = 0;  // symlink-aware on-disk footprint
+  std::uint64_t files = 0;           // regular files + links in the tree
+  std::uint64_t hits = 0;            // clone leases taken since publish
+  std::uint64_t last_use_tick = 0;   // manager's logical clock at last use
+  double rebuild_cost_s = 0.0;       // estimated cost to re-publish (model)
+  std::uint32_t leases = 0;          // live clones holding the base
+  bool pinned = false;
+  bool zombie = false;               // evicted, awaiting last lease release
+};
+
+/// Estimates what re-creating an evicted golden machine would cost, in
+/// seconds, using the same constants as the cluster timing model
+/// (cluster/timing_model.h): a full NFS copy of the image bytes plus the
+/// configuration-DAG suffix that distinguishes it from a base install.
+/// This is the "miss penalty" term in the GDSF priority.
+struct RebuildCostModel {
+  double nfs_copy_bytes_per_sec = 10.2e6;
+  double per_file_copy_overhead_sec = 0.55;
+  double clone_fixed_sec = 1.2;
+  /// Per configuration action: author+attach the script ISO, then the
+  /// guest daemon mounts and executes it.
+  double iso_connect_sec = 0.9;
+  double guest_action_sec = 1.5;
+
+  double rebuild_cost_s(std::uint64_t physical_bytes, std::uint64_t files,
+                        std::size_t performed_actions) const;
+};
+
+/// Ranks eviction candidates.  The manager filters (pinned, zombie, leased
+/// images never reach rank()); the policy only orders what it is given.
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+  virtual const char* name() const noexcept = 0;
+  /// Candidate ids, evict-first order.  Deterministic for a given input
+  /// (ties broken by id) so tests and benches are reproducible.
+  virtual std::vector<std::string> rank(
+      const std::vector<ImageStats>& candidates) = 0;
+  /// Eviction notification (GDSF advances its aging clock here).
+  virtual void on_evict(const ImageStats& victim) { (void)victim; }
+};
+
+/// Least-recently-used: oldest last_use_tick first, blind to size and cost.
+class LruPolicy final : public EvictionPolicy {
+ public:
+  const char* name() const noexcept override { return "lru"; }
+  std::vector<std::string> rank(
+      const std::vector<ImageStats>& candidates) override;
+};
+
+/// Greedy-Dual-Size-Frequency: priority(i) = clock + hits(i) *
+/// rebuild_cost(i) / size(i); evict lowest priority first; the clock rises
+/// to each victim's priority so long-idle images age out even when their
+/// cost/size ratio is high.
+class GdsfPolicy final : public EvictionPolicy {
+ public:
+  explicit GdsfPolicy(RebuildCostModel model = {}) : model_(model) {}
+  const char* name() const noexcept override { return "gdsf"; }
+  std::vector<std::string> rank(
+      const std::vector<ImageStats>& candidates) override;
+  void on_evict(const ImageStats& victim) override;
+
+  double priority(const ImageStats& stats) const;
+  double clock() const { return clock_; }
+
+ private:
+  RebuildCostModel model_;
+  double clock_ = 0.0;
+};
+
+/// Factory: "lru" or "gdsf" (kInvalidArgument otherwise).
+util::Result<std::unique_ptr<EvictionPolicy>> make_policy(
+    const std::string& name, RebuildCostModel model = {});
+
+}  // namespace vmp::lifecycle

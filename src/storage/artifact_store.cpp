@@ -35,6 +35,7 @@ IoAccounting& IoAccounting::operator+=(const IoAccounting& other) {
   bytes_written += other.bytes_written;
   files_touched += other.files_touched;
   links_created += other.links_created;
+  bytes_freed += other.bytes_freed;
   return *this;
 }
 
@@ -92,6 +93,14 @@ Result<std::uint64_t> ArtifactStore::logical_size(const std::string& relative) c
   auto p = resolve(relative);
   if (!p.ok()) return p.propagate<std::uint64_t>();
   std::error_code ec;
+  if (fs::is_symlink(p.value(), ec) && !fs::exists(p.value(), ec)) {
+    // The link exists but its target does not: a stale reference to an
+    // evicted or half-removed base image, not an ordinary missing file.
+    return Result<std::uint64_t>(
+        Error(ErrorCode::kFailedPrecondition,
+              "logical_size(" + relative + "): dangling symlink (target " +
+                  fs::read_symlink(p.value(), ec).string() + " is gone)"));
+  }
   const auto size = fs::file_size(p.value(), ec);  // follows symlinks
   if (ec) {
     return Result<std::uint64_t>(
@@ -99,6 +108,46 @@ Result<std::uint64_t> ArtifactStore::logical_size(const std::string& relative) c
               "logical_size(" + relative + "): " + ec.message()));
   }
   return static_cast<std::uint64_t>(size);
+}
+
+Result<TreeFootprint> ArtifactStore::tree_footprint(
+    const std::string& relative) const {
+  auto p = resolve(relative);
+  if (!p.ok()) return p.propagate<TreeFootprint>();
+  std::error_code ec;
+  const auto status = fs::symlink_status(p.value(), ec);
+  if (ec || status.type() == fs::file_type::not_found) {
+    return Result<TreeFootprint>(
+        Error(ErrorCode::kNotFound, "tree_footprint(" + relative + "): " +
+                                        (ec ? ec.message() : "no such path")));
+  }
+  TreeFootprint fp;
+  auto add_entry = [&fp](const fs::path& path) {
+    std::error_code entry_ec;
+    if (fs::is_symlink(path, entry_ec)) {
+      ++fp.links;
+      return;
+    }
+    if (fs::is_regular_file(path, entry_ec)) {
+      ++fp.files;
+      const auto size = fs::file_size(path, entry_ec);
+      if (!entry_ec) fp.physical_bytes += static_cast<std::uint64_t>(size);
+    }
+  };
+  if (status.type() == fs::file_type::directory) {
+    for (const auto& entry :
+         fs::recursive_directory_iterator(p.value(), ec)) {
+      add_entry(entry.path());
+    }
+    if (ec) {
+      return Result<TreeFootprint>(
+          Error(ErrorCode::kInternal,
+                "tree_footprint(" + relative + ") walk: " + ec.message()));
+    }
+  } else {
+    add_entry(p.value());
+  }
+  return fp;
 }
 
 Result<std::vector<std::string>> ArtifactStore::list_dir(
@@ -375,16 +424,29 @@ Status ArtifactStore::remove(const std::string& relative) {
   return Status();
 }
 
-Status ArtifactStore::remove_tree(const std::string& relative) {
+Result<IoAccounting> ArtifactStore::remove_tree(const std::string& relative) {
   auto p = resolve(relative);
-  if (!p.ok()) return p.error();
+  if (!p.ok()) return p.propagate<IoAccounting>();
+  // Measure before deleting so the caller learns what the removal actually
+  // reclaimed.  A missing path is not an error (idempotent cleanup): it
+  // frees nothing.
+  IoAccounting acct;
+  if (exists(relative)) {
+    auto fp = tree_footprint(relative);
+    if (fp.ok()) {
+      acct.bytes_freed = fp.value().physical_bytes;
+      acct.files_touched = fp.value().files + fp.value().links;
+    }
+  }
   std::error_code ec;
   fs::remove_all(p.value(), ec);
   if (ec) {
-    return Status(ErrorCode::kInternal,
-                  "remove_tree(" + relative + "): " + ec.message());
+    return Result<IoAccounting>(
+        Error(ErrorCode::kInternal,
+              "remove_tree(" + relative + "): " + ec.message()));
   }
-  return Status();
+  account(acct);
+  return acct;
 }
 
 }  // namespace vmp::storage

@@ -28,8 +28,23 @@ struct IoAccounting {
   std::uint64_t bytes_written = 0;
   std::uint64_t files_touched = 0;
   std::uint64_t links_created = 0;
+  /// Physical bytes released by a removal (symlink-aware: a removed link
+  /// frees nothing of its target).  Consumed by the warehouse quota ledger
+  /// and by the timing model's deletion cost.
+  std::uint64_t bytes_freed = 0;
 
   IoAccounting& operator+=(const IoAccounting& other);
+};
+
+/// Physical footprint of a directory tree, symlink-aware: regular files
+/// charge their apparent size (the simulation's convention — sparse files
+/// bill as if real), symlinks charge zero (their targets are billed where
+/// they physically live).  This is what a golden image "costs" the
+/// warehouse's disk budget.
+struct TreeFootprint {
+  std::uint64_t physical_bytes = 0;
+  std::uint64_t files = 0;
+  std::uint64_t links = 0;
 };
 
 class ArtifactStore {
@@ -47,9 +62,16 @@ class ArtifactStore {
   bool exists(const std::string& relative) const;
   bool is_symlink(const std::string& relative) const;
   util::Result<std::uint64_t> file_size(const std::string& relative) const;
-  /// Logical size: symlinks report the size of their target.
+  /// Logical size: symlinks report the size of their target.  A dangling
+  /// symlink is an explicit error (kFailedPrecondition) rather than a
+  /// generic lookup failure — callers that see it are usually holding a
+  /// stale reference to an evicted or half-removed base image.
   util::Result<std::uint64_t> logical_size(const std::string& relative) const;
   util::Result<std::vector<std::string>> list_dir(const std::string& relative) const;
+
+  /// Physical footprint of a directory tree (see TreeFootprint).  Also
+  /// accepts a single file or symlink.
+  util::Result<TreeFootprint> tree_footprint(const std::string& relative) const;
 
   // -- Mutations ------------------------------------------------------------
   util::Status make_dir(const std::string& relative);
@@ -86,7 +108,11 @@ class ArtifactStore {
                                        const std::string& to);
 
   util::Status remove(const std::string& relative);
-  util::Status remove_tree(const std::string& relative);
+
+  /// Recursively delete a tree; reports the physical bytes it freed
+  /// (symlink-aware, like tree_footprint).  Removing a missing path
+  /// succeeds and frees nothing, so cleanup paths stay idempotent.
+  util::Result<IoAccounting> remove_tree(const std::string& relative);
 
   // -- Aggregate accounting ---------------------------------------------------
   /// Snapshot (by value: concurrent operations keep accumulating while the

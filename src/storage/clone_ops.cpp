@@ -149,9 +149,11 @@ Result<CloneReport> clone_image(ArtifactStore* store,
   return result;
 }
 
-Status destroy_clone(ArtifactStore* store, const std::string& clone_dir) {
+Result<IoAccounting> destroy_clone(ArtifactStore* store,
+                                   const std::string& clone_dir) {
   if (!store->exists(clone_dir)) {
-    return Status(ErrorCode::kNotFound, "clone dir missing: " + clone_dir);
+    return Result<IoAccounting>(
+        Error(ErrorCode::kNotFound, "clone dir missing: " + clone_dir));
   }
   return store->remove_tree(clone_dir);
 }

@@ -44,9 +44,12 @@ util::Result<CloneReport> clone_image(ArtifactStore* store,
                                       const std::string& clone_dir,
                                       CloneStrategy strategy);
 
-/// Remove a clone directory (collecting a VM).  Refuses to remove a
-/// directory containing non-symlink disk spans that other clones link to is
+/// Remove a clone directory (collecting a VM).  Returns the removal
+/// accounting (symlink-aware bytes freed — a linked clone frees only its
+/// private replicas, never the golden spans its links point at).  Whether a
+/// directory contains non-symlink disk spans that other clones link to is
 /// not tracked here; plants only ever pass their own clone directories.
-util::Status destroy_clone(ArtifactStore* store, const std::string& clone_dir);
+util::Result<IoAccounting> destroy_clone(ArtifactStore* store,
+                                         const std::string& clone_dir);
 
 }  // namespace vmp::storage

@@ -238,16 +238,35 @@ bool Warehouse::contains(const std::string& id) const {
   return it != images_.end() && !it->second.image.id.empty();
 }
 
+bool Warehouse::claimed(const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return images_.count(id) != 0;
+}
+
 Status Warehouse::remove(const std::string& id) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
   auto it = images_.find(id);
   if (it == images_.end() || it->second.image.id.empty()) {
     return Status(ErrorCode::kNotFound, "no golden image: " + id);
   }
-  VMP_RETURN_IF_ERROR(store_->remove_tree(it->second.image.layout.dir));
+  auto removed = store_->remove_tree(it->second.image.layout.dir);
+  if (!removed.ok()) return removed.error();
   images_.erase(it);
   WarehouseMetrics::get().images->set(static_cast<std::int64_t>(images_.size()));
   return Status();
+}
+
+Result<GoldenImage> Warehouse::detach(const std::string& id) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = images_.find(id);
+  if (it == images_.end() || it->second.image.id.empty()) {
+    return Result<GoldenImage>(
+        Error(ErrorCode::kNotFound, "no golden image: " + id));
+  }
+  GoldenImage detached = std::move(it->second.image);
+  images_.erase(it);
+  WarehouseMetrics::get().images->set(static_cast<std::int64_t>(images_.size()));
+  return detached;
 }
 
 std::vector<GoldenImage> Warehouse::list() const {
@@ -286,8 +305,9 @@ CandidateSet Warehouse::match_candidates(
       ++out.mask_rejected;
       continue;
     }
-    out.images.push_back(indexed.image);
-    out.fingerprints.push_back(indexed.fingerprint);
+    out.candidates.push_back(CandidateView{indexed.image.id,
+                                           indexed.image.performed,
+                                           indexed.fingerprint});
   }
   return out;
 }

@@ -64,12 +64,22 @@ std::uint64_t action_mask(const std::vector<std::string>& signatures);
 /// fingerprint-equal candidates first and stop at the first full match.
 std::uint64_t action_fingerprint(const std::vector<std::string>& signatures);
 
+/// Lightweight view of one hardware- and mask-passing image: exactly what
+/// the PPP's DAG tests consume.  The scan used to copy full GoldenImage
+/// objects (layout + spec + guest state) per candidate on every production
+/// order; only the winning image is fetched in full, by id, after ranking.
+struct CandidateView {
+  std::string id;
+  /// Action signatures already performed (the DAG tests' input).
+  std::vector<std::string> performed;
+  /// Precomputed performed-multiset fingerprint.
+  std::uint64_t fingerprint = 0;
+};
+
 /// Result of the warehouse-side candidate scan for one production order.
 struct CandidateSet {
   /// Hardware- and mask-passing images, id order.
-  std::vector<GoldenImage> images;
-  /// Per-image performed-multiset fingerprint, parallel to `images`.
-  std::vector<std::uint64_t> fingerprints;
+  std::vector<CandidateView> candidates;
   /// How many images passed the hardware filter (before mask pruning).
   std::size_t hardware_candidates = 0;
   /// Hardware-passing images pruned by the mask (guaranteed Subset fails).
@@ -93,7 +103,19 @@ class Warehouse {
 
   util::Result<GoldenImage> lookup(const std::string& id) const;
   bool contains(const std::string& id) const;
+  /// True when the id is taken at all, INCLUDING a mid-publish placeholder
+  /// claim that contains() hides.  The lifecycle orphan reaper checks this
+  /// before sweeping a descriptor-less directory, so a publish that is
+  /// still materializing its artefacts is never mistaken for debris.
+  bool claimed(const std::string& id) const;
   util::Status remove(const std::string& id);
+
+  /// Remove an image from the index WITHOUT touching its on-disk tree, and
+  /// return it.  This is the lifecycle manager's eviction primitive: a
+  /// detached image is invisible to lookup/match (so the PPP can never plan
+  /// against it) while its artefacts stay on disk for clones still holding
+  /// leases on them (lifecycle/lifecycle.h).
+  util::Result<GoldenImage> detach(const std::string& id);
 
   /// All images (id-ordered); optionally filtered by backend.
   std::vector<GoldenImage> list() const;

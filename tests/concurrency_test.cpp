@@ -196,8 +196,8 @@ TEST_F(ConcurrencyTest, WarehousePublishDuringMatchStaysConsistent) {
         const auto scan = warehouse_->match_candidates(
             "vmware-gsx", [](const warehouse::GoldenImage&) { return true; },
             ~0ull);
-        for (const auto& image : scan.images) {
-          if (image.id.empty()) bad_reads.fetch_add(1);
+        for (const auto& candidate : scan.candidates) {
+          if (candidate.id.empty()) bad_reads.fetch_add(1);
         }
         for (const auto& image : warehouse_->list()) {
           if (image.id.empty()) bad_reads.fetch_add(1);

@@ -6,6 +6,7 @@
 
 #include "core/plant.h"
 #include "core/shop.h"
+#include "lifecycle/lifecycle.h"
 #include "workload/request_gen.h"
 
 namespace vmp::core {
@@ -205,6 +206,64 @@ TEST_F(ShopTest, WireProtocolThroughShopEndpoint) {
   auto fault = bus_.call(bad);
   ASSERT_TRUE(fault.ok());
   EXPECT_TRUE(fault.value().is_fault());
+}
+
+TEST_F(ShopTest, PublishMessageAdmitsAndBackpressures) {
+  // Serialize a golden descriptor into a vmshop.publish message body.
+  const auto publish_msg = [](const std::string& id, std::uint64_t disk_mb,
+                              const std::string& call_id) {
+    net::Message m =
+        net::Message::request("vmshop.publish", "installer", "vmshop",
+                              call_id);
+    xml::Element& golden = m.body().add_child("golden");
+    golden.set_attr("id", id);
+    golden.set_attr("backend", "vmware-gsx");
+    xml::Element& machine = golden.add_child("machine");
+    machine.set_attr("os", "linux-mandrake-8.1");
+    machine.set_attr("memory-bytes", std::to_string(32ull << 20));
+    machine.set_attr("suspended", "true");
+    xml::Element& disk = machine.add_child("disk");
+    disk.set_attr("name", "disk0");
+    disk.set_attr("capacity-bytes", std::to_string(disk_mb << 20));
+    disk.set_attr("span-count", "2");
+    disk.set_attr("mode", "non-persistent");
+    golden.add_child("performed");
+    return m;
+  };
+
+  // Without a lifecycle manager, publishing is unavailable at this shop.
+  auto no_lifecycle = bus_.call(publish_msg("installer-img", 64, "p-0"));
+  ASSERT_TRUE(no_lifecycle.ok());
+  ASSERT_TRUE(no_lifecycle.value().is_fault());
+  EXPECT_EQ(no_lifecycle.value().fault_error().code(),
+            util::ErrorCode::kFailedPrecondition);
+
+  // ~256 MB budget: the 64 MB-disk image fits, a 512 MB one cannot.
+  lifecycle::LifecycleManager::Config config;
+  config.disk_budget_bytes = 256ull << 20;
+  auto manager =
+      lifecycle::LifecycleManager::create(warehouse_.get(), config);
+  ASSERT_TRUE(manager.ok());
+  shop_->set_lifecycle(manager.value().get());
+
+  auto ok = net::call_expecting_success(
+      &bus_, publish_msg("installer-img", 64, "p-1"));
+  ASSERT_TRUE(ok.ok()) << ok.error().to_string();
+  const xml::Element* published = ok.value().body().child("published");
+  ASSERT_NE(published, nullptr);
+  EXPECT_EQ(published->attr("id"), "installer-img");
+  EXPECT_TRUE(warehouse_->contains("installer-img"));
+
+  // An image whose estimate alone exceeds the budget is rejected with
+  // kResourceExhausted — the fault IS the installer's backpressure.
+  auto rejected = bus_.call(publish_msg("oversized-img", 512, "p-2"));
+  ASSERT_TRUE(rejected.ok());
+  ASSERT_TRUE(rejected.value().is_fault());
+  EXPECT_EQ(rejected.value().fault_error().code(),
+            util::ErrorCode::kResourceExhausted);
+  EXPECT_FALSE(warehouse_->contains("oversized-img"));
+
+  shop_->set_lifecycle(nullptr);
 }
 
 }  // namespace

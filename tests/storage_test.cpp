@@ -142,6 +142,40 @@ TEST_F(StorageTest, RemoveTreeDeletesEverything) {
   EXPECT_FALSE(store_->exists("t"));
 }
 
+TEST_F(StorageTest, RemoveTreeAccountsPhysicalBytesFreed) {
+  ASSERT_TRUE(store_->write_file("t/a", "12345").ok());
+  ASSERT_TRUE(store_->write_file("t/sub/b", "678").ok());
+  // A symlink frees zero physical bytes; its target is billed elsewhere.
+  ASSERT_TRUE(store_->link_file("t/a", "t/link").ok());
+  auto removed = store_->remove_tree("t");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value().bytes_freed, 8u);
+  EXPECT_EQ(removed.value().files_touched, 3u);  // a, b, link
+  // Idempotent: a second removal frees nothing and still succeeds.
+  auto again = store_->remove_tree("t");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().bytes_freed, 0u);
+}
+
+TEST_F(StorageTest, TreeFootprintIsSymlinkAware) {
+  ASSERT_TRUE(store_->write_file("t/a", "12345").ok());
+  ASSERT_TRUE(store_->link_file("t/a", "t/link").ok());
+  auto footprint = store_->tree_footprint("t");
+  ASSERT_TRUE(footprint.ok());
+  EXPECT_EQ(footprint.value().physical_bytes, 5u);
+  EXPECT_EQ(footprint.value().files, 1u);
+  EXPECT_EQ(footprint.value().links, 1u);
+}
+
+TEST_F(StorageTest, DanglingSymlinkLogicalSizeIsExplicitError) {
+  ASSERT_TRUE(store_->write_file("t/a", "12345").ok());
+  ASSERT_TRUE(store_->link_file("t/a", "t/link").ok());
+  ASSERT_TRUE(store_->remove("t/a").ok());
+  auto size = store_->logical_size("t/link");
+  ASSERT_FALSE(size.ok());
+  EXPECT_EQ(size.error().code(), util::ErrorCode::kFailedPrecondition);
+}
+
 TEST_F(StorageTest, RemoveSingleFile) {
   ASSERT_TRUE(store_->write_file("f", "1").ok());
   EXPECT_TRUE(store_->remove("f").ok());

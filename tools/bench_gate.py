@@ -1,15 +1,21 @@
 #!/usr/bin/env python3
-"""Gate CI on the concurrency bench's BENCH_JSON output.
+"""Gate CI on a bench binary's BENCH_JSON output.
 
-Reads BENCH_JSON lines (from a file or stdin) emitted by bench/concurrency
-and compares them against a baseline file (bench/baselines/concurrency.json):
+Reads BENCH_JSON lines (from a file or stdin) emitted by a bench binary
+and compares them against a baseline file (bench/baselines/*.json). A
+baseline opts into gates by including the matching key:
 
-  * every measurement named in the baseline's "throughput_floor" map must
-    reach floor * (1 - max_regression_pct/100);
-  * "create.speedup.c16" (concurrent pipeline vs the serialized baseline at
-    16 clients) must reach min_speedup_c16 — but only on hosts with at
-    least min_cores_for_speedup_gate cores, since the pipeline cannot beat
-    a serialized memcpy on a single-core runner;
+  * "throughput_floor": {name: floor} — each named measurement's
+    throughput_vm_s must reach floor * (1 - max_regression_pct/100);
+  * "metric_floors": {name: {metric: floor}} — like throughput_floor but
+    for arbitrary metrics (e.g. hit_rate), same regression allowance;
+  * "must_exceed": [{"left": name.metric, "right": name.metric,
+    "min_ratio": r}] — cross-measurement ordering gates, e.g. the GDSF
+    churn hit rate must exceed LRU's at equal quota;
+  * "min_speedup_c16" — "create.speedup.c16" (concurrent pipeline vs the
+    serialized baseline at 16 clients) must reach it, but only on hosts
+    with at least min_cores_for_speedup_gate cores, since the pipeline
+    cannot beat a serialized memcpy on a single-core runner;
   * any measurement reporting failures != 0 fails the gate outright.
 
 Exit status 0 = pass, 1 = regression, 2 = bad input.
@@ -77,10 +83,52 @@ def main():
                             f"{allowed:.1f} (floor {floor:.1f} - "
                             f"{max_regression:.0%})")
 
+    for name, metrics in baseline.get("metric_floors", {}).items():
+        record = results.get(name)
+        if record is None:
+            failures.append(f"{name}: measurement missing from bench output")
+            continue
+        for metric, floor in metrics.items():
+            measured = record.get(metric, 0.0)
+            allowed = floor * (1.0 - max_regression)
+            verdict = "ok" if measured >= allowed else "REGRESSED"
+            print(f"{name + '.' + metric:24s} {measured:10.4f}      "
+                  f"(floor {floor:.4f}, allowed >= {allowed:.4f})  {verdict}")
+            if measured < allowed:
+                failures.append(f"{name}.{metric}: {measured:.4f} is below "
+                                f"{allowed:.4f} (floor {floor:.4f} - "
+                                f"{max_regression:.0%})")
+
+    def lookup(dotted):
+        name, _, metric = dotted.rpartition(".")
+        record = results.get(name)
+        if record is None or metric not in record:
+            return None
+        return float(record[metric])
+
+    for rule in baseline.get("must_exceed", []):
+        left, right = rule["left"], rule["right"]
+        min_ratio = rule.get("min_ratio", 1.0)
+        lhs, rhs = lookup(left), lookup(right)
+        if lhs is None or rhs is None:
+            missing = left if lhs is None else right
+            failures.append(f"must_exceed: {missing} missing from bench output")
+            continue
+        ratio = lhs / rhs if rhs else float("inf")
+        verdict = "ok" if ratio >= min_ratio else "REGRESSED"
+        print(f"{left:24s} {ratio:10.4f}x     "
+              f"(vs {right}, required >= {min_ratio:.2f}x)  {verdict}")
+        if ratio < min_ratio:
+            failures.append(f"must_exceed: {left} ({lhs:.4f}) is only "
+                            f"{ratio:.2f}x of {right} ({rhs:.4f}), "
+                            f"needs {min_ratio:.2f}x")
+
     speedup_record = results.get("create.speedup.c16")
-    min_speedup = baseline.get("min_speedup_c16", 2.0)
+    min_speedup = baseline.get("min_speedup_c16")
     min_cores = baseline.get("min_cores_for_speedup_gate", 4)
-    if speedup_record is None:
+    if min_speedup is None:
+        pass  # baseline doesn't gate the pipeline speedup
+    elif speedup_record is None:
         failures.append("create.speedup.c16: measurement missing")
     else:
         speedup = speedup_record.get("speedup", 0.0)
