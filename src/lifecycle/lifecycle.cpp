@@ -58,7 +58,7 @@ LifecycleManager::LifecycleManager(warehouse::Warehouse* warehouse,
 
 Result<std::unique_ptr<LifecycleManager>> LifecycleManager::create(
     warehouse::Warehouse* warehouse, Config config) {
-  auto policy = make_policy(config.policy, config.cost_model);
+  auto policy = make_policy(config.policy);
   if (!policy.ok()) {
     return policy.propagate<std::unique_ptr<LifecycleManager>>();
   }
@@ -112,38 +112,82 @@ Status LifecycleManager::adopt_locked(const std::string& id) {
 Status LifecycleManager::publish(const warehouse::GoldenImage& image) {
   LifecycleMetrics& metrics = LifecycleMetrics::get();
   const std::uint64_t estimate = estimate_publish_bytes(image.spec);
-  std::lock_guard<std::mutex> lock(mutex_);
 
-  if (config_.disk_budget_bytes != 0) {
-    if (estimate > config_.disk_budget_bytes) {
+  // Phase 1 (locked): id collision checks + budget admission + reservation.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(image.id);
+    if (it != entries_.end()) {
+      // A zombie is detached from the warehouse index, so the warehouse
+      // alone would happily re-claim its id — and materialization would
+      // overwrite the very artefact tree the zombie's live clones still
+      // symlink into, while adopt clobbered its lease count.  Reject: the
+      // id frees up only when the last release reaps the zombie.
       metrics.publish_rejects->add();
-      return Status(ErrorCode::kResourceExhausted,
-                    "publish '" + image.id + "': image (~" +
-                        std::to_string(estimate) +
-                        " bytes) exceeds the warehouse disk budget (" +
-                        std::to_string(config_.disk_budget_bytes) + ")");
+      if (it->second.zombie) {
+        return Status(ErrorCode::kFailedPrecondition,
+                      "publish '" + image.id +
+                          "': id belongs to an evicted image whose clones "
+                          "still hold leases (zombie); it can be reused "
+                          "only after the last lease release reaps it");
+      }
+      return Status(ErrorCode::kAlreadyExists,
+                    "golden image exists: " + image.id);
     }
-    if (used_bytes_ + estimate > config_.disk_budget_bytes) {
-      const std::uint64_t needed =
-          used_bytes_ + estimate - config_.disk_budget_bytes;
-      const std::uint64_t freed = evict_to_fit_locked(needed);
-      if (freed < needed) {
+    if (publishing_.count(image.id) != 0) {
+      metrics.publish_rejects->add();
+      return Status(ErrorCode::kAlreadyExists,
+                    "publish '" + image.id +
+                        "': a publish of this id is already in flight");
+    }
+
+    if (config_.disk_budget_bytes != 0) {
+      if (estimate > config_.disk_budget_bytes) {
         metrics.publish_rejects->add();
-        return Status(
-            ErrorCode::kResourceExhausted,
-            "publish '" + image.id + "': warehouse budget exhausted (" +
-                std::to_string(used_bytes_) + "/" +
-                std::to_string(config_.disk_budget_bytes) +
-                " bytes used; eviction freed " + std::to_string(freed) +
-                " of " + std::to_string(needed) +
-                " needed — remaining images are pinned or leased)");
+        return Status(ErrorCode::kResourceExhausted,
+                      "publish '" + image.id + "': image (~" +
+                          std::to_string(estimate) +
+                          " bytes) exceeds the warehouse disk budget (" +
+                          std::to_string(config_.disk_budget_bytes) + ")");
+      }
+      // Admit against charged + reserved bytes: in-flight publishes have
+      // not hit the ledger yet but their estimates are already committed.
+      const std::uint64_t committed = used_bytes_ + reserved_bytes_;
+      if (committed + estimate > config_.disk_budget_bytes) {
+        const std::uint64_t needed =
+            committed + estimate - config_.disk_budget_bytes;
+        const std::uint64_t freed = evict_to_fit_locked(needed);
+        if (freed < needed) {
+          metrics.publish_rejects->add();
+          return Status(
+              ErrorCode::kResourceExhausted,
+              "publish '" + image.id + "': warehouse budget exhausted (" +
+                  std::to_string(used_bytes_) + " used + " +
+                  std::to_string(reserved_bytes_) + " reserved of " +
+                  std::to_string(config_.disk_budget_bytes) +
+                  " bytes; eviction freed " + std::to_string(freed) +
+                  " of " + std::to_string(needed) +
+                  " needed — remaining images are pinned or leased)");
+        }
       }
     }
+    publishing_.insert(image.id);
+    reserved_bytes_ += estimate;
   }
 
-  VMP_RETURN_IF_ERROR(warehouse_->publish(image));
-  // Charge the measured footprint, not the estimate: adoption re-measures
-  // the tree the publish actually materialized.
+  // Phase 2 (UNLOCKED): the size-proportional materialization.  The
+  // warehouse's own id claim keeps the directory private, and the
+  // reservation above keeps concurrent admissions honest — holding mutex_
+  // here would serialize every publish and stall the acquire/release hot
+  // path for the duration of the I/O.
+  Status published = warehouse_->publish(image);
+
+  // Phase 3 (locked): settle — swap the reservation for the measured
+  // footprint (adoption re-measures the tree the publish materialized).
+  std::lock_guard<std::mutex> lock(mutex_);
+  publishing_.erase(image.id);
+  reserved_bytes_ -= std::min(reserved_bytes_, estimate);
+  if (!published.ok()) return published;
   Status adopted = adopt_locked(image.id);
   if (!adopted.ok()) {
     kLog.warn() << "publish '" << image.id
@@ -266,12 +310,23 @@ Status LifecycleManager::evict(const std::string& id) {
   // resurrect it), and keep the artefacts for the live clones' symlinks.
   auto detached = warehouse_->detach(id);
   if (!detached.ok()) return detached.error();
-  policy_->on_evict(stats_for(id, it->second));
   auto desc = store_->remove_tree(it->second.dir + "/descriptor.xml");
   if (!desc.ok()) {
-    kLog.warn() << "evict '" << id << "': descriptor removal failed: "
-                << desc.error().message();
+    // The zombie invariant — rescans can never resurrect an evicted image
+    // — holds only if the descriptor is gone.  If it cannot be removed the
+    // eviction must FAIL: re-attach the image to the index and leave the
+    // ledger entry live, rather than mint a resurrectable zombie.
+    Status attached = warehouse_->attach(std::move(detached).value());
+    if (!attached.ok()) {
+      kLog.warn() << "evict '" << id << "': rollback re-attach failed: "
+                  << attached.error().message()
+                  << " (index entry lost until rescan)";
+    }
+    return Status(desc.error().code(),
+                  "evict '" + id + "': descriptor removal failed (" +
+                      desc.error().message() + "); eviction aborted");
   }
+  policy_->on_evict(stats_for(id, it->second));
   it->second.zombie = true;
   metrics.evictions->add();
   metrics.zombie_evictions->add();

@@ -39,6 +39,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -74,8 +75,15 @@ class LifecycleManager : public hv::GoldenLeaseHook {
   /// Admit-and-publish: evicts unleased images (policy order) until the
   /// image's estimated footprint fits the budget, then publishes through
   /// the warehouse and charges the MEASURED footprint to the ledger.
+  /// Admission (budget check + estimate reservation) runs under the
+  /// manager lock; the size-proportional warehouse materialization does
+  /// NOT, so concurrent publishes and the acquire/release hot path never
+  /// wait on publish I/O.
   /// Returns kResourceExhausted when eviction cannot make room (the image
-  /// alone exceeds the budget, or everything else is pinned/leased).
+  /// alone exceeds the budget, or everything else is pinned/leased),
+  /// kFailedPrecondition when the id belongs to a zombie still awaiting
+  /// its last lease release, and kAlreadyExists when the id is live in
+  /// the ledger or another publish of it is in flight.
   util::Status publish(const warehouse::GoldenImage& image);
 
   // -- Leases (hv::GoldenLeaseHook) ------------------------------------------
@@ -152,11 +160,19 @@ class LifecycleManager : public hv::GoldenLeaseHook {
   storage::ArtifactStore* store_;
   std::unique_ptr<EvictionPolicy> policy_;
 
-  /// Guards entries_, used_bytes_, tick_ and the policy (rank/on_evict are
-  /// called under it).  Taken BEFORE any warehouse lock (see file header).
+  /// Guards entries_, used_bytes_, reserved_bytes_, publishing_, tick_ and
+  /// the policy (rank/on_evict are called under it).  Taken BEFORE any
+  /// warehouse lock (see file header).  NEVER held across warehouse
+  /// materialization I/O: publish() reserves the estimate, drops the lock
+  /// for warehouse::publish, then re-acquires to settle the ledger.
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
+  /// Ids with a publish in flight (admitted, materializing unlocked).
+  std::set<std::string> publishing_;
   std::uint64_t used_bytes_ = 0;
+  /// Estimated bytes of in-flight publishes, counted by admission so
+  /// concurrent publishes cannot collectively overshoot the budget.
+  std::uint64_t reserved_bytes_ = 0;
   std::uint64_t tick_ = 0;
 };
 

@@ -69,15 +69,14 @@ void GdsfPolicy::on_evict(const ImageStats& victim) {
   clock_ = std::max(clock_, priority(victim));
 }
 
-Result<std::unique_ptr<EvictionPolicy>> make_policy(const std::string& name,
-                                                    RebuildCostModel model) {
+Result<std::unique_ptr<EvictionPolicy>> make_policy(const std::string& name) {
   if (name == "lru") {
     return Result<std::unique_ptr<EvictionPolicy>>(
         std::make_unique<LruPolicy>());
   }
   if (name == "gdsf") {
     return Result<std::unique_ptr<EvictionPolicy>>(
-        std::make_unique<GdsfPolicy>(model));
+        std::make_unique<GdsfPolicy>());
   }
   return Result<std::unique_ptr<EvictionPolicy>>(Error(
       ErrorCode::kInvalidArgument,

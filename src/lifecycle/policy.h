@@ -77,10 +77,11 @@ class LruPolicy final : public EvictionPolicy {
 /// Greedy-Dual-Size-Frequency: priority(i) = clock + hits(i) *
 /// rebuild_cost(i) / size(i); evict lowest priority first; the clock rises
 /// to each victim's priority so long-idle images age out even when their
-/// cost/size ratio is high.
+/// cost/size ratio is high.  The rebuild cost arrives precomputed in
+/// ImageStats — the manager's RebuildCostModel is the single authority, so
+/// the policy holds no model of its own to diverge from it.
 class GdsfPolicy final : public EvictionPolicy {
  public:
-  explicit GdsfPolicy(RebuildCostModel model = {}) : model_(model) {}
   const char* name() const noexcept override { return "gdsf"; }
   std::vector<std::string> rank(
       const std::vector<ImageStats>& candidates) override;
@@ -90,12 +91,11 @@ class GdsfPolicy final : public EvictionPolicy {
   double clock() const { return clock_; }
 
  private:
-  RebuildCostModel model_;
   double clock_ = 0.0;
 };
 
 /// Factory: "lru" or "gdsf" (kInvalidArgument otherwise).
 util::Result<std::unique_ptr<EvictionPolicy>> make_policy(
-    const std::string& name, RebuildCostModel model = {});
+    const std::string& name);
 
 }  // namespace vmp::lifecycle

@@ -269,6 +269,22 @@ Result<GoldenImage> Warehouse::detach(const std::string& id) {
   return detached;
 }
 
+Status Warehouse::attach(GoldenImage image) {
+  if (image.id.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "image id must not be empty");
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  const std::string id = image.id;
+  auto [it, inserted] = images_.emplace(id, IndexedImage{});
+  if (!inserted) {
+    return Status(ErrorCode::kAlreadyExists, "golden image exists: " + id);
+  }
+  it->second = index_image(std::move(image));
+  WarehouseMetrics::get().images->set(
+      static_cast<std::int64_t>(images_.size()));
+  return Status();
+}
+
 std::vector<GoldenImage> Warehouse::list() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<GoldenImage> out;

@@ -117,6 +117,13 @@ class Warehouse {
   /// leases on them (lifecycle/lifecycle.h).
   util::Result<GoldenImage> detach(const std::string& id);
 
+  /// Inverse of detach: re-insert a previously detached image into the
+  /// index WITHOUT touching its on-disk tree.  The lifecycle manager's
+  /// eviction rollback — when zombifying fails mid-way (descriptor still
+  /// on disk) the image must become visible again.  Fails with
+  /// kAlreadyExists if the id is taken, including a mid-publish claim.
+  util::Status attach(GoldenImage image);
+
   /// All images (id-ordered); optionally filtered by backend.
   std::vector<GoldenImage> list() const;
   std::vector<GoldenImage> list_backend(const std::string& backend) const;

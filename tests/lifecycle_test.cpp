@@ -121,6 +121,41 @@ TEST_F(LifecycleTest, PublishRejectedWhenEverythingLeasedOrPinned) {
   EXPECT_FALSE(warehouse_->contains("g3"));
 }
 
+TEST_F(LifecycleTest, PublishCannotReuseALiveId) {
+  make_manager(0);
+  ASSERT_TRUE(lifecycle_->publish(golden("g1", 32, 128)).ok());
+  const std::uint64_t used = lifecycle_->used_bytes();
+  auto status = lifecycle_->publish(golden("g1", 16, 64));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(lifecycle_->used_bytes(), used);
+}
+
+TEST_F(LifecycleTest, PublishCannotReuseAZombieId) {
+  make_manager(0);
+  ASSERT_TRUE(lifecycle_->publish(golden("g1", 32, 128)).ok());
+  ASSERT_TRUE(lifecycle_->acquire("g1").ok());
+  ASSERT_TRUE(lifecycle_->evict("g1").ok());  // leased → zombie
+
+  // The zombie is gone from the warehouse index, but its artefact tree is
+  // exactly what live clones still symlink into: publishing the same id
+  // must be refused, never materialize over it.
+  auto status = lifecycle_->publish(golden("g1", 16, 64));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(store_->exists("warehouse/g1/memory.vmss"));
+  EXPECT_FALSE(warehouse_->contains("g1"));
+  EXPECT_EQ(lifecycle_->zombie_count(), 1u);
+
+  // Lease accounting survived the refused publish: the last release still
+  // reaps the zombie, and only then is the id free for reuse.
+  lifecycle_->release("g1");
+  EXPECT_FALSE(store_->exists("warehouse/g1"));
+  EXPECT_EQ(lifecycle_->used_bytes(), 0u);
+  ASSERT_TRUE(lifecycle_->publish(golden("g1", 16, 64)).ok());
+  EXPECT_TRUE(warehouse_->contains("g1"));
+}
+
 // -- Leases and zombies -----------------------------------------------------
 
 TEST_F(LifecycleTest, EvictUnleasedDeletesTree) {

@@ -118,6 +118,37 @@ TEST_F(WarehouseTest, RemoveDeletesDirectory) {
   EXPECT_EQ(warehouse_->size(), 0u);
 }
 
+TEST_F(WarehouseTest, AttachRestoresADetachedImage) {
+  ASSERT_TRUE(warehouse_
+                  ->publish_new("g1", "vmware-gsx", small_spec(),
+                                hv::GuestState{}, {"a", "b"})
+                  .ok());
+  auto detached = warehouse_->detach("g1");
+  ASSERT_TRUE(detached.ok());
+  EXPECT_FALSE(warehouse_->contains("g1"));
+  EXPECT_TRUE(store_->exists("warehouse/g1/descriptor.xml"));
+
+  // Attach is the pure index inverse of detach: no disk I/O, the image is
+  // servable again with its action history (and digests) intact.
+  ASSERT_TRUE(warehouse_->attach(detached.value()).ok());
+  auto restored = warehouse_->lookup("g1");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().performed,
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(warehouse_->match_candidates(
+                            "vmware-gsx",
+                            [](const GoldenImage&) { return true; },
+                            ~0ull)
+                .candidates.size(),
+            1u);
+
+  // A taken id refuses attach, and an empty id is invalid.
+  auto dup = warehouse_->attach(detached.value());
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code(), util::ErrorCode::kAlreadyExists);
+  EXPECT_FALSE(warehouse_->attach(GoldenImage{}).ok());
+}
+
 TEST_F(WarehouseTest, DescriptorRoundTrip) {
   GoldenImage image;
   image.id = "golden-64mb";
