@@ -1,0 +1,534 @@
+#include "explore/explorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace vmp::explore {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// One decision point on the current DFS path.  The path persists across
+/// runs: a prefix of it prescribes the next run, and backtracking advances
+/// the deepest node with an untried alternative.
+struct PathNode {
+  Decision::Kind kind = Decision::Kind::kTie;
+
+  // kTie ------------------------------------------------------------------
+  struct Alt {
+    std::uint64_t seq = 0;
+    std::string tag;
+  };
+  double when = 0.0;
+  std::vector<Alt> alts;  // co-enabled events, ascending seq
+  /// Sleep set inherited at node creation: events (by seq, with tag) whose
+  /// firing here is provably covered by an already-explored sibling order.
+  std::vector<std::pair<std::uint64_t, std::string>> sleep_in;
+  std::vector<std::size_t> explored;  // alt indices fully explored
+  std::size_t chosen = kNone;         // alt index taken in the current run
+
+  // kFault ----------------------------------------------------------------
+  std::string point;
+  std::string detail;
+  bool fire = true;      // current branch (explored fire-first)
+  bool flipped = false;  // the no-fire branch has been taken
+};
+
+bool alt_asleep(const PathNode& node, std::size_t index) {
+  const std::uint64_t seq = node.alts[index].seq;
+  for (const auto& [slept, tag] : node.sleep_in) {
+    if (slept == seq) return true;
+  }
+  return false;
+}
+
+bool alt_explored(const PathNode& node, std::size_t index) {
+  return std::find(node.explored.begin(), node.explored.end(), index) !=
+         node.explored.end();
+}
+
+/// Drives one run.  Decisions at depths covered by `path` are prescribed
+/// (with strict determinism checks); deeper decisions create fresh nodes,
+/// defaulting to the first awake alternative (ties) or the injected branch
+/// (faults).  Every decision — prescribed or fresh, branching or singleton —
+/// is appended to the run's decision log for trace emission.
+class RunDriver : public sim::SchedulePolicy {
+ public:
+  RunDriver(std::vector<PathNode>* path, const Scenario* scenario,
+            const ExploreOptions* options)
+      : path_(path), scenario_(scenario), options_(options) {}
+
+  std::size_t pick(sim::SimTime when,
+                   const std::vector<Choice>& ready) override {
+    if (aborted_ || failed()) return 0;
+
+    std::vector<std::uint64_t> seqs;
+    seqs.reserve(ready.size());
+    for (const Choice& c : ready) seqs.push_back(c.seq);
+
+    if (depth_ < path_->size()) {
+      PathNode& node = (*path_)[depth_];
+      bool matches = node.kind == Decision::Kind::kTie &&
+                     node.when == when && node.alts.size() == ready.size();
+      for (std::size_t i = 0; matches && i < ready.size(); ++i) {
+        matches = node.alts[i].seq == ready[i].seq;
+      }
+      if (!matches || node.chosen == kNone) {
+        fail_at("tie");
+        return 0;
+      }
+      ++depth_;
+      decisions_.push_back(
+          Decision::tie(when, std::move(seqs), node.alts[node.chosen].seq));
+      return node.chosen;
+    }
+
+    if (depth_ >= options_->max_decisions_per_run) {
+      // Past the decision budget: finish the run on defaults, no branching.
+      depth_clipped_ = true;
+      ++depth_;
+      decisions_.push_back(Decision::tie(when, std::move(seqs), ready[0].seq));
+      return 0;
+    }
+
+    PathNode node;
+    node.kind = Decision::Kind::kTie;
+    node.when = when;
+    node.alts.reserve(ready.size());
+    for (const Choice& c : ready) node.alts.push_back({c.seq, c.tag});
+    if (options_->sleep_sets && depth_ > 0) {
+      node.sleep_in = child_sleep((*path_)[depth_ - 1]);
+    }
+    ++new_nodes_;
+
+    std::size_t first = kNone;
+    std::size_t awake = 0;
+    for (std::size_t i = 0; i < node.alts.size(); ++i) {
+      if (alt_asleep(node, i)) continue;
+      ++awake;
+      if (first == kNone) first = i;
+    }
+    if (awake > 1) ++new_branch_nodes_;
+    node.chosen = first;
+    ++depth_;
+    if (first == kNone) {
+      // Every co-enabled event is asleep: each of their firings here is
+      // covered by an already-explored order.  The continuation is
+      // redundant — abandon the run without checking invariants.
+      aborted_ = true;
+      path_->push_back(std::move(node));
+      return 0;
+    }
+    decisions_.push_back(
+        Decision::tie(when, std::move(seqs), node.alts[first].seq));
+    path_->push_back(std::move(node));
+    return first;
+  }
+
+  bool fault_decide(const std::string& point, const std::string& detail) {
+    if (aborted_ || failed()) return false;
+
+    if (depth_ < path_->size()) {
+      PathNode& node = (*path_)[depth_];
+      if (node.kind != Decision::Kind::kFault || node.point != point ||
+          node.detail != detail) {
+        fail_at("fault");
+        return false;
+      }
+      ++depth_;
+      decisions_.push_back(Decision::fault(point, detail, node.fire));
+      return node.fire;
+    }
+
+    if (depth_ >= options_->max_decisions_per_run) {
+      depth_clipped_ = true;
+      ++depth_;
+      decisions_.push_back(Decision::fault(point, detail, false));
+      return false;
+    }
+
+    PathNode node;
+    node.kind = Decision::Kind::kFault;
+    node.point = point;
+    node.detail = detail;
+    node.fire = true;
+    ++new_nodes_;
+    ++new_branch_nodes_;  // a fault site always branches: fire / no-fire
+    ++depth_;
+    decisions_.push_back(Decision::fault(point, detail, true));
+    path_->push_back(std::move(node));
+    return true;
+  }
+
+  bool aborted() const { return aborted_; }
+  bool depth_clipped() const { return depth_clipped_; }
+  bool failed() const { return !error_.empty(); }
+  const std::string& error() const { return error_; }
+  std::vector<Decision> take_decisions() { return std::move(decisions_); }
+  std::uint64_t new_nodes() const { return new_nodes_; }
+  std::uint64_t new_branch_nodes() const { return new_branch_nodes_; }
+
+ private:
+  void fail_at(const char* what) {
+    error_ = std::string("scenario is nondeterministic: replayed decision "
+                         "prefix diverged at ") +
+             what + " decision " + std::to_string(depth_);
+  }
+
+  /// Sleep set a child node inherits after `parent` takes its chosen
+  /// alternative: members of the parent's sleep set plus the parent's
+  /// already-explored alternatives, kept only when independent of the taken
+  /// action.  A fault outcome is treated as dependent with everything
+  /// (conservative), so children of fault nodes start awake.
+  std::vector<std::pair<std::uint64_t, std::string>> child_sleep(
+      const PathNode& parent) const {
+    std::vector<std::pair<std::uint64_t, std::string>> out;
+    if (parent.kind != Decision::Kind::kTie || parent.chosen == kNone) {
+      return out;
+    }
+    const std::string& taken = parent.alts[parent.chosen].tag;
+    if (taken.empty()) return out;  // untagged events commute with nothing
+    auto consider = [&](std::uint64_t seq, const std::string& tag) {
+      if (!tag.empty() && scenario_->independent(tag, taken)) {
+        out.emplace_back(seq, tag);
+      }
+    };
+    for (const auto& [seq, tag] : parent.sleep_in) consider(seq, tag);
+    for (std::size_t index : parent.explored) {
+      consider(parent.alts[index].seq, parent.alts[index].tag);
+    }
+    return out;
+  }
+
+  std::vector<PathNode>* path_;
+  const Scenario* scenario_;
+  const ExploreOptions* options_;
+  std::size_t depth_ = 0;
+  bool aborted_ = false;
+  bool depth_clipped_ = false;
+  std::string error_;
+  std::vector<Decision> decisions_;
+  std::uint64_t new_nodes_ = 0;
+  std::uint64_t new_branch_nodes_ = 0;
+};
+
+/// Advance the DFS to the next unexplored schedule: find the deepest node
+/// with an untried, awake alternative, select it, and drop everything
+/// beneath.  Returns false when the whole space is exhausted.
+bool advance(std::vector<PathNode>* path, ExploreReport* report) {
+  while (!path->empty()) {
+    PathNode& node = path->back();
+    if (node.kind == Decision::Kind::kTie) {
+      if (node.chosen != kNone) node.explored.push_back(node.chosen);
+      std::size_t next = kNone;
+      for (std::size_t i = 0; i < node.alts.size(); ++i) {
+        if (alt_explored(node, i) || alt_asleep(node, i)) continue;
+        next = i;
+        break;
+      }
+      if (next != kNone) {
+        node.chosen = next;
+        return true;
+      }
+      // Exhausted: everything never chosen was asleep — skipped orderings.
+      report->pruned_choices += node.alts.size() - node.explored.size();
+      path->pop_back();
+    } else {
+      if (node.fire && !node.flipped) {
+        node.fire = false;
+        node.flipped = true;
+        return true;
+      }
+      path->pop_back();
+    }
+  }
+  return false;
+}
+
+void insert_unique_sorted(std::vector<std::string>* values,
+                          const std::string& value) {
+  auto it = std::lower_bound(values->begin(), values->end(), value);
+  if (it == values->end() || *it != value) values->insert(it, value);
+}
+
+/// Arm the process-wide fault registry for one exploration run.  No-op when
+/// the scenario has no fault plan.
+template <typename Decide>
+bool arm_faults(Scenario* scenario, sim::Engine* engine, Decide decide) {
+  fault::FaultPlan plan = scenario->fault_plan();
+  fault::FaultRegistry& registry = fault::FaultRegistry::instance();
+  registry.clear();
+  if (plan.rules().empty()) return false;
+  registry.install(std::move(plan));
+  registry.set_clock([engine]() { return engine->now(); });
+  registry.set_decider(std::move(decide));
+  return true;
+}
+
+Trace make_trace(const Scenario& scenario, std::vector<Decision> decisions,
+                 std::string digest, std::uint64_t schedule,
+                 std::vector<std::string> violations) {
+  Trace trace;
+  trace.scenario = scenario.name();
+  trace.config = scenario.config_spec();
+  trace.digest = std::move(digest);
+  trace.schedule = schedule;
+  trace.violations = std::move(violations);
+  trace.decisions = std::move(decisions);
+  return trace;
+}
+
+}  // namespace
+
+Result<ExploreReport> explore(const ScenarioFactory& factory,
+                              const ExploreOptions& options) {
+  ExploreReport report;
+  std::vector<PathNode> path;
+
+  for (;;) {
+    if (report.schedules >= options.max_schedules) {
+      report.schedule_budget_hit = true;
+      break;
+    }
+
+    std::unique_ptr<Scenario> scenario = factory();
+    if (!scenario) {
+      return Result<ExploreReport>(
+          Error(ErrorCode::kInternal, "explore: scenario factory returned "
+                                      "null"));
+    }
+    RunDriver driver(&path, scenario.get(), &options);
+    sim::Engine engine;
+    arm_faults(scenario.get(), &engine,
+               [&driver](const std::string& point, const std::string& detail) {
+                 return driver.fault_decide(point, detail);
+               });
+
+    Status setup = scenario->setup(&engine);
+    if (!setup.ok()) {
+      fault::FaultRegistry::instance().clear();
+      return setup.propagate<ExploreReport>();
+    }
+
+    engine.set_scheduler(&driver);
+    std::uint64_t steps = 0;
+    bool truncated = false;
+    while (!driver.aborted() && !driver.failed()) {
+      if (steps >= options.max_steps_per_run) {
+        truncated = true;
+        break;
+      }
+      if (!engine.step()) break;
+      ++steps;
+    }
+    engine.set_scheduler(nullptr);
+    // Disarm before digesting: recovery scans inside invariants must not
+    // consult fault hooks (and the decider must not outlive the driver).
+    fault::FaultRegistry::instance().clear();
+
+    ++report.schedules;
+    report.decision_points += driver.new_nodes();
+    report.branch_points += driver.new_branch_nodes();
+
+    if (driver.failed()) {
+      return Result<ExploreReport>(
+          Error(ErrorCode::kInternal, "explore: " + driver.error()));
+    }
+
+    bool stop = false;
+    if (driver.aborted()) {
+      ++report.sleep_aborted_runs;
+    } else if (truncated) {
+      ++report.truncated_runs;
+    } else {
+      if (driver.depth_clipped()) ++report.depth_clipped_runs;
+      const std::uint64_t terminal_index = report.terminal_states++;
+      const std::string digest = scenario->digest();
+      insert_unique_sorted(&report.distinct_digests, digest);
+
+      std::vector<std::string> failed_names;
+      std::vector<std::string> failed_messages;
+      for (Invariant& invariant : scenario->invariants()) {
+        Status status = invariant.check();
+        if (!status.ok()) {
+          failed_names.push_back(invariant.name);
+          failed_messages.push_back(status.error().message());
+        }
+      }
+
+      const bool want_dump =
+          options.dump_schedule >= 0 &&
+          static_cast<std::uint64_t>(options.dump_schedule) == terminal_index;
+      if (!failed_names.empty() || want_dump) {
+        Trace trace = make_trace(*scenario, driver.take_decisions(), digest,
+                                 terminal_index, failed_names);
+        for (std::size_t i = 0; i < failed_names.size(); ++i) {
+          report.violations.push_back(
+              ExploreViolation{failed_names[i], failed_messages[i], trace});
+        }
+        if (want_dump) report.dumped_trace = std::move(trace);
+      }
+      if (!failed_names.empty() && options.stop_on_violation) stop = true;
+    }
+
+    if (stop) break;
+    if (!advance(&path, &report)) break;
+  }
+
+  return report;
+}
+
+namespace {
+
+/// Replays a recorded trace: every decision must match the log exactly.
+class ReplayDriver : public sim::SchedulePolicy {
+ public:
+  explicit ReplayDriver(const Trace* trace) : trace_(trace) {}
+
+  std::size_t pick(sim::SimTime when,
+                   const std::vector<Choice>& ready) override {
+    if (failed()) return 0;
+    const Decision* decision = next("tie");
+    if (decision == nullptr) return 0;
+    if (decision->kind != Decision::Kind::kTie) {
+      error_ = diverged() + "engine hit a tie, trace recorded a fault";
+      return 0;
+    }
+    if (std::fabs(decision->when - when) > 1e-9) {
+      error_ = diverged() + "tie at t=" + std::to_string(when) +
+               ", trace recorded t=" + std::to_string(decision->when);
+      return 0;
+    }
+    bool same = decision->ready.size() == ready.size();
+    for (std::size_t i = 0; same && i < ready.size(); ++i) {
+      same = decision->ready[i] == ready[i].seq;
+    }
+    if (!same) {
+      error_ = diverged() + "co-enabled event set differs from the trace";
+      return 0;
+    }
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      if (ready[i].seq == decision->chosen) return i;
+    }
+    error_ = diverged() + "recorded chosen seq " +
+             std::to_string(decision->chosen) + " is not co-enabled";
+    return 0;
+  }
+
+  bool fault_decide(const std::string& point, const std::string& detail) {
+    if (failed()) return false;
+    const Decision* decision = next("fault");
+    if (decision == nullptr) return false;
+    if (decision->kind != Decision::Kind::kFault) {
+      error_ = diverged() + "engine hit a fault site, trace recorded a tie";
+      return false;
+    }
+    if (decision->point != point || decision->detail != detail) {
+      error_ = diverged() + "fault site " + point + "@" + detail +
+               " differs from recorded " + decision->point + "@" +
+               decision->detail;
+      return false;
+    }
+    return decision->fire;
+  }
+
+  bool failed() const { return !error_.empty(); }
+  const std::string& error() const { return error_; }
+  bool exhausted() const { return next_ == trace_->decisions.size(); }
+  std::size_t consumed() const { return next_; }
+
+ private:
+  const Decision* next(const char* what) {
+    if (next_ >= trace_->decisions.size()) {
+      error_ = diverged() + std::string("trace ended but the run asked for "
+                                        "another ") +
+               what + " decision";
+      return nullptr;
+    }
+    return &trace_->decisions[next_++];
+  }
+
+  std::string diverged() const {
+    return "replay diverged at decision " + std::to_string(next_) + ": ";
+  }
+
+  const Trace* trace_;
+  std::size_t next_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<ReplayResult> replay(const ScenarioFactory& factory,
+                            const Trace& trace) {
+  std::unique_ptr<Scenario> scenario = factory();
+  if (!scenario) {
+    return Result<ReplayResult>(
+        Error(ErrorCode::kInternal, "replay: scenario factory returned null"));
+  }
+  if (!trace.scenario.empty() && trace.scenario != scenario->name()) {
+    return Result<ReplayResult>(Error(
+        ErrorCode::kInvalidArgument, "replay: trace is for scenario '" +
+                                         trace.scenario + "', factory built '" +
+                                         scenario->name() + "'"));
+  }
+
+  ReplayDriver driver(&trace);
+  sim::Engine engine;
+  arm_faults(scenario.get(), &engine,
+             [&driver](const std::string& point, const std::string& detail) {
+               return driver.fault_decide(point, detail);
+             });
+
+  Status setup = scenario->setup(&engine);
+  if (!setup.ok()) {
+    fault::FaultRegistry::instance().clear();
+    return setup.propagate<ReplayResult>();
+  }
+
+  engine.set_scheduler(&driver);
+  // The decision log bounds the run; allow slack for decision-free events.
+  const std::uint64_t step_budget =
+      1000 + 100 * static_cast<std::uint64_t>(trace.decisions.size());
+  std::uint64_t steps = 0;
+  while (!driver.failed() && steps < step_budget && engine.step()) ++steps;
+  engine.set_scheduler(nullptr);
+  fault::FaultRegistry::instance().clear();
+
+  if (driver.failed()) {
+    return Result<ReplayResult>(
+        Error(ErrorCode::kFailedPrecondition, "replay: " + driver.error()));
+  }
+  if (steps >= step_budget) {
+    return Result<ReplayResult>(Error(
+        ErrorCode::kInternal, "replay: run exceeded the step budget"));
+  }
+  if (!driver.exhausted()) {
+    return Result<ReplayResult>(Error(
+        ErrorCode::kFailedPrecondition,
+        "replay: run finished with " +
+            std::to_string(trace.decisions.size() - driver.consumed()) +
+            " recorded decisions unconsumed"));
+  }
+
+  ReplayResult result;
+  result.digest = scenario->digest();
+  result.digest_matches = result.digest == trace.digest;
+  for (Invariant& invariant : scenario->invariants()) {
+    Status status = invariant.check();
+    if (!status.ok()) {
+      result.violations.push_back(invariant.name + ": " +
+                                  status.error().message());
+    }
+  }
+  return result;
+}
+
+}  // namespace vmp::explore

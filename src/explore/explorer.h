@@ -1,0 +1,156 @@
+// Bounded state-space exploration of DES schedules and fault outcomes.
+//
+// The lifecycle protocols (publish / evict / lease / zombie, DESIGN.md §11)
+// interleave on a shared warehouse; PR 5's three review bugs were all
+// interleaving bugs a reviewer happened to catch.  This module replaces
+// reviewer luck with enumeration, in the style of SimGrid's DFSExplorer:
+//
+//   * A Scenario builds a small, fresh configuration per run and schedules
+//     its operations on a sim::Engine with equal timestamps, so every
+//     ordering of co-enabled operations is reachable.
+//   * The Explorer drives the engine through ALL schedules of the scenario
+//     by depth-first re-execution: each equal-time tie is a decision point
+//     (which event fires next), and in exploration mode every eligible
+//     fault::check() site is a binary decision point (fire or not).
+//   * After each terminal state the scenario's invariants run; a violation
+//     is reported together with the Trace — the full decision log — that
+//     reaches it.  replay() re-executes a Trace deterministically and
+//     checks the terminal digest, so counterexamples are reproducible
+//     across processes and machines.
+//   * Sleep-set pruning (Godefroid): when the scenario declares two event
+//     tags independent — their operations commute, reaching the SAME state
+//     in either order — the explorer skips the redundant orderings.  With
+//     the default (nothing independent) every distinct schedule is
+//     enumerated.
+//
+// Exploration is stateless-model-checking style: no state snapshotting,
+// each schedule re-executes the scenario from scratch following a recorded
+// decision prefix.  That keeps scenarios free to use real components (the
+// warehouse writes a real ArtifactStore tree) at the cost of re-running
+// setup per schedule — which is why scenarios are SMALL by design.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explore/trace.h"
+#include "fault/fault.h"
+#include "sim/engine.h"
+#include "util/error.h"
+
+namespace vmp::explore {
+
+/// A property of the terminal state.  check() returns OK when it holds.
+struct Invariant {
+  std::string name;
+  std::function<util::Status()> check;
+};
+
+/// One explorable configuration.  The factory constructs a FRESH instance
+/// per run; all methods are called on that instance in order: setup(),
+/// engine drained, then digest() and invariants().
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  /// Registry name + config spec, recorded into traces so replay can
+  /// reconstruct the scenario (lifecycle_scenario.h resolves them).
+  virtual std::string name() const = 0;
+  virtual std::string config_spec() const { return std::string(); }
+
+  /// Build fresh state and schedule the run's operations on `engine`.
+  /// Equal-time events become explorer decision points; tag events with
+  /// their logical actor for sleep-set pruning.
+  virtual util::Status setup(sim::Engine* engine) = 0;
+
+  /// Fault plan armed (in exploration mode) for the run; empty = no fault
+  /// decision points.
+  virtual fault::FaultPlan fault_plan() const { return {}; }
+
+  /// Terminal-state digest — deterministic across processes and machines
+  /// (no pointers, absolute paths, wall-clock times or RNG draws).
+  virtual std::string digest() = 0;
+
+  /// Invariants checked at the terminal state, in order.  May mutate state
+  /// (e.g. run the orphan reaper); digest() is always taken first.
+  virtual std::vector<Invariant> invariants() = 0;
+
+  /// Independence for sleep-set pruning: return true only when operations
+  /// carrying these tags COMMUTE (same state in either order).  Default:
+  /// nothing commutes — full enumeration.
+  virtual bool independent(const std::string& tag_a,
+                           const std::string& tag_b) const {
+    (void)tag_a;
+    (void)tag_b;
+    return false;
+  }
+};
+
+using ScenarioFactory = std::function<std::unique_ptr<Scenario>()>;
+
+struct ExploreOptions {
+  /// Hard cap on schedules executed (the CI budget knob).
+  std::uint64_t max_schedules = 50000;
+  /// Decision-depth budget per run; deeper decision points take the
+  /// default choice without branching (run still completes + checks).
+  std::size_t max_decisions_per_run = 4096;
+  /// Engine-step budget per run; a run cut off here is counted truncated
+  /// and its invariants are NOT checked (mid-flight state is not terminal).
+  std::uint64_t max_steps_per_run = 100000;
+  /// Sleep-set pruning of commuting orders (scenario-declared independence).
+  bool sleep_sets = true;
+  /// Stop at the first invariant violation (explore everything otherwise).
+  bool stop_on_violation = true;
+  /// When >= 0, capture the Trace of this 0-based schedule into
+  /// ExploreReport::dumped_trace even if no invariant fails (fixture
+  /// generation: `vmp_explore --dump-schedule`).
+  std::int64_t dump_schedule = -1;
+};
+
+struct ExploreViolation {
+  std::string invariant;
+  std::string message;
+  Trace trace;
+};
+
+struct ExploreReport {
+  std::uint64_t schedules = 0;        // runs executed (incl. pruned-aborted)
+  std::uint64_t terminal_states = 0;  // runs that reached a checked terminal
+  std::uint64_t decision_points = 0;  // decision nodes created
+  std::uint64_t branch_points = 0;    // nodes with more than one candidate
+  std::uint64_t pruned_choices = 0;   // alternatives skipped by sleep sets
+  std::uint64_t sleep_aborted_runs = 0;  // runs cut where all choices slept
+  std::uint64_t truncated_runs = 0;      // runs cut by the step budget
+  std::uint64_t depth_clipped_runs = 0;  // runs past the decision budget
+  bool schedule_budget_hit = false;      // max_schedules reached first
+  std::vector<std::string> distinct_digests;  // sorted unique digests
+  std::vector<ExploreViolation> violations;
+  std::optional<Trace> dumped_trace;
+
+  bool complete() const { return !schedule_budget_hit; }
+};
+
+/// Exhaustively (within budgets) explore a scenario's schedule space.
+/// Errors only on harness failure — scenario setup failing, or the scenario
+/// behaving nondeterministically under a replayed prefix; invariant
+/// violations are reported in the ExploreReport, not as errors.
+util::Result<ExploreReport> explore(const ScenarioFactory& factory,
+                                    const ExploreOptions& options);
+
+struct ReplayResult {
+  std::string digest;          // terminal digest this replay produced
+  bool digest_matches = false; // equals trace.digest
+  std::vector<std::string> violations;  // "invariant: message" per failure
+};
+
+/// Re-execute a recorded trace against a fresh scenario instance.  Strict:
+/// any divergence from the recorded decisions (different co-enabled sets,
+/// different fault sites, log exhausted early/late) is an error.
+util::Result<ReplayResult> replay(const ScenarioFactory& factory,
+                                  const Trace& trace);
+
+}  // namespace vmp::explore

@@ -1,0 +1,490 @@
+#include "explore/lifecycle_scenario.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.h"
+#include "lifecycle/lifecycle.h"
+#include "storage/artifact_store.h"
+#include "util/strings.h"
+#include "warehouse/warehouse.h"
+
+namespace vmp::explore {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+namespace {
+
+const char* const kVariants[] = {"mixed", "zombie_reuse",
+                                 "publish_reservation", "evict_rollback"};
+
+bool known_variant(const std::string& variant) {
+  for (const char* v : kVariants) {
+    if (variant == v) return true;
+  }
+  return false;
+}
+
+/// The variant's default fault plan when the config leaves it empty.
+std::string effective_fault_spec(const LifecycleConfig& config) {
+  if (!config.fault_spec.empty()) return config.fault_spec;
+  if (config.variant == "publish_reservation") {
+    return "store.write:target=descriptor.xml,times=1";
+  }
+  if (config.variant == "evict_rollback") {
+    return "store.remove:target=descriptor.xml,times=1";
+  }
+  return std::string();
+}
+
+storage::MachineSpec spec_mb(std::uint64_t mem_mb, std::uint64_t disk_mb) {
+  storage::MachineSpec spec;
+  spec.os = "linux-mandrake-8.1";
+  spec.memory_bytes = mem_mb << 20;
+  spec.suspended = true;
+  spec.disk = storage::DiskSpec{"disk0", disk_mb << 20, 2,
+                                storage::DiskMode::kNonPersistent};
+  return spec;
+}
+
+warehouse::GoldenImage golden(const std::string& id, std::uint64_t mem_mb,
+                              std::uint64_t disk_mb) {
+  warehouse::GoldenImage image;
+  image.id = id;
+  image.backend = "vmware-gsx";
+  image.spec = spec_mb(mem_mb, disk_mb);
+  image.guest.os = image.spec.os;
+  return image;
+}
+
+class LifecycleScenario : public Scenario {
+ public:
+  explicit LifecycleScenario(LifecycleConfig config)
+      : config_(std::move(config)) {
+    static std::atomic<std::uint64_t> counter{0};
+    root_ = std::filesystem::temp_directory_path() /
+            ("vmp-explore-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter.fetch_add(1)));
+  }
+
+  ~LifecycleScenario() override {
+    manager_.reset();
+    warehouse_.reset();
+    store_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+
+  std::string name() const override { return "lifecycle"; }
+  std::string config_spec() const override { return config_.to_spec(); }
+
+  fault::FaultPlan fault_plan() const override {
+    const std::string spec = effective_fault_spec(config_);
+    if (spec.empty()) return {};
+    // Validated by lifecycle_factory(); cannot fail here.
+    return fault::FaultPlan::parse(spec, 1).value_or(fault::FaultPlan());
+  }
+
+  util::Status setup(sim::Engine* engine) override {
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+    store_ = std::make_unique<storage::ArtifactStore>(root_);
+    warehouse_ =
+        std::make_unique<warehouse::Warehouse>(store_.get(), "warehouse");
+    lifecycle::LifecycleManager::Config mc;
+    mc.disk_budget_bytes = config_.budget_mb << 20;
+    mc.policy = "lru";  // deterministic victim order
+    auto manager = lifecycle::LifecycleManager::create(warehouse_.get(), mc);
+    if (!manager.ok()) return manager.error();
+    manager_ = std::move(manager).value();
+
+    if (config_.variant == "mixed") {
+      schedule_mixed(engine);
+    } else if (config_.variant == "zombie_reuse") {
+      schedule_zombie_reuse(engine);
+    } else if (config_.variant == "publish_reservation") {
+      schedule_publish_reservation(engine);
+    } else {
+      schedule_evict_rollback(engine);
+    }
+    return Status();
+  }
+
+  std::string digest() override {
+    std::string s = outcomes_;
+    s += "used=" + std::to_string(manager_->used_bytes()) + "\n";
+    s += "reserved=" + std::to_string(manager_->reserved_bytes()) + "\n";
+    s += "inflight=" + std::to_string(manager_->inflight_publishes()) + "\n";
+    s += "zombies=" + std::to_string(manager_->zombie_count()) + "\n";
+    for (const lifecycle::ImageStats& st : manager_->stats()) {
+      s += "entry=" + st.id + " bytes=" + std::to_string(st.physical_bytes) +
+           " leases=" + std::to_string(st.leases) +
+           " zombie=" + std::to_string(st.zombie ? 1 : 0) + "\n";
+    }
+    for (const warehouse::GoldenImage& image : warehouse_->list()) {
+      s += "indexed=" + image.id + "\n";
+    }
+    auto dirs = store_->list_dir("warehouse");
+    if (dirs.ok()) {
+      std::vector<std::string> names = std::move(dirs).value();
+      std::sort(names.begin(), names.end());
+      for (const std::string& dir : names) {
+        const std::string rel = "warehouse/" + dir;
+        auto footprint = store_->tree_footprint(rel);
+        s += "dir=" + dir + " bytes=" +
+             (footprint.ok()
+                  ? std::to_string(footprint.value().physical_bytes)
+                  : std::string("?")) +
+             " descriptor=" +
+             std::to_string(store_->exists(rel + "/descriptor.xml") ? 1 : 0) +
+             "\n";
+      }
+    }
+    return digest_hex(s);
+  }
+
+  std::vector<Invariant> invariants() override {
+    // Order matters: the orphan reaper mutates the store, so it runs last;
+    // everything before it is read-only against the scenario's own state.
+    return {
+        {"ledger-matches-disk", [this] { return check_ledger(); }},
+        {"no-leased-delete", [this] { return check_leases(); }},
+        {"reservations-drain", [this] { return check_reservations(); }},
+        {"warm-start-fixpoint", [this] { return check_warm_start(); }},
+        {"reap-leaves-no-orphans", [this] { return check_reap(); }},
+    };
+  }
+
+ private:
+  // -- Operation scripts ----------------------------------------------------
+  // Every operation is one engine event; operations meant to race share a
+  // timestamp.  Outcomes go into the digest so protocol differences between
+  // orderings are distinguishable terminal states.
+
+  void record(const std::string& op, const Status& status) {
+    outcomes_ += op + "=" +
+                 (status.ok() ? "ok" : util::error_code_name(
+                                           status.error().code())) +
+                 "\n";
+  }
+
+  void at(sim::Engine* engine, double when, std::string tag,
+          std::function<void()> fn) {
+    engine->schedule_at(when, std::move(fn), std::move(tag));
+  }
+
+  void schedule_mixed(sim::Engine* engine) {
+    for (int p = 0; p < config_.plants; ++p) {
+      const std::string actor = "p" + std::to_string(p);
+      const std::string own = "g" + std::to_string(p % config_.goldens);
+      const std::string other =
+          "g" + std::to_string((p + 1) % config_.goldens);
+      const std::string fresh = "h" + std::to_string(p);
+      at(engine, 1.0, actor + ".publish." + own, [this, actor, own] {
+        record(actor + ".publish." + own,
+               manager_->publish(golden(own, 16, 64)));
+      });
+      at(engine, 2.0, actor + ".acquire." + other, [this, actor, other] {
+        record(actor + ".acquire." + other, manager_->acquire(other));
+      });
+      at(engine, 3.0, actor + ".evict." + own, [this, actor, own] {
+        record(actor + ".evict." + own, manager_->evict(own));
+      });
+      at(engine, 3.0, actor + ".release." + other, [this, actor, other] {
+        manager_->release(other);
+        record(actor + ".release." + other, Status());
+      });
+      at(engine, 4.0, actor + ".publish." + fresh, [this, actor, fresh] {
+        record(actor + ".publish." + fresh,
+               manager_->publish(golden(fresh, 16, 64)));
+      });
+    }
+  }
+
+  void schedule_zombie_reuse(sim::Engine* engine) {
+    // Evicting a leased g0 races a publish of the SAME id: whichever order
+    // fires, the zombie's tree must never be materialized over.
+    at(engine, 1.0, "p0.publish.g0", [this] {
+      record("p0.publish.g0", manager_->publish(golden("g0", 16, 64)));
+    });
+    at(engine, 2.0, "p0.acquire.g0", [this] {
+      record("p0.acquire.g0", manager_->acquire("g0"));
+    });
+    at(engine, 3.0, "p0.evict.g0", [this] {
+      record("p0.evict.g0", manager_->evict("g0"));
+    });
+    at(engine, 3.0, "p1.publish.g0", [this] {
+      record("p1.publish.g0", manager_->publish(golden("g0", 8, 32)));
+    });
+    at(engine, 4.0, "p0.release.g0", [this] {
+      manager_->release("g0");
+      record("p0.release.g0", Status());
+    });
+  }
+
+  void schedule_publish_reservation(sim::Engine* engine) {
+    // Two publishes race for a budget that holds two images only if the
+    // first-published g0 is evicted; the descriptor-write fault makes one
+    // of them fail AFTER admission, so its reservation must drain.
+    at(engine, 1.0, "p0.publish.g0", [this] {
+      record("p0.publish.g0", manager_->publish(golden("g0", 16, 64)));
+    });
+    at(engine, 2.0, "p0.publish.h0", [this] {
+      record("p0.publish.h0", manager_->publish(golden("h0", 16, 64)));
+    });
+    at(engine, 2.0, "p1.publish.h1", [this] {
+      record("p1.publish.h1", manager_->publish(golden("h1", 16, 64)));
+    });
+  }
+
+  void schedule_evict_rollback(sim::Engine* engine) {
+    // Zombifying a leased image whose descriptor removal fails must roll
+    // back (re-attach); the t=4 race then retries the evict around the
+    // lease release.
+    at(engine, 1.0, "p0.publish.g0", [this] {
+      record("p0.publish.g0", manager_->publish(golden("g0", 16, 64)));
+    });
+    at(engine, 2.0, "p0.acquire.g0", [this] {
+      record("p0.acquire.g0", manager_->acquire("g0"));
+    });
+    at(engine, 3.0, "p0.evict.g0", [this] {
+      record("p0.evict.g0", manager_->evict("g0"));
+    });
+    at(engine, 4.0, "p0.release.g0", [this] {
+      manager_->release("g0");
+      record("p0.release.g0", Status());
+    });
+    at(engine, 4.0, "p1.evict.g0", [this] {
+      record("p1.evict.g0", manager_->evict("g0"));
+    });
+  }
+
+  // -- Invariants ------------------------------------------------------------
+
+  /// used_bytes == Σ ledger entries, and every LIVE entry's tree footprint
+  /// on disk equals its ledger charge.  (Zombie trees shrink by exactly the
+  /// removed descriptor, so they are existence-checked by check_leases and
+  /// the reaper instead of byte-compared.)
+  Status check_ledger() {
+    std::uint64_t total = 0;
+    for (const lifecycle::ImageStats& st : manager_->stats()) {
+      total += st.physical_bytes;
+      if (st.zombie) continue;
+      auto footprint = store_->tree_footprint("warehouse/" + st.id);
+      if (!footprint.ok()) {
+        return Status(ErrorCode::kInternal,
+                      "live image '" + st.id +
+                          "' has no measurable tree: " +
+                          footprint.error().message());
+      }
+      if (footprint.value().physical_bytes != st.physical_bytes) {
+        return Status(
+            ErrorCode::kInternal,
+            "image '" + st.id + "': ledger says " +
+                std::to_string(st.physical_bytes) + " bytes, disk has " +
+                std::to_string(footprint.value().physical_bytes));
+      }
+    }
+    if (total != manager_->used_bytes()) {
+      return Status(ErrorCode::kInternal,
+                    "ledger total " + std::to_string(total) +
+                        " != used_bytes " +
+                        std::to_string(manager_->used_bytes()));
+    }
+    return Status();
+  }
+
+  /// No image with live leases — zombie or not — may lose its tree.
+  Status check_leases() {
+    for (const lifecycle::ImageStats& st : manager_->stats()) {
+      if (st.leases == 0) continue;
+      if (!store_->exists("warehouse/" + st.id)) {
+        return Status(ErrorCode::kInternal,
+                      "image '" + st.id + "' holds " +
+                          std::to_string(st.leases) +
+                          " leases but its tree was deleted");
+      }
+    }
+    return Status();
+  }
+
+  /// Publish admission reservations drain to zero once no publish runs.
+  Status check_reservations() {
+    if (manager_->reserved_bytes() != 0 ||
+        manager_->inflight_publishes() != 0) {
+      return Status(ErrorCode::kInternal,
+                    "publish reservations leaked: " +
+                        std::to_string(manager_->reserved_bytes()) +
+                        " bytes across " +
+                        std::to_string(manager_->inflight_publishes()) +
+                        " in-flight publishes at quiescence");
+    }
+    return Status();
+  }
+
+  /// warm_start() over the same store (a fresh warehouse + manager, i.e. a
+  /// crash that drops all memory) reconstructs exactly the live index, and
+  /// its ledger equals the live images' on-disk footprints.
+  Status check_warm_start() {
+    auto warehouse2 =
+        std::make_unique<warehouse::Warehouse>(store_.get(), "warehouse");
+    auto manager2 =
+        lifecycle::LifecycleManager::create(warehouse2.get(), {});
+    if (!manager2.ok()) return manager2.error();
+    Status warmed = manager2.value()->warm_start();
+    if (!warmed.ok()) return warmed;
+
+    std::vector<std::string> live;
+    std::uint64_t live_bytes = 0;
+    for (const warehouse::GoldenImage& image : warehouse_->list()) {
+      live.push_back(image.id);
+      auto footprint = store_->tree_footprint("warehouse/" + image.id);
+      if (footprint.ok()) live_bytes += footprint.value().physical_bytes;
+    }
+    std::vector<std::string> recovered;
+    for (const warehouse::GoldenImage& image : warehouse2->list()) {
+      recovered.push_back(image.id);
+    }
+    if (recovered != live) {
+      return Status(ErrorCode::kInternal,
+                    "warm_start index [" + util::join(recovered, ",") +
+                        "] != live index [" + util::join(live, ",") + "]");
+    }
+    if (manager2.value()->used_bytes() != live_bytes) {
+      return Status(ErrorCode::kInternal,
+                    "warm_start ledger " +
+                        std::to_string(manager2.value()->used_bytes()) +
+                        " != live on-disk bytes " +
+                        std::to_string(live_bytes));
+    }
+    return Status();
+  }
+
+  /// After one orphan sweep, every directory under the warehouse root is
+  /// either descriptor-backed or a lease-protected zombie, and a second
+  /// sweep finds nothing (idempotence).
+  Status check_reap() {
+    auto first = manager_->reap_orphans();
+    if (!first.ok()) return first.error();
+    auto dirs = store_->list_dir("warehouse");
+    if (!dirs.ok()) return Status();  // warehouse root empty or gone: clean
+    for (const std::string& dir : dirs.value()) {
+      if (store_->exists("warehouse/" + dir + "/descriptor.xml")) continue;
+      bool live_zombie = false;
+      for (const lifecycle::ImageStats& st : manager_->stats()) {
+        if (st.id == dir && st.zombie && st.leases > 0) live_zombie = true;
+      }
+      if (!live_zombie) {
+        return Status(ErrorCode::kInternal,
+                      "orphan survived the sweep: warehouse/" + dir +
+                          " has no descriptor and is not a leased zombie");
+      }
+    }
+    auto second = manager_->reap_orphans();
+    if (!second.ok()) return second.error();
+    if (second.value().directories != 0) {
+      return Status(ErrorCode::kInternal,
+                    "orphan sweep is not idempotent: second pass removed " +
+                        std::to_string(second.value().directories) +
+                        " directories");
+    }
+    return Status();
+  }
+
+  LifecycleConfig config_;
+  std::filesystem::path root_;
+  std::unique_ptr<storage::ArtifactStore> store_;
+  std::unique_ptr<warehouse::Warehouse> warehouse_;
+  std::unique_ptr<lifecycle::LifecycleManager> manager_;
+  std::string outcomes_;
+};
+
+}  // namespace
+
+std::string LifecycleConfig::to_spec() const {
+  return "variant=" + variant + "|plants=" + std::to_string(plants) +
+         "|goldens=" + std::to_string(goldens) +
+         "|budget_mb=" + std::to_string(budget_mb) + "|fault=" + fault_spec;
+}
+
+Result<LifecycleConfig> LifecycleConfig::parse(const std::string& spec) {
+  LifecycleConfig config;
+  for (const std::string& part : util::split(spec, '|')) {
+    if (util::trim(part).empty()) continue;
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      return Result<LifecycleConfig>(
+          Error(ErrorCode::kParseError,
+                "lifecycle config: expected key=value, got '" + part + "'"));
+    }
+    const std::string key(util::trim(part.substr(0, eq)));
+    const std::string value(util::trim(part.substr(eq + 1)));
+    long long parsed = 0;
+    if (key == "variant") {
+      config.variant = value;
+    } else if (key == "fault") {
+      config.fault_spec = value;
+    } else if (key == "plants" && util::parse_int64(value, &parsed) &&
+               parsed >= 0) {
+      config.plants = static_cast<int>(parsed);
+    } else if (key == "goldens" && util::parse_int64(value, &parsed) &&
+               parsed >= 0) {
+      config.goldens = static_cast<int>(parsed);
+    } else if (key == "budget_mb" && util::parse_int64(value, &parsed) &&
+               parsed >= 0) {
+      config.budget_mb = static_cast<std::uint64_t>(parsed);
+    } else {
+      return Result<LifecycleConfig>(Error(
+          ErrorCode::kParseError,
+          "lifecycle config: bad entry '" + part + "'"));
+    }
+  }
+  return config;
+}
+
+Result<ScenarioFactory> lifecycle_factory(const LifecycleConfig& config) {
+  if (!known_variant(config.variant)) {
+    return Result<ScenarioFactory>(
+        Error(ErrorCode::kInvalidArgument,
+              "lifecycle scenario: unknown variant '" + config.variant +
+                  "' (mixed, zombie_reuse, publish_reservation, "
+                  "evict_rollback)"));
+  }
+  if (config.plants < 1 || config.plants > 4 || config.goldens < 1 ||
+      config.goldens > 4) {
+    return Result<ScenarioFactory>(Error(
+        ErrorCode::kInvalidArgument,
+        "lifecycle scenario: plants and goldens must be in 1..4 (state "
+        "space is factorial in the actor count)"));
+  }
+  const std::string fault_spec = effective_fault_spec(config);
+  if (!fault_spec.empty()) {
+    auto plan = fault::FaultPlan::parse(fault_spec, 1);
+    if (!plan.ok()) return plan.propagate<ScenarioFactory>();
+  }
+  return ScenarioFactory([config]() -> std::unique_ptr<Scenario> {
+    return std::make_unique<LifecycleScenario>(config);
+  });
+}
+
+Result<ScenarioFactory> factory_for_trace(const Trace& trace) {
+  if (trace.scenario != "lifecycle") {
+    return Result<ScenarioFactory>(
+        Error(ErrorCode::kNotFound,
+              "no scenario registered under '" + trace.scenario + "'"));
+  }
+  auto config = LifecycleConfig::parse(trace.config);
+  if (!config.ok()) return config.propagate<ScenarioFactory>();
+  return lifecycle_factory(config.value());
+}
+
+}  // namespace vmp::explore

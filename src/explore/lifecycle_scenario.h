@@ -1,0 +1,64 @@
+// Explorable configurations of the warehouse lifecycle subsystem.
+//
+// Each variant builds a real store + warehouse + lifecycle manager in a
+// private temp directory and schedules a small script of publish / acquire /
+// evict / release operations at EQUAL sim times, so the explorer enumerates
+// every ordering (and, when a fault plan is set, every fire/no-fire outcome
+// of each eligible hook).  Variants:
+//
+//   mixed               — plants × goldens cross-traffic: publish, lease,
+//                         evict and re-publish under an optional disk
+//                         budget.  The general sweep CI runs.
+//   zombie_reuse        — evict-of-a-leased-image racing a publish of the
+//                         SAME id (PR 5 review bug: id reuse over a zombie).
+//   publish_reservation — two publishes racing for a budget that fits one,
+//                         with a descriptor-write fault, so a failed publish
+//                         must return its admission reservation (PR 5 review
+//                         bug: publish I/O accounting under the lock).
+//   evict_rollback      — zombify whose descriptor removal fails, forcing
+//                         the re-attach rollback path (PR 5 review bug:
+//                         eviction rollback), racing a release and a retry.
+//
+// All variants check the same five invariants at every terminal state:
+// ledger matches disk, no leased image deleted, publish reservations drained
+// to zero, warm_start() is a fixpoint of crash recovery, and the orphan
+// reaper leaves nothing it should not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "explore/explorer.h"
+#include "util/error.h"
+
+namespace vmp::explore {
+
+struct LifecycleConfig {
+  /// mixed | zombie_reuse | publish_reservation | evict_rollback
+  std::string variant = "mixed";
+  /// Concurrent actors ("plants") issuing operations.  Used by `mixed`.
+  int plants = 2;
+  /// Distinct golden-image ids the plants publish against.  Used by `mixed`.
+  int goldens = 2;
+  /// Warehouse disk budget, MB.  0 = unlimited.
+  std::uint64_t budget_mb = 0;
+  /// Fault plan spec (fault/fault.h grammar); empty = the variant's default
+  /// (mixed and zombie_reuse default to none).
+  std::string fault_spec;
+
+  /// Canonical '|'-separated spec, e.g.
+  /// "variant=mixed|plants=2|goldens=2|budget_mb=192|fault=...".  '|' is the
+  /// separator because fault specs contain ',' and ';'.
+  std::string to_spec() const;
+  static util::Result<LifecycleConfig> parse(const std::string& spec);
+};
+
+/// Validate the config (variant name, actor counts, fault spec) and build a
+/// factory producing a fresh scenario instance per run.
+util::Result<ScenarioFactory> lifecycle_factory(const LifecycleConfig& config);
+
+/// Resolve the factory for a recorded trace from its scenario name + config
+/// attributes ("lifecycle" is the only registered name).
+util::Result<ScenarioFactory> factory_for_trace(const Trace& trace);
+
+}  // namespace vmp::explore

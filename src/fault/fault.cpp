@@ -15,7 +15,8 @@ const std::vector<std::string>& known_points() {
   static const std::vector<std::string> kPoints = {
       points::kBusSend,          points::kBusTimeout,
       points::kStoreRead,        points::kStoreWrite,
-      points::kHypervisorResume, points::kPlantConfigureAction,
+      points::kStoreRemove,      points::kHypervisorResume,
+      points::kPlantConfigureAction,
   };
   return kPoints;
 }
@@ -250,6 +251,7 @@ void FaultRegistry::install(FaultPlan plan) {
   rule_fired_.assign(live_.size(), 0);
   rng_ = util::SplitMix64(plan_.seed());
   clock_ = nullptr;
+  decider_ = nullptr;
   report_ = util::FaultReport();
   sequence_.clear();
   checks_ = 0;
@@ -264,6 +266,7 @@ void FaultRegistry::clear() {
   seen_.clear();
   rule_fired_.clear();
   clock_ = nullptr;
+  decider_ = nullptr;
   report_ = util::FaultReport();
   sequence_.clear();
   checks_ = 0;
@@ -272,6 +275,16 @@ void FaultRegistry::clear() {
 void FaultRegistry::set_clock(std::function<double()> clock) {
   std::lock_guard<std::mutex> lock(mutex_);
   clock_ = std::move(clock);
+}
+
+void FaultRegistry::set_decider(Decider decider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  decider_ = std::move(decider);
+}
+
+bool FaultRegistry::exploring() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<bool>(decider_);
 }
 
 Status FaultRegistry::consult(const std::string& point,
@@ -292,7 +305,13 @@ Status FaultRegistry::consult(const std::string& point,
     const std::uint64_t seen = seen_[i]++;
     if (seen < rule.after) continue;
     if (rule.times != 0 && rule_fired_[i] >= rule.times) continue;
-    if (rule.probability < 1.0 && !rng_.bernoulli(rule.probability)) continue;
+    if (decider_) {
+      // Exploration mode: the hook outcome is a decision point owned by the
+      // explorer, not a draw from the seeded RNG.
+      if (!decider_(point, detail)) continue;
+    } else if (rule.probability < 1.0 && !rng_.bernoulli(rule.probability)) {
+      continue;
+    }
     ++rule_fired_[i];
     report_.record(point);
     sequence_.push_back(detail.empty() ? point : point + "@" + detail);

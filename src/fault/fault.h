@@ -47,6 +47,7 @@ inline constexpr const char* kBusSend = "bus.send";
 inline constexpr const char* kBusTimeout = "bus.timeout";
 inline constexpr const char* kStoreRead = "store.read";
 inline constexpr const char* kStoreWrite = "store.write";
+inline constexpr const char* kStoreRemove = "store.remove";
 inline constexpr const char* kHypervisorResume = "hypervisor.resume";
 inline constexpr const char* kPlantConfigureAction = "plant.configure_action";
 }  // namespace points
@@ -129,6 +130,20 @@ class FaultRegistry {
   /// with from <= 0 are active).  Cleared by install()/clear().
   void set_clock(std::function<double()> clock);
 
+  /// Exploration mode (DESIGN.md §12).  While a decider is installed, the
+  /// fire / no-fire outcome of every ELIGIBLE consult — a rule whose point,
+  /// target, time window, `after` skip and `times` budget all matched —
+  /// comes from the decider instead of the rule's probability draw, so the
+  /// state-space explorer can enumerate BOTH outcomes of each hook site
+  /// (a p=1 rule becomes a binary decision point too).  Called under the
+  /// registry mutex: the decider must not call back into the registry.
+  /// Pass nullptr to restore seeded-RNG behavior; cleared by
+  /// install()/clear().
+  using Decider =
+      std::function<bool(const std::string& point, const std::string& detail)>;
+  void set_decider(Decider decider);
+  bool exploring() const;
+
   /// The hook body: evaluate rules for `point`.  Called via fault::check().
   util::Status consult(const std::string& point, const std::string& detail);
 
@@ -153,6 +168,7 @@ class FaultRegistry {
   std::vector<std::uint64_t> rule_fired_;
   util::SplitMix64 rng_{1};
   std::function<double()> clock_;
+  Decider decider_;
   util::FaultReport report_;
   std::vector<std::string> sequence_;
   std::uint64_t checks_ = 0;

@@ -445,6 +445,16 @@ std::uint64_t LifecycleManager::used_bytes() const {
   return used_bytes_;
 }
 
+std::uint64_t LifecycleManager::reserved_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reserved_bytes_;
+}
+
+std::size_t LifecycleManager::inflight_publishes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return publishing_.size();
+}
+
 std::size_t LifecycleManager::zombie_count_locked() const {
   std::size_t count = 0;
   for (const auto& [id, entry] : entries_) {

@@ -123,6 +123,13 @@ class LifecycleManager : public hv::GoldenLeaseHook {
   std::uint64_t used_bytes() const;
   std::uint64_t budget_bytes() const { return config_.disk_budget_bytes; }
   std::size_t zombie_count() const;
+  /// Estimated bytes held by in-flight publish admissions.  Every publish —
+  /// admitted, rejected, or failed mid-materialization — must return this
+  /// to zero once it completes; the schedule explorer checks exactly that
+  /// at terminal states (reservation leaks were a PR 5 review finding).
+  std::uint64_t reserved_bytes() const;
+  /// Ids admitted and still materializing (drains with reserved_bytes()).
+  std::size_t inflight_publishes() const;
   const char* policy_name() const noexcept { return policy_->name(); }
   warehouse::Warehouse* warehouse() { return warehouse_; }
 

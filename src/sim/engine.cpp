@@ -1,30 +1,88 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <limits>
 
 namespace vmp::sim {
 
-EventHandle Engine::schedule(SimTime delay, std::function<void()> fn) {
+EventHandle Engine::schedule(SimTime delay, std::function<void()> fn,
+                             std::string tag) {
   if (delay < 0.0) delay = 0.0;
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, std::move(fn), std::move(tag));
 }
 
-EventHandle Engine::schedule_at(SimTime when, std::function<void()> fn) {
+EventHandle Engine::schedule_at(SimTime when, std::function<void()> fn,
+                                std::string tag) {
   if (when < now_) when = now_;
   auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  queue_.push_back(
+      Event{when, next_seq_++, std::move(fn), cancelled, std::move(tag)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
   return EventHandle(std::move(cancelled));
+}
+
+Engine::Event Engine::pop_earliest() {
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event event = std::move(queue_.back());
+  queue_.pop_back();
+  return event;
+}
+
+void Engine::push_event(Event event) {
+  queue_.push_back(std::move(event));
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+}
+
+void Engine::fire(Event event) {
+  now_ = event.when;
+  *event.cancelled = true;  // mark fired so EventHandle::pending() is false
+  event.fn();
 }
 
 bool Engine::step() {
   while (!queue_.empty()) {
-    // priority_queue::top is const; the event is copied out then popped.
-    Event ev = queue_.top();
-    queue_.pop();
-    if (*ev.cancelled) continue;  // skip cancelled entries lazily
-    now_ = ev.when;
-    *ev.cancelled = true;  // mark fired so EventHandle::pending() is false
-    ev.fn();
+    Event event = pop_earliest();
+    if (*event.cancelled) continue;  // skip cancelled entries lazily
+
+    if (scheduler_ == nullptr) {
+      // Default path: earliest (when, seq) fires — today's stable FIFO
+      // tie-break, with no tie gathering and no decision recording.
+      fire(std::move(event));
+      return true;
+    }
+
+    // A policy is installed: gather every non-cancelled event co-enabled at
+    // this timestamp.  Popping the heap yields them in ascending seq order.
+    std::vector<Event> ready;
+    const SimTime when = event.when;
+    ready.push_back(std::move(event));
+    while (!queue_.empty() && queue_.front().when == when) {
+      Event next = pop_earliest();
+      if (*next.cancelled) continue;
+      ready.push_back(std::move(next));
+    }
+
+    std::vector<SchedulePolicy::Choice> choices;
+    choices.reserve(ready.size());
+    for (const Event& e : ready) choices.push_back({e.seq, e.tag});
+    std::size_t index = scheduler_->pick(when, choices);
+    if (index >= ready.size()) index = 0;
+
+    TieDecision decision;
+    decision.when = when;
+    decision.ready.reserve(ready.size());
+    for (const Event& e : ready) decision.ready.push_back(e.seq);
+    decision.chosen = ready[index].seq;
+    decision_log_.push_back(std::move(decision));
+
+    // Re-enqueue the losers (seqs unchanged, so the stable order among them
+    // is preserved) BEFORE firing, so the fired callback can cancel them or
+    // schedule new same-time events that join the next decision point.
+    Event chosen = std::move(ready[index]);
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      if (i != index) push_event(std::move(ready[i]));
+    }
+    fire(std::move(chosen));
     return true;
   }
   return false;
@@ -35,12 +93,11 @@ std::size_t Engine::run() { return run_until(std::numeric_limits<SimTime>::infin
 std::size_t Engine::run_until(SimTime deadline) {
   std::size_t fired = 0;
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (*top.cancelled) {
-      queue_.pop();
+    if (*queue_.front().cancelled) {
+      pop_earliest();
       continue;
     }
-    if (top.when > deadline) break;
+    if (queue_.front().when > deadline) break;
     if (step()) ++fired;
   }
   if (now_ < deadline && deadline < std::numeric_limits<SimTime>::infinity()) {

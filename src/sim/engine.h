@@ -10,12 +10,20 @@
 // Single-threaded by design — determinism is a core requirement (DESIGN.md
 // §5) — with callback-chaining rather than coroutines so the control flow
 // stays debuggable in stack traces.
+//
+// Schedule exploration (DESIGN.md §12): the tie-break between events that
+// are co-enabled at the same timestamp is a pluggable seam.  With no
+// SchedulePolicy installed the engine fires equal-time events in scheduling
+// order, exactly as it always has, and pays nothing for the seam.  With a
+// policy installed, every equal-time group becomes a decision point: the
+// policy picks which event fires next and the engine records the decision,
+// which is what the src/explore state-space explorer enumerates and replays.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <string>
 #include <vector>
 
 namespace vmp::sim {
@@ -45,6 +53,32 @@ class EventHandle {
   std::shared_ptr<bool> state_;  // true = cancelled-or-fired
 };
 
+/// Tie-break policy for events co-enabled at the same timestamp.  pick()
+/// sees every non-cancelled event whose time equals the earliest pending
+/// time, in scheduling (seq) order, and returns the index of the one to
+/// fire.  An out-of-range index falls back to 0 (the stable FIFO choice).
+class SchedulePolicy {
+ public:
+  /// One co-enabled event: its stable sequence number and the optional tag
+  /// it was scheduled with (explorers use tags for independence pruning).
+  struct Choice {
+    std::uint64_t seq = 0;
+    std::string tag;
+  };
+
+  virtual ~SchedulePolicy() = default;
+  virtual std::size_t pick(SimTime when,
+                           const std::vector<Choice>& ready) = 0;
+};
+
+/// One recorded tie-break: which events were co-enabled, which fired.
+/// Recorded only while a SchedulePolicy is installed.
+struct TieDecision {
+  SimTime when = 0.0;
+  std::vector<std::uint64_t> ready;  // co-enabled seqs, ascending
+  std::uint64_t chosen = 0;          // seq that fired
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -54,11 +88,15 @@ class Engine {
   SimTime now() const { return now_; }
 
   /// Schedule `fn` to run at now()+delay.  delay < 0 is clamped to 0.
-  /// Events at equal times fire in scheduling order (stable).
-  EventHandle schedule(SimTime delay, std::function<void()> fn);
+  /// Events at equal times fire in scheduling order (stable).  The optional
+  /// tag names the logical actor for schedule exploration; it is ignored on
+  /// the default path.
+  EventHandle schedule(SimTime delay, std::function<void()> fn,
+                       std::string tag = {});
 
   /// Schedule at an absolute time (>= now()).
-  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  EventHandle schedule_at(SimTime when, std::function<void()> fn,
+                          std::string tag = {});
 
   /// Run until the queue drains.  Returns the number of events fired.
   std::size_t run();
@@ -72,12 +110,25 @@ class Engine {
 
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Install (or, with nullptr, remove) the tie-break policy.  Non-owning;
+  /// the policy must outlive its installation.  The default (no policy)
+  /// preserves the stable scheduling-order tie-break byte for byte.
+  void set_scheduler(SchedulePolicy* policy) { scheduler_ = policy; }
+  SchedulePolicy* scheduler() const { return scheduler_; }
+
+  /// Tie-breaks recorded while a policy was installed, oldest first.
+  const std::vector<TieDecision>& decision_log() const {
+    return decision_log_;
+  }
+  void clear_decision_log() { decision_log_.clear(); }
+
  private:
   struct Event {
     SimTime when;
     std::uint64_t seq;
     std::function<void()> fn;
     std::shared_ptr<bool> cancelled;
+    std::string tag;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -86,9 +137,20 @@ class Engine {
     }
   };
 
+  /// Move the earliest event out of the heap (std::pop_heap, so the
+  /// Event — std::function captures included — is moved, never copied).
+  Event pop_earliest();
+  void push_event(Event event);
+  void fire(Event event);
+
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Min-heap on (when, seq) maintained with std::push_heap/std::pop_heap;
+  /// an explicit vector (rather than std::priority_queue) so dispatch can
+  /// move events out instead of copying them from a const top().
+  std::vector<Event> queue_;
+  SchedulePolicy* scheduler_ = nullptr;
+  std::vector<TieDecision> decision_log_;
 };
 
 }  // namespace vmp::sim

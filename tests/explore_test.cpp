@@ -1,0 +1,356 @@
+// State-space explorer tests: exact schedule counts on toy configurations,
+// sleep-set pruning soundness, deterministic trace replay (in-process and
+// across processes via the vmp_explore tool), and the checked-in regression
+// trace corpus for the PR 5 lifecycle review bugs.
+//
+// The build injects VMP_EXPLORE_TOOL (path to the vmp_explore binary) and
+// VMP_TRACE_DIR (path to tests/traces) as compile definitions.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "explore/explorer.h"
+#include "explore/lifecycle_scenario.h"
+#include "explore/trace.h"
+
+namespace vmp::explore {
+namespace {
+
+// -- Toy scenarios -----------------------------------------------------------
+
+/// N events tied at t=1; each appends its letter to a log.  No two events
+/// commute, so the explorer must enumerate every permutation: N! schedules.
+class TieScenario : public Scenario {
+ public:
+  explicit TieScenario(int n) : n_(n) {}
+  std::string name() const override { return "toy-tie"; }
+  util::Status setup(sim::Engine* engine) override {
+    for (int i = 0; i < n_; ++i) {
+      const char letter = static_cast<char>('a' + i);
+      engine->schedule_at(1.0, [this, letter] { log_ += letter; },
+                          std::string(1, letter));
+    }
+    return util::Status();
+  }
+  std::string digest() override { return digest_hex(log_); }
+  std::vector<Invariant> invariants() override { return {}; }
+
+ protected:
+  int n_;
+  std::string log_;
+};
+
+/// Three tied events over two counters: a adds, b adds, c doubles.  a and b
+/// commute (declared independent); either is dependent with c.  Distinct
+/// terminal states: 4 of the 6 orders (ab/ba and cab/cba collapse).
+class CommuteScenario : public Scenario {
+ public:
+  std::string name() const override { return "toy-commute"; }
+  explicit CommuteScenario(bool declare_independence)
+      : declare_(declare_independence) {}
+  util::Status setup(sim::Engine* engine) override {
+    engine->schedule_at(1.0, [this] { x_ += 1; }, "a");
+    engine->schedule_at(1.0, [this] { y_ += 3; }, "b");
+    engine->schedule_at(1.0, [this] { x_ *= 2; y_ *= 2; }, "c");
+    return util::Status();
+  }
+  bool independent(const std::string& tag_a,
+                   const std::string& tag_b) const override {
+    if (!declare_) return false;
+    return (tag_a == "a" && tag_b == "b") || (tag_a == "b" && tag_b == "a");
+  }
+  std::string digest() override {
+    return "x=" + std::to_string(x_) + ",y=" + std::to_string(y_);
+  }
+  std::vector<Invariant> invariants() override { return {}; }
+
+ private:
+  bool declare_;
+  int x_ = 0;
+  int y_ = 0;
+};
+
+/// Two tied events whose "bad" order violates an invariant — the explorer
+/// must find it and emit a replayable trace.
+class BuggyScenario : public TieScenario {
+ public:
+  BuggyScenario() : TieScenario(2) {}
+  std::string name() const override { return "toy-buggy"; }
+  std::vector<Invariant> invariants() override {
+    return {{"a-before-b", [this] {
+               if (log_ == "ba") {
+                 return util::Status(util::ErrorCode::kInternal,
+                                     "b fired before a");
+               }
+               return util::Status();
+             }}};
+  }
+};
+
+ExploreOptions quiet_options() {
+  ExploreOptions options;
+  options.max_schedules = 10000;
+  return options;
+}
+
+// -- Exact schedule counts ---------------------------------------------------
+
+TEST(ExplorerTest, TwoTiedEventsYieldTwoSchedules) {
+  auto report = explore([] { return std::make_unique<TieScenario>(2); },
+                        quiet_options());
+  ASSERT_TRUE(report.ok()) << report.error().message();
+  EXPECT_EQ(report.value().schedules, 2u);
+  EXPECT_EQ(report.value().terminal_states, 2u);
+  EXPECT_EQ(report.value().distinct_digests.size(), 2u);
+  EXPECT_TRUE(report.value().complete());
+  EXPECT_TRUE(report.value().violations.empty());
+}
+
+TEST(ExplorerTest, ThreeWayTieYieldsSixSchedules) {
+  auto report = explore([] { return std::make_unique<TieScenario>(3); },
+                        quiet_options());
+  ASSERT_TRUE(report.ok()) << report.error().message();
+  EXPECT_EQ(report.value().schedules, 6u);  // 3!
+  EXPECT_EQ(report.value().terminal_states, 6u);
+  EXPECT_EQ(report.value().distinct_digests.size(), 6u);
+}
+
+TEST(ExplorerTest, ScheduleBudgetReportsIncomplete) {
+  ExploreOptions options;
+  options.max_schedules = 3;
+  auto report =
+      explore([] { return std::make_unique<TieScenario>(3); }, options);
+  ASSERT_TRUE(report.ok()) << report.error().message();
+  EXPECT_EQ(report.value().schedules, 3u);
+  EXPECT_TRUE(report.value().schedule_budget_hit);
+  EXPECT_FALSE(report.value().complete());
+}
+
+// -- Sleep-set pruning -------------------------------------------------------
+
+TEST(ExplorerTest, SleepSetsPruneOnlyCommutingOrders) {
+  auto unpruned = explore(
+      [] { return std::make_unique<CommuteScenario>(false); },
+      quiet_options());
+  ASSERT_TRUE(unpruned.ok()) << unpruned.error().message();
+  EXPECT_EQ(unpruned.value().schedules, 6u);
+  EXPECT_EQ(unpruned.value().distinct_digests.size(), 4u);
+  EXPECT_EQ(unpruned.value().pruned_choices, 0u);
+
+  auto pruned = explore(
+      [] { return std::make_unique<CommuteScenario>(true); },
+      quiet_options());
+  ASSERT_TRUE(pruned.ok()) << pruned.error().message();
+  // Fewer runs, yet NO distinct terminal state may be dropped.
+  EXPECT_LT(pruned.value().schedules, unpruned.value().schedules);
+  EXPECT_GT(pruned.value().pruned_choices + pruned.value().sleep_aborted_runs,
+            0u);
+  EXPECT_EQ(pruned.value().distinct_digests,
+            unpruned.value().distinct_digests);
+}
+
+TEST(ExplorerTest, DisablingSleepSetsRestoresFullEnumeration) {
+  ExploreOptions options = quiet_options();
+  options.sleep_sets = false;
+  auto report = explore(
+      [] { return std::make_unique<CommuteScenario>(true); }, options);
+  ASSERT_TRUE(report.ok()) << report.error().message();
+  EXPECT_EQ(report.value().schedules, 6u);
+  EXPECT_EQ(report.value().pruned_choices, 0u);
+  EXPECT_EQ(report.value().sleep_aborted_runs, 0u);
+}
+
+// -- Violations and replay ---------------------------------------------------
+
+TEST(ExplorerTest, ViolationYieldsReplayableTrace) {
+  auto report = explore([] { return std::make_unique<BuggyScenario>(); },
+                        quiet_options());
+  ASSERT_TRUE(report.ok()) << report.error().message();
+  ASSERT_EQ(report.value().violations.size(), 1u);
+  const ExploreViolation& violation = report.value().violations.front();
+  EXPECT_EQ(violation.invariant, "a-before-b");
+
+  // The trace round-trips through XML and replays to the recorded digest,
+  // reproducing the violation.
+  auto parsed = Trace::from_xml_string(violation.trace.to_xml());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+  EXPECT_EQ(parsed.value().violations,
+            std::vector<std::string>{"a-before-b"});
+  auto replayed = replay([] { return std::make_unique<BuggyScenario>(); },
+                         parsed.value());
+  ASSERT_TRUE(replayed.ok()) << replayed.error().message();
+  EXPECT_TRUE(replayed.value().digest_matches);
+  ASSERT_EQ(replayed.value().violations.size(), 1u);
+}
+
+TEST(ExplorerTest, DumpedScheduleReplaysToSameDigest) {
+  ExploreOptions options = quiet_options();
+  options.dump_schedule = 4;  // an arbitrary non-first schedule
+  auto report =
+      explore([] { return std::make_unique<TieScenario>(3); }, options);
+  ASSERT_TRUE(report.ok()) << report.error().message();
+  ASSERT_TRUE(report.value().dumped_trace.has_value());
+  const Trace& trace = *report.value().dumped_trace;
+  EXPECT_EQ(trace.schedule, 4u);
+  auto replayed =
+      replay([] { return std::make_unique<TieScenario>(3); }, trace);
+  ASSERT_TRUE(replayed.ok()) << replayed.error().message();
+  EXPECT_TRUE(replayed.value().digest_matches);
+  EXPECT_TRUE(replayed.value().violations.empty());
+}
+
+TEST(ExplorerTest, ReplayRejectsDivergentTrace) {
+  ExploreOptions options = quiet_options();
+  options.dump_schedule = 0;
+  auto report =
+      explore([] { return std::make_unique<TieScenario>(2); }, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report.value().dumped_trace.has_value());
+  Trace trace = *report.value().dumped_trace;
+  // A trace from a 2-event scenario cannot drive a 3-event one.
+  auto mismatched =
+      replay([] { return std::make_unique<TieScenario>(3); }, trace);
+  EXPECT_FALSE(mismatched.ok());
+}
+
+// -- Lifecycle scenarios -----------------------------------------------------
+
+TEST(ExplorerTest, ZombieReuseRaceExploresBothOrders) {
+  LifecycleConfig config;
+  config.variant = "zombie_reuse";
+  auto factory = lifecycle_factory(config);
+  ASSERT_TRUE(factory.ok()) << factory.error().message();
+  auto report = explore(factory.value(), quiet_options());
+  ASSERT_TRUE(report.ok()) << report.error().message();
+  EXPECT_EQ(report.value().schedules, 2u);  // evict/publish 2-way tie
+  EXPECT_TRUE(report.value().violations.empty())
+      << report.value().violations.front().invariant << ": "
+      << report.value().violations.front().message;
+}
+
+TEST(ExplorerTest, EvictRollbackExploresFaultAndRace) {
+  LifecycleConfig config;
+  config.variant = "evict_rollback";
+  auto factory = lifecycle_factory(config);
+  ASSERT_TRUE(factory.ok()) << factory.error().message();
+  auto report = explore(factory.value(), quiet_options());
+  ASSERT_TRUE(report.ok()) << report.error().message();
+  // descriptor-removal fault (2 outcomes) x release/evict tie (2 orders).
+  EXPECT_EQ(report.value().schedules, 4u);
+  EXPECT_TRUE(report.value().violations.empty());
+}
+
+TEST(ExplorerTest, UnknownVariantRejected) {
+  LifecycleConfig config;
+  config.variant = "nonsense";
+  EXPECT_FALSE(lifecycle_factory(config).ok());
+}
+
+// -- Regression trace corpus (the PR 5 review bugs) --------------------------
+
+class TraceCorpusTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TraceCorpusTest, FixtureReplaysToRecordedDigest) {
+  const std::filesystem::path path =
+      std::filesystem::path(VMP_TRACE_DIR) / GetParam();
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  auto trace = Trace::from_xml_string(buffer.str());
+  ASSERT_TRUE(trace.ok()) << trace.error().message();
+  EXPECT_TRUE(trace.value().violations.empty())
+      << "regression fixtures must be clean on HEAD";
+  auto factory = factory_for_trace(trace.value());
+  ASSERT_TRUE(factory.ok()) << factory.error().message();
+  auto result = replay(factory.value(), trace.value());
+  ASSERT_TRUE(result.ok()) << result.error().message();
+  EXPECT_TRUE(result.value().digest_matches)
+      << "replay produced " << result.value().digest << ", fixture recorded "
+      << trace.value().digest;
+  EXPECT_TRUE(result.value().violations.empty())
+      << result.value().violations.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Pr5Bugs, TraceCorpusTest,
+                         ::testing::Values("zombie_reuse.xml",
+                                           "publish_reservation.xml",
+                                           "evict_rollback.xml"));
+
+// -- Cross-process determinism ----------------------------------------------
+
+/// Replaying the same fixture in two separate tool processes must print
+/// byte-identical reports (same digest, same decision count): the digest has
+/// no pids, paths, or timestamps in it.
+TEST(ExplorerTest, ReplayIsBitIdenticalAcrossProcesses) {
+  const std::string fixture =
+      (std::filesystem::path(VMP_TRACE_DIR) / "zombie_reuse.xml").string();
+  const std::filesystem::path out_dir =
+      std::filesystem::temp_directory_path() /
+      ("vmp-explore-proc-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(out_dir);
+  std::string outputs[2];
+  for (int i = 0; i < 2; ++i) {
+    const std::string out = (out_dir / ("run" + std::to_string(i))).string();
+    const std::string command = std::string(VMP_EXPLORE_TOOL) + " --replay " +
+                                fixture + " > " + out + " 2>&1";
+    ASSERT_EQ(std::system(command.c_str()), 0) << command;
+    std::ifstream in(out);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    outputs[i] = buffer.str();
+  }
+  std::filesystem::remove_all(out_dir);
+  EXPECT_FALSE(outputs[0].empty());
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_NE(outputs[0].find("REPLAY OK"), std::string::npos) << outputs[0];
+}
+
+// -- Trace XML round-trip ----------------------------------------------------
+
+TEST(TraceTest, XmlRoundTripPreservesEveryField) {
+  Trace trace;
+  trace.scenario = "lifecycle";
+  trace.config = "variant=mixed|plants=2";
+  trace.digest = "0123456789abcdef";
+  trace.schedule = 41;
+  trace.violations = {"ledger-matches-disk"};
+  trace.decisions.push_back(Decision::tie(3.0, {2, 5, 9}, 5));
+  trace.decisions.push_back(
+      Decision::fault("store.write", "warehouse/g0/descriptor.xml", true));
+  trace.decisions.push_back(Decision::tie(4.0, {10}, 10));
+
+  auto parsed = Trace::from_xml_string(trace.to_xml());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message();
+  const Trace& t = parsed.value();
+  EXPECT_EQ(t.scenario, trace.scenario);
+  EXPECT_EQ(t.config, trace.config);
+  EXPECT_EQ(t.digest, trace.digest);
+  EXPECT_EQ(t.schedule, trace.schedule);
+  EXPECT_EQ(t.violations, trace.violations);
+  ASSERT_EQ(t.decisions.size(), 3u);
+  EXPECT_EQ(t.decisions[0].kind, Decision::Kind::kTie);
+  EXPECT_EQ(t.decisions[0].ready, (std::vector<std::uint64_t>{2, 5, 9}));
+  EXPECT_EQ(t.decisions[0].chosen, 5u);
+  EXPECT_EQ(t.decisions[1].kind, Decision::Kind::kFault);
+  EXPECT_EQ(t.decisions[1].point, "store.write");
+  EXPECT_TRUE(t.decisions[1].fire);
+  EXPECT_EQ(t.decisions[2].chosen, 10u);
+}
+
+TEST(TraceTest, DigestIsStableFnv1a) {
+  // Pin the digest primitive: traces checked into tests/traces/ depend on
+  // it never changing.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(digest_hex(""), "cbf29ce484222325");
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+}  // namespace
+}  // namespace vmp::explore

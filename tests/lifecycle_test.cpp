@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <filesystem>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -369,6 +370,90 @@ TEST_F(LifecycleTest, OrphanReaperIsIdempotentAndSparesLiveState) {
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(second.value().directories, 0u);
   EXPECT_EQ(second.value().bytes_freed, 0u);
+}
+
+TEST_F(LifecycleTest, PropertyWarmStartFixpointAtEveryCrashPrefix) {
+  // Property: for ANY operation sequence, crashing after ANY prefix and
+  // warm-starting reconstructs exactly the live (descriptor-backed) index
+  // with a ledger equal to the on-disk footprints — and recovery is a
+  // fixpoint: crashing the recovered incarnation and warm-starting again
+  // changes nothing.  Randomized sequences, deterministic seed.
+  std::mt19937 rng(20260808);
+  constexpr int kSequences = 3;
+  constexpr int kOps = 8;
+  for (int seq = 0; seq < kSequences; ++seq) {
+    struct Op {
+      int kind;
+      std::string id;
+    };
+    std::vector<Op> ops;
+    for (int i = 0; i < kOps; ++i) {
+      ops.push_back({static_cast<int>(rng() % 4),
+                     "g" + std::to_string(rng() % 3)});
+    }
+    for (int prefix = 0; prefix <= kOps; ++prefix) {
+      // A fresh world per prefix, so each crash point is independent.
+      std::filesystem::remove_all(root_);
+      store_ = std::make_unique<storage::ArtifactStore>(root_);
+      warehouse_ =
+          std::make_unique<warehouse::Warehouse>(store_.get(), "warehouse");
+      make_manager(0);
+      for (int i = 0; i < prefix; ++i) {
+        switch (ops[i].kind) {
+          case 0:
+            (void)lifecycle_->publish(golden(ops[i].id, 8, 16));
+            break;
+          case 1:
+            (void)lifecycle_->acquire(ops[i].id);
+            break;
+          case 2:
+            lifecycle_->release(ops[i].id);
+            break;
+          default:
+            (void)lifecycle_->evict(ops[i].id);
+            break;
+        }
+      }
+      // Ground truth: the live index and its on-disk bytes.
+      std::vector<std::string> live;
+      std::uint64_t live_bytes = 0;
+      for (const auto& image : warehouse_->list()) {
+        live.push_back(image.id);
+        auto footprint = store_->tree_footprint("warehouse/" + image.id);
+        ASSERT_TRUE(footprint.ok());
+        live_bytes += footprint.value().physical_bytes;
+      }
+
+      // Crash #1: fresh warehouse + manager, no memory, warm start.
+      auto warehouse2 =
+          std::make_unique<warehouse::Warehouse>(store_.get(), "warehouse");
+      auto manager2 = LifecycleManager::create(warehouse2.get(), {});
+      ASSERT_TRUE(manager2.ok());
+      ASSERT_TRUE(manager2.value()->warm_start().ok())
+          << "seq " << seq << " prefix " << prefix;
+      std::vector<std::string> recovered;
+      for (const auto& image : warehouse2->list()) {
+        recovered.push_back(image.id);
+      }
+      EXPECT_EQ(recovered, live) << "seq " << seq << " prefix " << prefix;
+      EXPECT_EQ(manager2.value()->used_bytes(), live_bytes)
+          << "seq " << seq << " prefix " << prefix;
+
+      // Crash #2 over the recovered state: warm_start must be a fixpoint.
+      auto warehouse3 =
+          std::make_unique<warehouse::Warehouse>(store_.get(), "warehouse");
+      auto manager3 = LifecycleManager::create(warehouse3.get(), {});
+      ASSERT_TRUE(manager3.ok());
+      ASSERT_TRUE(manager3.value()->warm_start().ok());
+      std::vector<std::string> again;
+      for (const auto& image : warehouse3->list()) {
+        again.push_back(image.id);
+      }
+      EXPECT_EQ(again, recovered);
+      EXPECT_EQ(manager3.value()->used_bytes(),
+                manager2.value()->used_bytes());
+    }
+  }
 }
 
 // -- Concurrency (TSan targets) ---------------------------------------------

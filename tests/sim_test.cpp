@@ -110,6 +110,158 @@ TEST(EngineTest, ScheduleAtPastTimeClamps) {
   EXPECT_DOUBLE_EQ(fire_time, 5.0);
 }
 
+// -- Schedule policy seam ------------------------------------------------------
+
+namespace {
+/// Always fires the co-enabled event with the HIGHEST seq (reverse FIFO).
+class PickLast : public SchedulePolicy {
+ public:
+  std::size_t pick(SimTime, const std::vector<Choice>& ready) override {
+    return ready.size() - 1;
+  }
+};
+/// Fires the first co-enabled event (the default order, but through the
+/// gather-and-pick path instead of the fast path).
+class PickFirst : public SchedulePolicy {
+ public:
+  std::size_t pick(SimTime, const std::vector<Choice>& ready) override {
+    last_ready = ready;
+    return 0;
+  }
+  std::vector<Choice> last_ready;
+};
+}  // namespace
+
+TEST(EngineTest, EqualTimeFifoStableUnderHeapChurn) {
+  // Pin the vector+pop_heap queue: scheduling order among equal-time events
+  // survives arbitrary interleaving with earlier pops and later pushes.
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(0.5, [&] {
+    for (int i = 10; i < 15; ++i) {
+      engine.schedule_at(1.0, [&order, i] { order.push_back(i); });
+    }
+  });
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  ASSERT_EQ(order.size(), 15u);
+  for (int i = 0; i < 15; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EngineTest, PolicyPicksWhichTiedEventFires) {
+  Engine engine;
+  PickLast policy;
+  engine.set_scheduler(&policy);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    engine.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.schedule(2.0, [&order] { order.push_back(99); });  // untied: as-is
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0, 99}));
+}
+
+TEST(EngineTest, PolicySeesSeqAndTagOfEveryCoEnabledEvent) {
+  Engine engine;
+  PickFirst policy;
+  engine.set_scheduler(&policy);
+  engine.schedule(1.0, [] {}, "alpha");
+  engine.schedule(1.0, [] {}, "beta");
+  engine.step();
+  ASSERT_EQ(policy.last_ready.size(), 2u);
+  EXPECT_EQ(policy.last_ready[0].tag, "alpha");
+  EXPECT_EQ(policy.last_ready[1].tag, "beta");
+  EXPECT_LT(policy.last_ready[0].seq, policy.last_ready[1].seq);
+}
+
+TEST(EngineTest, OutOfRangePickFallsBackToFifo) {
+  class PickBeyond : public SchedulePolicy {
+   public:
+    std::size_t pick(SimTime, const std::vector<Choice>& ready) override {
+      return ready.size() + 7;
+    }
+  };
+  Engine engine;
+  PickBeyond policy;
+  engine.set_scheduler(&policy);
+  std::vector<int> order;
+  engine.schedule(1.0, [&] { order.push_back(0); });
+  engine.schedule(1.0, [&] { order.push_back(1); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EngineTest, CancelWhileQueuedAmongTies) {
+  // The fired event cancels a tied loser that was gathered and re-queued:
+  // the loser must not fire, and run() must terminate cleanly.
+  Engine engine;
+  PickFirst policy;
+  engine.set_scheduler(&policy);
+  bool victim_fired = false;
+  EventHandle victim;
+  engine.schedule(1.0, [&] { victim.cancel(); });
+  victim = engine.schedule(1.0, [&] { victim_fired = true; });
+  engine.run();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_FALSE(victim.pending());
+}
+
+TEST(EngineTest, FiredCallbackCanJoinNextDecisionWithNewEvent) {
+  // An event scheduled DURING a tied firing at the same timestamp becomes
+  // part of the next decision point.
+  Engine engine;
+  PickLast policy;
+  engine.set_scheduler(&policy);
+  std::vector<std::string> order;
+  engine.schedule(1.0, [&] {
+    order.push_back("first");
+    engine.schedule_at(1.0, [&] { order.push_back("nested"); });
+  });
+  engine.run();
+  // Only one event was enabled at the first decision; the nested event then
+  // fires at the same sim time.
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "nested"}));
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+}
+
+TEST(EngineTest, DecisionLogRecordsTiesOnlyUnderPolicy) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(1.0, [&] { order.push_back(0); });
+  engine.schedule(1.0, [&] { order.push_back(1); });
+  engine.run();
+  EXPECT_TRUE(engine.decision_log().empty());  // no policy, no recording
+
+  PickLast policy;
+  engine.set_scheduler(&policy);
+  engine.schedule(1.0, [&] { order.push_back(2); });
+  engine.schedule(1.0, [&] { order.push_back(3); });
+  engine.schedule(2.0, [&] { order.push_back(4); });
+  engine.run();
+  ASSERT_EQ(engine.decision_log().size(), 3u);
+  const TieDecision& tie = engine.decision_log()[0];
+  EXPECT_EQ(tie.ready.size(), 2u);
+  EXPECT_EQ(tie.chosen, tie.ready[1]);  // PickLast chose the later seq
+  EXPECT_EQ(engine.decision_log()[2].ready.size(), 1u);  // singleton logged
+  engine.clear_decision_log();
+  EXPECT_TRUE(engine.decision_log().empty());
+}
+
+TEST(EngineTest, RemovingPolicyRestoresDefaultTieBreak) {
+  Engine engine;
+  PickLast policy;
+  engine.set_scheduler(&policy);
+  engine.set_scheduler(nullptr);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    engine.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
 // -- SharedBandwidth -----------------------------------------------------------
 
 TEST(SharedBandwidthTest, SingleTransferTakesUnitsOverCapacity) {

@@ -1,0 +1,228 @@
+// vmp_explore: bounded state-space exploration of the warehouse lifecycle
+// protocols, and deterministic replay of recorded counterexample traces.
+//
+//   vmp_explore --scenario lifecycle --variant mixed --plants 2 --goldens 2
+//               --budget-mb 192 --fault "store.write:target=descriptor.xml,times=1"
+//   vmp_explore --replay trace.xml
+//   vmp_explore --scenario lifecycle --variant zombie_reuse
+//               --dump-schedule 0 --trace tests/traces/zombie_reuse.xml
+//
+// Exit codes: 0 = explored clean / replay reproduced the recorded digest,
+// 2 = invariant violation found (trace written) or replay diverged,
+// 1 = usage or harness error.  See tools/README.md for the CI budget knob.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "explore/explorer.h"
+#include "explore/lifecycle_scenario.h"
+#include "explore/trace.h"
+
+namespace {
+
+using vmp::explore::ExploreOptions;
+using vmp::explore::ExploreReport;
+using vmp::explore::LifecycleConfig;
+using vmp::explore::Trace;
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --scenario lifecycle [options]\n"
+      << "       " << argv0 << " --replay TRACE.xml\n"
+      << "\n"
+      << "scenario options:\n"
+      << "  --variant NAME        mixed | zombie_reuse | publish_reservation\n"
+      << "                        | evict_rollback (default mixed)\n"
+      << "  --plants N            concurrent actors, 1..4 (default 2)\n"
+      << "  --goldens N           distinct golden ids, 1..4 (default 2)\n"
+      << "  --budget-mb N         warehouse disk budget, 0 = unlimited\n"
+      << "  --fault SPEC          fault plan (fault/fault.h grammar)\n"
+      << "  --config SPEC         full '|'-separated config (overrides the\n"
+      << "                        flags above)\n"
+      << "\n"
+      << "exploration options:\n"
+      << "  --max-schedules N     schedule budget (default 50000) -- the CI\n"
+      << "                        knob; the run reports budget exhaustion\n"
+      << "  --max-steps N         per-run engine step budget\n"
+      << "  --no-sleep-sets       disable commuting-pair pruning\n"
+      << "  --keep-going          do not stop at the first violation\n"
+      << "  --dump-schedule K     record the K-th terminal schedule to the\n"
+      << "                        --trace path even if clean\n"
+      << "  --trace PATH          where to write traces (default trace.xml)\n";
+  return 1;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+int run_replay(const std::string& path) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::cerr << "vmp_explore: cannot read " << path << "\n";
+    return 1;
+  }
+  auto trace = Trace::from_xml_string(text);
+  if (!trace.ok()) {
+    std::cerr << "vmp_explore: " << trace.error().message() << "\n";
+    return 1;
+  }
+  auto factory = vmp::explore::factory_for_trace(trace.value());
+  if (!factory.ok()) {
+    std::cerr << "vmp_explore: " << factory.error().message() << "\n";
+    return 1;
+  }
+  auto result = vmp::explore::replay(factory.value(), trace.value());
+  if (!result.ok()) {
+    std::cerr << "vmp_explore: " << result.error().message() << "\n";
+    return 2;
+  }
+  std::cout << "replayed " << trace.value().decisions.size()
+            << " decisions of scenario '" << trace.value().scenario << "' ("
+            << trace.value().config << ")\n"
+            << "terminal digest " << result.value().digest
+            << (result.value().digest_matches ? " == " : " != ")
+            << trace.value().digest << " recorded\n";
+  for (const std::string& violation : result.value().violations) {
+    std::cout << "invariant violated: " << violation << "\n";
+  }
+  const bool clean =
+      result.value().digest_matches && result.value().violations.empty();
+  std::cout << (clean ? "REPLAY OK" : "REPLAY FAILED") << "\n";
+  return clean ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario;
+  std::string replay_path;
+  std::string trace_path = "trace.xml";
+  std::string config_spec;
+  LifecycleConfig config;
+  ExploreOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--scenario" && (value = next())) {
+      scenario = value;
+    } else if (arg == "--replay" && (value = next())) {
+      replay_path = value;
+    } else if (arg == "--variant" && (value = next())) {
+      config.variant = value;
+    } else if (arg == "--plants" && (value = next())) {
+      config.plants = std::atoi(value);
+    } else if (arg == "--goldens" && (value = next())) {
+      config.goldens = std::atoi(value);
+    } else if (arg == "--budget-mb" && (value = next())) {
+      config.budget_mb = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (arg == "--fault" && (value = next())) {
+      config.fault_spec = value;
+    } else if (arg == "--config" && (value = next())) {
+      config_spec = value;
+    } else if (arg == "--max-schedules" && (value = next())) {
+      options.max_schedules = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (arg == "--max-steps" && (value = next())) {
+      options.max_steps_per_run = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (arg == "--no-sleep-sets") {
+      options.sleep_sets = false;
+    } else if (arg == "--keep-going") {
+      options.stop_on_violation = false;
+    } else if (arg == "--dump-schedule" && (value = next())) {
+      options.dump_schedule = std::atoll(value);
+    } else if (arg == "--trace" && (value = next())) {
+      trace_path = value;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!replay_path.empty()) return run_replay(replay_path);
+  if (scenario != "lifecycle") return usage(argv[0]);
+
+  if (!config_spec.empty()) {
+    auto parsed = LifecycleConfig::parse(config_spec);
+    if (!parsed.ok()) {
+      std::cerr << "vmp_explore: " << parsed.error().message() << "\n";
+      return 1;
+    }
+    config = parsed.value();
+  }
+
+  auto factory = vmp::explore::lifecycle_factory(config);
+  if (!factory.ok()) {
+    std::cerr << "vmp_explore: " << factory.error().message() << "\n";
+    return 1;
+  }
+  auto report = vmp::explore::explore(factory.value(), options);
+  if (!report.ok()) {
+    std::cerr << "vmp_explore: " << report.error().message() << "\n";
+    return 1;
+  }
+  const ExploreReport& r = report.value();
+  std::cout << "scenario lifecycle (" << config.to_spec() << ")\n"
+            << "schedules explored:  " << r.schedules
+            << (r.schedule_budget_hit ? "  (budget exhausted -- INCOMPLETE)"
+                                      : "  (complete)")
+            << "\n"
+            << "terminal states:     " << r.terminal_states << "\n"
+            << "distinct digests:    " << r.distinct_digests.size() << "\n"
+            << "decision points:     " << r.decision_points << " ("
+            << r.branch_points << " branching)\n"
+            << "sleep-set pruning:   " << r.pruned_choices
+            << " choices skipped, " << r.sleep_aborted_runs
+            << " runs cut as covered\n";
+  if (r.truncated_runs != 0 || r.depth_clipped_runs != 0) {
+    std::cout << "budget clipping:     " << r.truncated_runs
+              << " runs hit the step budget, " << r.depth_clipped_runs
+              << " the decision budget\n";
+  }
+
+  if (r.dumped_trace.has_value()) {
+    if (!write_file(trace_path, r.dumped_trace->to_xml())) {
+      std::cerr << "vmp_explore: cannot write " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "schedule " << r.dumped_trace->schedule << " (digest "
+              << r.dumped_trace->digest << ") written to " << trace_path
+              << "\n";
+  }
+
+  if (!r.violations.empty()) {
+    const auto& first = r.violations.front();
+    std::cout << "INVARIANT VIOLATED: " << first.invariant << ": "
+              << first.message << "\n";
+    // The dumped trace (if any) owns the path; violations get it otherwise.
+    if (!r.dumped_trace.has_value()) {
+      if (!write_file(trace_path, first.trace.to_xml())) {
+        std::cerr << "vmp_explore: cannot write " << trace_path << "\n";
+      } else {
+        std::cout << "counterexample written to " << trace_path
+                  << " -- re-execute with: vmp_explore --replay " << trace_path
+                  << "\n";
+      }
+    }
+    return 2;
+  }
+  std::cout << "all invariants held on every explored schedule\n";
+  return 0;
+}
