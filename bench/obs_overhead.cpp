@@ -8,7 +8,11 @@
 //   3. Counter::add and Timer::record (always-on metrics)
 //   4. LogHistogram::record — the always-on quantile path every Timer pays
 //      (budget: <= 15 ns/op: one frexp-based index + one relaxed fetch_add)
-//   5. MessageBus::call round-trip, disarmed vs armed
+//   5. Journal::append, ring-only (the always-armed flight recorder every
+//      lifecycle transition pays: one mutex + a slot write; budget:
+//      <= 250 ns/op) and with a durable segment sink open (buffered
+//      fwrite, no per-append flush; budget: <= 2500 ns/op)
+//   6. MessageBus::call round-trip, disarmed vs armed
 //
 // Besides the human-readable table, every measurement emits one
 // machine-readable line:
@@ -16,10 +20,12 @@
 // ("budget_ns": null when unbounded) so CI can grep and gate on budgets.
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "common.h"
 #include "net/bus.h"
 #include "obs/histogram.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -112,6 +118,47 @@ int main() {
     const auto start = std::chrono::steady_clock::now();
     for (int i = 0; i < kMetricIters; ++i) t->record(1e-6);
     report("timer record", seconds_since(start) * 1e9 / kMetricIters, -1.0);
+  }
+
+  // The lifecycle event journal: every transition pays the ring append
+  // (mutex + slot write + a short image-id copy); a run with a durable sink
+  // open adds one encode + buffered fwrite per append (flushed on rotation
+  // and close, not per record).
+  constexpr int kJournalIters = 500'000;
+  {
+    obs::Journal journal;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kJournalIters; ++i) {
+      journal.append(obs::JournalEvent::kLeaseAcquire, "bench-image-000",
+                     0, static_cast<std::uint64_t>(i));
+    }
+    report("journal ring append",
+           seconds_since(start) * 1e9 / kJournalIters, 250.0);
+    if (journal.appended() != static_cast<std::uint64_t>(kJournalIters)) {
+      std::printf("journal miscounted!\n");
+      return 1;
+    }
+  }
+  {
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "vmp_bench_obs_journal";
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    obs::Journal journal;
+    if (!journal.open_durable(dir).ok()) {
+      std::printf("journal open_durable failed!\n");
+      return 1;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kJournalIters; ++i) {
+      journal.append(obs::JournalEvent::kLeaseAcquire, "bench-image-000",
+                     0, static_cast<std::uint64_t>(i));
+    }
+    report("journal durable append",
+           seconds_since(start) * 1e9 / kJournalIters, 2500.0);
+    journal.close_durable();
+    fs::remove_all(dir, ec);
   }
 
   // A full bus round-trip with a trivial echo handler, disarmed vs armed.

@@ -18,6 +18,12 @@
 // scan: match_candidates() returns lightweight CandidateViews (id +
 // performed + fingerprint) instead of full GoldenImage copies; the
 // list_backend() column is what every PPP scan used to pay.
+//
+// The third is crash-mid-churn: the same request stream, killed at 2/3 and
+// restarted over the surviving store.  A journal-replayed warm_start()
+// restores GDSF's hit/usage history and aging clock, so the final-third
+// hit rate must stay within 2% of an uninterrupted run; a cold restart
+// (descriptors only, no journal) is the baseline it beats.
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -29,6 +35,7 @@
 
 #include "common.h"
 #include "lifecycle/lifecycle.h"
+#include "obs/journal.h"
 #include "util/random.h"
 #include "warehouse/warehouse.h"
 
@@ -199,6 +206,116 @@ void report_churn(const std::string& policy, const ChurnResult& run) {
               static_cast<unsigned long long>(run.rejected_publishes));
 }
 
+// -- Crash-mid-churn ----------------------------------------------------------
+
+constexpr std::size_t kCrashAt = kRequests * 2 / 3;
+
+enum class RestartMode {
+  kUninterrupted,  // one continuous session, no crash
+  kJournalReplay,  // crash at kCrashAt; warm_start folds the journal back in
+  kColdRestart,    // crash at kCrashAt; warm_start from descriptors only
+};
+
+struct CrashChurnResult {
+  double tail_hit_rate = 0.0;  // hit rate over requests [kCrashAt, kRequests)
+  std::uint64_t tail_hits = 0;
+};
+
+/// GDSF churn with a crash at 2/3 of the request stream.  All three modes
+/// serve the IDENTICAL seeded request sequence; only what survives the
+/// restart differs.  flush_each_append makes the journal's on-disk state at
+/// the crash point exactly what a killed process would leave (warehouse
+/// descriptors are already written synchronously at publish).
+CrashChurnResult run_crash_churn(RestartMode mode, const char* label,
+                                 std::uint64_t budget) {
+  const std::filesystem::path root =
+      std::filesystem::temp_directory_path() /
+      ("vmp-bench-churn-crash-" + std::to_string(::getpid()) + "-" + label);
+  std::filesystem::remove_all(root);
+  const Catalog catalog = build_catalog();
+  ZipfSampler zipf(kImages, kZipfExponent, kSeed ^ 0x5eed);
+  CrashChurnResult result;
+
+  obs::JournalDurableConfig durable;
+  durable.flush_each_append = true;
+
+  const auto make_manager = [&](warehouse::Warehouse* wh,
+                                obs::Journal* journal) {
+    lifecycle::LifecycleManager::Config config;
+    config.disk_budget_bytes = budget;
+    config.policy = "gdsf";
+    config.journal = journal;
+    auto manager = lifecycle::LifecycleManager::create(wh, config);
+    if (!manager.ok()) {
+      std::fprintf(stderr, "lifecycle create failed: %s\n",
+                   manager.error().to_string().c_str());
+      std::exit(2);
+    }
+    return std::move(manager).value();
+  };
+  const auto serve = [&](lifecycle::LifecycleManager& lifecycle,
+                         warehouse::Warehouse& wh, std::size_t r) {
+    const warehouse::GoldenImage& want = catalog.images[zipf.next()];
+    if (wh.contains(want.id) && lifecycle.acquire(want.id).ok()) {
+      lifecycle.release(want.id);
+      if (r >= kCrashAt) ++result.tail_hits;
+      return;
+    }
+    (void)lifecycle.publish(want);
+  };
+
+  const std::size_t crash_at =
+      mode == RestartMode::kUninterrupted ? kRequests : kCrashAt;
+  {
+    // Session 1 (the whole run when uninterrupted).  The journal outlives
+    // the manager; scope exit without close_durable() IS the crash — with
+    // per-append flushes there is nothing buffered left to lose.
+    obs::Journal journal;
+    if (!journal.open_durable(root / "journal", durable).ok()) {
+      std::fprintf(stderr, "open_durable failed\n");
+      std::exit(2);
+    }
+    storage::ArtifactStore store(root);
+    warehouse::Warehouse wh(&store, "warehouse");
+    auto manager = make_manager(&wh, &journal);
+    for (std::size_t r = 0; r < crash_at; ++r) serve(*manager, wh, r);
+  }
+  if (mode != RestartMode::kUninterrupted) {
+    // Session 2: restart over the surviving store.  Replay opens the
+    // durable sink over the existing segments BEFORE warm_start(), which
+    // then folds the recovered history in; cold gets a fresh journal and
+    // rebuilds from descriptors alone.
+    obs::Journal journal;
+    if (mode == RestartMode::kJournalReplay &&
+        !journal.open_durable(root / "journal", durable).ok()) {
+      std::fprintf(stderr, "re-open_durable failed\n");
+      std::exit(2);
+    }
+    storage::ArtifactStore store(root);
+    warehouse::Warehouse wh(&store, "warehouse");
+    auto manager = make_manager(&wh, &journal);
+    if (auto warmed = manager->warm_start(); !warmed.ok()) {
+      std::fprintf(stderr, "warm_start failed: %s\n",
+                   warmed.to_string().c_str());
+      std::exit(2);
+    }
+    for (std::size_t r = kCrashAt; r < kRequests; ++r) serve(*manager, wh, r);
+  }
+  std::filesystem::remove_all(root);
+  result.tail_hit_rate = static_cast<double>(result.tail_hits) /
+                         static_cast<double>(kRequests - kCrashAt);
+  return result;
+}
+
+void report_crash(const char* label, const CrashChurnResult& run) {
+  std::printf("%-14s %10.4f %8llu / %zu\n", label, run.tail_hit_rate,
+              static_cast<unsigned long long>(run.tail_hits),
+              kRequests - kCrashAt);
+  std::printf("BENCH_JSON {\"name\": \"churn.crash.%s\", \"hit_rate\": %.4f, "
+              "\"failures\": 0}\n",
+              label, run.tail_hit_rate);
+}
+
 /// Allocations per candidate scan: CandidateViews vs full-image copies.
 void run_scan_alloc_comparison() {
   const std::filesystem::path root =
@@ -291,6 +408,20 @@ int main() {
   report_churn("gdsf", gdsf);
 
   run_scan_alloc_comparison();
+
+  std::printf("\ncrash at request %zu of %zu; final-third hit rate "
+              "(GDSF, same stream):\n",
+              kCrashAt, kRequests);
+  std::printf("%-14s %10s %s\n", "restart", "hit-rate", "tail hits");
+  const CrashChurnResult uninterrupted =
+      run_crash_churn(RestartMode::kUninterrupted, "uninterrupted", budget);
+  report_crash("uninterrupted", uninterrupted);
+  const CrashChurnResult replay =
+      run_crash_churn(RestartMode::kJournalReplay, "replay", budget);
+  report_crash("replay", replay);
+  const CrashChurnResult cold =
+      run_crash_churn(RestartMode::kColdRestart, "cold", budget);
+  report_crash("cold", cold);
 
   bench::print_summary_row(
       "gdsf vs lru hit rate",

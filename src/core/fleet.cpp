@@ -193,6 +193,8 @@ std::size_t FleetAggregator::sweep() {
     state.verdict.health = state.slo->health(t, state.verdict.sli_quantile_s);
     state.verdict.good_total = good;
     state.verdict.bad_total = bad;
+    state.verdict.lifecycle_headroom_bytes =
+        snap.gauge("lifecycle.headroom_bytes.gauge");
     state.verdict.last_seen_s = t;
     state.ever_seen = true;
   }
@@ -207,6 +209,7 @@ void FleetAggregator::publish_locked(double now_s) {
   obs::TimerStats fleet_sli;
   std::uint64_t good_total = 0;
   std::uint64_t bad_total = 0;
+  std::int64_t headroom_total = 0;
   std::size_t fresh = 0;
   for (auto& [plant, state] : plants_) {
     const bool is_fresh =
@@ -233,17 +236,21 @@ void FleetAggregator::publish_locked(double now_s) {
                    static_cast<std::int64_t>(state.verdict.good_total));
     ad.set_integer(fleet_attrs::kBadTotal,
                    static_cast<std::int64_t>(state.verdict.bad_total));
+    ad.set_integer(fleet_attrs::kHeadroomBytes,
+                   state.verdict.lifecycle_headroom_bytes);
     ad.set_real(fleet_attrs::kLastSeenSeconds, state.verdict.last_seen_s);
     info_->store(ad_id, ad);
 
     fleet_sli.merge(state.sli);
     good_total += state.verdict.good_total;
     bad_total += state.verdict.bad_total;
+    headroom_total += state.verdict.lifecycle_headroom_bytes;
   }
   fleet.timers["fleet." + config_.sli_timer_suffix] = fleet_sli;
   fleet.counters["fleet." + config_.good_counter_suffix] = good_total;
   fleet.counters["fleet." + config_.bad_counter_suffix] = bad_total;
   fleet.gauges["fleet.plants.gauge"] = static_cast<std::int64_t>(fresh);
+  fleet.gauges["fleet.lifecycle.headroom_bytes.gauge"] = headroom_total;
   classad::ClassAd rollup = obs::metrics_ad(fleet, util::FaultReport{});
   rollup.set_integer(fleet_attrs::kPlantCount,
                      static_cast<std::int64_t>(fresh));
@@ -281,6 +288,7 @@ obs::MetricsSnapshot FleetAggregator::fleet_snapshot() const {
   obs::TimerStats sli;
   std::uint64_t good_total = 0;
   std::uint64_t bad_total = 0;
+  std::int64_t headroom_total = 0;
   std::size_t fresh = 0;
   for (const auto& [plant, state] : plants_) {
     if (!state.fresh) continue;
@@ -288,11 +296,13 @@ obs::MetricsSnapshot FleetAggregator::fleet_snapshot() const {
     sli.merge(state.sli);
     good_total += state.verdict.good_total;
     bad_total += state.verdict.bad_total;
+    headroom_total += state.verdict.lifecycle_headroom_bytes;
   }
   fleet.timers["fleet." + config_.sli_timer_suffix] = sli;
   fleet.counters["fleet." + config_.good_counter_suffix] = good_total;
   fleet.counters["fleet." + config_.bad_counter_suffix] = bad_total;
   fleet.gauges["fleet.plants.gauge"] = static_cast<std::int64_t>(fresh);
+  fleet.gauges["fleet.lifecycle.headroom_bytes.gauge"] = headroom_total;
   return fleet;
 }
 

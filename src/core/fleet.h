@@ -73,6 +73,7 @@ inline constexpr const char* kSliQuantileSeconds = "SliQuantileSeconds";
 inline constexpr const char* kGoodTotal = "GoodTotal";
 inline constexpr const char* kBadTotal = "BadTotal";
 inline constexpr const char* kLastSeenSeconds = "LastSeenSeconds";
+inline constexpr const char* kHeadroomBytes = "LifecycleHeadroomBytes";
 inline constexpr const char* kPlantCount = "PlantCount";  // fleet rollup ad
 }  // namespace fleet_attrs
 
@@ -89,6 +90,10 @@ class FleetAggregator {
     std::optional<double> sli_quantile_s;
     std::uint64_t good_total = 0;
     std::uint64_t bad_total = 0;
+    /// Warehouse quota headroom (budget - used - reserved) the plant last
+    /// reported via its lifecycle.headroom_bytes.gauge; 0 when the plant
+    /// runs without a disk budget.  The shop can bid placements on this.
+    std::int64_t lifecycle_headroom_bytes = 0;
     double last_seen_s = 0.0;
   };
 

@@ -272,6 +272,27 @@ bool arm_faults(Scenario* scenario, sim::Engine* engine, Decide decide) {
   return true;
 }
 
+/// Scope the process-wide flight recorder to one run: empty ring, journal
+/// clock driven by the engine (records carry sim time), both reverted on
+/// destruction — the engine dies with the run, so the clock MUST not
+/// outlive this scope.
+class ScopedFlightRecorder {
+ public:
+  explicit ScopedFlightRecorder(sim::Engine* engine)
+      : journal_(obs::Journal::instance()) {
+    journal_.clear_ring();
+    journal_.set_clock([engine]() { return engine->now(); });
+  }
+  ScopedFlightRecorder(const ScopedFlightRecorder&) = delete;
+  ScopedFlightRecorder& operator=(const ScopedFlightRecorder&) = delete;
+  ~ScopedFlightRecorder() { journal_.set_clock(nullptr); }
+
+  std::vector<obs::JournalRecord> ring() const { return journal_.ring(); }
+
+ private:
+  obs::Journal& journal_;
+};
+
 Trace make_trace(const Scenario& scenario, std::vector<Decision> decisions,
                  std::string digest, std::uint64_t schedule,
                  std::vector<std::string> violations) {
@@ -306,6 +327,7 @@ Result<ExploreReport> explore(const ScenarioFactory& factory,
     }
     RunDriver driver(&path, scenario.get(), &options);
     sim::Engine engine;
+    ScopedFlightRecorder flight(&engine);
     arm_faults(scenario.get(), &engine,
                [&driver](const std::string& point, const std::string& detail) {
                  return driver.fault_decide(point, detail);
@@ -369,9 +391,10 @@ Result<ExploreReport> explore(const ScenarioFactory& factory,
       if (!failed_names.empty() || want_dump) {
         Trace trace = make_trace(*scenario, driver.take_decisions(), digest,
                                  terminal_index, failed_names);
+        const std::vector<obs::JournalRecord> ring = flight.ring();
         for (std::size_t i = 0; i < failed_names.size(); ++i) {
-          report.violations.push_back(
-              ExploreViolation{failed_names[i], failed_messages[i], trace});
+          report.violations.push_back(ExploreViolation{
+              failed_names[i], failed_messages[i], trace, ring});
         }
         if (want_dump) report.dumped_trace = std::move(trace);
       }
@@ -482,6 +505,7 @@ Result<ReplayResult> replay(const ScenarioFactory& factory,
 
   ReplayDriver driver(&trace);
   sim::Engine engine;
+  ScopedFlightRecorder flight(&engine);
   arm_faults(scenario.get(), &engine,
              [&driver](const std::string& point, const std::string& detail) {
                return driver.fault_decide(point, detail);

@@ -39,6 +39,7 @@
 
 #include "explore/trace.h"
 #include "fault/fault.h"
+#include "obs/journal.h"
 #include "sim/engine.h"
 #include "util/error.h"
 
@@ -115,6 +116,11 @@ struct ExploreViolation {
   std::string invariant;
   std::string message;
   Trace trace;
+  /// Flight-recorder contents at the violating terminal state: the
+  /// lifecycle/fault event timeline of exactly this run (the explorer
+  /// clears the ring before each run and drives the journal clock from the
+  /// engine).  vmp_explore dumps this as JSONL next to the trace XML.
+  std::vector<obs::JournalRecord> flight;
 };
 
 struct ExploreReport {

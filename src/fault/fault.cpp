@@ -287,6 +287,11 @@ bool FaultRegistry::exploring() const {
   return static_cast<bool>(decider_);
 }
 
+void FaultRegistry::set_fire_listener(FireListener listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fire_listener_ = std::move(listener);
+}
+
 Status FaultRegistry::consult(const std::string& point,
                               const std::string& detail) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -315,6 +320,7 @@ Status FaultRegistry::consult(const std::string& point,
     ++rule_fired_[i];
     report_.record(point);
     sequence_.push_back(detail.empty() ? point : point + "@" + detail);
+    if (fire_listener_) fire_listener_(point, detail);
     std::string message = rule.message.empty()
                               ? "injected fault: " + point +
                                     (detail.empty() ? "" : " (" + detail + ")")

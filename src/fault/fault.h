@@ -144,6 +144,16 @@ class FaultRegistry {
   void set_decider(Decider decider);
   bool exploring() const;
 
+  /// Observability tap: called once per FIRED injection (after the firing
+  /// is recorded), under the registry mutex — the listener must not call
+  /// back into the registry.  Unlike the clock and decider this survives
+  /// install()/clear(): it observes plans, it is not part of one.  The
+  /// obs::Journal flight recorder installs itself here so counterexample
+  /// dumps carry the fault timeline.
+  using FireListener =
+      std::function<void(const std::string& point, const std::string& detail)>;
+  void set_fire_listener(FireListener listener);
+
   /// The hook body: evaluate rules for `point`.  Called via fault::check().
   util::Status consult(const std::string& point, const std::string& detail);
 
@@ -169,6 +179,7 @@ class FaultRegistry {
   util::SplitMix64 rng_{1};
   std::function<double()> clock_;
   Decider decider_;
+  FireListener fire_listener_;
   util::FaultReport report_;
   std::vector<std::string> sequence_;
   std::uint64_t checks_ = 0;

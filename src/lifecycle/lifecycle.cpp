@@ -26,6 +26,7 @@ struct LifecycleMetrics {
   obs::Counter* publish_rejects;
   obs::Counter* bytes_reclaimed;
   obs::Gauge* used_bytes;
+  obs::Gauge* headroom_bytes;
   obs::Gauge* zombies;
 
   static LifecycleMetrics& get() {
@@ -40,6 +41,7 @@ struct LifecycleMetrics {
                               r.counter("lifecycle.publish_reject.count"),
                               r.counter("lifecycle.bytes_reclaimed.count"),
                               r.gauge("lifecycle.used_bytes.gauge"),
+                              r.gauge("lifecycle.headroom_bytes.gauge"),
                               r.gauge("lifecycle.zombies.gauge")};
     }();
     return m;
@@ -54,7 +56,9 @@ LifecycleManager::LifecycleManager(warehouse::Warehouse* warehouse,
     : config_(std::move(config)),
       warehouse_(warehouse),
       store_(warehouse->store()),
-      policy_(std::move(policy)) {}
+      policy_(std::move(policy)),
+      journal_(config_.journal != nullptr ? config_.journal
+                                          : &obs::Journal::instance()) {}
 
 Result<std::unique_ptr<LifecycleManager>> LifecycleManager::create(
     warehouse::Warehouse* warehouse, Config config) {
@@ -90,7 +94,26 @@ ImageStats LifecycleManager::stats_for(const std::string& id,
   return s;
 }
 
-Status LifecycleManager::adopt_locked(const std::string& id) {
+std::int64_t LifecycleManager::headroom_locked() const {
+  if (config_.disk_budget_bytes == 0) return 0;
+  return static_cast<std::int64_t>(config_.disk_budget_bytes) -
+         static_cast<std::int64_t>(used_bytes_) -
+         static_cast<std::int64_t>(reserved_bytes_);
+}
+
+void LifecycleManager::update_byte_gauges_locked() {
+  LifecycleMetrics& metrics = LifecycleMetrics::get();
+  metrics.used_bytes->set(static_cast<std::int64_t>(used_bytes_));
+  metrics.headroom_bytes->set(headroom_locked());
+}
+
+std::int64_t LifecycleManager::headroom_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return headroom_locked();
+}
+
+Status LifecycleManager::adopt_locked(const std::string& id,
+                                      std::optional<obs::JournalEvent> event) {
   auto image = warehouse_->lookup(id);
   if (!image.ok()) return image.error();
   auto footprint = store_->tree_footprint(image.value().layout.dir);
@@ -104,14 +127,25 @@ Status LifecycleManager::adopt_locked(const std::string& id) {
       entry.physical_bytes, entry.files, image.value().performed.size());
   used_bytes_ += entry.physical_bytes;
   entries_[id] = entry;
-  LifecycleMetrics::get().used_bytes->set(
-      static_cast<std::int64_t>(used_bytes_));
+  update_byte_gauges_locked();
+  if (event.has_value()) {
+    journal_->append(*event, id,
+                     static_cast<std::int64_t>(entry.physical_bytes));
+  }
   return Status();
 }
 
 Status LifecycleManager::publish(const warehouse::GoldenImage& image) {
   LifecycleMetrics& metrics = LifecycleMetrics::get();
   const std::uint64_t estimate = estimate_publish_bytes(image.spec);
+  // Rejections journal kPublishReject with the error category in aux; the
+  // timeline then explains WHY an image never appeared.
+  auto reject = [&](Status status) {
+    metrics.publish_rejects->add();
+    journal_->append(obs::JournalEvent::kPublishReject, image.id, 0,
+                     static_cast<std::uint64_t>(status.error().code()));
+    return status;
+  };
 
   // Phase 1 (locked): id collision checks + budget admission + reservation.
   {
@@ -123,32 +157,30 @@ Status LifecycleManager::publish(const warehouse::GoldenImage& image) {
       // overwrite the very artefact tree the zombie's live clones still
       // symlink into, while adopt clobbered its lease count.  Reject: the
       // id frees up only when the last release reaps the zombie.
-      metrics.publish_rejects->add();
       if (it->second.zombie) {
-        return Status(ErrorCode::kFailedPrecondition,
-                      "publish '" + image.id +
-                          "': id belongs to an evicted image whose clones "
-                          "still hold leases (zombie); it can be reused "
-                          "only after the last lease release reaps it");
+        return reject(Status(
+            ErrorCode::kFailedPrecondition,
+            "publish '" + image.id +
+                "': id belongs to an evicted image whose clones "
+                "still hold leases (zombie); it can be reused "
+                "only after the last lease release reaps it"));
       }
-      return Status(ErrorCode::kAlreadyExists,
-                    "golden image exists: " + image.id);
+      return reject(Status(ErrorCode::kAlreadyExists,
+                           "golden image exists: " + image.id));
     }
     if (publishing_.count(image.id) != 0) {
-      metrics.publish_rejects->add();
-      return Status(ErrorCode::kAlreadyExists,
-                    "publish '" + image.id +
-                        "': a publish of this id is already in flight");
+      return reject(Status(ErrorCode::kAlreadyExists,
+                           "publish '" + image.id +
+                               "': a publish of this id is already in flight"));
     }
 
     if (config_.disk_budget_bytes != 0) {
       if (estimate > config_.disk_budget_bytes) {
-        metrics.publish_rejects->add();
-        return Status(ErrorCode::kResourceExhausted,
-                      "publish '" + image.id + "': image (~" +
-                          std::to_string(estimate) +
-                          " bytes) exceeds the warehouse disk budget (" +
-                          std::to_string(config_.disk_budget_bytes) + ")");
+        return reject(Status(
+            ErrorCode::kResourceExhausted,
+            "publish '" + image.id + "': image (~" + std::to_string(estimate) +
+                " bytes) exceeds the warehouse disk budget (" +
+                std::to_string(config_.disk_budget_bytes) + ")"));
       }
       // Admit against charged + reserved bytes: in-flight publishes have
       // not hit the ledger yet but their estimates are already committed.
@@ -158,8 +190,7 @@ Status LifecycleManager::publish(const warehouse::GoldenImage& image) {
             committed + estimate - config_.disk_budget_bytes;
         const std::uint64_t freed = evict_to_fit_locked(needed);
         if (freed < needed) {
-          metrics.publish_rejects->add();
-          return Status(
+          return reject(Status(
               ErrorCode::kResourceExhausted,
               "publish '" + image.id + "': warehouse budget exhausted (" +
                   std::to_string(used_bytes_) + " used + " +
@@ -167,12 +198,15 @@ Status LifecycleManager::publish(const warehouse::GoldenImage& image) {
                   std::to_string(config_.disk_budget_bytes) +
                   " bytes; eviction freed " + std::to_string(freed) +
                   " of " + std::to_string(needed) +
-                  " needed — remaining images are pinned or leased)");
+                  " needed — remaining images are pinned or leased)"));
         }
       }
     }
     publishing_.insert(image.id);
     reserved_bytes_ += estimate;
+    update_byte_gauges_locked();
+    journal_->append(obs::JournalEvent::kPublishReserve, image.id,
+                     static_cast<std::int64_t>(estimate));
   }
 
   // Phase 2 (UNLOCKED): the size-proportional materialization.  The
@@ -187,8 +221,16 @@ Status LifecycleManager::publish(const warehouse::GoldenImage& image) {
   std::lock_guard<std::mutex> lock(mutex_);
   publishing_.erase(image.id);
   reserved_bytes_ -= std::min(reserved_bytes_, estimate);
-  if (!published.ok()) return published;
-  Status adopted = adopt_locked(image.id);
+  update_byte_gauges_locked();
+  if (!published.ok()) {
+    // Materialization failed; the reservation just returned to headroom.
+    metrics.publish_rejects->add();
+    journal_->append(obs::JournalEvent::kPublishReject, image.id,
+                     -static_cast<std::int64_t>(estimate),
+                     static_cast<std::uint64_t>(published.error().code()));
+    return published;
+  }
+  Status adopted = adopt_locked(image.id, obs::JournalEvent::kPublishCommit);
   if (!adopted.ok()) {
     kLog.warn() << "publish '" << image.id
                 << "': footprint measurement failed ("
@@ -212,7 +254,7 @@ Status LifecycleManager::acquire(const std::string& golden_id) {
   if (it == entries_.end()) {
     // Published directly through the warehouse (pre-seeded fixture, another
     // manager's lifetime): adopt it into the ledger on first lease.
-    Status adopted = adopt_locked(golden_id);
+    Status adopted = adopt_locked(golden_id, obs::JournalEvent::kAdopt);
     if (!adopted.ok()) {
       metrics.lease_misses->add();
       return adopted;
@@ -223,6 +265,8 @@ Status LifecycleManager::acquire(const std::string& golden_id) {
   ++it->second.hits;
   it->second.last_use_tick = ++tick_;
   metrics.lease_hits->add();
+  journal_->append(obs::JournalEvent::kLeaseAcquire, golden_id, 0,
+                   it->second.hits);
   return Status();
 }
 
@@ -232,6 +276,8 @@ void LifecycleManager::release(const std::string& golden_id) noexcept {
   auto it = entries_.find(golden_id);
   if (it == entries_.end() || it->second.leases == 0) return;
   --it->second.leases;
+  journal_->append(obs::JournalEvent::kLeaseRelease, golden_id, 0,
+                   it->second.leases);
   if (!it->second.zombie || it->second.leases > 0) return;
   // Last lease on a zombie: the clone trees that symlinked into this base
   // are gone, so the base is finally safe to delete.
@@ -246,10 +292,13 @@ void LifecycleManager::release(const std::string& golden_id) noexcept {
   used_bytes_ -= std::min(used_bytes_, it->second.physical_bytes);
   const std::uint64_t freed =
       removed.ok() ? removed.value().bytes_freed : 0;
+  journal_->append(obs::JournalEvent::kReap, golden_id,
+                   -static_cast<std::int64_t>(it->second.physical_bytes),
+                   freed);
   entries_.erase(it);
   metrics.reaps->add();
   metrics.bytes_reclaimed->add(freed);
-  metrics.used_bytes->set(static_cast<std::int64_t>(used_bytes_));
+  update_byte_gauges_locked();
   metrics.zombies->set(static_cast<std::int64_t>(zombie_count_locked()));
 }
 
@@ -262,7 +311,7 @@ Status LifecycleManager::evict_unleased_locked(const std::string& id,
     // drop the stale entry so the ledger converges.
     used_bytes_ -= std::min(used_bytes_, entry->physical_bytes);
     entries_.erase(id);
-    metrics.used_bytes->set(static_cast<std::int64_t>(used_bytes_));
+    update_byte_gauges_locked();
     return detached.error();
   }
   policy_->on_evict(stats_for(id, *entry));
@@ -274,10 +323,15 @@ Status LifecycleManager::evict_unleased_locked(const std::string& id,
                 << " (descriptor gone; orphan sweep will retry)";
   }
   used_bytes_ -= std::min(used_bytes_, entry->physical_bytes);
+  // The policy clock AFTER on_evict rides in `value`: warm_start replays
+  // the max over all evictions to restore GDSF aging.
+  journal_->append(obs::JournalEvent::kEvictCommit, id,
+                   -static_cast<std::int64_t>(entry->physical_bytes), freed,
+                   policy_->clock());
   entries_.erase(id);
   metrics.evictions->add();
   metrics.bytes_reclaimed->add(freed);
-  metrics.used_bytes->set(static_cast<std::int64_t>(used_bytes_));
+  update_byte_gauges_locked();
   return Status();
 }
 
@@ -291,7 +345,7 @@ Status LifecycleManager::evict(const std::string& id) {
     if (!warehouse_->contains(id)) {
       return Status(ErrorCode::kNotFound, "no golden image: " + id);
     }
-    VMP_RETURN_IF_ERROR(adopt_locked(id));
+    VMP_RETURN_IF_ERROR(adopt_locked(id, obs::JournalEvent::kAdopt));
     it = entries_.find(id);
   }
   if (it->second.zombie) {
@@ -302,6 +356,7 @@ Status LifecycleManager::evict(const std::string& id) {
     return Status(ErrorCode::kFailedPrecondition,
                   "golden image '" + id + "' is pinned");
   }
+  journal_->append(obs::JournalEvent::kEvictBegin, id, 0, it->second.leases);
   if (it->second.leases == 0) {
     return evict_unleased_locked(id, &it->second);
   }
@@ -309,7 +364,11 @@ Status LifecycleManager::evict(const std::string& id) {
   // delete ONLY the descriptor (a descriptor-driven rescan must not
   // resurrect it), and keep the artefacts for the live clones' symlinks.
   auto detached = warehouse_->detach(id);
-  if (!detached.ok()) return detached.error();
+  if (!detached.ok()) {
+    journal_->append(obs::JournalEvent::kEvictRollback, id, 0,
+                     static_cast<std::uint64_t>(detached.error().code()));
+    return detached.error();
+  }
   auto desc = store_->remove_tree(it->second.dir + "/descriptor.xml");
   if (!desc.ok()) {
     // The zombie invariant — rescans can never resurrect an evicted image
@@ -322,12 +381,16 @@ Status LifecycleManager::evict(const std::string& id) {
                   << attached.error().message()
                   << " (index entry lost until rescan)";
     }
+    journal_->append(obs::JournalEvent::kEvictRollback, id, 0,
+                     static_cast<std::uint64_t>(desc.error().code()));
     return Status(desc.error().code(),
                   "evict '" + id + "': descriptor removal failed (" +
                       desc.error().message() + "); eviction aborted");
   }
   policy_->on_evict(stats_for(id, it->second));
   it->second.zombie = true;
+  journal_->append(obs::JournalEvent::kZombify, id, 0, it->second.leases,
+                   policy_->clock());
   metrics.evictions->add();
   metrics.zombie_evictions->add();
   metrics.zombies->set(static_cast<std::int64_t>(zombie_count_locked()));
@@ -370,7 +433,7 @@ Status LifecycleManager::pin(const std::string& id, bool pinned) {
     if (!warehouse_->contains(id)) {
       return Status(ErrorCode::kNotFound, "no golden image: " + id);
     }
-    VMP_RETURN_IF_ERROR(adopt_locked(id));
+    VMP_RETURN_IF_ERROR(adopt_locked(id, obs::JournalEvent::kAdopt));
     it = entries_.find(id);
   }
   if (it->second.zombie) {
@@ -388,14 +451,75 @@ Status LifecycleManager::warm_start() {
   used_bytes_ = 0;
   tick_ = 0;
   for (const warehouse::GoldenImage& image : warehouse_->list()) {
-    Status adopted = adopt_locked(image.id);
+    Status adopted = adopt_locked(image.id, std::nullopt);
     if (!adopted.ok()) {
       return Status(adopted.error().code(),
                     "warm_start '" + image.id +
                         "': " + adopted.error().message());
     }
   }
+
+  // Fold the journal's replayed history (if a durable sink recovered one)
+  // into the rescanned ledger: hit counts and use ORDER come back, so GDSF
+  // and LRU resume where the crashed process left off instead of treating
+  // every survivor as equally cold.  Disk remains the footprint authority —
+  // replay only ever annotates ids the rescan adopted.
+  const std::optional<obs::JournalReplay>& recovered = journal_->recovered();
+  if (recovered.has_value() && !recovered->records.empty()) {
+    struct History {
+      std::uint64_t hits = 0;
+      std::uint64_t last_seq = 0;
+    };
+    std::map<std::string, History> history;
+    double policy_clock = 0.0;
+    std::uint64_t max_seq = 0;
+    for (const obs::JournalRecord& record : recovered->records) {
+      max_seq = std::max(max_seq, record.seq);
+      switch (record.kind) {
+        case obs::JournalEvent::kPublishCommit:
+        case obs::JournalEvent::kAdopt:
+          // (Re)charged: any pre-eviction history belonged to a dead
+          // incarnation of this id.
+          history[record.image_id] = History{0, record.seq};
+          break;
+        case obs::JournalEvent::kLeaseAcquire: {
+          History& h = history[record.image_id];
+          ++h.hits;
+          h.last_seq = record.seq;
+          break;
+        }
+        case obs::JournalEvent::kEvictCommit:
+        case obs::JournalEvent::kZombify:
+          // `value` carries the policy clock recorded after on_evict.
+          policy_clock = std::max(policy_clock, record.value);
+          history.erase(record.image_id);
+          break;
+        case obs::JournalEvent::kReap:
+          history.erase(record.image_id);
+          break;
+        default:
+          break;
+      }
+    }
+    // Journal seqs and ledger ticks share one logical axis: adoption above
+    // assigned ticks 1..N, replayed ids move to their last-seen seq (seqs
+    // continue past max_seq, so order stays consistent), and images the
+    // journal never saw keep their adoption tick — oldest, as befits ids
+    // with no recorded use.
+    for (auto& [id, entry] : entries_) {
+      auto it = history.find(id);
+      if (it == history.end()) continue;
+      entry.hits = it->second.hits;
+      entry.last_use_tick = std::max(entry.last_use_tick, it->second.last_seq);
+    }
+    tick_ = std::max(tick_, max_seq);
+    policy_->restore_clock(policy_clock);
+  }
+
+  journal_->append(obs::JournalEvent::kWarmStart, "", 0, entries_.size(),
+                   policy_->clock());
   LifecycleMetrics::get().zombies->set(0);
+  update_byte_gauges_locked();
   return Status();
 }
 
@@ -425,6 +549,8 @@ Result<ReapReport> LifecycleManager::reap_orphans() {
     ++report.directories;
     report.bytes_freed += removed.value().bytes_freed;
     metrics.orphan_reaps->add();
+    journal_->append(obs::JournalEvent::kOrphanReap, name,
+                     -static_cast<std::int64_t>(removed.value().bytes_freed));
   }
   metrics.bytes_reclaimed->add(report.bytes_freed);
   return report;
@@ -448,6 +574,11 @@ std::uint64_t LifecycleManager::used_bytes() const {
 std::uint64_t LifecycleManager::reserved_bytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return reserved_bytes_;
+}
+
+double LifecycleManager::policy_clock() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return policy_->clock();
 }
 
 std::size_t LifecycleManager::inflight_publishes() const {

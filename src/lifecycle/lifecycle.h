@@ -39,12 +39,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "hypervisor/hypervisor.h"
 #include "lifecycle/policy.h"
+#include "obs/journal.h"
 #include "util/error.h"
 #include "warehouse/warehouse.h"
 
@@ -65,6 +67,12 @@ class LifecycleManager : public hv::GoldenLeaseHook {
     /// "gdsf" (default) or "lru".
     std::string policy = "gdsf";
     RebuildCostModel cost_model;
+    /// Event journal every lifecycle transition is appended to.  nullptr
+    /// (default) uses the process-wide obs::Journal::instance().  Open a
+    /// durable sink on the journal (obs::Journal::open_durable) BEFORE
+    /// warm_start() to make transitions crash-durable and let warm_start
+    /// fold the replayed history back in.
+    obs::Journal* journal = nullptr;
   };
 
   /// Fails (kInvalidArgument) on an unknown policy name.
@@ -110,7 +118,11 @@ class LifecycleManager : public hv::GoldenLeaseHook {
   // -- Crash recovery --------------------------------------------------------
   /// Rebuild warehouse index AND quota ledger from on-disk descriptors
   /// (drops all in-memory state first — call at startup, before serving).
-  /// Usage/hit history does not survive; footprints are re-measured.
+  /// Footprints are re-measured from disk; when the journal has a replayed
+  /// history (a durable sink was opened over existing segments), per-image
+  /// hit counts, use order, and the policy's aging clock are restored from
+  /// it, so GDSF resumes hot instead of cold.  Without one, usage history
+  /// starts empty as before.
   util::Status warm_start();
   /// Delete every directory under the warehouse root that has no
   /// descriptor.xml and is neither a live zombie nor a claimed id
@@ -130,7 +142,17 @@ class LifecycleManager : public hv::GoldenLeaseHook {
   std::uint64_t reserved_bytes() const;
   /// Ids admitted and still materializing (drains with reserved_bytes()).
   std::size_t inflight_publishes() const;
+  /// Quota headroom: budget - used - reserved, bytes (may go negative when
+  /// measured footprints overshoot their admission estimates).  0 when the
+  /// budget is unlimited — there is no quota to have headroom against.
+  /// Also exported as the lifecycle.headroom_bytes.gauge metric and rolled
+  /// up per-fleet by core::FleetAggregator.
+  std::int64_t headroom_bytes() const;
   const char* policy_name() const noexcept { return policy_->name(); }
+  /// The eviction policy's aging clock (0 for policies without one).  A
+  /// journal-replayed warm start restores this; tests and the churn bench
+  /// compare it against the uninterrupted run.
+  double policy_clock() const;
   warehouse::Warehouse* warehouse() { return warehouse_; }
 
   /// Admission estimate for a spec (memory checkpoint + disk capacity +
@@ -155,8 +177,16 @@ class LifecycleManager : public hv::GoldenLeaseHook {
 
   ImageStats stats_for(const std::string& id, const Entry& entry) const;
   /// Measure + insert a ledger entry for an image already in the warehouse
-  /// index (adoption and post-publish charging share this).
-  util::Status adopt_locked(const std::string& id);
+  /// index (adoption and post-publish charging share this).  `event`
+  /// journals the charge (kAdopt or kPublishCommit); nullopt skips the
+  /// append — warm_start() journals a single kWarmStart instead of N
+  /// adoptions, so a replayed history never double-counts a restart.
+  util::Status adopt_locked(const std::string& id,
+                            std::optional<obs::JournalEvent> event);
+  /// budget - used - reserved (0 when unlimited); callers hold mutex_.
+  std::int64_t headroom_locked() const;
+  /// Refresh used_bytes + headroom gauges after any ledger/reservation move.
+  void update_byte_gauges_locked();
   /// Full eviction of one UNLEASED entry: delete tree, credit the ledger.
   util::Status evict_unleased_locked(const std::string& id, Entry* entry);
   std::uint64_t evict_to_fit_locked(std::uint64_t bytes_needed);
@@ -166,6 +196,7 @@ class LifecycleManager : public hv::GoldenLeaseHook {
   warehouse::Warehouse* warehouse_;
   storage::ArtifactStore* store_;
   std::unique_ptr<EvictionPolicy> policy_;
+  obs::Journal* journal_;  // never null (Config resolved at construction)
 
   /// Guards entries_, used_bytes_, reserved_bytes_, publishing_, tick_ and
   /// the policy (rank/on_evict are called under it).  Taken BEFORE any

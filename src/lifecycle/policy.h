@@ -11,6 +11,7 @@
 // plain LRU is kept as the control the bench compares it against.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -64,6 +65,12 @@ class EvictionPolicy {
       const std::vector<ImageStats>& candidates) = 0;
   /// Eviction notification (GDSF advances its aging clock here).
   virtual void on_evict(const ImageStats& victim) { (void)victim; }
+  /// Aging-clock state the event journal persists across warm starts:
+  /// clock() is recorded at each eviction, restore_clock() reinstates the
+  /// replayed value (never moving the clock backwards).  Policies without
+  /// aging state (LRU) keep the no-op defaults.
+  virtual double clock() const { return 0.0; }
+  virtual void restore_clock(double value) { (void)value; }
 };
 
 /// Least-recently-used: oldest last_use_tick first, blind to size and cost.
@@ -88,7 +95,10 @@ class GdsfPolicy final : public EvictionPolicy {
   void on_evict(const ImageStats& victim) override;
 
   double priority(const ImageStats& stats) const;
-  double clock() const { return clock_; }
+  double clock() const override { return clock_; }
+  void restore_clock(double value) override {
+    clock_ = std::max(clock_, value);
+  }
 
  private:
   double clock_ = 0.0;

@@ -415,6 +415,40 @@ TEST_F(FleetAggregatorTest, SweepPublishesHealthAndRollupAds) {
   EXPECT_DOUBLE_EQ(agg.health("no-such-plant"), 1.0);
 }
 
+TEST_F(FleetAggregatorTest, SweepRollsUpLifecycleHeadroom) {
+  core::VmInformationSystem shop_info;
+  core::FleetAggregator agg(aggregator_config(), &bus_, &registry_,
+                            &shop_info);
+  double clock_s = 0.0;
+  agg.set_clock([&clock_s] { return clock_s; });
+
+  // The plants in this rig share one process registry, so each reports the
+  // same headroom gauge (a real deployment has one registry per plant).
+  const std::int64_t headroom = 123ll << 20;
+  obs::MetricsRegistry::instance()
+      .gauge("lifecycle.headroom_bytes.gauge")
+      ->set(headroom);
+  EXPECT_EQ(agg.sweep(), 2u);
+
+  auto health = shop_info.query(std::string(core::kObsHealthPrefix) +
+                                "plant0");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().get_integer(core::fleet_attrs::kHeadroomBytes),
+            headroom);
+  auto verdict = agg.plant_health("plant1");
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->lifecycle_headroom_bytes, headroom);
+
+  // The fleet rollup sums headroom over fresh plants.
+  const obs::MetricsSnapshot fleet = agg.fleet_snapshot();
+  EXPECT_EQ(fleet.gauge("fleet.lifecycle.headroom_bytes.gauge"),
+            2 * headroom);
+  auto rollup = shop_info.query(core::kObsFleetMetricsId);
+  ASSERT_TRUE(rollup.ok());
+  EXPECT_EQ(rollup.value().get_integer("fleet_lifecycle_headroom_bytes_gauge"),
+            2 * headroom);
+}
+
 TEST_F(FleetAggregatorTest, FailingPlantBurnsBudgetAndLosesHealth) {
   core::VmInformationSystem shop_info;
   core::FleetAggregator agg(aggregator_config(), &bus_, &registry_,

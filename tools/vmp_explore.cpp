@@ -221,6 +221,20 @@ int main(int argc, char** argv) {
                   << "\n";
       }
     }
+    // Flight-recorder dump: the violating run's lifecycle/fault timeline,
+    // one JSON object per line, next to the trace.
+    const std::string flight_path = trace_path + ".flight.jsonl";
+    std::string flight_jsonl;
+    for (const auto& record : first.flight) {
+      flight_jsonl += record.to_json();
+      flight_jsonl += '\n';
+    }
+    if (!write_file(flight_path, flight_jsonl)) {
+      std::cerr << "vmp_explore: cannot write " << flight_path << "\n";
+    } else {
+      std::cout << "flight recorder (" << first.flight.size()
+                << " events) written to " << flight_path << "\n";
+    }
     return 2;
   }
   std::cout << "all invariants held on every explored schedule\n";
