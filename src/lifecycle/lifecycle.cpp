@@ -308,8 +308,14 @@ Status LifecycleManager::evict_unleased_locked(const std::string& id,
   auto detached = warehouse_->detach(id);
   if (!detached.ok()) {
     // Ledger said live but the index disagrees (removed behind our back):
-    // drop the stale entry so the ledger converges.
+    // drop the stale entry so the ledger converges.  The image leaves the
+    // ledger, so journal the delta as a commit (nothing physically freed,
+    // aux = 0): the kEvictBegin gets its terminal record and warm_start
+    // drops the stale hit history with it.
     used_bytes_ -= std::min(used_bytes_, entry->physical_bytes);
+    journal_->append(obs::JournalEvent::kEvictCommit, id,
+                     -static_cast<std::int64_t>(entry->physical_bytes), 0,
+                     policy_->clock());
     entries_.erase(id);
     update_byte_gauges_locked();
     return detached.error();

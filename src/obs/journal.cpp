@@ -6,8 +6,13 @@
 #include <cstring>
 
 #include "fault/fault.h"
+#include "util/logging.h"
 
 namespace vmp::obs {
+
+namespace {
+const util::Logger kLog("journal");
+}  // namespace
 
 using util::Error;
 using util::ErrorCode;
@@ -147,14 +152,29 @@ const char* journal_event_name(JournalEvent kind) noexcept {
 }
 
 std::string JournalRecord::to_json() const {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "{\"seq\": %" PRIu64 ", \"kind\": \"%s\", \"t\": %.6f, "
-                "\"wall\": %.6f, \"bytes\": %lld, \"aux\": %" PRIu64
-                ", \"value\": %.9g, \"id\": \"",
-                seq, journal_event_name(kind), time_s, wall_s,
-                static_cast<long long>(bytes_delta), aux, value);
-  return std::string(buf) + json_escape(image_id) + "\"}";
+  // %.6f of a large clock value can emit hundreds of characters, so the
+  // head is sized from a dry run instead of a fixed guess — a truncated
+  // head would be a silently malformed JSON line in a flight dump.
+  constexpr char kFormat[] =
+      "{\"seq\": %" PRIu64 ", \"kind\": \"%s\", \"t\": %.6f, "
+      "\"wall\": %.6f, \"bytes\": %lld, \"aux\": %" PRIu64
+      ", \"value\": %.9g, \"id\": \"";
+  char buf[512];
+  int n = std::snprintf(buf, sizeof(buf), kFormat, seq,
+                        journal_event_name(kind), time_s, wall_s,
+                        static_cast<long long>(bytes_delta), aux, value);
+  if (n < 0) return "{}";
+  std::string head;
+  if (static_cast<std::size_t>(n) < sizeof(buf)) {
+    head.assign(buf, static_cast<std::size_t>(n));
+  } else {
+    head.resize(static_cast<std::size_t>(n) + 1);
+    std::snprintf(head.data(), head.size(), kFormat, seq,
+                  journal_event_name(kind), time_s, wall_s,
+                  static_cast<long long>(bytes_delta), aux, value);
+    head.resize(static_cast<std::size_t>(n));
+  }
+  return head + json_escape(image_id) + "\"}";
 }
 
 void Journal::encode(const JournalRecord& record, std::string* out) {
@@ -250,7 +270,11 @@ void Journal::append(JournalEvent kind, std::string_view image_id,
   record.value = value;
   record.image_id.assign(image_id);
   ++appended_;
-  if (segment_ != nullptr) append_durable_locked(record);
+  if (segment_ != nullptr) {
+    append_durable_locked(record);
+  } else if (durable_dead_) {
+    ++durable_dropped_;  // sink died mid-run; the ring alone has this one
+  }
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
     ring_next_ = ring_.size() % capacity_;
@@ -335,6 +359,8 @@ Status Journal::open_durable(const std::filesystem::path& dir,
   segment_index_ = next_index;
   segment_bytes_ = 0;
   segments_open_ = 1;
+  durable_dropped_ = 0;
+  durable_dead_ = false;
   recovered_ = std::move(replayed).value();
   next_seq_ = std::max(next_seq_, recovered_->last_seq + 1);
   return Status();
@@ -347,6 +373,7 @@ void Journal::close_durable() {
     segment_ = nullptr;
   }
   segments_open_ = 0;
+  durable_dead_ = false;
   recovered_.reset();
 }
 
@@ -365,6 +392,11 @@ std::size_t Journal::segments_open() const {
   return segments_open_;
 }
 
+std::uint64_t Journal::durable_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return durable_dropped_;
+}
+
 const std::optional<JournalReplay>& Journal::recovered() const {
   // recovered_ only changes under open/close; callers hold the journal
   // single-threaded during recovery (warm_start runs before serving).
@@ -378,10 +410,17 @@ void Journal::append_durable_locked(const JournalRecord& record) {
       segment_bytes_ > 0) {
     rotate_locked();
   }
-  if (segment_ == nullptr) return;  // rotation failed; ring still has it
+  if (segment_ == nullptr) {
+    // Rotation failed and the sink is dead: the ring still has the record,
+    // but the durable log does not — count it so the loss is visible.
+    ++durable_dropped_;
+    return;
+  }
   if (std::fwrite(bytes.data(), 1, bytes.size(), segment_) == bytes.size()) {
     segment_bytes_ += bytes.size();
     if (durable_config_.flush_each_append) std::fflush(segment_);
+  } else {
+    ++durable_dropped_;
   }
 }
 
@@ -391,7 +430,15 @@ void Journal::rotate_locked() {
   segment_ = nullptr;
   const std::filesystem::path path = dir_ / segment_name(segment_index_ + 1);
   std::FILE* f = std::fopen(path.string().c_str(), "ab");
-  if (f == nullptr) return;  // keep ring-only until close; replay tolerates
+  if (f == nullptr) {
+    // The sink is dead until the next open_durable(): appends stay ring-only
+    // and are counted in durable_dropped().
+    segments_open_ = 0;
+    durable_dead_ = true;
+    kLog.warn() << "cannot open segment " << path.string()
+                << "; durable sink dead, further appends are ring-only";
+    return;
+  }
   segment_ = f;
   ++segment_index_;
   segment_bytes_ = 0;
@@ -424,10 +471,13 @@ Result<JournalReplay> Journal::replay(const std::filesystem::path& dir) {
       const std::size_t consumed =
           decode(bytes.data() + offset, bytes.size() - offset, &record);
       if (consumed == 0) {
-        // Torn or corrupt: the crash tail.  Drop it and everything after —
-        // a record boundary cannot be re-synchronized past a bad length.
+        // Torn or corrupt: this segment's crash tail.  A record boundary
+        // cannot be re-synchronized past a bad length, but segment starts
+        // are clean resync points — and open_durable() leaves a torn
+        // segment in place and writes post-crash history into FRESH
+        // segments, so later segments must still be read.
         out.torn_tail = true;
-        return out;
+        break;
       }
       offset += consumed;
       out.last_seq = std::max(out.last_seq, record.seq);

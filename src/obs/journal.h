@@ -18,7 +18,8 @@
 //   * Durable sink — append-only, length-prefixed, checksummed segment
 //     files under the store root, rotated by size.  Replay is torn-tail
 //     tolerant: a record cut mid-write by a crash (or a segment left empty
-//     by a mid-rotation crash) is dropped, everything before it survives.
+//     by a mid-rotation crash) is dropped, everything before it and every
+//     later segment survives — segment starts are clean resync points.
 //   * Warm restart — lifecycle::LifecycleManager::warm_start() folds a
 //     replayed journal into the rescanned ledger, restoring per-image
 //     hit/usage order and the GDSF aging clock so eviction quality resumes
@@ -108,8 +109,9 @@ struct JournalReplay {
   std::vector<JournalRecord> records;  // valid records, write order
   std::size_t segments = 0;            // segment files visited
   std::uint64_t last_seq = 0;          // highest sequence recovered
-  /// True when replay stopped at a torn or corrupt record (the crash tail);
-  /// everything before it is in `records`.
+  /// True when at least one segment ended in a torn or corrupt record (a
+  /// crash tail).  The bad tail is dropped; everything before it and every
+  /// later segment is in `records`.
   bool torn_tail = false;
 };
 
@@ -169,17 +171,21 @@ class Journal {
   /// Flush the current segment to the OS.  No-op without a durable sink.
   void flush();
   /// Segments this sink has written into (rotation count + 1); 0 when the
-  /// sink is closed.
+  /// sink is closed or has died (rotation could not open the next segment).
   std::size_t segments_open() const;
+  /// Records this sink failed to persist since open_durable() — a dead
+  /// sink (failed rotation) or a short write.  They stay in the ring only.
+  std::uint64_t durable_dropped() const;
   /// The replay open_durable() performed, until close_durable().
   const std::optional<JournalReplay>& recovered() const;
 
   // -- Replay (static: no Journal instance required) --------------------------
   /// Read every segment under `dir` in name order.  Torn-tail tolerant:
-  /// a short, oversized or checksum-failing record ends the replay cleanly
-  /// (torn_tail = true) instead of erroring — that is exactly the state a
-  /// crash mid-append or mid-rotation leaves behind.  A missing or empty
-  /// directory replays to zero records.
+  /// a short, oversized or checksum-failing record ends THAT SEGMENT's
+  /// replay cleanly (torn_tail = true) and resumes at the next segment
+  /// boundary instead of erroring — a crash tears at most one segment's
+  /// tail, and post-crash reopens write into fresh segments that must
+  /// still be read.  A missing or empty directory replays to zero records.
   static util::Result<JournalReplay> replay(const std::filesystem::path& dir);
 
   // -- Codec (exposed for tests and the Python report tool's fixtures) --------
@@ -209,6 +215,8 @@ class Journal {
   std::size_t segment_index_ = 0;   // 1-based index of the open segment
   std::uint64_t segment_bytes_ = 0;
   std::size_t segments_open_ = 0;
+  std::uint64_t durable_dropped_ = 0;
+  bool durable_dead_ = false;  // rotation failed; sink lost mid-run
   std::optional<JournalReplay> recovered_;
 };
 

@@ -234,6 +234,51 @@ TEST_F(JournalTest, TornTailIsDroppedOnReplay) {
   reopened.append(JournalEvent::kLeaseAcquire, "g1");
   reopened.close_durable();
   EXPECT_EQ(std::filesystem::file_size(segment), full - 5);  // untouched
+
+  // Replaying AGAIN must not stop at seg-1's old torn tail: seg-2 holds the
+  // post-crash history and segment starts are clean resync points.
+  auto after = Journal::replay(dir_);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().torn_tail);
+  ASSERT_EQ(after.value().records.size(), 2u);
+  EXPECT_EQ(after.value().records[0].image_id, "g1");
+  EXPECT_EQ(after.value().records[1].kind, JournalEvent::kLeaseAcquire);
+  EXPECT_GT(after.value().records[1].seq, after.value().records[0].seq);
+  EXPECT_EQ(after.value().last_seq, after.value().records[1].seq);
+
+  // A third open sees BOTH segments' history and numbers past seg-2's tail,
+  // so post-crash sequence numbers never repeat.
+  Journal third;
+  ASSERT_TRUE(third.open_durable(dir_).ok());
+  ASSERT_TRUE(third.recovered().has_value());
+  EXPECT_EQ(third.recovered()->records.size(), 2u);
+  third.append(JournalEvent::kLeaseRelease, "g1");
+  third.close_durable();
+  auto final_replay = Journal::replay(dir_);
+  ASSERT_TRUE(final_replay.ok());
+  ASSERT_EQ(final_replay.value().records.size(), 3u);
+  EXPECT_GT(final_replay.value().records[2].seq,
+            final_replay.value().records[1].seq);
+}
+
+TEST_F(JournalTest, DeadSinkCountsDroppedAppends) {
+  JournalDurableConfig config;
+  config.max_segment_bytes = 64;  // roughly one record per segment
+  Journal journal;
+  ASSERT_TRUE(journal.open_durable(dir_, config).ok());
+  journal.append(JournalEvent::kLeaseAcquire, "g1");
+  EXPECT_EQ(journal.durable_dropped(), 0u);
+  // Kill the journal directory: the next rotation's fopen fails and the
+  // durable sink dies.  Every later append must be counted as dropped, and
+  // segments_open() must stop claiming a live sink.
+  std::filesystem::remove_all(dir_);
+  for (int i = 0; i < 3; ++i) {
+    journal.append(JournalEvent::kLeaseAcquire, "g2");
+  }
+  EXPECT_EQ(journal.segments_open(), 0u);
+  EXPECT_EQ(journal.durable_dropped(), 3u);
+  EXPECT_EQ(journal.ring().size(), 4u);  // the ring still has everything
+  journal.close_durable();
 }
 
 TEST_F(JournalTest, MidRotationCrashLeavesEmptySegment) {

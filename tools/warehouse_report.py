@@ -17,7 +17,8 @@ Accepts either (auto-detected per line, both may be mixed in one input):
     reconstruct the publish/eviction timeline: per-image lifespan, acquire
     count, eviction cause (evicted / zombified / reaped), bytes reclaimed.
     Replay is torn-tail tolerant, exactly like the C++ side: a record cut
-    mid-write by a crash ends the replay cleanly and is reported as such.
+    mid-write by a crash drops the rest of that segment, replay resumes at
+    the next segment boundary, and the tear is reported as such.
 
 Usage:
     build/bench/warehouse_churn | python3 tools/warehouse_report.py -
@@ -86,7 +87,9 @@ def decode_journal_record(buf, offset):
 
 def replay_journal(journal_dir):
     """All valid records from seg-*.vmj in name order, C++ replay semantics:
-    stop cleanly at the first torn/corrupt record (the crash tail)."""
+    a torn/corrupt record drops the rest of THAT segment (the crash tail)
+    and replay resumes at the next segment boundary — post-crash reopens
+    write into fresh segments that must still be read."""
     records = []
     torn = False
     segments = sorted(pathlib.Path(journal_dir).glob("seg-*.vmj"))
@@ -97,7 +100,7 @@ def replay_journal(journal_dir):
             record, offset = decode_journal_record(buf, offset)
             if record is None:
                 torn = True
-                return records, len(segments), torn
+                break
             records.append(record)
     return records, len(segments), torn
 
