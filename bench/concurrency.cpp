@@ -25,6 +25,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -34,6 +35,7 @@
 #include "common.h"
 #include "core/plant.h"
 #include "core/shop.h"
+#include "obs/tail.h"
 #include "workload/request_gen.h"
 
 namespace {
@@ -143,6 +145,13 @@ void report_pipeline(const char* mode, std::size_t clients,
 }  // namespace
 
 int main() {
+  // Forensics hook for the CI bench gate: with VMP_TAIL_EXEMPLAR_DIR set,
+  // tail-sample the real-pipeline creates and leave the retained slow-tail
+  // span trees on disk, so a failed gate run uploads the traces that
+  // explain its own regression (DESIGN.md §14).
+  const char* exemplar_dir = std::getenv("VMP_TAIL_EXEMPLAR_DIR");
+  if (exemplar_dir != nullptr) obs::TailSampler::instance().arm();
+
   bench::print_header(
       "concurrent creation — DES projection and the real pipeline",
       "future work in the paper: quantify the shared-NFS bottleneck, then "
@@ -219,6 +228,13 @@ int main() {
       "concurrency.bottleneck",
       "NFS uplink saturates; per-clone latency grows with window",
       "see nfs_util column");
+
+  if (exemplar_dir != nullptr) {
+    const std::size_t written =
+        obs::TailSampler::instance().dump(exemplar_dir);
+    std::printf("tail exemplars: %zu dumped to %s\n", written, exemplar_dir);
+    obs::TailSampler::instance().disarm();
+  }
 
   if (total_failures != 0) {
     std::printf("FAILED: %zu creations failed\n", total_failures);

@@ -5,6 +5,8 @@
 // Measured so regressions in the "nobody is tracing" path show up:
 //   1. ScopedSpan construct+destruct, tracer disarmed  (budget: <= 5 ns/op)
 //   2. ScopedSpan construct+destruct, tracer armed     (reported, not bounded)
+//      and the same loop with the TailSampler armed on top (budget: <= 2x
+//      the armed baseline measured in the same run — DESIGN.md §14)
 //   3. Counter::add and Timer::record (always-on metrics)
 //   4. LogHistogram::record — the always-on quantile path every Timer pays
 //      (budget: <= 15 ns/op: one frexp-based index + one relaxed fetch_add)
@@ -20,6 +22,7 @@
 // ("budget_ns": null when unbounded) so CI can grep and gate on budgets.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 
 #include "common.h"
@@ -27,6 +30,7 @@
 #include "obs/histogram.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/tail.h"
 #include "obs/trace.h"
 
 namespace {
@@ -80,14 +84,42 @@ int main() {
     report("span disarmed", seconds_since(start) * 1e9 / kSpanIters, 5.0);
   }
 
+  double armed_ns = 0.0;
   tracer.arm();
   {
     const auto start = std::chrono::steady_clock::now();
     for (int i = 0; i < kSpanIters / 20; ++i) {
       obs::ScopedSpan span("bench.noop", "bench");
     }
-    report("span armed", seconds_since(start) * 1e9 / (kSpanIters / 20),
-           -1.0);
+    armed_ns = seconds_since(start) * 1e9 / (kSpanIters / 20);
+    report("span armed", armed_ns, -1.0);
+  }
+  {
+    // Tail sampling on top of the armed tracer: every root span completion
+    // now also pays the root-sink hand-off, the reservoir insert, and the
+    // quantile check; the rare retained tail pays extraction plus
+    // critical-path attribution.  Budgeted RELATIVE to the armed baseline
+    // just measured (<= 2x), so the gate tracks the machine, not a fixed
+    // nanosecond count.
+    // Drop the spans the baseline loop accumulated: extract_trace is
+    // O(tracer buffer), and with the sampler armed the buffer self-drains
+    // (every decided trace is extracted), so steady state starts empty.
+    tracer.clear();
+    obs::TailSampler::instance().arm(obs::TailSamplerConfig{});
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSpanIters / 20; ++i) {
+      obs::ScopedSpan span("bench.noop", "bench");
+    }
+    report("span armed + tail",
+           seconds_since(start) * 1e9 / (kSpanIters / 20), 2.0 * armed_ns);
+    // CI forensics hook: when the gate runner sets VMP_TAIL_EXEMPLAR_DIR,
+    // leave the retained slow-tail exemplars on disk so a failed gate run
+    // uploads the traces that explain its own regression.
+    if (const char* dir = std::getenv("VMP_TAIL_EXEMPLAR_DIR")) {
+      const std::size_t written = obs::TailSampler::instance().dump(dir);
+      std::printf("tail exemplars      : %zu dumped to %s\n", written, dir);
+    }
+    obs::TailSampler::instance().disarm();
   }
   tracer.disarm();
 

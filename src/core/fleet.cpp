@@ -195,6 +195,14 @@ std::size_t FleetAggregator::sweep() {
     state.verdict.bad_total = bad;
     state.verdict.lifecycle_headroom_bytes =
         snap.gauge("lifecycle.headroom_bytes.gauge");
+    state.verdict.journal_dropped =
+        snap.counter("lifecycle.journal.dropped.count");
+    // Latest per-stage critical-path self-time histograms from the plant's
+    // tail sampler (tail.self.<stage>.seconds, folded on export).
+    state.tail_self.clear();
+    for (const auto& [name, stats] : snap.timers) {
+      if (name.rfind("tail_self_", 0) == 0) state.tail_self[name] = stats;
+    }
     state.verdict.last_seen_s = t;
     state.ever_seen = true;
   }
@@ -210,6 +218,8 @@ void FleetAggregator::publish_locked(double now_s) {
   std::uint64_t good_total = 0;
   std::uint64_t bad_total = 0;
   std::int64_t headroom_total = 0;
+  std::uint64_t journal_dropped_total = 0;
+  std::map<std::string, obs::TimerStats> tail_self_total;
   std::size_t fresh = 0;
   for (auto& [plant, state] : plants_) {
     const bool is_fresh =
@@ -238,6 +248,8 @@ void FleetAggregator::publish_locked(double now_s) {
                    static_cast<std::int64_t>(state.verdict.bad_total));
     ad.set_integer(fleet_attrs::kHeadroomBytes,
                    state.verdict.lifecycle_headroom_bytes);
+    ad.set_integer(fleet_attrs::kJournalDropped,
+                   static_cast<std::int64_t>(state.verdict.journal_dropped));
     ad.set_real(fleet_attrs::kLastSeenSeconds, state.verdict.last_seen_s);
     info_->store(ad_id, ad);
 
@@ -245,12 +257,21 @@ void FleetAggregator::publish_locked(double now_s) {
     good_total += state.verdict.good_total;
     bad_total += state.verdict.bad_total;
     headroom_total += state.verdict.lifecycle_headroom_bytes;
+    journal_dropped_total += state.verdict.journal_dropped;
+    for (const auto& [name, stats] : state.tail_self) {
+      tail_self_total[name].merge(stats);
+    }
   }
   fleet.timers["fleet." + config_.sli_timer_suffix] = fleet_sli;
   fleet.counters["fleet." + config_.good_counter_suffix] = good_total;
   fleet.counters["fleet." + config_.bad_counter_suffix] = bad_total;
+  fleet.counters["fleet.lifecycle.journal.dropped.count"] =
+      journal_dropped_total;
   fleet.gauges["fleet.plants.gauge"] = static_cast<std::int64_t>(fresh);
   fleet.gauges["fleet.lifecycle.headroom_bytes.gauge"] = headroom_total;
+  for (const auto& [name, stats] : tail_self_total) {
+    fleet.timers["fleet." + name] = stats;
+  }
   classad::ClassAd rollup = obs::metrics_ad(fleet, util::FaultReport{});
   rollup.set_integer(fleet_attrs::kPlantCount,
                      static_cast<std::int64_t>(fresh));
@@ -289,6 +310,8 @@ obs::MetricsSnapshot FleetAggregator::fleet_snapshot() const {
   std::uint64_t good_total = 0;
   std::uint64_t bad_total = 0;
   std::int64_t headroom_total = 0;
+  std::uint64_t journal_dropped_total = 0;
+  std::map<std::string, obs::TimerStats> tail_self_total;
   std::size_t fresh = 0;
   for (const auto& [plant, state] : plants_) {
     if (!state.fresh) continue;
@@ -297,12 +320,21 @@ obs::MetricsSnapshot FleetAggregator::fleet_snapshot() const {
     good_total += state.verdict.good_total;
     bad_total += state.verdict.bad_total;
     headroom_total += state.verdict.lifecycle_headroom_bytes;
+    journal_dropped_total += state.verdict.journal_dropped;
+    for (const auto& [name, stats] : state.tail_self) {
+      tail_self_total[name].merge(stats);
+    }
   }
   fleet.timers["fleet." + config_.sli_timer_suffix] = sli;
   fleet.counters["fleet." + config_.good_counter_suffix] = good_total;
   fleet.counters["fleet." + config_.bad_counter_suffix] = bad_total;
+  fleet.counters["fleet.lifecycle.journal.dropped.count"] =
+      journal_dropped_total;
   fleet.gauges["fleet.plants.gauge"] = static_cast<std::int64_t>(fresh);
   fleet.gauges["fleet.lifecycle.headroom_bytes.gauge"] = headroom_total;
+  for (const auto& [name, stats] : tail_self_total) {
+    fleet.timers["fleet." + name] = stats;
+  }
   return fleet;
 }
 

@@ -74,6 +74,7 @@ inline constexpr const char* kGoodTotal = "GoodTotal";
 inline constexpr const char* kBadTotal = "BadTotal";
 inline constexpr const char* kLastSeenSeconds = "LastSeenSeconds";
 inline constexpr const char* kHeadroomBytes = "LifecycleHeadroomBytes";
+inline constexpr const char* kJournalDropped = "JournalDroppedRecords";
 inline constexpr const char* kPlantCount = "PlantCount";  // fleet rollup ad
 }  // namespace fleet_attrs
 
@@ -94,6 +95,10 @@ class FleetAggregator {
     /// reported via its lifecycle.headroom_bytes.gauge; 0 when the plant
     /// runs without a disk budget.  The shop can bid placements on this.
     std::int64_t lifecycle_headroom_bytes = 0;
+    /// Journal records the plant's flight recorder failed to make durable
+    /// (lifecycle.journal.dropped.count); non-zero means the plant's
+    /// crash-forensics timeline has holes.
+    std::uint64_t journal_dropped = 0;
     double last_seen_s = 0.0;
   };
 
@@ -153,6 +158,10 @@ class FleetAggregator {
     std::uint64_t last_good = 0;  // counter readings at the last sweep
     std::uint64_t last_bad = 0;
     obs::TimerStats sli;          // plant-scoped SLI timer, latest pull
+    /// Per-stage critical-path self-time timers (tail_self_*_seconds) the
+    /// plant's tail sampler exported, latest pull; merged fleet-wide so
+    /// the rollup answers "which stage dominates slow creates".
+    std::map<std::string, obs::TimerStats> tail_self;
     PlantHealth verdict;
     bool ever_seen = false;       // answered at least one sweep
     bool fresh = false;           // seen within stale_after_s of last sweep

@@ -137,6 +137,9 @@ void VmMonitor::publish_obs_ads() {
   for (const auto& [vm_id, ad] : bundle.vm_traces) {
     info_->store(kObsTracePrefix + vm_id, ad);
   }
+  for (const auto& [trace_id, ad] : bundle.tail_exemplars) {
+    info_->store(kObsTailPrefix + trace_id, ad);
+  }
 }
 
 void VmMonitor::start_periodic(std::chrono::milliseconds interval) {

@@ -25,7 +25,8 @@ namespace vmp::core {
 
 /// Reserved id prefix for observability classads published by the monitor
 /// (DESIGN.md §8): "obs://metrics" holds the process-wide metrics snapshot,
-/// "obs://trace/<vm_id>" a per-VM span summary.  The fleet aggregator
+/// "obs://trace/<vm_id>" a per-VM span summary, "obs://tail/<trace_id>" a
+/// retained tail exemplar (DESIGN.md §14).  The fleet aggregator
 /// (core/fleet.h, DESIGN.md §9) additionally publishes
 /// "obs://health/<plant>" per-plant SLO verdicts and "obs://fleet/metrics",
 /// the cross-plant rollup, into the shop-side store.  These are not VMs:
@@ -34,6 +35,7 @@ namespace vmp::core {
 inline constexpr char kObsAdPrefix[] = "obs://";
 inline constexpr char kObsMetricsId[] = "obs://metrics";
 inline constexpr char kObsTracePrefix[] = "obs://trace/";
+inline constexpr char kObsTailPrefix[] = "obs://tail/";
 inline constexpr char kObsHealthPrefix[] = "obs://health/";
 inline constexpr char kObsFleetMetricsId[] = "obs://fleet/metrics";
 

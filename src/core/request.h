@@ -68,6 +68,10 @@ inline constexpr const char* kNetwork = "HostOnlyNetwork";
 inline constexpr const char* kIp = "IPAddress";
 inline constexpr const char* kMac = "MACAddress";
 inline constexpr const char* kRequestId = "RequestID";
+/// Trace id of the create that produced this VM (set only while tracing is
+/// armed): the handle for pulling the request's retained tail exemplar out
+/// of obs://tail/<trace_id> or a <trace_id>.exemplar.jsonl dump.
+inline constexpr const char* kTraceId = "TraceID";
 inline constexpr const char* kGoldenImage = "GoldenImage";
 inline constexpr const char* kActionsExecuted = "ActionsExecuted";
 inline constexpr const char* kActionsSatisfied = "ActionsSatisfiedByCache";

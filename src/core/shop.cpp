@@ -195,6 +195,11 @@ Result<classad::ClassAd> VmShop::create(const CreateRequest& request) {
   if (result.ok()) {
     metrics.creates->add();
     span.set_vm(result.value().get_string(attrs::kVmId).value_or(""));
+    // Stamp the trace id into the response ad so a client holding a slow
+    // VM can look up its retained tail exemplar.
+    if (span.active()) {
+      result.value().set_string(attrs::kTraceId, span.context().trace_id);
+    }
   } else {
     metrics.create_failures->add();
     span.set_status(util::error_code_name(result.error().code()));

@@ -254,6 +254,7 @@ void FaultRegistry::install(FaultPlan plan) {
   decider_ = nullptr;
   report_ = util::FaultReport();
   sequence_.clear();
+  sequence_traces_.clear();
   checks_ = 0;
   armed_.store(true, std::memory_order_relaxed);
 }
@@ -269,6 +270,7 @@ void FaultRegistry::clear() {
   decider_ = nullptr;
   report_ = util::FaultReport();
   sequence_.clear();
+  sequence_traces_.clear();
   checks_ = 0;
 }
 
@@ -290,6 +292,11 @@ bool FaultRegistry::exploring() const {
 void FaultRegistry::set_fire_listener(FireListener listener) {
   std::lock_guard<std::mutex> lock(mutex_);
   fire_listener_ = std::move(listener);
+}
+
+void FaultRegistry::set_trace_provider(TraceProvider provider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_provider_ = std::move(provider);
 }
 
 Status FaultRegistry::consult(const std::string& point,
@@ -320,6 +327,7 @@ Status FaultRegistry::consult(const std::string& point,
     ++rule_fired_[i];
     report_.record(point);
     sequence_.push_back(detail.empty() ? point : point + "@" + detail);
+    sequence_traces_.push_back(trace_provider_ ? trace_provider_() : "");
     if (fire_listener_) fire_listener_(point, detail);
     std::string message = rule.message.empty()
                               ? "injected fault: " + point +
@@ -353,6 +361,11 @@ std::uint64_t FaultRegistry::checks() const {
 std::vector<std::string> FaultRegistry::sequence() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return sequence_;
+}
+
+std::vector<std::string> FaultRegistry::sequence_traces() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sequence_traces_;
 }
 
 }  // namespace vmp::fault

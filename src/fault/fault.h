@@ -154,6 +154,16 @@ class FaultRegistry {
       std::function<void(const std::string& point, const std::string& detail)>;
   void set_fire_listener(FireListener listener);
 
+  /// Correlation tap: returns the calling thread's trace id ("" when the
+  /// thread is not inside a traced request).  Like the fire listener this
+  /// survives install()/clear() — it observes plans rather than being part
+  /// of one — and is called under the registry mutex, so the provider must
+  /// not call back into the registry.  obs::Journal installs
+  /// obs::Tracer::current() here so every fired injection is stamped with
+  /// the trace it interrupted (DESIGN.md §14).
+  using TraceProvider = std::function<std::string()>;
+  void set_trace_provider(TraceProvider provider);
+
   /// The hook body: evaluate rules for `point`.  Called via fault::check().
   util::Status consult(const std::string& point, const std::string& detail);
 
@@ -166,6 +176,9 @@ class FaultRegistry {
   std::uint64_t checks() const;
   /// Firing log, in order: "point@detail" entries.
   std::vector<std::string> sequence() const;
+  /// Trace ids parallel to sequence(): the trace each firing interrupted
+  /// ("" when none, or when no trace provider is installed).
+  std::vector<std::string> sequence_traces() const;
 
  private:
   FaultRegistry() = default;
@@ -180,8 +193,10 @@ class FaultRegistry {
   std::function<double()> clock_;
   Decider decider_;
   FireListener fire_listener_;
+  TraceProvider trace_provider_;
   util::FaultReport report_;
   std::vector<std::string> sequence_;
+  std::vector<std::string> sequence_traces_;
   std::uint64_t checks_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace vmp::lifecycle {
@@ -136,12 +137,14 @@ Status LifecycleManager::adopt_locked(const std::string& id,
 }
 
 Status LifecycleManager::publish(const warehouse::GoldenImage& image) {
+  obs::ScopedSpan span("lifecycle.publish", "lifecycle", image.id);
   LifecycleMetrics& metrics = LifecycleMetrics::get();
   const std::uint64_t estimate = estimate_publish_bytes(image.spec);
   // Rejections journal kPublishReject with the error category in aux; the
   // timeline then explains WHY an image never appeared.
   auto reject = [&](Status status) {
     metrics.publish_rejects->add();
+    span.set_status(util::error_code_name(status.error().code()));
     journal_->append(obs::JournalEvent::kPublishReject, image.id, 0,
                      static_cast<std::uint64_t>(status.error().code()));
     return status;
@@ -188,7 +191,14 @@ Status LifecycleManager::publish(const warehouse::GoldenImage& image) {
       if (committed + estimate > config_.disk_budget_bytes) {
         const std::uint64_t needed =
             committed + estimate - config_.disk_budget_bytes;
+        // The evict-to-fit stall is THE canonical hidden tail cause: the
+        // span makes it attributable on a slow create's critical path,
+        // correlated with the kEvictBegin/kEvictCommit journal records it
+        // emits (DESIGN.md §14).
+        obs::ScopedSpan evict_span("lifecycle.evict_to_fit", "lifecycle",
+                                   image.id);
         const std::uint64_t freed = evict_to_fit_locked(needed);
+        if (freed < needed) evict_span.set_status("budget-exhausted");
         if (freed < needed) {
           return reject(Status(
               ErrorCode::kResourceExhausted,
@@ -422,6 +432,11 @@ std::uint64_t LifecycleManager::evict_to_fit_locked(
       continue;
     }
     const std::uint64_t bytes = it->second.physical_bytes;
+    // Begin/commit pair, same as explicit evict(): a slow create's tail
+    // exemplar shows WHEN the stall entered each victim, not just the
+    // commits (replay ignores kEvictBegin, so warm_start is unaffected).
+    journal_->append(obs::JournalEvent::kEvictBegin, id, 0,
+                     it->second.leases);
     if (evict_unleased_locked(id, &it->second).ok()) freed += bytes;
   }
   return freed;

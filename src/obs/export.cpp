@@ -185,6 +185,24 @@ classad::ClassAd trace_summary_ad(const TraceSummary& summary) {
   return ad;
 }
 
+classad::ClassAd tail_exemplar_ad(const TailExemplar& exemplar) {
+  classad::ClassAd ad;
+  ad.set_string(export_attrs::kKind, "tail");
+  ad.set_string(export_attrs::kTraceId, exemplar.trace_id);
+  ad.set_string(export_attrs::kRootSpan, exemplar.op);
+  ad.set_string(export_attrs::kCause, exemplar.cause);
+  ad.set_real(export_attrs::kDurationSeconds, exemplar.duration_s);
+  ad.set_real(export_attrs::kThresholdSeconds, exemplar.threshold_s);
+  ad.set_integer(export_attrs::kSpanCount,
+                 static_cast<std::int64_t>(exemplar.spans.size()));
+  ad.set_integer(export_attrs::kEventCount,
+                 static_cast<std::int64_t>(exemplar.events.size()));
+  for (const auto& [stage, seconds] : self_times(exemplar.path)) {
+    ad.set_real("CriticalSelf_" + attr_name(stage), seconds);
+  }
+  return ad;
+}
+
 ExportBundle export_bundle() {
   ExportBundle bundle;
   bundle.metrics = metrics_ad(MetricsRegistry::instance().snapshot(),
@@ -193,6 +211,10 @@ ExportBundle export_bundle() {
        summarize_traces(Tracer::instance().spans())) {
     if (summary.vm_id.empty()) continue;
     bundle.vm_traces.emplace_back(summary.vm_id, trace_summary_ad(summary));
+  }
+  for (const TailExemplar& exemplar : TailSampler::instance().exemplars()) {
+    bundle.tail_exemplars.emplace_back(exemplar.trace_id,
+                                       tail_exemplar_ad(exemplar));
   }
   return bundle;
 }

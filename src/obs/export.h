@@ -29,6 +29,7 @@
 
 #include "classad/classad.h"
 #include "obs/metrics.h"
+#include "obs/tail.h"
 #include "obs/trace.h"
 #include "util/stats.h"
 
@@ -45,6 +46,9 @@ inline constexpr const char* kSpanCount = "SpanCount";
 inline constexpr const char* kErrorCount = "ErrorCount";
 inline constexpr const char* kRetryCount = "RetryCount";
 inline constexpr const char* kWarehouseHitRatio = "WarehouseHitRatio";
+inline constexpr const char* kCause = "Cause";  // tail ads: "slow" | "error"
+inline constexpr const char* kThresholdSeconds = "ThresholdSeconds";
+inline constexpr const char* kEventCount = "EventCount";
 }  // namespace export_attrs
 
 /// Fold a metric name into a classad-safe attribute name.
@@ -84,12 +88,20 @@ MetricsSnapshot metrics_snapshot_from_ad(const classad::ClassAd& ad);
 /// the per-phase seconds).
 classad::ClassAd trace_summary_ad(const TraceSummary& summary);
 
-/// Snapshot the process-wide registries (metrics + tracer + fault report)
-/// into export-ready ads: the metrics ad plus one ad per trace that
-/// produced a VM, keyed by vm id.
+/// Render one retained tail exemplar as a classad: cause, duration vs the
+/// quantile threshold at decision time, and CriticalSelf_<stage> per-stage
+/// self-seconds (the information-system view of a slow request; the full
+/// span/journal evidence stays in TailSampler and its jsonl dump).
+classad::ClassAd tail_exemplar_ad(const TailExemplar& exemplar);
+
+/// Snapshot the process-wide registries (metrics + tracer + fault report +
+/// tail sampler) into export-ready ads: the metrics ad, one ad per trace
+/// that produced a VM (keyed by vm id), and one ad per retained tail
+/// exemplar (keyed by trace id).
 struct ExportBundle {
   classad::ClassAd metrics;
   std::vector<std::pair<std::string, classad::ClassAd>> vm_traces;
+  std::vector<std::pair<std::string, classad::ClassAd>> tail_exemplars;
 };
 ExportBundle export_bundle();
 

@@ -6,12 +6,24 @@
 #include <cstring>
 
 #include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace vmp::obs {
 
 namespace {
 const util::Logger kLog("journal");
+
+/// Records a durable sink failed to persist (dead sink or short write),
+/// fleet-visible: FleetAggregator lifts it into the per-plant health ad and
+/// the obs://fleet/metrics rollup, so a dying journal is not just a local
+/// accessor nobody polls.
+Counter* dropped_counter() {
+  static Counter* c =
+      MetricsRegistry::instance().counter("lifecycle.journal.dropped.count");
+  return c;
+}
 }  // namespace
 
 using util::Error;
@@ -174,7 +186,11 @@ std::string JournalRecord::to_json() const {
                   static_cast<long long>(bytes_delta), aux, value);
     head.resize(static_cast<std::size_t>(n));
   }
-  return head + json_escape(image_id) + "\"}";
+  std::string out = head + json_escape(image_id) + "\"";
+  if (!trace_id.empty()) {
+    out += ", \"trace\": \"" + json_escape(trace_id) + "\"";
+  }
+  return out + "}";
 }
 
 void Journal::encode(const JournalRecord& record, std::string* out) {
@@ -191,6 +207,15 @@ void Journal::encode(const JournalRecord& record, std::string* out) {
       std::min<std::size_t>(record.image_id.size(), 0xffff));
   put_u16(&payload, id_len);
   payload.append(record.image_id.data(), id_len);
+  // The trace block is written only when there is a trace: a payload that
+  // ends at the id is byte-identical to the pre-trace format, so journals
+  // written by either side of this change replay on the other.
+  if (!record.trace_id.empty()) {
+    const std::uint16_t trace_len = static_cast<std::uint16_t>(
+        std::min<std::size_t>(record.trace_id.size(), 0xffff));
+    put_u16(&payload, trace_len);
+    payload.append(record.trace_id.data(), trace_len);
+  }
 
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
   out->append(payload);
@@ -206,7 +231,16 @@ std::size_t Journal::decode(const char* data, std::size_t size,
   const char* payload = data + 4;
   if (get_u32(payload + len) != fnv1a32(payload, len)) return 0;
   const std::uint16_t id_len = get_u16(payload + 49);
-  if (51u + id_len != len) return 0;
+  // Either the payload ends at the id (pre-trace format, trace_id empty) or
+  // a [u16 trace_len | trace] block follows and must account for every
+  // remaining byte — anything else is corruption.
+  record->trace_id.clear();
+  if (51u + id_len != len) {
+    if (len < 53u + id_len) return 0;
+    const std::uint16_t trace_len = get_u16(payload + 51 + id_len);
+    if (53u + id_len + trace_len != len) return 0;
+    record->trace_id.assign(payload + 53 + id_len, trace_len);
+  }
   record->kind = static_cast<JournalEvent>(payload[0]);
   record->seq = get_u64(payload + 1);
   record->time_s = get_f64(payload + 9);
@@ -229,13 +263,18 @@ Journal::~Journal() { close_durable(); }
 Journal& Journal::instance() {
   static Journal* journal = [] {
     auto* j = new Journal();
-    // Observability tap, not plan state: survives install()/clear() so a
-    // counterexample's flight dump always shows which injections fired.
+    // Observability taps, not plan state: both survive install()/clear() so
+    // a counterexample's flight dump always shows which injections fired.
+    // The listener runs on the consulting thread, so the kFaultFired append
+    // picks up that thread's trace context; the trace provider additionally
+    // stamps the registry's own firing log (sequence_traces()).
     fault::FaultRegistry::instance().set_fire_listener(
         [j](const std::string& point, const std::string& detail) {
           j->append(JournalEvent::kFaultFired,
                     detail.empty() ? point : point + "@" + detail);
         });
+    fault::FaultRegistry::instance().set_trace_provider(
+        [] { return Tracer::current().trace_id; });
     return j;
   }();
   return *journal;
@@ -269,11 +308,17 @@ void Journal::append(JournalEvent kind, std::string_view image_id,
   record.aux = aux;
   record.value = value;
   record.image_id.assign(image_id);
+  // Correlation stamp (DESIGN.md §14): the lifecycle transitions a traced
+  // create causes (evictions, lease waits, rejects) run on the request's
+  // own thread, so the thread-local trace context is exactly the causing
+  // trace — no parameter plumbing through the lifecycle call sites.
+  if (tracer_armed()) record.trace_id = Tracer::current().trace_id;
   ++appended_;
   if (segment_ != nullptr) {
     append_durable_locked(record);
   } else if (durable_dead_) {
     ++durable_dropped_;  // sink died mid-run; the ring alone has this one
+    dropped_counter()->add();
   }
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
@@ -414,6 +459,7 @@ void Journal::append_durable_locked(const JournalRecord& record) {
     // Rotation failed and the sink is dead: the ring still has the record,
     // but the durable log does not — count it so the loss is visible.
     ++durable_dropped_;
+    dropped_counter()->add();
     return;
   }
   if (std::fwrite(bytes.data(), 1, bytes.size(), segment_) == bytes.size()) {
@@ -421,6 +467,7 @@ void Journal::append_durable_locked(const JournalRecord& record) {
     if (durable_config_.flush_each_append) std::fflush(segment_);
   } else {
     ++durable_dropped_;
+    dropped_counter()->add();
   }
 }
 

@@ -31,6 +31,12 @@
 //   [u32 payload_len] [payload] [u32 fnv1a32(payload)]
 //   payload := u8 kind | u64 seq | f64 time_s | f64 wall_s |
 //              i64 bytes_delta | u64 aux | f64 value | u16 id_len | id
+//              [u16 trace_len | trace]
+//
+// The trailing trace block (DESIGN.md §14) is present only when the record
+// was appended from inside a traced request: a record whose payload ends at
+// the id decodes with an empty trace_id, so pre-trace journals (and tools)
+// stay readable in both directions.
 //
 // Segments are "seg-NNNNNN.vmj" under the journal directory; names sort in
 // write order.  Sequence numbers are journal-global and survive reopen:
@@ -60,7 +66,7 @@ enum class JournalEvent : std::uint8_t {
   kPublishReserve = 1,  // admission reserved the estimate (+bytes_delta)
   kPublishCommit = 2,   // measured footprint charged (+bytes_delta)
   kPublishReject = 3,   // admission or materialization failed (aux = code)
-  kEvictBegin = 4,      // explicit evict() admitted past the guards
+  kEvictBegin = 4,      // evict() / evict-to-fit victim admitted past guards
   kEvictCommit = 5,     // unleased eviction: tree deleted (-bytes_delta)
   kEvictRollback = 6,   // leased eviction aborted, image re-attached
   kLeaseAcquire = 7,    // clone leased the base (aux = hits after)
@@ -89,6 +95,10 @@ struct JournalRecord {
   std::uint64_t aux = 0;         // kind-specific (hits, leases, error code)
   double value = 0.0;            // kind-specific (GDSF clock at eviction)
   std::string image_id;          // image id; "point@detail" for kFaultFired
+  /// Trace the appending thread was inside ("" when none): append() stamps
+  /// obs::Tracer::current(), so lifecycle transitions and fault firings
+  /// caused by a traced create correlate back to its span tree.
+  std::string trace_id;
 
   /// One-line JSON object (the flight-dump format).
   std::string to_json() const;

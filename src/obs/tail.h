@@ -1,0 +1,159 @@
+// Tail-sampled trace retention: keep full causal evidence for exactly the
+// requests that hurt p99/p999, at near-zero cost for the rest.
+//
+// The paper's headline claim is low VM-creation latency via cloning and
+// golden-image hits, but the concurrent pipeline and lifecycle backpressure
+// shape the TAIL of create latency through queueing, evict-to-fit stalls,
+// lease contention, and injected faults — causes the aggregate histograms
+// and the event journal cannot explain for a SPECIFIC slow request.
+// Following the Dapper-style tracing line (PAPERS.md), the TailSampler
+// makes armed tracing affordable fleet-wide by deciding, at every root-span
+// completion (DESIGN.md §14):
+//
+//   * estimate the per-operation latency quantile from a fixed-size
+//     reservoir of recent durations (no global sort, no unbounded state);
+//   * retain the complete span tree only when the create landed strictly
+//     above that estimate — plus EVERY errored/faulted create — and drain
+//     everything else out of the tracer buffer, so "armed" no longer means
+//     "grows with history";
+//   * correlate a retained trace with the journal flight recorder: every
+//     JournalRecord and fault firing stamped with the same trace id joins
+//     the exemplar, rendering one merged timeline of spans interleaved with
+//     the evictions, lease waits, and fault firings that caused them;
+//   * attribute the retained tree's critical path (obs/critical_path.h)
+//     and export per-stage self-time histograms (tail.self.<stage>.seconds)
+//     into the MetricsRegistry, where the fleet aggregator rolls them up;
+//   * bound everything by a fixed retention budget: when full, the
+//     shortest non-error exemplar is evicted first.
+//
+// Exemplars dump as <trace-id>.exemplar.jsonl (header line, then span
+// lines, then journal-record lines) and are reconstructed into a human
+// timeline by tools/tail_report.py.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
+
+namespace vmp::obs {
+
+struct TailSamplerConfig {
+  /// Retain a trace whose root duration lands strictly above this quantile
+  /// of the per-operation reservoir.
+  double quantile = 0.95;
+  /// Recent durations kept per operation (root span name); the quantile is
+  /// estimated over this window, so it tracks drift.
+  std::size_t reservoir = 512;
+  /// Samples an operation needs before the quantile gate arms; during
+  /// warmup only errored creates are retained (a handful of fast early
+  /// requests must not define "slow").
+  std::size_t warmup = 32;
+  /// Retention budget: complete exemplars kept at any moment.
+  std::size_t max_retained = 16;
+  /// Journal records copied into one exemplar (newest kept).
+  std::size_t max_events = 512;
+  /// Export tail.self.<stage>.seconds critical-path histograms on retain.
+  bool record_metrics = true;
+};
+
+/// One retained slow/errored request: the full span tree plus every journal
+/// record (evictions, lease transitions, fault firings) stamped with its
+/// trace id, and the critical path computed at retention time.
+struct TailExemplar {
+  std::string trace_id;
+  std::string op;          // root span name
+  std::string status;      // root status
+  std::string cause;       // "slow" or "error"
+  double duration_s = 0.0;
+  double threshold_s = 0.0;  // quantile estimate at decision time (0 = warmup)
+  std::vector<Span> spans;            // completion order
+  std::vector<JournalRecord> events;  // correlated journal records, seq order
+  CriticalPath path;                  // critical path of `spans`
+
+  /// The <id>.exemplar.jsonl format: one header object (exemplar metadata +
+  /// critical path), then one line per span, then one line per journal
+  /// record.  tools/tail_report.py merges these into a causal timeline.
+  std::string to_jsonl() const;
+};
+
+class TailSampler {
+ public:
+  /// The process-wide sampler (what VmMonitor publishes from).
+  static TailSampler& instance();
+
+  explicit TailSampler(TailSamplerConfig config = {});
+  ~TailSampler();
+  TailSampler(const TailSampler&) = delete;
+  TailSampler& operator=(const TailSampler&) = delete;
+
+  /// Arm against a tracer + journal (defaults: the process-wide instances).
+  /// Installs itself as the tracer's root sink and arms the tracer if it
+  /// is not already armed.  Clears previously retained exemplars.
+  void arm(TailSamplerConfig config = {});
+  void arm(TailSamplerConfig config, Tracer* tracer, Journal* journal);
+  /// Uninstall the root sink.  Retained exemplars stay readable.
+  void disarm();
+  bool armed() const;
+
+  const TailSamplerConfig& config() const { return config_; }
+
+  /// The decision point; the tracer's root sink lands here.  Public so
+  /// tests (and exotic integrations) can feed roots directly.
+  void observe_root(const Span& root);
+
+  // -- Introspection ----------------------------------------------------------
+  /// Root spans decided over this sampler's lifetime.
+  std::uint64_t observed() const;
+  /// Exemplars ever retained (including ones later evicted by the budget).
+  std::uint64_t retained_total() const;
+  /// Retained exemplars pushed back out by the retention budget.
+  std::uint64_t budget_evictions() const;
+  /// Current quantile estimate for one operation; negative while the
+  /// operation is still in warmup.
+  double threshold(const std::string& op) const;
+
+  std::vector<TailExemplar> exemplars() const;
+  std::optional<TailExemplar> exemplar(const std::string& trace_id) const;
+  /// Drop retained exemplars AND reservoir state (arming does this too).
+  void clear();
+
+  /// Write every retained exemplar as <trace-id>.exemplar.jsonl under
+  /// `dir` (created if needed); returns how many files were written.
+  std::size_t dump(const std::filesystem::path& dir) const;
+
+ private:
+  struct Reservoir {
+    std::vector<double> samples;  // ring of the last `reservoir` durations
+    std::size_t next = 0;
+    std::uint64_t count = 0;          // durations ever added
+    double cached_threshold = -1.0;   // quantile estimate (amortized)
+    std::uint64_t cached_at_count = 0;
+  };
+
+  void add_sample_locked(Reservoir& res, double duration_s);
+  /// Quantile estimate, recomputed every reservoir/8 inserts; negative
+  /// during warmup.
+  double threshold_locked(Reservoir& res) const;
+  void retain_locked(TailExemplar exemplar);
+
+  TailSamplerConfig config_;
+  mutable std::mutex mutex_;
+  bool armed_ = false;
+  Tracer* tracer_ = nullptr;
+  Journal* journal_ = nullptr;
+  std::map<std::string, Reservoir> ops_;
+  std::vector<TailExemplar> retained_;
+  std::uint64_t observed_ = 0;
+  std::uint64_t retained_total_ = 0;
+  std::uint64_t budget_evictions_ = 0;
+};
+
+}  // namespace vmp::obs

@@ -141,8 +141,20 @@ void Tracer::end_span(const TraceContext& ctx, const std::string& status,
         << span.duration_s() << "s status=" << span.status
         << (span.detail.empty() ? "" : " " + span.detail);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  finished_.push_back(std::move(span));
+  // A finishing root is the tail sampler's decision point: copy it before
+  // the move, land it in the buffer, then run the sink OUTSIDE the lock so
+  // it can extract the trace back out.
+  const bool notify_root =
+      span.parent_id == 0 && root_sink_armed_.load(std::memory_order_relaxed);
+  Span root_copy;
+  if (notify_root) root_copy = span;
+  RootSink sink;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    finished_.push_back(std::move(span));
+    if (notify_root) sink = root_sink_;
+  }
+  if (sink) sink(root_copy);
 }
 
 void Tracer::instant(const std::string& name, const std::string& component,
@@ -184,6 +196,29 @@ std::vector<Span> Tracer::trace(const std::string& trace_id) const {
     if (s.trace_id == trace_id) out.push_back(s);
   }
   return out;
+}
+
+std::vector<Span> Tracer::extract_trace(const std::string& trace_id) {
+  std::vector<Span> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < finished_.size(); ++i) {
+    if (finished_[i].trace_id == trace_id) {
+      out.push_back(std::move(finished_[i]));
+    } else {
+      if (keep != i) finished_[keep] = std::move(finished_[i]);
+      ++keep;
+    }
+  }
+  finished_.resize(keep);
+  return out;
+}
+
+void Tracer::set_root_sink(RootSink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  root_sink_ = std::move(sink);
+  root_sink_armed_.store(static_cast<bool>(root_sink_),
+                         std::memory_order_relaxed);
 }
 
 std::vector<std::string> Tracer::trace_ids() const {

@@ -114,11 +114,25 @@ class Tracer {
   // -- Thread-local context -------------------------------------------------
   static TraceContext current();
 
+  // -- Root-completion sink (the tail sampler's hook) -----------------------
+  /// Called once per finished ROOT span (parent_id == 0), on the thread
+  /// that ended it, after the span landed in the finished buffer.  The
+  /// sink runs outside the tracer lock, so it may call back into the
+  /// tracer (extract_trace does).  One sink at a time; nullptr uninstalls.
+  /// instant() roots (lone markers) do not trigger it.
+  using RootSink = std::function<void(const Span& root)>;
+  void set_root_sink(RootSink sink);
+
   // -- Introspection --------------------------------------------------------
   /// Copies of all finished spans (in completion order).
   std::vector<Span> spans() const;
   /// Finished spans of one trace.
   std::vector<Span> trace(const std::string& trace_id) const;
+  /// Remove and return one trace's finished spans (completion order kept).
+  /// The tail sampler drains every decided trace through this, so an armed
+  /// tracer's buffer stays bounded by the in-flight traces instead of
+  /// growing with history (DESIGN.md §14).
+  std::vector<Span> extract_trace(const std::string& trace_id);
   /// Distinct trace ids seen, in first-completion order.
   std::vector<std::string> trace_ids() const;
   std::size_t span_count() const;
@@ -136,9 +150,13 @@ class Tracer {
   std::atomic<bool> log_spans_{false};
   std::atomic<std::uint64_t> next_span_id_{1};
   std::atomic<std::uint64_t> next_trace_{1};
+  /// Fast-path flag so end_span pays for the root copy only when a sink is
+  /// actually installed (the armed-span budget in bench/obs_overhead).
+  std::atomic<bool> root_sink_armed_{false};
 
   mutable std::mutex mutex_;
   std::function<double()> clock_;
+  RootSink root_sink_;
   std::vector<Span> finished_;
 
   struct OpenSpan {

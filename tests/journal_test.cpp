@@ -4,11 +4,13 @@
 // a crash (including the crash-at-every-prefix GDSF property).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fault/fault.h"
@@ -45,6 +47,7 @@ void expect_equal(const JournalRecord& a, const JournalRecord& b) {
   EXPECT_EQ(a.aux, b.aux);
   EXPECT_DOUBLE_EQ(a.value, b.value);
   EXPECT_EQ(a.image_id, b.image_id);
+  EXPECT_EQ(a.trace_id, b.trace_id);
 }
 
 class JournalTest : public ::testing::Test {
@@ -70,6 +73,39 @@ TEST_F(JournalTest, EncodeDecodeRoundTrips) {
   JournalRecord out;
   ASSERT_EQ(Journal::decode(bytes.data(), bytes.size(), &out), bytes.size());
   expect_equal(in, out);
+}
+
+TEST_F(JournalTest, TraceIdRoundTripsThroughCodec) {
+  JournalRecord in =
+      make_record(43, JournalEvent::kFaultFired, "store.remove@g3");
+  in.trace_id = "trace-forensics-1";
+  std::string bytes;
+  Journal::encode(in, &bytes);
+  JournalRecord out;
+  ASSERT_EQ(Journal::decode(bytes.data(), bytes.size(), &out), bytes.size());
+  expect_equal(in, out);
+}
+
+TEST_F(JournalTest, EmptyTraceEncodesAsLegacyLayout) {
+  // A record appended outside any trace must stay byte-identical to the
+  // pre-trace format: no trailing trace block at all, so old journals and
+  // old readers interoperate in both directions.
+  const JournalRecord untraced =
+      make_record(44, JournalEvent::kPublishCommit, "golden-b", 512);
+  JournalRecord traced = untraced;
+  traced.trace_id = "t";
+  std::string legacy_bytes, traced_bytes;
+  Journal::encode(untraced, &legacy_bytes);
+  Journal::encode(traced, &traced_bytes);
+  // Legacy layout: frame (4) + payload (51 + id_len) + checksum (4).
+  EXPECT_EQ(legacy_bytes.size(), 8u + 51u + untraced.image_id.size());
+  // The traced layout appends exactly u16 trace_len + trace.
+  EXPECT_EQ(traced_bytes.size(), legacy_bytes.size() + 2u + 1u);
+  JournalRecord out;
+  ASSERT_EQ(Journal::decode(legacy_bytes.data(), legacy_bytes.size(), &out),
+            legacy_bytes.size());
+  EXPECT_TRUE(out.trace_id.empty());
+  expect_equal(untraced, out);
 }
 
 TEST_F(JournalTest, DecodeRejectsTruncationAtEveryLength) {
@@ -279,6 +315,60 @@ TEST_F(JournalTest, DeadSinkCountsDroppedAppends) {
   EXPECT_EQ(journal.durable_dropped(), 3u);
   EXPECT_EQ(journal.ring().size(), 4u);  // the ring still has everything
   journal.close_durable();
+}
+
+TEST_F(JournalTest, ConcurrentAppendWhileSnapshotting) {
+  // Writers hammer append() while readers race ring() / ring_jsonl() /
+  // dump_ring_jsonl() against them.  Run under TSan (the `journal` label is
+  // in the tsan-concurrency preset) this is the data-race proof for the
+  // flight-recorder snapshot path; everywhere it checks that snapshots are
+  // always internally consistent (strictly increasing sequence numbers).
+  constexpr int kWriters = 4;
+  constexpr int kAppendsPerWriter = 500;
+  Journal journal(64);
+  ASSERT_TRUE(journal.open_durable(dir_).ok());
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn_snapshots{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&journal, w] {
+      for (int i = 0; i < kAppendsPerWriter; ++i) {
+        journal.append(JournalEvent::kLeaseAcquire,
+                       "img" + std::to_string(w), w, static_cast<unsigned>(i));
+      }
+    });
+  }
+  const auto dump_path = (dir_ / "snapshot.jsonl").string();
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&journal, &stop, &torn_snapshots, dump_path, r] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::vector<JournalRecord> snap = journal.ring();
+        for (std::size_t i = 1; i < snap.size(); ++i) {
+          if (snap[i - 1].seq >= snap[i].seq) {
+            torn_snapshots.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        if (r == 0) {
+          (void)journal.ring_jsonl();
+        } else {
+          (void)journal.dump_ring_jsonl(dump_path);
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+  EXPECT_EQ(torn_snapshots.load(), 0);
+  EXPECT_EQ(journal.appended(),
+            static_cast<std::uint64_t>(kWriters * kAppendsPerWriter));
+  EXPECT_EQ(journal.durable_dropped(), 0u);
+  journal.close_durable();
+  const auto replay = Journal::replay(dir_);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.value().records.size(),
+            static_cast<std::size_t>(kWriters * kAppendsPerWriter));
+  EXPECT_FALSE(replay.value().torn_tail);
 }
 
 TEST_F(JournalTest, MidRotationCrashLeavesEmptySegment) {

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Reconstruct retained tail exemplars into human-readable causal timelines.
+
+The tail sampler (src/obs/tail.h, DESIGN.md §14) dumps each retained
+slow/errored create as <trace-id>.exemplar.jsonl:
+
+  line 1   header object: {"exemplar": trace_id, "op", "status", "cause",
+           "duration", "threshold", "critical_path": [{name, dur, self}]}
+  then     one line per span  (Span::to_json — keys trace/span/parent/...)
+  then     one line per correlated journal record (JournalRecord::to_json —
+           keys seq/kind/t/... stamped with the same trace id)
+
+This tool merges the span tree and the journal records into ONE timeline
+ordered by simulation time, so a single slow request reads as a story:
+which stage the create was in when the evict-to-fit stall began, which
+fault fired inside it, and where the critical-path self time went.
+
+Usage:
+    python3 tools/tail_report.py DIR                # every *.exemplar.jsonl
+    python3 tools/tail_report.py a.exemplar.jsonl [b.exemplar.jsonl ...]
+    python3 tools/tail_report.py DIR --json        # machine-readable
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_exemplar(path):
+    """Parse one exemplar file -> dict with header/spans/events (or None).
+
+    Damaged lines are skipped with a warning rather than aborting: an
+    exemplar dumped during a crash is exactly when you want a best-effort
+    read.
+    """
+    header = None
+    spans = []
+    events = []
+    try:
+        lines = pathlib.Path(path).read_text(encoding="utf-8").splitlines()
+    except OSError as err:
+        print(f"{path}: cannot read: {err}", file=sys.stderr)
+        return None
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as err:
+            print(f"{path}:{lineno}: skipping bad line: {err}",
+                  file=sys.stderr)
+            continue
+        if "exemplar" in obj:
+            header = obj
+        elif "span" in obj:
+            spans.append(obj)
+        elif "seq" in obj:
+            events.append(obj)
+        else:
+            print(f"{path}:{lineno}: skipping unrecognized object",
+                  file=sys.stderr)
+    if header is None and not spans and not events:
+        print(f"{path}: no exemplar content", file=sys.stderr)
+        return None
+    return {"path": str(path), "header": header or {},
+            "spans": spans, "events": events}
+
+
+def span_depths(spans):
+    """Depth of each span id in the tree (root = 0; orphans = 0)."""
+    ids = {s.get("span") for s in spans}
+    parent = {s.get("span"): s.get("parent", 0) for s in spans}
+    depths = {}
+
+    def depth(span_id, seen):
+        if span_id in depths:
+            return depths[span_id]
+        p = parent.get(span_id, 0)
+        if p == 0 or p not in ids or p in seen:
+            depths[span_id] = 0
+        else:
+            depths[span_id] = depth(p, seen | {span_id}) + 1
+        return depths[span_id]
+
+    for s in spans:
+        depth(s.get("span"), set())
+    return depths
+
+
+def timeline(exemplar):
+    """Merge spans + journal records into (time, sort_key, line) rows."""
+    spans = exemplar["spans"]
+    events = exemplar["events"]
+    depths = span_depths(spans)
+    starts = [float(s.get("start", 0.0)) for s in spans]
+    t0 = min(starts) if starts else (
+        min((float(e.get("t", 0.0)) for e in events), default=0.0))
+    rows = []
+    for s in spans:
+        start = float(s.get("start", 0.0))
+        end = s.get("end")
+        dur_ms = (float(end) - start) * 1e3 if end is not None else None
+        indent = "  " * depths.get(s.get("span"), 0)
+        status = s.get("status", "ok")
+        flag = "" if status in ("ok", "retry") else "  <-- ERROR"
+        dur = f"{dur_ms:9.3f}ms" if dur_ms is not None else "      open"
+        rows.append((start, 0, f"span     {dur}  {indent}"
+                     f"{s.get('name', '?')} [{s.get('component', '?')}]"
+                     f" status={status}{flag}"))
+    for e in events:
+        t = float(e.get("t", 0.0))
+        kind = e.get("kind", "?")
+        detail = f" id={e['id']}" if e.get("id") else ""
+        if e.get("bytes"):
+            detail += f" bytes={e['bytes']}"
+        if e.get("aux"):
+            detail += f" aux={e['aux']}"
+        flag = "  <-- FAULT" if kind == "fault_fired" else ""
+        rows.append((t, 1, f"journal  seq={e.get('seq', '?'):<6} "
+                     f"{kind}{detail}{flag}"))
+    rows.sort(key=lambda r: (r[0], r[1]))
+    return t0, rows
+
+
+def print_exemplar(exemplar):
+    header = exemplar["header"]
+    trace = header.get("exemplar") or (
+        exemplar["spans"][0].get("trace", "?") if exemplar["spans"] else "?")
+    print(f"exemplar {trace}  op={header.get('op', '?')}"
+          f"  cause={header.get('cause', '?')}"
+          f"  status={header.get('status', '?')}")
+    duration = header.get("duration")
+    threshold = header.get("threshold")
+    if duration is not None:
+        over = (f"  ({duration / threshold:.2f}x the p-quantile threshold "
+                f"{threshold * 1e3:.3f}ms)"
+                if threshold else "  (retained during warmup/error)")
+        print(f"  duration {duration * 1e3:.3f}ms{over}")
+
+    path = header.get("critical_path") or []
+    if path:
+        print("  critical path (self time = not attributable to children):")
+        for depth, entry in enumerate(path):
+            name = "  " * depth + str(entry.get("name", "?"))
+            dur = float(entry.get("dur", 0.0)) * 1e3
+            self_ms = float(entry.get("self", 0.0)) * 1e3
+            print(f"    {name:<32} {dur:>10.3f}ms dur {self_ms:>10.3f}ms self")
+
+    t0, rows = timeline(exemplar)
+    if rows:
+        print(f"  timeline ({len(exemplar['spans'])} spans, "
+              f"{len(exemplar['events'])} journal records; "
+              f"t relative to first span):")
+        for t, _, line in rows:
+            print(f"    {(t - t0) * 1e3:>10.3f}ms  {line}")
+    print()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+",
+                        help="exemplar .jsonl file(s) or a dump directory")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one machine-readable object per exemplar")
+    args = parser.parse_args()
+
+    files = []
+    for item in args.inputs:
+        p = pathlib.Path(item)
+        if p.is_dir():
+            found = sorted(p.glob("*.exemplar.jsonl"))
+            if not found:
+                print(f"{item}: no *.exemplar.jsonl files", file=sys.stderr)
+            files.extend(found)
+        else:
+            files.append(p)
+
+    exemplars = [e for e in (load_exemplar(f) for f in files) if e]
+    if not exemplars:
+        print("no readable exemplars", file=sys.stderr)
+        return 1
+
+    if args.json:
+        for exemplar in exemplars:
+            t0, rows = timeline(exemplar)
+            print(json.dumps({
+                "path": exemplar["path"],
+                "header": exemplar["header"],
+                "span_count": len(exemplar["spans"]),
+                "event_count": len(exemplar["events"]),
+                "timeline": [{"t_ms": (t - t0) * 1e3, "line": line}
+                             for t, _, line in rows],
+            }))
+        return 0
+
+    for exemplar in exemplars:
+        print_exemplar(exemplar)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,7 +43,7 @@ def phase_table(spans):
                                 "errors": 0})
     for span in spans:
         name = span.get("name", "?")
-        duration = float(span.get("end", 0.0)) - float(span.get("start", 0.0))
+        duration = duration_of(span)
         row = rows[name]
         row["count"] += 1
         row["total"] += duration
@@ -79,7 +79,7 @@ def print_trace_table(spans):
     for trace_id, members in traces.items():
         roots = [s for s in members if not s.get("parent", 0)]
         root = roots[0] if roots else None
-        duration = (float(root["end"]) - float(root["start"])) if root else 0.0
+        duration = duration_of(root) if root else 0.0
         vm_ids = [s["vm"] for s in members if s.get("vm")]
         errors = sum(1 for s in members
                      if s.get("status", "ok") not in ("ok", "retry"))
@@ -90,7 +90,18 @@ def print_trace_table(spans):
 
 
 def duration_of(span):
-    return float(span.get("end", 0.0)) - float(span.get("start", 0.0))
+    """Attributed duration, clamped at zero.
+
+    Degrades instead of throwing on damaged dumps: a span missing its end
+    timestamp (crashed mid-span, truncated file) attributes zero duration,
+    and a clock skew that puts end before start clamps to zero — matching
+    obs::attributed_duration in src/obs/critical_path.cpp.
+    """
+    start = float(span.get("start", 0.0))
+    end = span.get("end")
+    if end is None:
+        return 0.0
+    return max(0.0, float(end) - start)
 
 
 def critical_path(spans):
@@ -101,10 +112,19 @@ def critical_path(spans):
     in the span's own code rather than anything it delegated to), clamped
     at zero — children re-parented across a bus hop can overlap a sibling
     and push the naive subtraction negative.
+
+    A span whose parent never finished (orphan: open span, crash, or a
+    truncated dump) is re-parented to the virtual root so partial traces
+    still attribute instead of vanishing — the same semantics as
+    obs::critical_path in src/obs/critical_path.cpp.
     """
+    ids = {s.get("span") for s in spans if s.get("span") is not None}
     children = defaultdict(list)
     for span in spans:
-        children[span.get("parent", 0)].append(span)
+        parent = span.get("parent", 0)
+        if parent != 0 and parent not in ids:
+            parent = 0
+        children[parent].append(span)
     roots = children.get(0, [])
     if not roots:
         return []

@@ -45,7 +45,9 @@ JOURNAL_EVENTS = {
 }
 
 # payload := u8 kind | u64 seq | f64 time_s | f64 wall_s | i64 bytes_delta |
-#            u64 aux | f64 value | u16 id_len   (then id_len bytes of id)
+#            u64 aux | f64 value | u16 id_len | id
+#            [u16 trace_len | trace]     (trace block only when non-empty;
+#            records without it are the pre-trace format, byte-identical)
 JOURNAL_HEAD = struct.Struct("<BQddqQdH")
 JOURNAL_MAX_RECORD = 64 * 1024
 
@@ -71,8 +73,16 @@ def decode_journal_record(buf, offset):
         return None, offset
     kind, seq, time_s, wall_s, bytes_delta, aux, value, id_len = \
         JOURNAL_HEAD.unpack_from(payload)
-    if JOURNAL_HEAD.size + id_len != length:
-        return None, offset
+    base = JOURNAL_HEAD.size
+    trace = ""
+    if base + id_len != length:
+        # Trace-stamped record: u16 trace_len | trace after the id.
+        if length < base + id_len + 2:
+            return None, offset
+        (trace_len,) = struct.unpack_from("<H", payload, base + id_len)
+        if base + id_len + 2 + trace_len != length:
+            return None, offset
+        trace = payload[base + id_len + 2:].decode("utf-8", "replace")
     return {
         "seq": seq,
         "event": JOURNAL_EVENTS.get(kind, "unknown"),
@@ -81,7 +91,8 @@ def decode_journal_record(buf, offset):
         "bytes_delta": bytes_delta,
         "aux": aux,
         "value": value,
-        "image": payload[JOURNAL_HEAD.size:].decode("utf-8", "replace"),
+        "image": payload[base:base + id_len].decode("utf-8", "replace"),
+        "trace": trace,
     }, offset + 8 + length
 
 
@@ -89,20 +100,32 @@ def replay_journal(journal_dir):
     """All valid records from seg-*.vmj in name order, C++ replay semantics:
     a torn/corrupt record drops the rest of THAT segment (the crash tail)
     and replay resumes at the next segment boundary — post-crash reopens
-    write into fresh segments that must still be read."""
+    write into fresh segments that must still be read.
+
+    Returns (records, segment_count, tears); each tear names the segment,
+    the offset replay resynced at, and how many trailing bytes it dropped,
+    so an operator can tell ONE crash tail from systematic corruption.
+    Raises OSError when the directory or a segment cannot be read."""
     records = []
-    torn = False
+    tears = []
     segments = sorted(pathlib.Path(journal_dir).glob("seg-*.vmj"))
     for segment in segments:
         buf = segment.read_bytes()
         offset = 0
+        decoded = 0
         while offset < len(buf):
             record, offset = decode_journal_record(buf, offset)
             if record is None:
-                torn = True
+                tears.append({
+                    "segment": segment.name,
+                    "offset": offset,
+                    "bytes_dropped": len(buf) - offset,
+                    "records_kept": decoded,
+                })
                 break
+            decoded += 1
             records.append(record)
-    return records, len(segments), torn
+    return records, len(segments), tears
 
 
 def journal_timeline(records):
@@ -162,9 +185,14 @@ def journal_timeline(records):
     return images, totals
 
 
-def print_journal(images, totals, records, segments, torn):
+def print_journal(images, totals, records, segments, tears):
     print(f"journal: {len(records)} records in {segments} segment(s)"
-          + ("  [torn tail dropped]" if torn else ""))
+          + ("  [torn tail dropped]" if tears else ""))
+    for tear in tears:
+        print(f"warning: {tear['segment']}: torn record at offset "
+              f"{tear['offset']}, dropped {tear['bytes_dropped']} trailing "
+              f"byte(s) after {tear['records_kept']} record(s); replay "
+              f"resynced at the next segment boundary", file=sys.stderr)
     header = (f"{'image':<24} {'fate':<10} {'publishes':>9} {'acquires':>9} "
               f"{'rejects':>8} {'size MB':>8} {'reclaimed MB':>13} "
               f"{'lifespan s':>11}")
@@ -296,14 +324,19 @@ def main():
             print(f"--journal: {args.journal} is not a directory",
                   file=sys.stderr)
             return 1
-        records, segments, torn = replay_journal(args.journal)
+        try:
+            records, segments, tears = replay_journal(args.journal)
+        except OSError as err:
+            print(f"--journal: cannot read {args.journal}: {err}",
+                  file=sys.stderr)
+            return 1
         images, totals = journal_timeline(records)
         if args.json:
             print(json.dumps({"records": len(records), "segments": segments,
-                              "torn_tail": torn, "images": images,
-                              "totals": totals}, indent=2))
+                              "torn_tail": bool(tears), "tears": tears,
+                              "images": images, "totals": totals}, indent=2))
         else:
-            print_journal(images, totals, records, segments, torn)
+            print_journal(images, totals, records, segments, tears)
         if args.input is None:
             return 0
         print()
