@@ -35,6 +35,7 @@
 #include "common.h"
 #include "core/plant.h"
 #include "core/shop.h"
+#include "net/bus.h"
 #include "obs/tail.h"
 #include "workload/request_gen.h"
 
@@ -53,12 +54,16 @@ struct RunResult {
 /// Drive `clients` threads of create+destroy through a one-plant shop.
 /// `serialize` selects the pre-§10 baseline (one production order at a
 /// time); otherwise the concurrent pipeline runs with a 16-worker pool.
-RunResult run_pipeline(bool serialize, std::size_t clients) {
+/// `wire` selects the bus encoding — XML (paper default) or the binary
+/// codec (net/codec.h), so the end-to-end impact of the wire format is a
+/// measured row, not an extrapolation from the microbenchmark.
+RunResult run_pipeline(bool serialize, std::size_t clients,
+                       net::WireFormat wire = net::WireFormat::kXml) {
   const std::filesystem::path root =
       std::filesystem::temp_directory_path() /
       ("vmp-bench-conc-" + std::to_string(::getpid()) + "-" +
-       (serialize ? std::string("serial") : std::string("pipeline")) + "-c" +
-       std::to_string(clients));
+       (serialize ? std::string("serial") : std::string("pipeline")) + "-" +
+       net::wire_format_name(wire) + "-c" + std::to_string(clients));
   std::filesystem::remove_all(root);
 
   RunResult result;
@@ -77,7 +82,7 @@ RunResult run_pipeline(bool serialize, std::size_t clients) {
     (void)store.write_file("warehouse/golden-32mb/memory.vmss", payload);
 
     // Bus and registry outlive the plant (its destructor detaches).
-    net::MessageBus bus;
+    net::MessageBus bus{net::BusConfig{wire}};
     net::ServiceRegistry registry;
     core::PlantConfig plant_config;
     plant_config.name = "plant0";
@@ -208,6 +213,14 @@ int main() {
       }
     }
   }
+
+  // Binary-bus ablation: the same concurrent pipeline with every bus hop
+  // on the compact binary codec.  Reported but not throughput-gated — the
+  // end-to-end number is clone-I/O dominated; the wire-level speedup gate
+  // lives in micro_core's codec rows.
+  const RunResult binbus = run_pipeline(false, 16, net::WireFormat::kBinary);
+  report_pipeline("pipeline-binbus", 16, binbus);
+  total_failures += binbus.failures;
 
   const double speedup = serial_c16 > 0.0 ? pipeline_c16 / serial_c16 : 0.0;
   std::printf("BENCH_JSON {\"name\": \"create.speedup.c16\", "

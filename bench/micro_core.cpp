@@ -1,15 +1,31 @@
 // Microbenchmarks (google-benchmark) for the hot middleware paths: XML
 // parsing, classad evaluation, DAG topological sort, the three matching
 // tests, request round-trips, and linked-clone artefact mechanics.
+//
+// After the google-benchmark tables, main() runs hand-timed codec rows —
+// full encode+decode round trips of the same objects through the XML text
+// format and the binary codec (net/codec.h) — and emits one BENCH_JSON
+// line per row:
+//   BENCH_JSON {"name": "codec.descriptor.binary", "ns_per_op": ...,
+//               "mops": ..., "bytes": ...}
+// CI's bench-gate job feeds these to tools/bench_gate.py against
+// bench/baselines/micro_core.json, which enforces the binary codec's >= 3x
+// advantage over XML on descriptors (this PR's acceptance bar) plus
+// conservative throughput floors.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 
 #include "classad/classad.h"
 #include "classad/matchmaker.h"
 #include "dag/dag_xml.h"
 #include "dag/matching.h"
+#include "net/codec.h"
+#include "net/message.h"
 #include "storage/clone_ops.h"
+#include "warehouse/warehouse.h"
 #include "workload/dag_library.h"
 #include "workload/request_gen.h"
 #include "xml/xml.h"
@@ -146,6 +162,141 @@ void BM_LinkedClone(benchmark::State& state) {
 }
 BENCHMARK(BM_LinkedClone);
 
+// ---- Hand-timed codec rows (BENCH_JSON, consumed by tools/bench_gate.py) ----
+
+/// A representative golden-image descriptor: the paper's 64 MB workspace
+/// image with a configured guest (packages, users, mounts, services) and a
+/// performed-action history — the object every warehouse rescan parses and
+/// every binary snapshot section carries.
+warehouse::GoldenImage make_codec_descriptor() {
+  warehouse::GoldenImage image;
+  image.id = "golden-64mb";
+  image.backend = "vmware-gsx";
+  image.layout.dir = "warehouse/golden-64mb";
+  image.spec.os = "linux";
+  image.spec.memory_bytes = 64ull << 20;
+  image.spec.suspended = true;
+  image.spec.disk = {"disk0", 2048ull << 20, 16,
+                     storage::DiskMode::kNonPersistent};
+  image.guest.os = "linux";
+  image.guest.hostname = "workspace-00";
+  image.guest.ip = "10.0.0.42";
+  image.guest.mac = "02:00:0a:00:00:2a";
+  image.guest.packages = {"openssh", "nfs-utils", "perl", "globus-gsi",
+                          "condor", "gcc"};
+  image.guest.users = {{"griduser", "/home/griduser"},
+                       {"vmplant", "/home/vmplant"}};
+  image.guest.mounts = {{"/mnt/nfs", "nfs-server:/export"}};
+  image.guest.running_services = {"sshd", "nfslock", "condor_startd"};
+  image.guest.files = {{"/etc/grid/vmplant.conf", "plant=plant0\nshop=shop0"},
+                       {"/etc/hosts", "10.0.0.1 nfs-server"}};
+  for (int i = 0; i < 8; ++i) {
+    image.performed.push_back("action-sig-" + std::to_string(i));
+  }
+  return image;
+}
+
+/// A representative bus message: a create-request envelope with a small
+/// XML body, the shape every shop->plant hop round-trips.
+net::Message make_codec_message() {
+  net::Message m = net::Message::request("vmplant.create", "shop0", "plant3",
+                                         "req-0042");
+  auto& req = m.body().add_child("create");
+  req.set_attr("memory_mb", "64");
+  req.set_attr("os", "linux");
+  auto& reqs = req.add_child("requirements");
+  reqs.set_text("other.Memory >= 64 && other.OS == \"linux\"");
+  return m;
+}
+
+struct CodecRow {
+  double ns_per_op = 0.0;
+  std::size_t wire_bytes = 0;
+};
+
+/// Time `iters` full encode+decode round trips of `fn` (fn returns the
+/// encoded size; decode success is asserted inside).
+template <typename Fn>
+CodecRow time_codec(int iters, Fn&& fn) {
+  CodecRow row;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) row.wire_bytes = fn();
+  row.ns_per_op = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count() *
+                  1e9 / iters;
+  return row;
+}
+
+void report_codec(const char* name, const CodecRow& row) {
+  const double mops = row.ns_per_op > 0.0 ? 1e3 / row.ns_per_op : 0.0;
+  std::printf("%-24s %12.0f ns/op %10.3f Mop/s %8zu bytes\n", name,
+              row.ns_per_op, mops, row.wire_bytes);
+  std::printf("BENCH_JSON {\"name\": \"%s\", \"ns_per_op\": %.2f, "
+              "\"mops\": %.4f, \"bytes\": %zu}\n",
+              name, row.ns_per_op, mops, row.wire_bytes);
+}
+
+int run_codec_rows() {
+  constexpr int kIters = 20'000;
+  const warehouse::GoldenImage image = make_codec_descriptor();
+  const net::Message message = make_codec_message();
+  bool ok = true;
+
+  std::printf("\ncodec round trips (encode + decode, %d iters)\n", kIters);
+
+  const CodecRow desc_xml = time_codec(kIters, [&] {
+    const std::string wire = warehouse::render_descriptor(image);
+    auto parsed = warehouse::parse_descriptor(wire);
+    if (!parsed.ok()) ok = false;
+    benchmark::DoNotOptimize(parsed);
+    return wire.size();
+  });
+  const CodecRow desc_bin = time_codec(kIters, [&] {
+    const std::string wire = net::codec::encode_descriptor(image);
+    auto parsed = net::codec::decode_descriptor(wire);
+    if (!parsed.ok()) ok = false;
+    benchmark::DoNotOptimize(parsed);
+    return wire.size();
+  });
+  const CodecRow msg_xml = time_codec(kIters, [&] {
+    const std::string wire = message.serialize();
+    auto parsed = net::Message::deserialize(wire);
+    if (!parsed.ok()) ok = false;
+    benchmark::DoNotOptimize(parsed);
+    return wire.size();
+  });
+  const CodecRow msg_bin = time_codec(kIters, [&] {
+    const std::string wire = net::codec::encode_message(message);
+    auto parsed = net::codec::decode_message(wire);
+    if (!parsed.ok()) ok = false;
+    benchmark::DoNotOptimize(parsed);
+    return wire.size();
+  });
+
+  report_codec("codec.descriptor.xml", desc_xml);
+  report_codec("codec.descriptor.binary", desc_bin);
+  report_codec("codec.message.xml", msg_xml);
+  report_codec("codec.message.binary", msg_bin);
+  const double desc_speedup =
+      desc_bin.ns_per_op > 0.0 ? desc_xml.ns_per_op / desc_bin.ns_per_op : 0.0;
+  std::printf("BENCH_JSON {\"name\": \"codec.descriptor.speedup\", "
+              "\"speedup\": %.2f}\n",
+              desc_speedup);
+
+  if (!ok) {
+    std::printf("FAILED: a codec round trip returned an error\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_codec_rows();
+}

@@ -20,6 +20,8 @@
 // machine-readable line:
 //   BENCH_JSON {"name": "...", "ns_per_op": 3.21, "budget_ns": 5.0}
 // ("budget_ns": null when unbounded) so CI can grep and gate on budgets.
+// Any budgeted row over budget also makes the process EXIT NON-ZERO — the
+// binary gates itself; CI's `! grep 'OVER BUDGET'` is belt-and-braces.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -41,10 +43,15 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Any budgeted row exceeded its budget (the process exits non-zero, so
+/// the gate holds even where the CI-side `! grep 'OVER BUDGET'` is absent).
+bool g_over_budget = false;
+
 /// Print the aligned human line plus the BENCH_JSON line.  budget_ns < 0
 /// means unbounded.
 void report(const char* name, double ns_per_op, double budget_ns) {
   if (budget_ns >= 0.0) {
+    if (ns_per_op > budget_ns) g_over_budget = true;
     std::printf("%-21s: %8.2f ns/op %s\n", name, ns_per_op,
                 ns_per_op <= budget_ns ? "(within budget)"
                                        : "(OVER BUDGET!)");
@@ -216,5 +223,9 @@ int main() {
   call_sweep("bus.call armed");
   tracer.disarm();
 
+  if (g_over_budget) {
+    std::printf("FAILED: at least one budgeted path is OVER BUDGET\n");
+    return 1;
+  }
   return 0;
 }

@@ -3,9 +3,12 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <filesystem>
+#include <map>
 
 #include "core/request.h"
+#include "core/snapshot.h"
 #include "util/logging.h"
 
 namespace vmp::cluster {
@@ -33,7 +36,7 @@ std::string make_sandbox() {
 
 SimulatedDeployment::SimulatedDeployment(DeploymentConfig config)
     : config_(std::move(config)),
-      bus_(config_.seed ^ 0xb05),
+      bus_(net::BusConfig{config_.wire_format, config_.seed ^ 0xb05}),
       timing_(config_.timing, config_.seed) {
   std::string sandbox = config_.sandbox_dir;
   if (sandbox.empty()) {
@@ -146,6 +149,41 @@ void SimulatedDeployment::collect_all() {
     (void)shop_->destroy(vm_id);
   }
   created_vm_ids_.clear();
+}
+
+Result<std::string> SimulatedDeployment::save_snapshot() const {
+  core::SnapshotParticipants participants;
+  participants.warehouse = warehouse_.get();
+  std::map<std::string, std::string> meta;
+  meta["deployment.backend"] = config_.backend;
+  meta["deployment.plants"] = std::to_string(plants_.size());
+  meta["deployment.sim_now"] = std::to_string(sim_now_);
+  meta["deployment.sequence"] = std::to_string(sequence_);
+  meta["deployment.failures"] = std::to_string(failures_);
+  return core::save_snapshot(participants, std::move(meta));
+}
+
+util::Status SimulatedDeployment::load_snapshot(std::string_view frame) {
+  auto data = core::decode_snapshot(frame);
+  if (!data.ok()) return data.error();
+  core::SnapshotParticipants participants;
+  participants.warehouse = warehouse_.get();
+  VMP_RETURN_IF_ERROR(core::restore_snapshot(data.value(), participants));
+  const auto& meta = data.value().meta;
+  auto meta_value = [&](const char* key) -> const std::string* {
+    auto it = meta.find(key);
+    return it == meta.end() ? nullptr : &it->second;
+  };
+  if (const std::string* v = meta_value("deployment.sim_now")) {
+    sim_now_ = std::strtod(v->c_str(), nullptr);
+  }
+  if (const std::string* v = meta_value("deployment.sequence")) {
+    sequence_ = std::strtoull(v->c_str(), nullptr, 10);
+  }
+  if (const std::string* v = meta_value("deployment.failures")) {
+    failures_ = std::strtoull(v->c_str(), nullptr, 10);
+  }
+  return util::Status();
 }
 
 }  // namespace vmp::cluster

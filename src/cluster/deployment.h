@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cluster/timing_model.h"
@@ -40,6 +41,10 @@ struct DeploymentConfig {
   std::uint64_t seed = 2004;             // experiment RNG seed
   /// Sandbox directory for all artefacts; "" = create under /tmp.
   std::string sandbox_dir;
+  /// Wire encoding every bus hop uses (net/codec.h).  kXml is the paper's
+  /// §4.1 text format and the default — paper runs stay byte-identical;
+  /// kBinary is the compact codec (bench/concurrency's binbus ablation).
+  net::WireFormat wire_format = net::WireFormat::kXml;
 };
 
 /// One completed creation with attributed timing.
@@ -85,6 +90,16 @@ class SimulatedDeployment {
   /// Destroy every VM currently known to the shop-side routing of this
   /// deployment (between experiment phases).
   void collect_all();
+
+  // -- Snapshot ---------------------------------------------------------------
+  /// Encode the deployment's durable state (warehouse index + experiment
+  /// meta: sim clock, sequence, failure count) as one binary kSnapshot
+  /// frame (core/snapshot.h).
+  util::Result<std::string> save_snapshot() const;
+  /// Restore a save_snapshot() frame into THIS deployment: warehouse index
+  /// and experiment counters come back; the sandbox must already hold the
+  /// captured images' artefact trees (same-sandbox restore).
+  util::Status load_snapshot(std::string_view frame);
 
   double sim_now() const { return sim_now_; }
   std::size_t creations() const { return sequence_; }

@@ -1,0 +1,306 @@
+#include "core/snapshot.h"
+
+#include <algorithm>
+
+#include "net/codec.h"
+#include "util/bytebuffer.h"
+
+namespace vmp::core {
+
+using util::ByteBuffer;
+using util::ByteReader;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+namespace {
+
+// Section ids.  Append-only: ids are never reused, unknown ids are skipped.
+constexpr std::uint64_t kSectionMeta = 1;
+constexpr std::uint64_t kSectionWarehouse = 2;
+constexpr std::uint64_t kSectionLedger = 3;
+constexpr std::uint64_t kSectionAds = 4;
+
+void encode_meta(const std::map<std::string, std::string>& meta,
+                 ByteBuffer* out) {
+  out->put_varint(meta.size());
+  for (const auto& [key, value] : meta) {
+    out->put_string(key);
+    out->put_string(value);
+  }
+}
+
+bool decode_meta(ByteReader* in, std::map<std::string, std::string>* meta) {
+  const std::uint64_t count = in->varint();
+  if (!in->check_count(count, 2)) return false;
+  for (std::uint64_t i = 0; i < count && in->ok(); ++i) {
+    std::string key = in->string_field();
+    std::string value = in->string_field();
+    if (!in->ok()) break;
+    (*meta)[std::move(key)] = std::move(value);
+  }
+  return in->ok();
+}
+
+void encode_warehouse(const std::string& base_dir,
+                      const std::vector<warehouse::GoldenImage>& images,
+                      ByteBuffer* out) {
+  out->put_string(base_dir);
+  out->put_varint(images.size());
+  for (const warehouse::GoldenImage& image : images) {
+    net::codec::encode_descriptor_payload(image, out);
+  }
+}
+
+Status decode_warehouse(ByteReader* in, SnapshotData* data) {
+  data->warehouse_base_dir = in->string_field();
+  const std::uint64_t count = in->varint();
+  // A descriptor payload is several strings + spec + guest state; 16 bytes
+  // per image is far below any real encoding.
+  if (!in->check_count(count, 16)) return in->status();
+  data->images.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto image = net::codec::decode_descriptor_payload(in);
+    if (!image.ok()) return image.error();
+    data->images.push_back(std::move(image).value());
+  }
+  return in->status();
+}
+
+void encode_ledger(const lifecycle::LedgerSnapshot& ledger, ByteBuffer* out) {
+  out->put_string(ledger.policy);
+  out->put_f64(ledger.policy_clock);
+  out->put_varint(ledger.used_bytes);
+  out->put_varint(ledger.tick);
+  out->put_varint(ledger.entries.size());
+  for (const lifecycle::LedgerSnapshot::Entry& e : ledger.entries) {
+    out->put_string(e.id);
+    out->put_string(e.dir);
+    out->put_varint(e.physical_bytes);
+    out->put_varint(e.files);
+    out->put_varint(e.hits);
+    out->put_varint(e.last_use_tick);
+    out->put_varint(e.leases);
+    out->put_f64(e.rebuild_cost_s);
+    out->put_bool(e.pinned);
+    out->put_bool(e.zombie);
+  }
+}
+
+Status decode_ledger(ByteReader* in, lifecycle::LedgerSnapshot* ledger) {
+  ledger->policy = in->string_field();
+  ledger->policy_clock = in->f64();
+  ledger->used_bytes = in->varint();
+  ledger->tick = in->varint();
+  const std::uint64_t count = in->varint();
+  // id(>=2) + dir(>=1) + 5 varints + f64(8) + 2 bools.
+  if (!in->check_count(count, 18)) return in->status();
+  ledger->entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count && in->ok(); ++i) {
+    lifecycle::LedgerSnapshot::Entry e;
+    e.id = in->string_field();
+    e.dir = in->string_field();
+    e.physical_bytes = in->varint();
+    e.files = in->varint();
+    e.hits = in->varint();
+    e.last_use_tick = in->varint();
+    const std::uint64_t leases = in->varint();
+    if (leases > 0xffffffffull) {
+      in->fail("ledger entry '" + e.id + "': implausible lease count");
+      break;
+    }
+    e.leases = static_cast<std::uint32_t>(leases);
+    e.rebuild_cost_s = in->f64();
+    e.pinned = in->boolean();
+    e.zombie = in->boolean();
+    if (!in->ok()) break;
+    if (e.id.empty()) {
+      in->fail("ledger entry with empty id");
+      break;
+    }
+    ledger->entries.push_back(std::move(e));
+  }
+  return in->status();
+}
+
+void encode_ads(
+    const std::vector<std::pair<std::string, classad::ClassAd>>& ads,
+    ByteBuffer* out) {
+  out->put_varint(ads.size());
+  for (const auto& [vm_id, ad] : ads) {
+    out->put_string(vm_id);
+    net::codec::encode_classad_payload(ad, out);
+  }
+}
+
+Status decode_ads(ByteReader* in, SnapshotData* data) {
+  const std::uint64_t count = in->varint();
+  if (!in->check_count(count, 2)) return in->status();
+  data->ads.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string vm_id = in->string_field();
+    if (!in->ok()) break;
+    auto ad = net::codec::decode_classad_payload(in);
+    if (!ad.ok()) return ad.error();
+    data->ads.emplace_back(std::move(vm_id), std::move(ad).value());
+  }
+  return in->status();
+}
+
+void append_section(std::uint64_t id, ByteBuffer&& body, ByteBuffer* out) {
+  out->put_varint(id);
+  out->put_string(body.bytes());
+}
+
+}  // namespace
+
+std::string encode_snapshot(const SnapshotData& data) {
+  ByteBuffer payload;
+  {
+    ByteBuffer body;
+    encode_meta(data.meta, &body);
+    append_section(kSectionMeta, std::move(body), &payload);
+  }
+  {
+    ByteBuffer body;
+    encode_warehouse(data.warehouse_base_dir, data.images, &body);
+    append_section(kSectionWarehouse, std::move(body), &payload);
+  }
+  if (data.has_ledger) {
+    ByteBuffer body;
+    encode_ledger(data.ledger, &body);
+    append_section(kSectionLedger, std::move(body), &payload);
+  }
+  if (data.has_ads) {
+    ByteBuffer body;
+    encode_ads(data.ads, &body);
+    append_section(kSectionAds, std::move(body), &payload);
+  }
+  return net::codec::seal_frame(net::codec::FrameTag::kSnapshot,
+                                payload.take());
+}
+
+Result<SnapshotData> decode_snapshot(std::string_view frame) {
+  auto view = net::codec::open_frame(frame, net::codec::FrameTag::kSnapshot);
+  if (!view.ok()) return view.propagate<SnapshotData>();
+  SnapshotData data;
+  ByteReader reader(view.value().payload);
+  bool saw_warehouse = false;
+  while (reader.ok() && !reader.done()) {
+    const std::uint64_t id = reader.varint();
+    const std::string_view body = reader.string_view_field();
+    if (!reader.ok()) break;
+    ByteReader section(body);
+    Status decoded;
+    switch (id) {
+      case kSectionMeta:
+        if (!decode_meta(&section, &data.meta)) decoded = section.status();
+        break;
+      case kSectionWarehouse:
+        decoded = decode_warehouse(&section, &data);
+        saw_warehouse = true;
+        break;
+      case kSectionLedger:
+        decoded = decode_ledger(&section, &data.ledger);
+        data.has_ledger = decoded.ok();
+        break;
+      case kSectionAds:
+        decoded = decode_ads(&section, &data);
+        data.has_ads = decoded.ok();
+        break;
+      default:
+        // Unknown section from a same-or-older encoder variant: skip whole.
+        continue;
+    }
+    if (!decoded.ok()) {
+      return Error(decoded.error().code(),
+                   "snapshot section " + std::to_string(id) + ": " +
+                       decoded.error().message());
+    }
+    if (!section.done()) {
+      return Error(ErrorCode::kParseError,
+                   "snapshot section " + std::to_string(id) + ": " +
+                       std::to_string(section.remaining()) +
+                       " trailing byte(s)");
+    }
+  }
+  if (!reader.ok()) return reader.status().error();
+  if (!saw_warehouse) {
+    return Error(ErrorCode::kParseError,
+                 "snapshot has no warehouse section");
+  }
+  return data;
+}
+
+Result<SnapshotData> capture_snapshot(
+    const SnapshotParticipants& participants,
+    std::map<std::string, std::string> meta) {
+  if (participants.warehouse == nullptr) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "capture_snapshot: a warehouse is required");
+  }
+  SnapshotData data;
+  data.meta = std::move(meta);
+  data.warehouse_base_dir = participants.warehouse->base_dir();
+  data.images = participants.warehouse->list();
+  if (participants.lifecycle != nullptr) {
+    auto ledger = participants.lifecycle->ledger_snapshot();
+    if (!ledger.ok()) return ledger.propagate<SnapshotData>();
+    data.ledger = std::move(ledger).value();
+    data.has_ledger = true;
+  }
+  if (participants.info != nullptr) {
+    for (const std::string& vm_id : participants.info->vm_ids()) {
+      auto ad = participants.info->query(vm_id);
+      if (!ad.ok()) continue;  // removed between listing and query
+      data.ads.emplace_back(vm_id, std::move(ad).value());
+    }
+    data.has_ads = true;
+  }
+  return data;
+}
+
+Status restore_snapshot(const SnapshotData& data,
+                        const SnapshotParticipants& participants) {
+  if (participants.warehouse == nullptr) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "restore_snapshot: a warehouse is required");
+  }
+  if (data.warehouse_base_dir != participants.warehouse->base_dir()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "restore_snapshot: snapshot was captured under warehouse "
+                  "root '" + data.warehouse_base_dir +
+                      "' but the target's root is '" +
+                      participants.warehouse->base_dir() + "'");
+  }
+  // Dependency order: the index first (the ledger's ids refer into it),
+  // then the ledger, then the classads.
+  VMP_RETURN_IF_ERROR(participants.warehouse->restore_index(data.images));
+  if (data.has_ledger && participants.lifecycle != nullptr) {
+    VMP_RETURN_IF_ERROR(participants.lifecycle->restore_ledger(data.ledger));
+  }
+  if (data.has_ads && participants.info != nullptr) {
+    participants.info->remove_prefixed("");
+    for (const auto& [vm_id, ad] : data.ads) {
+      participants.info->store(vm_id, ad);
+    }
+  }
+  return Status();
+}
+
+Result<std::string> save_snapshot(const SnapshotParticipants& participants,
+                                  std::map<std::string, std::string> meta) {
+  auto data = capture_snapshot(participants, std::move(meta));
+  if (!data.ok()) return data.propagate<std::string>();
+  return encode_snapshot(data.value());
+}
+
+Status load_snapshot(std::string_view frame,
+                     const SnapshotParticipants& participants) {
+  auto data = decode_snapshot(frame);
+  if (!data.ok()) return data.error();
+  return restore_snapshot(data.value(), participants);
+}
+
+}  // namespace vmp::core

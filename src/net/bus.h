@@ -7,6 +7,15 @@
 // deserialize) on every hop, so format bugs cannot hide behind in-process
 // shortcuts.
 //
+// The wire encoding is negotiated per bus (DESIGN.md §15): kXml (default)
+// round-trips the paper's §4.1 XML text — the debug/interchange format,
+// byte-identical to historical runs — while kBinary uses the versioned
+// binary codec (net/codec.h) as the fast path: no DOM build, no
+// escape/parse, and the server-side decode borrows the encoded frame
+// zero-copy (util::ByteReader) instead of tokenizing text.  Both formats
+// exercise a real encode -> decode per hop; neither is an in-process
+// shortcut.
+//
 // Fault injection supports the failure-handling tests: an address can be
 // marked down (connection refused) or given a drop probability (timeouts).
 #pragma once
@@ -28,9 +37,25 @@ namespace vmp::net {
 /// (normal or fault).  Handlers run on the caller's thread.
 using Handler = std::function<Message(const Message&)>;
 
+/// Per-bus wire encoding.  kXml is the paper's §4.1 text format and the
+/// default (paper runs stay byte-identical); kBinary is the compact
+/// versioned codec of net/codec.h.
+enum class WireFormat { kXml, kBinary };
+
+const char* wire_format_name(WireFormat format) noexcept;
+util::Result<WireFormat> parse_wire_format(const std::string& name);
+
+struct BusConfig {
+  WireFormat wire_format = WireFormat::kXml;
+  std::uint64_t fault_seed = 1;
+};
+
 class MessageBus {
  public:
   explicit MessageBus(std::uint64_t fault_seed = 1);
+  explicit MessageBus(BusConfig config);
+
+  WireFormat wire_format() const { return config_.wire_format; }
 
   util::Status register_endpoint(const std::string& address, Handler handler);
   util::Status unregister_endpoint(const std::string& address);
@@ -59,7 +84,11 @@ class MessageBus {
   };
 
   util::Result<Message> call_impl(const Message& request_msg);
+  /// One wire leg: encode per config_.wire_format.
+  std::string encode_wire(const Message& message) const;
+  util::Result<Message> decode_wire(const std::string& wire) const;
 
+  BusConfig config_;
   mutable std::mutex mutex_;
   std::map<std::string, Endpoint> endpoints_;
   util::SplitMix64 fault_rng_;

@@ -38,6 +38,18 @@ Message Message::request(std::string service, std::string from, std::string to,
   return m;
 }
 
+Message Message::assemble(MessageKind kind, std::string service,
+                          std::string from, std::string to,
+                          std::string correlation) {
+  Message m;
+  m.kind_ = kind;
+  m.service_ = std::move(service);
+  m.from_ = std::move(from);
+  m.to_ = std::move(to);
+  m.correlation_ = std::move(correlation);
+  return m;
+}
+
 Message Message::response_to(const Message& request_msg) {
   Message m;
   m.kind_ = MessageKind::kResponse;

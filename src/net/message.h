@@ -31,6 +31,12 @@ class Message {
 
   static Message request(std::string service, std::string from, std::string to,
                          std::string correlation);
+  /// Rebuild an envelope from already-decoded fields (wire decoders only —
+  /// unlike request(), this neither captures the ambient trace context nor
+  /// assumes a kind).
+  static Message assemble(MessageKind kind, std::string service,
+                          std::string from, std::string to,
+                          std::string correlation);
   static Message response_to(const Message& request_msg);
   /// Fault response carrying an error code/description.
   static Message fault_to(const Message& request_msg, const util::Error& error);

@@ -1,0 +1,50 @@
+// Regenerate the committed golden wire fixtures (tests/fixtures/wire/).
+//
+// Usage: wire_fixture_gen <output-dir>
+//
+// Run manually ONLY after a deliberate codec change, alongside a
+// kCodecVersion bump — the committed v<N>-*.bin files are the wire-compat
+// contract; regenerating them without a version bump rewrites history for
+// frames already persisted by older builds.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "net/codec.h"
+#include "wire_fixtures.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  namespace fs = std::filesystem;
+  namespace codec = vmp::net::codec;
+  const fs::path dir = argv[1];
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+
+  const std::string prefix =
+      "v" + std::to_string(static_cast<int>(codec::kCodecVersion)) + "-";
+  const auto write = [&](const char* name, const std::string& bytes) {
+    const fs::path path = dir / (prefix + name);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "write failed: %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::printf("%s  (%zu bytes)\n", path.c_str(), bytes.size());
+  };
+
+  write("message.bin",
+        codec::encode_message(vmp::testing::wire_fixture_message()));
+  write("descriptor.bin",
+        codec::encode_descriptor(vmp::testing::wire_fixture_descriptor()));
+  write("classad.bin",
+        codec::encode_classad(vmp::testing::wire_fixture_classad()));
+  write("snapshot.bin",
+        vmp::core::encode_snapshot(vmp::testing::wire_fixture_snapshot()));
+  return 0;
+}

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Pretty-print a VMPlants binary wire frame (net/codec.h, DESIGN.md §15).
+
+Usage:
+  tools/snapshot_inspect.py tests/fixtures/wire/v1-snapshot.bin
+  tools/snapshot_inspect.py --raw v1-descriptor.bin   # skip payload decode
+
+Mirrors the C++ codec independently (frame header, frame_checksum32,
+LEB128 varints, length-prefixed strings, snapshot sections), so a frame
+can be inspected — and its checksum verified — without building the tree.
+Understands all four frame tags; unknown snapshot section ids are listed
+and skipped, exactly like the C++ decoder.
+"""
+
+import argparse
+import struct
+import sys
+
+TAGS = {1: "message", 2: "descriptor", 3: "classad", 4: "snapshot"}
+KINDS = {0: "request", 1: "response", 2: "event", 3: "fault"}
+DISK_MODES = {0: "persistent", 1: "non-persistent"}
+SECTIONS = {1: "meta", 2: "warehouse", 3: "ledger", 4: "ads"}
+
+MASK32 = 0xFFFFFFFF
+
+
+def frame_checksum32(data: bytes) -> int:
+    """Two interleaved 32-bit FNV-1a lanes over LE words (util/bytebuffer.cpp)."""
+    prime = 16777619
+    lane0, lane1 = 2166136261, 0x9747B28C
+    n = len(data)
+    off = 0
+    while n - off >= 8:
+        w0, w1 = struct.unpack_from("<II", data, off)
+        lane0 = ((lane0 ^ w0) * prime) & MASK32
+        lane1 = ((lane1 ^ w1) * prime) & MASK32
+        off += 8
+    tail = (n - off) << 56
+    tail |= int.from_bytes(data[off:], "little")
+    lane0 = ((lane0 ^ (tail & MASK32)) * prime) & MASK32
+    lane1 = ((lane1 ^ (tail >> 32)) * prime) & MASK32
+    h = lane0 ^ (((lane1 << 16) | (lane1 >> 16)) & MASK32)
+    h ^= h >> 15
+    h = (h * 0x85EBCA6B) & MASK32
+    h ^= h >> 13
+    return h
+
+
+class Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.off = 0
+
+    def take(self, n: int) -> bytes:
+        if self.off + n > len(self.data):
+            raise ValueError(f"read of {n} bytes past end at offset {self.off}")
+        out = self.data[self.off : self.off + n]
+        self.off += n
+        return out
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self.take(8))[0]
+
+    def varint(self) -> int:
+        v, shift = 0, 0
+        while True:
+            b = self.u8()
+            v |= (b & 0x7F) << shift
+            if not b & 0x80:
+                return v
+            shift += 7
+            if shift >= 70:
+                raise ValueError("varint longer than 10 bytes")
+
+    def string(self) -> str:
+        return self.take(self.varint()).decode("utf-8", "backslashreplace")
+
+    def boolean(self) -> bool:
+        return self.u8() == 1
+
+    def done(self) -> bool:
+        return self.off == len(self.data)
+
+
+def print_element(r: Reader, indent: str) -> None:
+    name = r.string()
+    attrs = {r.string(): r.string() for _ in range(r.varint())}
+    text = r.string()
+    rendered = " ".join(f'{k}="{v}"' for k, v in attrs.items())
+    line = f"{indent}<{name}{' ' + rendered if rendered else ''}>"
+    if text:
+        line += f" text={text!r}"
+    print(line)
+    for _ in range(r.varint()):
+        print_element(r, indent + "  ")
+
+
+def print_message(r: Reader) -> None:
+    kind = r.u8()
+    print(f"  kind        {KINDS.get(kind, kind)}")
+    for field in ("service", "from", "to", "correlation", "trace_id"):
+        print(f"  {field:<11} {r.string()}")
+    print(f"  span_id     {r.varint()}")
+    print("  body:")
+    print_element(r, "    ")
+
+
+def print_descriptor(r: Reader) -> None:
+    print(f"  id          {r.string()}")
+    print(f"  backend     {r.string()}")
+    print(f"  dir         {r.string()}")
+    print(f"  spec        os={r.string()} memory={r.varint()} "
+          f"suspended={r.boolean()}")
+    print(f"  disk        name={r.string()} capacity={r.varint()} "
+          f"spans={r.varint()} mode={DISK_MODES.get(r.u8(), '?')}")
+    print(f"  guest       os={r.string()} hostname={r.string()} "
+          f"ip={r.string()} mac={r.string()}")
+    print(f"  packages    {[r.string() for _ in range(r.varint())]}")
+    print(f"  users       {[(r.string(), r.string()) for _ in range(r.varint())]}")
+    print(f"  mounts      {[(r.string(), r.string()) for _ in range(r.varint())]}")
+    print(f"  services    {[r.string() for _ in range(r.varint())]}")
+    files = [(r.string(), r.string()) for _ in range(r.varint())]
+    print(f"  files       {[(p, f'{len(c)}B') for p, c in files]}")
+    print(f"  performed   {[r.string() for _ in range(r.varint())]}")
+
+
+def print_classad(r: Reader, indent: str = "  ") -> None:
+    for _ in range(r.varint()):
+        print(f"{indent}{r.string()} = {r.string()}")
+
+
+def print_snapshot(r: Reader) -> None:
+    while not r.done():
+        section_id = r.varint()
+        body = Reader(r.take(r.varint()))
+        name = SECTIONS.get(section_id, f"unknown-{section_id}")
+        print(f"  section {section_id} ({name}), {len(body.data)} bytes")
+        if section_id == 1:
+            for _ in range(body.varint()):
+                print(f"    {body.string()} = {body.string()}")
+        elif section_id == 2:
+            print(f"    base_dir {body.string()}")
+            for _ in range(body.varint()):
+                print_descriptor(body)  # descriptor payloads, back to back
+        elif section_id == 3:
+            print(f"    policy {body.string()} clock {body.f64()} "
+                  f"used_bytes {body.varint()} tick {body.varint()}")
+            for _ in range(body.varint()):
+                print(f"    entry id={body.string()} dir={body.string()} "
+                      f"bytes={body.varint()} files={body.varint()} "
+                      f"hits={body.varint()} last_use={body.varint()} "
+                      f"leases={body.varint()} rebuild_s={body.f64()} "
+                      f"pinned={body.boolean()} zombie={body.boolean()}")
+        elif section_id == 4:
+            for _ in range(body.varint()):
+                print(f"    ad {body.string()}:")
+                print_classad(body, "      ")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("frame", help="path to a .bin wire frame")
+    ap.add_argument("--raw", action="store_true",
+                    help="header + checksum only, skip payload decode")
+    args = ap.parse_args()
+
+    with open(args.frame, "rb") as f:
+        blob = f.read()
+    if len(blob) < 12:
+        print(f"not a frame: {len(blob)} bytes (< 12-byte header)")
+        return 1
+    if blob[:2] != b"VW":
+        print(f"bad magic {blob[:2]!r} (want b'VW')")
+        return 1
+    tag, version = blob[2], blob[3]
+    length, checksum = struct.unpack_from("<II", blob, 4)
+    payload = blob[12:]
+    computed = frame_checksum32(payload)
+    print(f"frame   {args.frame}")
+    print(f"tag     {tag} ({TAGS.get(tag, 'unknown')})   version {version}")
+    print(f"payload {length} bytes declared, {len(payload)} present")
+    ok = length == len(payload) and computed == checksum
+    print(f"checksum 0x{checksum:08x} header, 0x{computed:08x} computed "
+          f"-> {'OK' if computed == checksum else 'MISMATCH'}")
+    if not ok or args.raw:
+        return 0 if ok else 1
+
+    r = Reader(payload)
+    try:
+        if tag == 1:
+            print_message(r)
+        elif tag == 2:
+            print_descriptor(r)
+        elif tag == 3:
+            print_classad(r)
+        elif tag == 4:
+            print_snapshot(r)
+        else:
+            print(f"  (unknown tag, {len(payload)} payload bytes)")
+            return 1
+        if not r.done():
+            print(f"  WARNING: {len(payload) - r.off} trailing bytes")
+            return 1
+    except ValueError as err:
+        print(f"  decode error: {err}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
