@@ -46,6 +46,10 @@ SimulatedDeployment::SimulatedDeployment(DeploymentConfig config)
   store_ = std::make_unique<storage::ArtifactStore>(sandbox);
   warehouse_ = std::make_unique<warehouse::Warehouse>(store_.get(), "warehouse");
 
+  // Sharded federation (DESIGN.md §16): plants stay OFF the public
+  // registry — only their shard broker is discoverable, like plants
+  // behind a private-network gateway (paper §3.3).
+  const bool sharded = config_.federation_shards > 0;
   for (std::size_t i = 0; i < config_.plant_count; ++i) {
     core::PlantConfig pc;
     pc.name = "plant" + std::to_string(i);
@@ -56,11 +60,32 @@ SimulatedDeployment::SimulatedDeployment(DeploymentConfig config)
     pc.cost_model = config_.cost_model;
     auto plant =
         std::make_unique<core::VmPlant>(pc, store_.get(), warehouse_.get());
-    auto attached = plant->attach_to_bus(&bus_, &registry_);
+    auto attached = plant->attach_to_bus(&bus_, sharded ? nullptr : &registry_);
     if (!attached.ok()) {
       kLog.error() << "plant attach failed: " << attached.to_string();
     }
     plants_.push_back(std::move(plant));
+  }
+
+  if (sharded) {
+    for (std::size_t s = 0; s < config_.federation_shards; ++s) {
+      federation::ShardBrokerConfig bc;
+      bc.name = "shard" + std::to_string(s);
+      bc.bid_ttl_s = config_.federation_bid_ttl_s;
+      auto broker =
+          std::make_unique<federation::ShardBroker>(bc, &bus_, &registry_);
+      broker->set_clock([this] { return sim_now_; });
+      brokers_.push_back(std::move(broker));
+    }
+    for (std::size_t i = 0; i < plants_.size(); ++i) {
+      brokers_[i % brokers_.size()]->add_member(plants_[i]->bus_address());
+    }
+    for (auto& broker : brokers_) {
+      auto attached = broker->attach_to_bus();
+      if (!attached.ok()) {
+        kLog.error() << "broker attach failed: " << attached.to_string();
+      }
+    }
   }
 
   core::ShopConfig sc;
@@ -75,6 +100,7 @@ SimulatedDeployment::SimulatedDeployment(DeploymentConfig config)
 
 SimulatedDeployment::~SimulatedDeployment() {
   shop_.reset();
+  brokers_.clear();
   plants_.clear();
   warehouse_.reset();
   store_.reset();
@@ -142,6 +168,12 @@ std::vector<CreationSample> SimulatedDeployment::run_sequence(
     out.push_back(std::move(sample).value());
   }
   return out;
+}
+
+std::size_t SimulatedDeployment::refresh_federation() {
+  std::size_t refreshed = 0;
+  for (auto& broker : brokers_) refreshed += broker->refresh_all();
+  return refreshed;
 }
 
 void SimulatedDeployment::collect_all() {

@@ -23,6 +23,7 @@
 #include "cluster/timing_model.h"
 #include "core/plant.h"
 #include "core/shop.h"
+#include "federation/federation.h"
 #include "net/bus.h"
 #include "net/registry.h"
 #include "storage/artifact_store.h"
@@ -45,6 +46,14 @@ struct DeploymentConfig {
   /// §4.1 text format and the default — paper runs stay byte-identical;
   /// kBinary is the compact codec (bench/concurrency's binbus ablation).
   net::WireFormat wire_format = net::WireFormat::kXml;
+  /// Federation (DESIGN.md §16).  0 (default) keeps the paper's flat
+  /// topology byte-for-byte: plants register publicly, the shop bids
+  /// directly.  N > 0 hides the plants behind N ShardBrokers (round-robin
+  /// membership): only brokers appear in the registry, so the shop
+  /// collects O(N) bids per create regardless of plant_count.
+  std::size_t federation_shards = 0;
+  /// TTL of each shard's cached aggregate bids (sim-clock seconds).
+  double federation_bid_ttl_s = 30.0;
 };
 
 /// One completed creation with attributed timing.
@@ -75,6 +84,14 @@ class SimulatedDeployment {
   TimingModel& timing_model() { return timing_; }
   core::VmPlant& plant(std::size_t index) { return *plants_.at(index); }
   std::size_t plant_count() const { return plants_.size(); }
+  federation::ShardBroker& broker(std::size_t index) {
+    return *brokers_.at(index);
+  }
+  std::size_t broker_count() const { return brokers_.size(); }
+
+  /// Refresh every shard's bid cache (one estimate_batch per member per
+  /// shard).  Returns the total refreshed classes; no-op when flat.
+  std::size_t refresh_federation();
 
   /// Execute one request through the real stack and attribute its timing.
   /// Advances the virtual clock.  Failures propagate.
@@ -113,6 +130,7 @@ class SimulatedDeployment {
   net::MessageBus bus_;
   net::ServiceRegistry registry_;
   std::vector<std::unique_ptr<core::VmPlant>> plants_;
+  std::vector<std::unique_ptr<federation::ShardBroker>> brokers_;
   std::unique_ptr<core::VmShop> shop_;
   TimingModel timing_;
   double sim_now_ = 0.0;

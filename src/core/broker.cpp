@@ -2,7 +2,10 @@
 
 #include <limits>
 
+#include "core/info_system.h"
+#include "obs/export.h"
 #include "util/logging.h"
+#include "util/stats.h"
 #include "util/strings.h"
 
 namespace vmp::core {
@@ -18,7 +21,12 @@ const util::Logger kLog("vmbroker");
 
 VmBroker::VmBroker(BrokerConfig config, net::MessageBus* bus,
                    net::ServiceRegistry* registry)
-    : config_(std::move(config)), bus_(bus), registry_(registry) {}
+    : config_(std::move(config)), bus_(bus), registry_(registry) {
+  obs::MetricsRegistry& r = obs::MetricsRegistry::instance();
+  forwarded_ = r.counter("broker.creations_forwarded.count");
+  scoped_forwarded_ =
+      r.counter(config_.name + ".broker.creations_forwarded.count");
+}
 
 VmBroker::~VmBroker() { detach_from_bus(); }
 
@@ -56,8 +64,7 @@ void VmBroker::detach_from_bus() {
 }
 
 std::uint64_t VmBroker::creations_forwarded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return forwarded_;
+  return scoped_forwarded_->value();
 }
 
 net::Message VmBroker::handle_message(const net::Message& request_msg) {
@@ -153,9 +160,10 @@ net::Message VmBroker::handle_create(const net::Message& request_msg) {
     if (vm_id.has_value()) {
       std::lock_guard<std::mutex> lock(mutex_);
       vm_to_member_[*vm_id] = member.value();
-      ++forwarded_;
     }
   }
+  forwarded_->add();
+  scoped_forwarded_->add();
   kLog.info() << config_.name << ": forwarded creation to " << member.value();
 
   net::Message reply = net::Message::response_to(request_msg);
@@ -170,6 +178,20 @@ net::Message VmBroker::handle_routed(const net::Message& request_msg) {
   if (vm_elem == nullptr || !vm_elem->has_attr("id")) {
     return net::Message::fault_to(
         request_msg, Error(ErrorCode::kParseError, "missing <vm id=...>"));
+  }
+  // The fleet aggregator's metrics pull lands here like any other routed
+  // query; answer it from the process snapshot (which carries the scoped
+  // "<name>.broker.*" series) instead of faulting kNotFound.
+  if (request_msg.service() == "vmplant.query" &&
+      vm_elem->attr("id") == kObsMetricsId) {
+    classad::ClassAd ad = obs::metrics_ad(
+        obs::MetricsRegistry::instance().snapshot(), util::FaultReport{});
+    ad.set_string("BrokerName", config_.name);
+    ad.set_integer("BrokerMembers",
+                   static_cast<std::int64_t>(members().size()));
+    net::Message reply = net::Message::response_to(request_msg);
+    ad.to_xml(&reply.body());
+    return reply;
   }
   std::string member;
   {

@@ -24,6 +24,7 @@
 #include "core/request.h"
 #include "net/bus.h"
 #include "net/registry.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace vmp::core {
@@ -72,8 +73,11 @@ class VmBroker {
   mutable std::mutex mutex_;
   std::vector<std::string> members_;
   std::map<std::string, std::string> vm_to_member_;
-  std::uint64_t forwarded_ = 0;
   bool attached_ = false;
+  // Forwarded creations: process-wide "broker.*" plus the per-broker
+  // scoped series the fleet aggregator rolls up per shard.
+  obs::Counter* forwarded_;
+  obs::Counter* scoped_forwarded_;
 };
 
 }  // namespace vmp::core

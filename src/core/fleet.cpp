@@ -146,14 +146,53 @@ std::optional<double> FleetAggregator::sli_quantile(
 
 std::size_t FleetAggregator::sweep() {
   const double t = now();
-  // Bus round-trips happen outside the state lock.
+  // Bus round-trips happen outside the state lock.  Registry records with
+  // property broker=true are federation shard brokers, not plants: they
+  // answer the same metrics pull but are folded into per-shard broker ads
+  // instead of SLO verdicts.
   std::vector<std::pair<std::string, Result<classad::ClassAd>>> pulls;
+  std::vector<std::pair<std::string, Result<classad::ClassAd>>> broker_pulls;
   for (const net::ServiceRecord& plant : registry_->discover("vmplant")) {
-    pulls.emplace_back(plant.address, pull_metrics_ad(plant.address));
+    auto broker_prop = plant.properties.find("broker");
+    const bool is_broker =
+        broker_prop != plant.properties.end() && broker_prop->second == "true";
+    (is_broker ? broker_pulls : pulls)
+        .emplace_back(plant.address, pull_metrics_ad(plant.address));
   }
 
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t answered = 0;
+  for (auto& [broker, pulled] : broker_pulls) {
+    BrokerSweepState& state = brokers_[broker];
+    state.facts.broker = broker;
+    if (!pulled.ok()) {
+      FleetMetrics::get().pull_failures->add();
+      kLog.debug() << broker << " silent this sweep: "
+                   << pulled.error().to_string();
+      continue;
+    }
+    ++answered;
+    const classad::ClassAd& ad = pulled.value();
+    const obs::MetricsSnapshot snap = obs::metrics_snapshot_from_ad(ad);
+    const classad::Value members = ad.evaluate("BrokerMembers");
+    if (members.type() == classad::ValueType::kInteger) {
+      state.facts.members = members.as_integer();
+    }
+    const classad::Value headroom = ad.evaluate("SubtreeHeadroomBytes");
+    if (headroom.type() == classad::ValueType::kInteger) {
+      state.facts.subtree_headroom_bytes = headroom.as_integer();
+    }
+    state.facts.creations_forwarded =
+        snap.counter(broker + ".broker.creations_forwarded.count");
+    state.facts.bids_cached_served =
+        snap.counter(broker + ".broker.bids.cached.count");
+    state.facts.bids_refreshed =
+        snap.counter(broker + ".broker.bids.refreshed.count");
+    state.facts.bid_cache_size =
+        snap.gauge(broker + ".broker.bid_cache.size.gauge");
+    state.facts.last_seen_s = t;
+    state.ever_seen = true;
+  }
   for (auto& [plant, pulled] : pulls) {
     PlantState& state = plants_[plant];
     if (!state.slo) {
@@ -262,6 +301,42 @@ void FleetAggregator::publish_locked(double now_s) {
       tail_self_total[name].merge(stats);
     }
   }
+  // Per-shard broker ads + the federation slice of the rollup.
+  std::size_t fresh_brokers = 0;
+  std::uint64_t broker_forwarded_total = 0;
+  std::uint64_t broker_cached_total = 0;
+  std::uint64_t broker_refreshed_total = 0;
+  for (auto& [broker, state] : brokers_) {
+    const bool is_fresh =
+        state.ever_seen &&
+        now_s - state.facts.last_seen_s <= config_.stale_after_s;
+    state.fresh = is_fresh;
+    const std::string ad_id = kObsBrokerPrefix + broker;
+    if (!is_fresh) {
+      (void)info_->remove(ad_id);
+      continue;
+    }
+    ++fresh_brokers;
+    classad::ClassAd ad;
+    ad.set_string(fleet_attrs::kKind, "broker");
+    ad.set_string(fleet_attrs::kBroker, broker);
+    ad.set_integer(fleet_attrs::kBrokerMembers, state.facts.members);
+    ad.set_integer(
+        fleet_attrs::kForwarded,
+        static_cast<std::int64_t>(state.facts.creations_forwarded));
+    ad.set_integer(fleet_attrs::kBidsCached,
+                   static_cast<std::int64_t>(state.facts.bids_cached_served));
+    ad.set_integer(fleet_attrs::kBidsRefreshed,
+                   static_cast<std::int64_t>(state.facts.bids_refreshed));
+    ad.set_integer(fleet_attrs::kBidCacheSize, state.facts.bid_cache_size);
+    ad.set_integer(fleet_attrs::kSubtreeHeadroom,
+                   state.facts.subtree_headroom_bytes);
+    ad.set_real(fleet_attrs::kLastSeenSeconds, state.facts.last_seen_s);
+    info_->store(ad_id, ad);
+    broker_forwarded_total += state.facts.creations_forwarded;
+    broker_cached_total += state.facts.bids_cached_served;
+    broker_refreshed_total += state.facts.bids_refreshed;
+  }
   fleet.timers["fleet." + config_.sli_timer_suffix] = fleet_sli;
   fleet.counters["fleet." + config_.good_counter_suffix] = good_total;
   fleet.counters["fleet." + config_.bad_counter_suffix] = bad_total;
@@ -269,12 +344,25 @@ void FleetAggregator::publish_locked(double now_s) {
       journal_dropped_total;
   fleet.gauges["fleet.plants.gauge"] = static_cast<std::int64_t>(fresh);
   fleet.gauges["fleet.lifecycle.headroom_bytes.gauge"] = headroom_total;
+  if (fresh_brokers != 0) {
+    fleet.gauges["fleet.brokers.gauge"] =
+        static_cast<std::int64_t>(fresh_brokers);
+    fleet.counters["fleet.broker.creations_forwarded.count"] =
+        broker_forwarded_total;
+    fleet.counters["fleet.broker.bids.cached.count"] = broker_cached_total;
+    fleet.counters["fleet.broker.bids.refreshed.count"] =
+        broker_refreshed_total;
+  }
   for (const auto& [name, stats] : tail_self_total) {
     fleet.timers["fleet." + name] = stats;
   }
   classad::ClassAd rollup = obs::metrics_ad(fleet, util::FaultReport{});
   rollup.set_integer(fleet_attrs::kPlantCount,
                      static_cast<std::int64_t>(fresh));
+  if (fresh_brokers != 0) {
+    rollup.set_integer(fleet_attrs::kBrokerCount,
+                       static_cast<std::int64_t>(fresh_brokers));
+  }
   info_->store(kObsFleetMetricsId, rollup);
 }
 
@@ -301,6 +389,16 @@ std::optional<FleetAggregator::PlantHealth> FleetAggregator::plant_health(
   auto it = plants_.find(plant);
   if (it == plants_.end() || !it->second.fresh) return std::nullopt;
   return it->second.verdict;
+}
+
+std::vector<FleetAggregator::BrokerState> FleetAggregator::broker_states()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BrokerState> out;
+  for (const auto& [broker, state] : brokers_) {
+    if (state.fresh) out.push_back(state.facts);
+  }
+  return out;
 }
 
 obs::MetricsSnapshot FleetAggregator::fleet_snapshot() const {
@@ -380,6 +478,7 @@ void FleetAggregator::stop_periodic() {
 
 void FleetAggregator::clear_published() {
   (void)info_->remove_prefixed(kObsHealthPrefix);
+  (void)info_->remove_prefixed(kObsBrokerPrefix);
   (void)info_->remove(kObsFleetMetricsId);
 }
 
@@ -390,6 +489,12 @@ bool FleetAggregator::export_jsonl(const std::string& path) const {
     for (const auto& [plant, state] : plants_) {
       if (!state.fresh) continue;
       const std::string ad_id = kObsHealthPrefix + plant;
+      auto ad = info_->query(ad_id);
+      if (ad.ok()) lines.push_back(ad_to_json_line(ad_id, ad.value()));
+    }
+    for (const auto& [broker, state] : brokers_) {
+      if (!state.fresh) continue;
+      const std::string ad_id = kObsBrokerPrefix + broker;
       auto ad = info_->query(ad_id);
       if (ad.ok()) lines.push_back(ad_to_json_line(ad_id, ad.value()));
     }

@@ -76,6 +76,15 @@ inline constexpr const char* kLastSeenSeconds = "LastSeenSeconds";
 inline constexpr const char* kHeadroomBytes = "LifecycleHeadroomBytes";
 inline constexpr const char* kJournalDropped = "JournalDroppedRecords";
 inline constexpr const char* kPlantCount = "PlantCount";  // fleet rollup ad
+// "obs://broker/<name>" shard ads (federation, DESIGN.md §16).
+inline constexpr const char* kBroker = "Broker";
+inline constexpr const char* kBrokerMembers = "Members";
+inline constexpr const char* kForwarded = "CreationsForwarded";
+inline constexpr const char* kBidsCached = "BidsCachedServed";
+inline constexpr const char* kBidsRefreshed = "BidsRefreshed";
+inline constexpr const char* kBidCacheSize = "BidCacheSize";
+inline constexpr const char* kSubtreeHeadroom = "SubtreeHeadroomBytes";
+inline constexpr const char* kBrokerCount = "BrokerCount";  // rollup ad
 }  // namespace fleet_attrs
 
 class FleetAggregator {
@@ -99,6 +108,20 @@ class FleetAggregator {
     /// (lifecycle.journal.dropped.count); non-zero means the plant's
     /// crash-forensics timeline has holes.
     std::uint64_t journal_dropped = 0;
+    double last_seen_s = 0.0;
+  };
+
+  /// One federation shard broker's last-sweep facts (registry records with
+  /// property broker=true are swept as brokers, never as plants — a broker
+  /// runs no production line, so SLO verdicts would be meaningless).
+  struct BrokerState {
+    std::string broker;
+    std::int64_t members = 0;
+    std::uint64_t creations_forwarded = 0;
+    std::uint64_t bids_cached_served = 0;
+    std::uint64_t bids_refreshed = 0;
+    std::int64_t bid_cache_size = 0;
+    std::int64_t subtree_headroom_bytes = 0;
     double last_seen_s = 0.0;
   };
 
@@ -129,6 +152,10 @@ class FleetAggregator {
   /// Last verdict per plant (stale plants excluded), sorted by name.
   std::vector<PlantHealth> plant_healths() const;
   std::optional<PlantHealth> plant_health(const std::string& plant) const;
+
+  /// Last facts per fresh shard broker, sorted by name (empty in flat
+  /// deployments).
+  std::vector<BrokerState> broker_states() const;
 
   /// The current fleet rollup: every fresh plant's SLI metrics merged
   /// (histograms included) under "fleet.*" names.
@@ -167,6 +194,12 @@ class FleetAggregator {
     bool fresh = false;           // seen within stale_after_s of last sweep
   };
 
+  struct BrokerSweepState {
+    BrokerState facts;
+    bool ever_seen = false;
+    bool fresh = false;
+  };
+
   util::Result<classad::ClassAd> pull_metrics_ad(const std::string& plant);
   void publish_locked(double now_s);
   std::optional<double> sli_quantile(const obs::TimerStats& stats) const;
@@ -180,6 +213,7 @@ class FleetAggregator {
   std::function<double()> clock_;
   std::chrono::steady_clock::time_point epoch_;
   std::map<std::string, PlantState> plants_;
+  std::map<std::string, BrokerSweepState> brokers_;
 
   std::thread thread_;
   std::mutex stop_mutex_;

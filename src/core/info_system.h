@@ -37,6 +37,7 @@ inline constexpr char kObsMetricsId[] = "obs://metrics";
 inline constexpr char kObsTracePrefix[] = "obs://trace/";
 inline constexpr char kObsTailPrefix[] = "obs://tail/";
 inline constexpr char kObsHealthPrefix[] = "obs://health/";
+inline constexpr char kObsBrokerPrefix[] = "obs://broker/";
 inline constexpr char kObsFleetMetricsId[] = "obs://fleet/metrics";
 
 class VmInformationSystem {

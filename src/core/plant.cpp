@@ -596,6 +596,27 @@ net::Message VmPlant::handle_message(const net::Message& request_msg) {
     return response;
   }
 
+  if (service == "vmplant.estimate_batch") {
+    // Federation refresh traffic (DESIGN.md §16): one message prices many
+    // DAG-classes.  Classes this plant cannot price are simply absent from
+    // the reply — a batch never faults as a whole for one bad class.
+    net::Message response = net::Message::response_to(request_msg);
+    xml::Element& bids = response.body().add_child("bids");
+    for (const xml::Element* cls : request_msg.body().children_named("class")) {
+      const xml::Element* req_elem = cls->child("create-request");
+      if (req_elem == nullptr || !cls->has_attr("key")) continue;
+      auto request = CreateRequest::from_xml(*req_elem);
+      if (!request.ok()) continue;
+      auto cost = estimate(request.value());
+      if (!cost.ok()) continue;
+      xml::Element& bid = bids.add_child("bid");
+      bid.set_attr("class", cls->attr("key"));
+      bid.set_attr("plant", config_.name);
+      bid.set_attr("cost", util::format_double(cost.value()));
+    }
+    return response;
+  }
+
   if (service == "vmplant.query" || service == "vmplant.collect") {
     const xml::Element* vm_elem = request_msg.body().child("vm");
     if (vm_elem == nullptr || !vm_elem->has_attr("id")) {

@@ -157,7 +157,8 @@ class VmPlant {
 
   // -- Bus integration --------------------------------------------------------
   /// Register this plant's endpoint and publish it in the registry.
-  /// Service names on the wire: vmplant.estimate / create / query / collect.
+  /// Service names on the wire: vmplant.estimate / estimate_batch / create
+  /// / query / collect.
   util::Status attach_to_bus(net::MessageBus* bus,
                              net::ServiceRegistry* registry);
   void detach_from_bus();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "fault/fault.h"
 #include "lifecycle/lifecycle.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -27,6 +28,8 @@ struct ShopMetrics {
   obs::Counter* failovers;
   obs::Counter* cache_hits;
   obs::Counter* bids;
+  obs::Counter* bids_skipped;
+  obs::Counter* bid_timeouts;
   obs::Counter* admission_rejects;
   obs::Timer* create_seconds;
   obs::Timer* bid_seconds;
@@ -43,6 +46,8 @@ struct ShopMetrics {
                          r.counter("shop.failover.count"),
                          r.counter("shop.cache_hit.count"),
                          r.counter("shop.bid.count"),
+                         r.counter("shop.bid_skipped.count"),
+                         r.counter("shop.bid_timeout.count"),
                          r.counter("shop.admission_reject.count"),
                          r.timer("shop.create.seconds"),
                          r.timer("shop.bid.seconds"),
@@ -72,13 +77,50 @@ std::vector<Bid> VmShop::collect_bids(const CreateRequest& request) {
   const double start_s = obs::Tracer::instance().now();
   std::vector<Bid> bids;
   for (const net::ServiceRecord& plant : registry_->discover("vmplant")) {
+    // The registry snapshot is a cache (paper §3.1): a plant can detach
+    // between discover() and the bid call.  Probe the bus first so a
+    // vanished bidder costs one lookup — a skipped bid, never a stall.
+    if (!bus_->has_endpoint(plant.address)) {
+      kLog.warn() << plant.address
+                  << " vanished before bidding (detached after registry "
+                     "snapshot); skipping its bid";
+      bids_skipped_.fetch_add(1, std::memory_order_relaxed);
+      ShopMetrics::get().bids_skipped->add();
+      continue;
+    }
+    // Modeled per-bid deadline: the hook stands in for bid_timeout_s
+    // expiring without an answer.  A firing loses THIS bid only.
+    if (Status deadline = fault::check(fault::points::kShopBid, plant.address);
+        !deadline.ok()) {
+      kLog.warn() << plant.address << " bid timed out (budget "
+                  << config_.bid_timeout_s
+                  << "s): " << deadline.error().to_string();
+      bids_skipped_.fetch_add(1, std::memory_order_relaxed);
+      ShopMetrics::get().bids_skipped->add();
+      ShopMetrics::get().bid_timeouts->add();
+      continue;
+    }
     net::Message m = net::Message::request("vmplant.estimate", config_.name,
                                            plant.address, request.request_id);
     request.to_xml(&m.body());
     auto response = net::call_expecting_success(bus_, m);
     if (!response.ok()) {
-      kLog.debug() << plant.address
-                   << " declined to bid: " << response.error().to_string();
+      const ErrorCode code = response.error().code();
+      const bool transport = code == ErrorCode::kUnavailable ||
+                             code == ErrorCode::kTimeout ||
+                             code == ErrorCode::kNotFound;
+      if (transport) {
+        // Lost/refused at the transport layer — same class as a vanished
+        // plant, distinct from an application-level refusal below.
+        kLog.warn() << plant.address << " unreachable during bidding: "
+                    << response.error().to_string() << "; skipping its bid";
+        bids_skipped_.fetch_add(1, std::memory_order_relaxed);
+        ShopMetrics::get().bids_skipped->add();
+        if (code == ErrorCode::kTimeout) ShopMetrics::get().bid_timeouts->add();
+      } else {
+        kLog.debug() << plant.address
+                     << " declined to bid: " << response.error().to_string();
+      }
       continue;
     }
     const xml::Element* bid_elem = response.value().body().child("bid");

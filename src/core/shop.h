@@ -71,6 +71,13 @@ struct ShopConfig {
   /// kResourceExhausted.  0 (default) = unlimited, no admission control.
   std::size_t max_inflight_creates = 0;
   std::size_t admission_queue_limit = 16;
+  /// Per-bid deadline (modeled; the in-process bus has no wall-clock
+  /// deadline).  A bidder that cannot answer within this budget — the
+  /// fault::points::kShopBid hook firing, or a transport-class failure
+  /// from the bus — is SKIPPED for this round, never stalls collection,
+  /// and never disqualifies the others.  0 keeps the legacy behavior of
+  /// waiting on every bus call (the hook still fires when armed).
+  double bid_timeout_s = 0.0;
 };
 
 class VmShop {
@@ -159,6 +166,13 @@ class VmShop {
   std::uint64_t failovers() const {
     return failovers_.load(std::memory_order_relaxed);
   }
+  /// Bids skipped during collection because the bidder vanished between
+  /// the registry snapshot and the bid call, timed out (the shop.bid
+  /// fault hook / bid_timeout_s), or failed at the transport layer.
+  /// Application-level refusals ("declined") are not counted here.
+  std::uint64_t bids_skipped() const {
+    return bids_skipped_.load(std::memory_order_relaxed);
+  }
   /// Total exponential-backoff delay charged, in virtual sim-seconds.
   double retry_backoff_s() const;
 
@@ -203,6 +217,7 @@ class VmShop {
   std::atomic<std::uint64_t> creations_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> bids_skipped_{0};
   double retry_backoff_s_ = 0.0;  // guarded by mutex_
   bool attached_ = false;
 };

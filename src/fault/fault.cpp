@@ -16,13 +16,14 @@ const std::vector<std::string>& known_points() {
       points::kBusSend,          points::kBusTimeout,
       points::kStoreRead,        points::kStoreWrite,
       points::kStoreRemove,      points::kHypervisorResume,
-      points::kPlantConfigureAction,
+      points::kPlantConfigureAction, points::kShopBid,
   };
   return kPoints;
 }
 
 ErrorCode default_code(const std::string& point) {
   if (point == points::kBusTimeout) return ErrorCode::kTimeout;
+  if (point == points::kShopBid) return ErrorCode::kTimeout;
   if (point == points::kHypervisorResume) return ErrorCode::kInternal;
   if (point == points::kPlantConfigureAction) {
     return ErrorCode::kConfigActionFailed;

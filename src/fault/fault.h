@@ -50,6 +50,12 @@ inline constexpr const char* kStoreWrite = "store.write";
 inline constexpr const char* kStoreRemove = "store.remove";
 inline constexpr const char* kHypervisorResume = "hypervisor.resume";
 inline constexpr const char* kPlantConfigureAction = "plant.configure_action";
+/// Consulted once per plant in VmShop::collect_bids (detail = the plant's
+/// bus address).  A firing turns that one bid into a skipped bid — the
+/// per-bid timeout (ShopConfig::bid_timeout_s) expiring — without
+/// touching the others, so the explorer can branch on individual bid
+/// losses.
+inline constexpr const char* kShopBid = "shop.bid";
 }  // namespace points
 
 /// All known injection-point names.

@@ -23,6 +23,7 @@ import json
 import sys
 
 HEALTH_PREFIX = "obs://health/"
+BROKER_PREFIX = "obs://broker/"
 FLEET_ID = "obs://fleet/metrics"
 
 
@@ -42,17 +43,20 @@ def load_ads(path):
 
 
 def split_ads(ads):
-    """Latest health ad per plant plus the latest fleet rollup."""
+    """Latest health ad per plant, broker ad per shard, and fleet rollup."""
     plants = {}
+    brokers = {}
     rollup = None
     for ad in ads:
         ad_id = ad.get("id", "")
         attrs = ad.get("attrs", {})
         if ad_id.startswith(HEALTH_PREFIX):
             plants[ad_id[len(HEALTH_PREFIX):]] = attrs
+        elif ad_id.startswith(BROKER_PREFIX):
+            brokers[ad_id[len(BROKER_PREFIX):]] = attrs
         elif ad_id == FLEET_ID:
             rollup = attrs
-    return plants, rollup
+    return plants, brokers, rollup
 
 
 def health_grade(health):
@@ -78,6 +82,33 @@ def print_health_table(plants):
               f"{sli * 1e3:>9.2f} "
               f"{int(attrs.get('GoodTotal', 0)):>8} "
               f"{int(attrs.get('BadTotal', 0)):>6}")
+
+
+def broker_row(attrs):
+    return {
+        "members": int(attrs.get("Members", 0)),
+        "forwarded": int(attrs.get("CreationsForwarded", 0)),
+        "bids_cached": int(attrs.get("BidsCachedServed", 0)),
+        "bids_refreshed": int(attrs.get("BidsRefreshed", 0)),
+        "cache_size": int(attrs.get("BidCacheSize", 0)),
+        "headroom_bytes": int(attrs.get("SubtreeHeadroomBytes", 0)),
+    }
+
+
+def print_broker_table(brokers):
+    header = (f"{'shard':<16} {'members':>8} {'forwarded':>10} "
+              f"{'cached':>8} {'refreshed':>10} {'cache':>6} "
+              f"{'headroom':>12}")
+    print(header)
+    print("-" * len(header))
+    for name in sorted(brokers):
+        row = broker_row(brokers[name])
+        headroom = row["headroom_bytes"]
+        headroom_str = (f"{headroom / (1 << 20):.0f} MB" if headroom
+                        else "-")
+        print(f"{name:<16} {row['members']:>8} {row['forwarded']:>10} "
+              f"{row['bids_cached']:>8} {row['bids_refreshed']:>10} "
+              f"{row['cache_size']:>6} {headroom_str:>12}")
 
 
 def rollup_summary(rollup):
@@ -120,13 +151,16 @@ def main():
                         help="file written by FleetAggregator::export_jsonl")
     parser.add_argument("--json", action="store_true",
                         help="emit one machine-readable summary object")
+    parser.add_argument("--by-shard", action="store_true",
+                        help="per-shard broker table (obs://broker/* ads) "
+                             "instead of the per-plant health view")
     args = parser.parse_args()
 
     ads = load_ads(args.jsonl)
     if not ads:
         print("no ads found", file=sys.stderr)
         return 1
-    plants, rollup = split_ads(ads)
+    plants, brokers, rollup = split_ads(ads)
 
     if args.json:
         print(json.dumps({
@@ -142,8 +176,22 @@ def main():
                     "bad": int(attrs.get("BadTotal", 0)),
                 } for name, attrs in sorted(plants.items())
             },
+            "brokers": {
+                name: broker_row(attrs)
+                for name, attrs in sorted(brokers.items())
+            },
             "fleet": rollup_summary(rollup),
         }, indent=2))
+        return 0
+
+    if args.by_shard:
+        if not brokers:
+            print("no obs://broker/* ads in this export (flat deployment?)",
+                  file=sys.stderr)
+            return 1
+        print_broker_table(brokers)
+        print()
+        print_rollup(rollup)
         return 0
 
     if plants:
